@@ -1,0 +1,115 @@
+// Ablation of the design parameters DESIGN.md calls out (not a paper
+// figure): the invariant stability threshold tau, the violation threshold
+// epsilon, the anomaly-debounce length, and the similarity metric. Each is
+// swept around the paper's default (tau = eps = 0.2, 3-consecutive,
+// Jaccard) on a reduced WordCount campaign, everything else held fixed.
+//
+// INVARNETX_REPS (default 8) and INVARNETX_SEED override the campaign size.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using invarnetx::core::EvalConfig;
+using invarnetx::core::EvalResult;
+using invarnetx::core::RunEvaluation;
+
+EvalConfig BaseConfig() {
+  EvalConfig config;
+  config.workload = invarnetx::workload::WorkloadType::kWordCount;
+  config.seed = static_cast<uint64_t>(
+      invarnetx::bench::EnvInt("INVARNETX_SEED", 42));
+  config.test_runs_per_fault = invarnetx::bench::EnvInt("INVARNETX_REPS", 8);
+  return config;
+}
+
+void Row(invarnetx::TextTable* table, const std::string& knob,
+         const std::string& value, const EvalConfig& config) {
+  const EvalResult result =
+      invarnetx::bench::ValueOrDie(RunEvaluation(config), knob.c_str());
+  table->AddRow({knob, value, invarnetx::FormatPercent(result.avg_precision),
+                 invarnetx::FormatPercent(result.avg_recall)});
+  std::printf("  %-12s %-12s precision %s recall %s\n", knob.c_str(),
+              value.c_str(),
+              invarnetx::FormatPercent(result.avg_precision).c_str(),
+              invarnetx::FormatPercent(result.avg_recall).c_str());
+}
+
+}  // namespace
+
+int main() {
+  namespace core = invarnetx::core;
+  const EvalConfig base = BaseConfig();
+  std::printf("== Ablation: pipeline parameters (WordCount, %d runs/fault, "
+              "seed=%llu) ==\n\n",
+              base.test_runs_per_fault,
+              static_cast<unsigned long long>(base.seed));
+  invarnetx::TextTable table({"knob", "value", "precision", "recall"});
+
+  Row(&table, "default", "paper", base);
+
+  for (double tau : {0.1, 0.3}) {
+    EvalConfig config = base;
+    config.pipeline.tau = tau;
+    Row(&table, "tau", invarnetx::FormatDouble(tau, 1), config);
+  }
+  for (double eps : {0.1, 0.3}) {
+    EvalConfig config = base;
+    config.pipeline.epsilon = eps;
+    Row(&table, "epsilon", invarnetx::FormatDouble(eps, 1), config);
+  }
+  for (int consecutive : {1, 5}) {
+    EvalConfig config = base;
+    config.pipeline.consecutive_required = consecutive;
+    Row(&table, "debounce", std::to_string(consecutive), config);
+  }
+  const core::SimilarityMetric metrics[] = {
+      core::SimilarityMetric::kCosine, core::SimilarityMetric::kDice,
+      core::SimilarityMetric::kHamming, core::SimilarityMetric::kIdfJaccard};
+  for (core::SimilarityMetric metric : metrics) {
+    EvalConfig config = base;
+    config.pipeline.similarity = metric;
+    Row(&table, "similarity", core::SimilarityMetricName(metric), config);
+  }
+  for (double beta : {1.0, 1.5}) {
+    EvalConfig config = base;
+    config.pipeline.beta = beta;
+    Row(&table, "beta", invarnetx::FormatDouble(beta, 1), config);
+  }
+  {
+    EvalConfig config = base;
+    config.pipeline.engine = core::AssociationEngineType::kEnsemble;
+    Row(&table, "engine", "ensemble", config);
+  }
+  // Protocol sensitivity: how much do the paper's training-set sizes
+  // (10 normal runs, 2 signature runs per fault) matter?
+  for (int normal : {5, 20}) {
+    EvalConfig config = base;
+    config.normal_runs = normal;
+    Row(&table, "normal_runs", std::to_string(normal), config);
+  }
+  for (int sig : {1, 4}) {
+    EvalConfig config = base;
+    config.signature_train_runs = sig;
+    Row(&table, "sig_runs", std::to_string(sig), config);
+  }
+
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf(
+      "reading: epsilon is the sharpest knob (0.3 starves the tuples);\n"
+      "debounce=5 misses short bursts; the similarity metrics rank nearly\n"
+      "identically. tau=0.3 and extra signature runs both *improve*\n"
+      "accuracy here (looser stability admits more invariants; more\n"
+      "signatures cover the faults' run-to-run variation), and MORE normal\n"
+      "runs can hurt - each added run tightens Algorithm 1's max-min filter\n"
+      "and prunes invariants. The ensemble engine (the authors' ref [11]\n"
+      "lineage) is the single biggest win. Paper defaults are kept\n"
+      "throughout the headline benches.\n");
+  invarnetx::bench::CheckOk(table.WriteCsv("ablation_parameters.csv"),
+                            "WriteCsv(ablation)");
+  std::printf("wrote ablation_parameters.csv\n");
+  return 0;
+}

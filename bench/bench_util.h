@@ -1,0 +1,89 @@
+#ifndef INVARNETX_BENCH_BENCH_UTIL_H_
+#define INVARNETX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace invarnetx::bench {
+
+// Aborts the bench with a readable message on error.
+inline void CheckOk(const Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+const T& ValueOrDie(const Result<T>& result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result.value();
+}
+
+// Environment overrides used by every campaign bench so CI can trade
+// fidelity for speed: INVARNETX_REPS (test runs per fault) and
+// INVARNETX_SEED.
+inline int EnvInt(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::atoi(raw);
+}
+
+}  // namespace invarnetx::bench
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/evaluate.h"
+#include "faults/fault.h"
+
+namespace invarnetx::bench {
+
+// Renders the per-fault precision/recall table of a campaign result, with
+// 95% Wilson intervals on the recall (per-fault run counts are small, so
+// the interval width is worth seeing).
+inline TextTable OutcomeTable(const core::EvalResult& result) {
+  TextTable table({"fault", "precision", "recall", "recall 95% CI", "tp",
+                   "fp", "fn", "undetected", "unknown"});
+  for (const core::FaultOutcome& o : result.per_fault) {
+    std::string ci = "-";
+    const int trials = o.true_positives + o.false_negatives;
+    if (trials > 0) {
+      Result<ProportionInterval> interval =
+          WilsonInterval(o.true_positives, trials);
+      if (interval.ok()) {
+        ci = "[" + FormatPercent(interval.value().lo, 0) + ", " +
+             FormatPercent(interval.value().hi, 0) + "]";
+      }
+    }
+    table.AddRow({faults::FaultName(o.fault), FormatPercent(o.precision()),
+                  FormatPercent(o.recall()), ci,
+                  std::to_string(o.true_positives),
+                  std::to_string(o.false_positives),
+                  std::to_string(o.false_negatives),
+                  std::to_string(o.undetected), std::to_string(o.unknown)});
+  }
+  return table;
+}
+
+// Prints the off-diagonal confusion entries.
+inline void PrintConfusion(const core::EvalResult& result) {
+  std::printf("confusion (truth -> predicted, count):\n");
+  for (const auto& [truth, row] : result.confusion) {
+    for (const auto& [predicted, count] : row) {
+      if (truth != predicted) {
+        std::printf("  %-10s -> %-10s %d\n", truth.c_str(), predicted.c_str(),
+                    count);
+      }
+    }
+  }
+}
+
+}  // namespace invarnetx::bench
+
+#endif  // INVARNETX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+// Detection latency (not a paper figure): ticks from fault onset to the
+// debounced alarm, per fault type, under WordCount. The paper requires
+// detection to run online (Perf-D < 2 s per tick in Table 1); this bench
+// quantifies how quickly the alarm actually fires. Gradual faults (thread
+// leak) are expected to trail abrupt ones (suspend, cpu-hog); the floor is
+// the 3-consecutive debounce itself (>= 2 ticks after the first exceedance).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "core/anomaly.h"
+
+int main() {
+  namespace core = invarnetx::core;
+  namespace bench = invarnetx::bench;
+  namespace faults = invarnetx::faults;
+  using invarnetx::workload::WorkloadType;
+
+  const uint64_t seed =
+      static_cast<uint64_t>(bench::EnvInt("INVARNETX_SEED", 42));
+  const int reps = bench::EnvInt("INVARNETX_REPS", 12);
+  std::printf("== Detection latency per fault (WordCount, %d runs/fault, "
+              "seed=%llu) ==\n\n",
+              reps, static_cast<unsigned long long>(seed));
+
+  const auto normal = bench::ValueOrDie(
+      core::SimulateNormalRuns(WorkloadType::kWordCount, 10, seed),
+      "SimulateNormalRuns");
+  std::vector<std::vector<double>> cpi_traces;
+  for (const auto& run : normal) cpi_traces.push_back(run.nodes[1].cpi);
+  const core::PerformanceModel model = bench::ValueOrDie(
+      core::PerformanceModel::Train(cpi_traces), "Train");
+
+  invarnetx::TextTable table({"fault", "detected", "median_latency_ticks",
+                              "p90_latency_ticks", "min", "max"});
+  for (faults::FaultType fault : faults::AllFaults()) {
+    if (!faults::AppliesTo(fault, WorkloadType::kWordCount)) continue;
+    std::vector<double> latencies;
+    int detected = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto run = bench::ValueOrDie(
+          core::SimulateFaultRun(WorkloadType::kWordCount, fault,
+                                 seed + 5000 + static_cast<uint64_t>(rep)),
+          "SimulateFaultRun");
+      core::AnomalyDetector detector(model, core::ThresholdRule::kBetaMax);
+      const core::AnomalyScan scan = detector.Scan(run.nodes[1].cpi);
+      if (!scan.triggered()) continue;
+      ++detected;
+      latencies.push_back(scan.first_alarm_tick -
+                          run.fault->window.start_tick);
+    }
+    if (latencies.empty()) {
+      table.AddRow({faults::FaultName(fault), "0/" + std::to_string(reps),
+                    "-", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow(
+        {faults::FaultName(fault),
+         std::to_string(detected) + "/" + std::to_string(reps),
+         invarnetx::FormatDouble(
+             bench::ValueOrDie(invarnetx::Percentile(latencies, 50.0), "p50"),
+             1),
+         invarnetx::FormatDouble(
+             bench::ValueOrDie(invarnetx::Percentile(latencies, 90.0), "p90"),
+             1),
+         invarnetx::FormatDouble(invarnetx::Min(latencies), 0),
+         invarnetx::FormatDouble(invarnetx::Max(latencies), 0)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("one tick = 10 s; the 3-consecutive debounce makes 2 ticks the\n"
+              "floor. Gradual faults (h-9703 thread leak) detect late by\n"
+              "design; abrupt ones detect within ~30 s.\n");
+  bench::CheckOk(table.WriteCsv("detection_latency.csv"), "WriteCsv");
+  std::printf("wrote detection_latency.csv\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduces Fig. 6: per-tick anomaly decisions of the three threshold rules
+// ("max-min", "95-percentile", "beta-max") against ground truth, under
+// WordCount and TPC-DS with a CPU-hog injection. The paper finds the
+// 95-percentile rule worst (it fires on normal ticks), while max-min and
+// beta-max behave similarly - and beta-max is kept because it is cheaper
+// (no min computation).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/anomaly.h"
+#include "core/evaluate.h"
+
+namespace {
+
+struct RuleStats {
+  int true_alarms = 0;    // debounced alarm ticks inside the fault window
+  int false_alarms = 0;   // debounced alarm ticks outside it
+  int raw_false = 0;      // un-debounced threshold exceedances outside it
+  int window_ticks = 0;
+  int normal_ticks = 0;
+};
+
+void RunCase(invarnetx::workload::WorkloadType type, uint64_t seed,
+             invarnetx::TextTable* series_out, invarnetx::TextTable* summary) {
+  namespace core = invarnetx::core;
+  namespace bench = invarnetx::bench;
+
+  core::EvalConfig config;
+  config.workload = type;
+  const auto normal = bench::ValueOrDie(
+      core::SimulateNormalRuns(type, config.normal_runs, seed,
+                               config.interactive_train_ticks),
+      "SimulateNormalRuns");
+  std::vector<std::vector<double>> cpi_traces;
+  for (const auto& run : normal) cpi_traces.push_back(run.nodes[1].cpi);
+  const core::PerformanceModel model = bench::ValueOrDie(
+      core::PerformanceModel::Train(cpi_traces), "Train");
+
+  const auto faulty = bench::ValueOrDie(
+      core::SimulateFaultRun(type, invarnetx::faults::FaultType::kCpuHog,
+                             seed + 500),
+      "SimulateFaultRun");
+  // A held-out normal run to measure false alarms on clean data.
+  const auto clean = bench::ValueOrDie(
+      core::SimulateNormalRuns(type, 1, seed + 900), "held-out normal");
+  const auto window = invarnetx::telemetry::DefaultFaultWindow(
+      invarnetx::faults::FaultType::kCpuHog);
+
+  const core::ThresholdRule rules[] = {core::ThresholdRule::kMaxMin,
+                                       core::ThresholdRule::k95Percentile,
+                                       core::ThresholdRule::kBetaMax};
+  const std::string name = invarnetx::workload::WorkloadName(type);
+  for (core::ThresholdRule rule : rules) {
+    core::AnomalyDetector detector(model, rule);
+    const core::AnomalyScan fault_scan = detector.Scan(faulty.nodes[1].cpi);
+    const core::AnomalyScan clean_scan =
+        detector.Scan(clean[0].nodes[1].cpi);
+
+    RuleStats stats;
+    for (size_t t = 0; t < fault_scan.alarms.size(); ++t) {
+      const bool truth = window.Active(static_cast<int>(t));
+      truth ? ++stats.window_ticks : ++stats.normal_ticks;
+      if (fault_scan.alarms[t]) {
+        truth ? ++stats.true_alarms : ++stats.false_alarms;
+      }
+      if (!truth && fault_scan.raw_flags[t]) ++stats.raw_false;
+      series_out->AddRow(
+          {name, core::ThresholdRuleName(rule), std::to_string(t),
+           fault_scan.alarms[t] ? "1" : "0", truth ? "1" : "0"});
+    }
+    for (size_t t = 0; t < clean_scan.alarms.size(); ++t) {
+      ++stats.normal_ticks;
+      if (clean_scan.alarms[t]) ++stats.false_alarms;
+      if (clean_scan.raw_flags[t]) ++stats.raw_false;
+    }
+    summary->AddRow(
+        {name, core::ThresholdRuleName(rule),
+         invarnetx::FormatDouble(model.Threshold(rule), 4),
+         invarnetx::FormatPercent(
+             static_cast<double>(stats.true_alarms) / stats.window_ticks),
+         invarnetx::FormatPercent(
+             static_cast<double>(stats.false_alarms) / stats.normal_ticks),
+         invarnetx::FormatPercent(
+             static_cast<double>(stats.raw_false) / stats.normal_ticks)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t seed = static_cast<uint64_t>(
+      invarnetx::bench::EnvInt("INVARNETX_SEED", 42));
+  std::printf("== Fig. 6: threshold rules under CPU-hog (seed=%llu) ==\n\n",
+              static_cast<unsigned long long>(seed));
+  invarnetx::TextTable series(
+      {"workload", "rule", "tick", "alarm", "fault_active"});
+  invarnetx::TextTable summary({"workload", "rule", "threshold",
+                                "alarm_rate_in_window", "false_alarm_rate",
+                                "raw_exceedance_rate"});
+  RunCase(invarnetx::workload::WorkloadType::kWordCount, seed, &series,
+          &summary);
+  RunCase(invarnetx::workload::WorkloadType::kTpcDs, seed, &series, &summary);
+  std::printf("%s\n", summary.Render().c_str());
+  std::printf(
+      "paper shape: the 95-percentile rule has the worst detection quality\n"
+      "(its raw exceedance rate on normal data is ~5%% by construction;\n"
+      "the 3-consecutive debounce hides most but not all of it), while\n"
+      "max-min and beta-max behave alike - and beta-max avoids the extra\n"
+      "min computation.\n");
+  invarnetx::bench::CheckOk(series.WriteCsv("fig6_threshold_rules.csv"),
+                            "WriteCsv(fig6)");
+  std::printf("wrote fig6_threshold_rules.csv (%zu rows)\n",
+              series.num_rows());
+  return 0;
+}

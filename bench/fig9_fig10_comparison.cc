@@ -1,0 +1,86 @@
+// Reproduces Fig. 9 (precision) and Fig. 10 (recall): InvarNet-X vs the ARX
+// pairwise-invariant baseline (Jiang et al.) vs InvarNet-X without operation
+// context, all under WordCount. Expected shape per the paper:
+//   - InvarNet-X precision is several points above ARX (ARX's rigorous
+//     linear invariants break easily under *any* problem, so its signatures
+//     are less distinguishable), while recall shows no significant gap;
+//   - the no-operation-context variant is far worse on both metrics
+//     (one pooled model cannot fit heterogeneous nodes).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+invarnetx::core::EvalResult RunVariant(const invarnetx::core::EvalConfig& base,
+                                       const char* label) {
+  std::printf("running variant: %s ...\n", label);
+  return invarnetx::bench::ValueOrDie(invarnetx::core::RunEvaluation(base),
+                                      label);
+}
+
+}  // namespace
+
+int main() {
+  namespace core = invarnetx::core;
+  namespace bench = invarnetx::bench;
+
+  core::EvalConfig config;
+  config.workload = invarnetx::workload::WorkloadType::kWordCount;
+  config.seed = static_cast<uint64_t>(bench::EnvInt("INVARNETX_SEED", 42));
+  config.test_runs_per_fault = bench::EnvInt("INVARNETX_REPS", 38);
+
+  std::printf(
+      "== Fig. 9 / Fig. 10: InvarNet-X vs ARX vs no-operation-context "
+      "(WordCount, seed=%llu, %d test runs/fault) ==\n\n",
+      static_cast<unsigned long long>(config.seed),
+      config.test_runs_per_fault);
+
+  const core::EvalResult invarnet = RunVariant(config, "InvarNet-X");
+
+  core::EvalConfig arx_config = config;
+  arx_config.pipeline.engine = core::AssociationEngineType::kArx;
+  const core::EvalResult arx = RunVariant(arx_config, "ARX");
+
+  core::EvalConfig nocontext_config = config;
+  nocontext_config.pipeline.use_operation_context = false;
+  const core::EvalResult nocontext =
+      RunVariant(nocontext_config, "InvarNet-X (no operation context)");
+
+  std::printf("\nFig. 9 - diagnosis precision per fault:\n");
+  invarnetx::TextTable precision(
+      {"fault", "InvarNet-X", "ARX", "no-context"});
+  invarnetx::TextTable recall({"fault", "InvarNet-X", "ARX", "no-context"});
+  for (size_t i = 0; i < invarnet.per_fault.size(); ++i) {
+    const std::string name =
+        invarnetx::faults::FaultName(invarnet.per_fault[i].fault);
+    precision.AddRow(
+        {name, invarnetx::FormatPercent(invarnet.per_fault[i].precision()),
+         invarnetx::FormatPercent(arx.per_fault[i].precision()),
+         invarnetx::FormatPercent(nocontext.per_fault[i].precision())});
+    recall.AddRow(
+        {name, invarnetx::FormatPercent(invarnet.per_fault[i].recall()),
+         invarnetx::FormatPercent(arx.per_fault[i].recall()),
+         invarnetx::FormatPercent(nocontext.per_fault[i].recall())});
+  }
+  precision.AddRow({"AVERAGE", invarnetx::FormatPercent(invarnet.avg_precision),
+                    invarnetx::FormatPercent(arx.avg_precision),
+                    invarnetx::FormatPercent(nocontext.avg_precision)});
+  recall.AddRow({"AVERAGE", invarnetx::FormatPercent(invarnet.avg_recall),
+                 invarnetx::FormatPercent(arx.avg_recall),
+                 invarnetx::FormatPercent(nocontext.avg_recall)});
+  std::printf("%s\n", precision.Render().c_str());
+  std::printf("Fig. 10 - diagnosis recall per fault:\n%s\n",
+              recall.Render().c_str());
+  std::printf(
+      "paper shape: InvarNet-X precision ~9%% above ARX; recall comparable;\n"
+      "no-operation-context far below both on precision and recall.\n");
+  bench::CheckOk(precision.WriteCsv("fig9_precision_comparison.csv"),
+                 "WriteCsv(fig9)");
+  bench::CheckOk(recall.WriteCsv("fig10_recall_comparison.csv"),
+                 "WriteCsv(fig10)");
+  std::printf("wrote fig9_precision_comparison.csv, "
+              "fig10_recall_comparison.csv\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Reproduces the Sec. 3.1 argument behind Fig. 2 quantitatively (the paper's
+// earlier system [11] used resource utilization as the KPI and was fooled by
+// system noise): an ARIMA detector trained on cpu_user% false-alarms under a
+// harmless CPU-utilization disturbance, while the same detector trained on
+// CPI stays quiet - and both catch a real CPU hog.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/anomaly.h"
+#include "core/evaluate.h"
+
+namespace {
+
+using invarnetx::bench::ValueOrDie;
+
+// Detector over an arbitrary per-tick KPI series.
+invarnetx::core::PerformanceModel TrainOn(
+    const std::vector<std::vector<double>>& traces) {
+  return ValueOrDie(invarnetx::core::PerformanceModel::Train(traces),
+                    "PerformanceModel::Train");
+}
+
+}  // namespace
+
+int main() {
+  namespace core = invarnetx::core;
+  namespace bench = invarnetx::bench;
+  namespace faults = invarnetx::faults;
+  namespace telemetry = invarnetx::telemetry;
+  using invarnetx::workload::WorkloadType;
+
+  const uint64_t seed =
+      static_cast<uint64_t>(bench::EnvInt("INVARNETX_SEED", 42));
+  const int reps = bench::EnvInt("INVARNETX_REPS", 12);
+  std::printf("== KPI comparison: CPI vs cpu_user%% as the detection KPI "
+              "(WordCount, %d runs/case, seed=%llu) ==\n\n",
+              reps, static_cast<unsigned long long>(seed));
+
+  const auto normal = ValueOrDie(
+      core::SimulateNormalRuns(WorkloadType::kWordCount, 10, seed),
+      "SimulateNormalRuns");
+  std::vector<std::vector<double>> cpi_traces, cpu_traces;
+  for (const auto& run : normal) {
+    cpi_traces.push_back(run.nodes[1].cpi);
+    cpu_traces.push_back(run.nodes[1].metrics[telemetry::kCpuUserPct]);
+  }
+  const core::PerformanceModel cpi_model = TrainOn(cpi_traces);
+  const core::PerformanceModel cpu_model = TrainOn(cpu_traces);
+
+  // Three scenarios per KPI: clean runs, utilization-noise runs (the Fig. 2
+  // disturbance), and real CPU hogs.
+  struct Scenario {
+    const char* name;
+    bool disturb;   // inject the harmless CPU-utilization noise
+    bool real_hog;  // inject an actual cpu-hog fault
+  };
+  const Scenario scenarios[] = {{"clean", false, false},
+                                {"cpu-util-noise", true, false},
+                                {"real cpu-hog", false, true}};
+
+  invarnetx::TextTable table(
+      {"scenario", "alarms(CPI KPI)", "alarms(cpu_user KPI)"});
+  for (const Scenario& scenario : scenarios) {
+    int cpi_alarms = 0, cpu_alarms = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      telemetry::RunConfig config;
+      config.workload = WorkloadType::kWordCount;
+      config.seed = seed + 300 + static_cast<uint64_t>(rep);
+      if (scenario.disturb) {
+        invarnetx::faults::FaultWindow window;
+        window.start_tick = 10;
+        window.duration_ticks = 30;
+        window.target_node = 1;
+        config.fault = telemetry::FaultRequest{
+            faults::FaultType::kCpuUtilNoise, window};
+      } else if (scenario.real_hog) {
+        config.fault = telemetry::FaultRequest{
+            faults::FaultType::kCpuHog,
+            telemetry::DefaultFaultWindow(faults::FaultType::kCpuHog)};
+      }
+      const auto run =
+          ValueOrDie(telemetry::SimulateRun(config), "SimulateRun");
+      core::AnomalyDetector on_cpi(cpi_model, core::ThresholdRule::kBetaMax);
+      core::AnomalyDetector on_cpu(cpu_model, core::ThresholdRule::kBetaMax);
+      if (on_cpi.Scan(run.nodes[1].cpi).triggered()) ++cpi_alarms;
+      if (on_cpu.Scan(run.nodes[1].metrics[telemetry::kCpuUserPct])
+              .triggered()) {
+        ++cpu_alarms;
+      }
+    }
+    table.AddRow({scenario.name,
+                  std::to_string(cpi_alarms) + "/" + std::to_string(reps),
+                  std::to_string(cpu_alarms) + "/" + std::to_string(reps)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "paper shape (Sec. 3.1): the utilization KPI false-alarms on harmless\n"
+      "CPU noise; the CPI KPI stays quiet there yet still catches the real\n"
+      "hog - which is why InvarNet-X monitors CPI.\n");
+  bench::CheckOk(table.WriteCsv("kpi_comparison.csv"), "WriteCsv");
+  std::printf("wrote kpi_comparison.csv\n");
+  return 0;
+}

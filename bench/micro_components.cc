@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark) of the computational kernels: MIC
+// scoring vs series length, ARX association vs length, ARIMA fitting and
+// one-step prediction, the pairwise association matrix, and signature-
+// database queries vs database size. Not a paper table; these quantify the
+// costs behind Table 1 and back the paper's scalability claim (local,
+// per-context modeling keeps each unit of work small).
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "arx/arx.h"
+#include "common/random.h"
+#include "core/association.h"
+#include "core/invariants.h"
+#include "core/sigdb.h"
+#include "mic/mic.h"
+#include "telemetry/trace.h"
+#include "timeseries/arima.h"
+
+namespace {
+
+using invarnetx::Rng;
+
+std::vector<double> NoisyLine(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(0.02 * i + rng.Gaussian(0.0, 0.3));
+  }
+  return out;
+}
+
+void BM_MicScore(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> x = NoisyLine(n, 1);
+  const std::vector<double> y = NoisyLine(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invarnetx::mic::MicScore(x, y));
+  }
+}
+BENCHMARK(BM_MicScore)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
+
+void BM_ArxAssociation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> x = NoisyLine(n, 1);
+  const std::vector<double> y = NoisyLine(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invarnetx::arx::ArxAssociationScore(x, y));
+  }
+}
+BENCHMARK(BM_ArxAssociation)->Arg(60)->Arg(120)->Arg(240);
+
+void BM_ArimaFitAuto(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  std::vector<double> series;
+  double v = 1.0;
+  for (int i = 0; i < n; ++i) {
+    v = 0.3 + 0.7 * v + rng.Gaussian(0.0, 0.05);
+    series.push_back(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invarnetx::ts::FitArimaAuto(series));
+  }
+}
+BENCHMARK(BM_ArimaFitAuto)->Arg(120)->Arg(480);
+
+void BM_ArimaPredictOneStep(benchmark::State& state) {
+  auto model = invarnetx::ts::ArimaModel::FromParameters(
+      invarnetx::ts::ArimaOrder{2, 1, 1}, {0.4, 0.2}, {0.3}, 0.01, 1.0);
+  invarnetx::ts::ArimaPredictor predictor(model.value());
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.Observe(rng.Gaussian(1.0, 0.05)));
+  }
+}
+BENCHMARK(BM_ArimaPredictOneStep);
+
+void BM_SignatureQuery(benchmark::State& state) {
+  const int db_size = static_cast<int>(state.range(0));
+  constexpr int kBits = 250;
+  Rng rng(5);
+  invarnetx::core::SignatureDatabase db;
+  for (int s = 0; s < db_size; ++s) {
+    invarnetx::core::Signature sig;
+    sig.problem = "problem-" + std::to_string(s % 15);
+    for (int b = 0; b < kBits; ++b) {
+      sig.bits.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+    }
+    (void)db.Add(std::move(sig));
+  }
+  std::vector<uint8_t> tuple;
+  for (int b = 0; b < kBits; ++b) tuple.push_back(rng.Bernoulli(0.2) ? 1 : 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.Query(tuple, invarnetx::core::SimilarityMetric::kJaccard));
+  }
+}
+BENCHMARK(BM_SignatureQuery)->Arg(30)->Arg(300)->Arg(3000);
+
+void BM_AssociationMatrix(benchmark::State& state) {
+  // Full 325-pair MIC matrix of one node trace - the Invar-C unit of work.
+  const int ticks = static_cast<int>(state.range(0));
+  Rng rng(6);
+  invarnetx::telemetry::NodeTrace node;
+  for (int t = 0; t < ticks; ++t) {
+    const double driver = rng.Gaussian(0.0, 1.0);
+    node.cpi.push_back(1.0 + 0.05 * driver);
+    for (int m = 0; m < invarnetx::telemetry::kNumMetrics; ++m) {
+      node.metrics[static_cast<size_t>(m)].push_back(
+          10.0 + (m + 1) * driver + rng.Gaussian(0.0, 0.2));
+    }
+  }
+  const auto engine = invarnetx::core::AssociationEngine::Make(
+      invarnetx::core::AssociationEngineType::kMic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        invarnetx::core::ComputeAssociationMatrix(node, *engine));
+  }
+}
+BENCHMARK(BM_AssociationMatrix)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_ViolationTuple(benchmark::State& state) {
+  Rng rng(7);
+  invarnetx::core::InvariantSet set;
+  invarnetx::core::AssociationMatrix abnormal;
+  for (int i = 0; i < invarnetx::telemetry::kNumMetricPairs; ++i) {
+    set.present.push_back(rng.Bernoulli(0.7));
+    set.values.push_back(rng.Uniform());
+    abnormal.push_back(rng.Uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        invarnetx::core::ComputeViolationTuple(set, abnormal));
+  }
+}
+BENCHMARK(BM_ViolationTuple);
+
+void BM_BuildInvariants(benchmark::State& state) {
+  const int runs = static_cast<int>(state.range(0));
+  Rng rng(8);
+  std::vector<invarnetx::core::AssociationMatrix> matrices;
+  for (int r = 0; r < runs; ++r) {
+    invarnetx::core::AssociationMatrix m;
+    for (int i = 0; i < invarnetx::telemetry::kNumMetricPairs; ++i) {
+      m.push_back(rng.Uniform());
+    }
+    matrices.push_back(std::move(m));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invarnetx::core::BuildInvariants(matrices));
+  }
+}
+BENCHMARK(BM_BuildInvariants)->Arg(10)->Arg(40);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Signature explorer: trains a context, builds the signature database for
+// every applicable fault, persists everything to XML (the paper's storage
+// format), reloads it into a fresh pipeline, and prints the database
+// contents - the violated association pairs behind each problem signature.
+//
+// Usage: signature_explorer [directory] [seed]   (default: ./invarnetx_store)
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "telemetry/metrics.h"
+
+int main(int argc, char** argv) {
+  namespace core = invarnetx::core;
+  namespace faults = invarnetx::faults;
+  using invarnetx::workload::WorkloadType;
+
+  const std::string dir = argc > 1 ? argv[1] : "invarnetx_store";
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  std::filesystem::create_directories(dir);
+
+  auto normal = core::SimulateNormalRuns(WorkloadType::kWordCount, 10, seed);
+  if (!normal.ok()) {
+    std::fprintf(stderr, "%s\n", normal.status().ToString().c_str());
+    return 1;
+  }
+  core::InvarNetX invarnet;
+  const core::OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  if (invarnetx::Status st = invarnet.TrainContext(context, normal.value(), 1);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  for (faults::FaultType f : faults::AllFaults()) {
+    if (!faults::AppliesTo(f, WorkloadType::kWordCount)) continue;
+    auto run = core::SimulateFaultRun(WorkloadType::kWordCount, f, seed + 77);
+    if (invarnetx::Status st = invarnet.AddSignature(
+            context, faults::FaultName(f), run.value(), 1);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Persist and reload - the XML files are the paper's interchange format.
+  if (invarnetx::Status st = invarnet.SaveToDirectory(dir); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  core::InvarNetX reloaded;
+  if (invarnetx::Status st = reloaded.LoadFromDirectory(dir); !st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("persisted and reloaded store at %s/ "
+              "(models.xml, invariants.xml, signatures.xml)\n\n",
+              dir.c_str());
+
+  const core::ContextModel& model = *reloaded.GetContext(context).value();
+  const std::vector<int> pairs = model.invariants.PairIndices();
+  std::printf("context %s: %zu invariants, %zu signatures\n\n",
+              context.ToString().c_str(), pairs.size(),
+              model.sigdb.size());
+  for (const core::Signature& sig : model.sigdb.signatures()) {
+    int ones = 0;
+    for (uint8_t b : sig.bits) ones += b;
+    std::printf("%-10s %3d violations:", sig.problem.c_str(), ones);
+    int shown = 0;
+    for (size_t i = 0; i < sig.bits.size() && shown < 4; ++i) {
+      if (!sig.bits[i]) continue;
+      int a = 0, b = 0;
+      invarnetx::telemetry::PairFromIndex(pairs[i], &a, &b);
+      std::printf(" [%s ~ %s]",
+                  invarnetx::telemetry::MetricName(a).c_str(),
+                  invarnetx::telemetry::MetricName(b).c_str());
+      ++shown;
+    }
+    if (ones > shown) std::printf(" ... +%d more", ones - shown);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+# Renders the paper-figure CSVs produced by the bench binaries into PNGs.
+# Run the benches first (they write CSVs into the working directory), then:
+#   gnuplot -c plots/plot_figures.gp
+# Requires gnuplot >= 5.0.
+
+set datafile separator ","
+set terminal pngcairo size 900,520 font "Sans,11"
+set key outside right
+set grid
+
+# ---- Fig. 2: CPI robustness to CPU-utilization noise ---------------------
+set output "fig2_cpi_kpi.png"
+set title "Fig. 2 - CPI vs cpu\\_user under a CPU-utilization disturbance"
+set xlabel "tick (10 s)"
+set ylabel "CPI"
+set y2label "cpu\\_user %"
+set y2tics
+plot "fig2_cpi_kpi.csv" using 1:2 skip 1 with lines lw 2 title "CPI (normal)", \
+     "" using 1:3 skip 1 with lines lw 2 title "CPI (disturbed)", \
+     "" using 1:5 skip 1 axes x1y2 with lines dt 2 title "cpu\\_user (disturbed)"
+unset y2label
+unset y2tics
+
+# ---- Fig. 4: CPI vs execution time ---------------------------------------
+set output "fig4_cpi_exectime.png"
+set title "Fig. 4 - normalized CPI vs normalized execution time (25 runs)"
+set xlabel "CPI (normalized to min)"
+set ylabel "execution time (normalized to min)"
+plot "< awk -F, 'NR>1 && $1==\"wordcount\"' fig4_cpi_exectime.csv" \
+       using 3:5 with points pt 7 title "wordcount", \
+     "< awk -F, 'NR>1 && $1==\"sort\"' fig4_cpi_exectime.csv" \
+       using 3:5 with points pt 5 title "sort"
+
+# ---- Fig. 5: ARIMA residuals around the CPU hog ---------------------------
+set output "fig5_residuals.png"
+set title "Fig. 5 - CPI prediction residuals before/during a CPU hog"
+set xlabel "tick (10 s)"
+set ylabel "|residual|"
+plot "< awk -F, 'NR>1 && $1==\"wordcount\"' fig5_residuals.csv" \
+       using 2:4 with lines lw 2 title "wordcount", \
+     "< awk -F, 'NR>1 && $1==\"tpcds\"' fig5_residuals.csv" \
+       using 2:4 with lines lw 2 title "tpcds", \
+     "< awk -F, 'NR>1 && $1==\"wordcount\" && $5==1' fig5_residuals.csv" \
+       using 2:(0) with points pt 7 ps 0.4 title "hog active"
+
+# ---- Figs. 9/10: system comparison ----------------------------------------
+set output "fig9_precision_comparison.png"
+set title "Fig. 9 - diagnosis precision per fault"
+set style data histogram
+set style histogram clustered gap 1
+set style fill solid 0.8 border -1
+set xtics rotate by -40
+set ylabel "precision"
+set yrange [0:1.05]
+to_frac(s) = real(substr(s, 1, strlen(s) - 1)) / 100.0
+plot "fig9_precision_comparison.csv" using (to_frac(strcol(2))):xtic(1) skip 1 title "InvarNet-X", \
+     "" using (to_frac(strcol(3))) skip 1 title "ARX", \
+     "" using (to_frac(strcol(4))) skip 1 title "no context"
+
+set output "fig10_recall_comparison.png"
+set title "Fig. 10 - diagnosis recall per fault"
+set ylabel "recall"
+plot "fig10_recall_comparison.csv" using (to_frac(strcol(2))):xtic(1) skip 1 title "InvarNet-X", \
+     "" using (to_frac(strcol(3))) skip 1 title "ARX", \
+     "" using (to_frac(strcol(4))) skip 1 title "no context"
+
+print "wrote fig2/fig4/fig5/fig9/fig10 PNGs"

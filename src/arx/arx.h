@@ -1,0 +1,74 @@
+#ifndef INVARNETX_ARX_ARX_H_
+#define INVARNETX_ARX_ARX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::arx {
+
+// Order of an ARX(na, nb, delay) model:
+//   y(t) = c + sum_{i=1..na} a_i y(t-i) + sum_{j=0..nb-1} b_j u(t-delay-j).
+// This is the model family Jiang et al. use for pairwise invariants.
+struct ArxOrder {
+  int na = 1;
+  int nb = 1;
+  int delay = 0;
+
+  std::string ToString() const;
+};
+
+// An ARX model fitted by ordinary least squares, scored by the fitness
+// function F = 1 - ||y - yhat|| / ||y - ybar||, which is 1 for a perfect
+// fit and <= 0 when the model is no better than the mean.
+class ArxModel {
+ public:
+  static Result<ArxModel> Fit(const std::vector<double>& y,
+                              const std::vector<double>& u,
+                              const ArxOrder& order);
+
+  const ArxOrder& order() const { return order_; }
+  const std::vector<double>& a() const { return a_; }
+  const std::vector<double>& b() const { return b_; }
+  double intercept() const { return intercept_; }
+  // Fitness on the training data.
+  double fitness() const { return fitness_; }
+
+  // One-step-ahead predictions on new data (same length as y; warmup
+  // entries where lags are unavailable echo the observation).
+  Result<std::vector<double>> PredictInSample(
+      const std::vector<double>& y, const std::vector<double>& u) const;
+
+  // Fitness of this (already fitted) model evaluated on new data.
+  Result<double> EvaluateFitness(const std::vector<double>& y,
+                                 const std::vector<double>& u) const;
+
+ private:
+  ArxModel() = default;
+
+  ArxOrder order_;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  double intercept_ = 0.0;
+  double fitness_ = 0.0;
+};
+
+// Grid-searches na in [1, max_na], nb in [1, max_nb], delay in [0, max_delay]
+// and returns the model with the highest training fitness.
+Result<ArxModel> FitArxBest(const std::vector<double>& y,
+                            const std::vector<double>& u, int max_na = 2,
+                            int max_nb = 2, int max_delay = 2);
+
+// Association score used when ARX replaces MIC as the invariant engine:
+// the held-out conformance rate of the pair under the best ARX model -
+// the fraction of ticks whose one-step residual stays within 3-4x the
+// training RMSE when the model learned on one half of the series polices
+// the other half (how Jiang et al.'s trained invariants check residuals
+// online). Symmetrized by taking the larger direction; in [0, 1].
+Result<double> ArxAssociationScore(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+}  // namespace invarnetx::arx
+
+#endif  // INVARNETX_ARX_ARX_H_

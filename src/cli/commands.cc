@@ -1,0 +1,452 @@
+#include "cli/commands.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/cluster_diagnosis.h"
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "telemetry/runner.h"
+#include "telemetry/trace_io.h"
+
+namespace invarnetx::cli {
+namespace {
+
+Result<uint64_t> ParseSeed(const CommandLine& args) {
+  const std::string raw = args.Get("seed", "42");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str()) {
+    return Status::InvalidArgument("bad --seed: " + raw);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+// Index of the node with the given ip inside a trace.
+Result<size_t> NodeIndexOf(const telemetry::RunTrace& trace,
+                           const std::string& ip) {
+  for (size_t i = 0; i < trace.nodes.size(); ++i) {
+    if (trace.nodes[i].ip == ip) return i;
+  }
+  return Status::NotFound("trace has no node " + ip);
+}
+
+// Loads every positional argument as a trace; they must share a workload.
+Result<std::vector<telemetry::RunTrace>> LoadTraces(const CommandLine& args) {
+  if (args.positional.empty()) {
+    return Status::InvalidArgument("no trace files given");
+  }
+  std::vector<telemetry::RunTrace> traces;
+  for (const std::string& path : args.positional) {
+    Result<telemetry::RunTrace> trace = telemetry::ReadTraceFile(path);
+    if (!trace.ok()) return trace.status();
+    if (!traces.empty() && trace.value().workload != traces[0].workload) {
+      return Status::InvalidArgument("traces mix workload types");
+    }
+    traces.push_back(std::move(trace.value()));
+  }
+  return traces;
+}
+
+}  // namespace
+
+Result<CommandLine> ParseArgs(int argc, const char* const* argv) {
+  CommandLine out;
+  if (argc < 1) return Status::InvalidArgument("no command given");
+  out.command = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("missing value for " + arg);
+      }
+      out.options[arg.substr(2)] = argv[++i];
+    } else {
+      out.positional.push_back(arg);
+    }
+  }
+  return out;
+}
+
+Status RunSimulate(const CommandLine& args, std::string* out) {
+  Result<uint64_t> seed = ParseSeed(args);
+  if (!seed.ok()) return seed.status();
+  // --jobs a,b,c simulates a FIFO queue of batch jobs in one trace.
+  if (args.Has("jobs")) {
+    telemetry::SequenceConfig sequence;
+    sequence.seed = seed.value();
+    std::istringstream jobs(args.Get("jobs", ""));
+    std::string name;
+    while (std::getline(jobs, name, ',')) {
+      Result<workload::WorkloadType> type = workload::WorkloadFromName(name);
+      if (!type.ok()) return type.status();
+      sequence.jobs.push_back(type.value());
+    }
+    if (args.Has("fault")) {
+      Result<faults::FaultType> fault =
+          faults::FaultFromName(args.Get("fault", ""));
+      if (!fault.ok()) return fault.status();
+      faults::FaultWindow window =
+          telemetry::DefaultFaultWindow(fault.value());
+      window.start_tick = std::atoi(args.Get("fault-start", "8").c_str());
+      sequence.fault = telemetry::FaultRequest{fault.value(), window};
+    }
+    Result<telemetry::RunTrace> trace =
+        telemetry::SimulateJobSequence(sequence);
+    if (!trace.ok()) return trace.status();
+    const std::string path = args.Get("out", "trace.csv");
+    INVARNETX_RETURN_IF_ERROR(telemetry::WriteTraceFile(path, trace.value()));
+    *out += "wrote " + path + " (" + std::to_string(trace.value().ticks) +
+            " ticks, " + std::to_string(trace.value().job_spans.size()) +
+            " jobs)\n";
+    return Status::Ok();
+  }
+  Result<workload::WorkloadType> type =
+      workload::WorkloadFromName(args.Get("workload", "wordcount"));
+  if (!type.ok()) return type.status();
+  telemetry::RunConfig config;
+  config.workload = type.value();
+  config.seed = seed.value();
+  config.interactive_ticks =
+      std::atoi(args.Get("ticks", "60").c_str());
+  config.data_scale = std::atof(args.Get("data-scale", "1.0").c_str());
+  if (args.Has("fault")) {
+    Result<faults::FaultType> fault =
+        faults::FaultFromName(args.Get("fault", ""));
+    if (!fault.ok()) return fault.status();
+    config.fault = telemetry::FaultRequest{
+        fault.value(), telemetry::DefaultFaultWindow(fault.value())};
+  }
+  Result<telemetry::RunTrace> trace = telemetry::SimulateRun(config);
+  if (!trace.ok()) return trace.status();
+  const std::string path = args.Get("out", "trace.csv");
+  INVARNETX_RETURN_IF_ERROR(
+      telemetry::WriteTraceFile(path, trace.value()));
+  std::ostringstream message;
+  message << "wrote " << path << " (" << trace.value().ticks << " ticks, "
+          << trace.value().nodes.size() << " nodes"
+          << (config.fault.has_value()
+                  ? ", fault " + faults::FaultName(config.fault->type)
+                  : std::string(", fault-free"))
+          << ")\n";
+  *out += message.str();
+  return Status::Ok();
+}
+
+Status RunTrain(const CommandLine& args, std::string* out) {
+  if (!args.Has("node") || !args.Has("out")) {
+    return Status::InvalidArgument("train needs --node IP and --out DIR");
+  }
+  Result<std::vector<telemetry::RunTrace>> traces = LoadTraces(args);
+  if (!traces.ok()) return traces.status();
+  const std::string ip = args.Get("node", "");
+  Result<size_t> node = NodeIndexOf(traces.value()[0], ip);
+  if (!node.ok()) return node.status();
+
+  core::InvarNetXConfig pipeline_config;
+  if (args.Has("engine")) {
+    const std::string engine = args.Get("engine", "mic");
+    if (engine == "mic") {
+      pipeline_config.engine = core::AssociationEngineType::kMic;
+    } else if (engine == "arx") {
+      pipeline_config.engine = core::AssociationEngineType::kArx;
+    } else if (engine == "ensemble") {
+      pipeline_config.engine = core::AssociationEngineType::kEnsemble;
+    } else {
+      return Status::InvalidArgument("unknown --engine: " + engine);
+    }
+  }
+  core::InvarNetX pipeline(pipeline_config);
+  const core::OperationContext context{traces.value()[0].workload, ip};
+  INVARNETX_RETURN_IF_ERROR(
+      pipeline.TrainContext(context, traces.value(), node.value()));
+  const std::string dir = args.Get("out", "");
+  std::filesystem::create_directories(dir);
+  INVARNETX_RETURN_IF_ERROR(pipeline.SaveToDirectory(dir));
+  const core::ContextModel& model = *pipeline.GetContext(context).value();
+  std::ostringstream message;
+  message << "trained " << context.ToString() << " from "
+          << traces.value().size() << " runs: ARIMA "
+          << model.perf.arima().order().ToString() << ", "
+          << model.invariants.NumInvariants() << " invariants -> " << dir
+          << "/\n";
+  *out += message.str();
+  return Status::Ok();
+}
+
+Status RunAddSignature(const CommandLine& args, std::string* out) {
+  if (!args.Has("store") || !args.Has("problem") || !args.Has("node")) {
+    return Status::InvalidArgument(
+        "add-signature needs --store DIR --problem NAME --node IP");
+  }
+  Result<std::vector<telemetry::RunTrace>> traces = LoadTraces(args);
+  if (!traces.ok()) return traces.status();
+  const std::string dir = args.Get("store", "");
+  core::InvarNetX pipeline;
+  INVARNETX_RETURN_IF_ERROR(pipeline.LoadFromDirectory(dir));
+  const std::string ip = args.Get("node", "");
+  const std::string problem = args.Get("problem", "");
+  for (const telemetry::RunTrace& trace : traces.value()) {
+    Result<size_t> node = NodeIndexOf(trace, ip);
+    if (!node.ok()) return node.status();
+    INVARNETX_RETURN_IF_ERROR(pipeline.AddSignature(
+        core::OperationContext{trace.workload, ip}, problem, trace,
+        node.value()));
+  }
+  INVARNETX_RETURN_IF_ERROR(pipeline.SaveToDirectory(dir));
+  std::ostringstream message;
+  message << "added " << traces.value().size() << " signature(s) for '"
+          << problem << "' to " << dir << "/\n";
+  *out += message.str();
+  return Status::Ok();
+}
+
+Status RunDiagnose(const CommandLine& args, std::string* out) {
+  if (!args.Has("store")) {
+    return Status::InvalidArgument("diagnose needs --store DIR");
+  }
+  Result<std::vector<telemetry::RunTrace>> traces = LoadTraces(args);
+  if (!traces.ok()) return traces.status();
+  core::InvarNetX pipeline;
+  INVARNETX_RETURN_IF_ERROR(pipeline.LoadFromDirectory(args.Get("store", "")));
+  const telemetry::RunTrace& trace = traces.value()[0];
+
+  // A FIFO-sequence trace mixes jobs with different operation contexts;
+  // diagnose each job span against its own workload's models.
+  if (trace.job_spans.size() > 1) {
+    std::string span_out;
+    for (size_t j = 0; j < trace.job_spans.size(); ++j) {
+      const telemetry::JobSpanInfo& span = trace.job_spans[j];
+      if (span.end_tick <= span.start_tick) continue;
+      telemetry::RunTrace sliced;
+      sliced.workload = span.type;
+      sliced.ticks = span.end_tick - span.start_tick;
+      for (const telemetry::NodeTrace& node : trace.nodes) {
+        telemetry::NodeTrace piece;
+        piece.ip = node.ip;
+        piece.cpi.assign(node.cpi.begin() + span.start_tick,
+                         node.cpi.begin() + span.end_tick);
+        for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+          piece.metrics[static_cast<size_t>(m)].assign(
+              node.metrics[static_cast<size_t>(m)].begin() + span.start_tick,
+              node.metrics[static_cast<size_t>(m)].begin() + span.end_tick);
+        }
+        sliced.nodes.push_back(std::move(piece));
+      }
+      span_out += "== job " + std::to_string(j) + " (" +
+                  workload::WorkloadName(span.type) + ", ticks " +
+                  std::to_string(span.start_tick) + ".." +
+                  std::to_string(span.end_tick) + ") ==\n";
+      CommandLine span_args = args;
+      span_args.positional.clear();
+      // Recurse on the sliced trace via a temp file-free path: inline the
+      // single-trace logic by writing the slice out? Simpler: handle here.
+      // (fall through to the shared single-trace logic below)
+      std::string one;
+      Status st = [&]() -> Status {
+        if (span_args.Has("node")) {
+          const std::string ip = span_args.Get("node", "");
+          Result<size_t> node = NodeIndexOf(sliced, ip);
+          if (!node.ok()) return node.status();
+          Result<core::DiagnosisReport> report = pipeline.Diagnose(
+              core::OperationContext{sliced.workload, ip}, sliced,
+              node.value());
+          if (!report.ok()) return report.status();
+          if (!report.value().anomaly_detected) {
+            one += ip + ": no anomaly\n";
+          } else {
+            one += ip + ": ANOMALY, " +
+                   std::to_string(report.value().num_violations) +
+                   " violations\n";
+            for (const core::RankedCause& cause : report.value().causes) {
+              one += "  " + cause.problem + "  " +
+                     std::to_string(cause.score) + "\n";
+            }
+          }
+          return Status::Ok();
+        }
+        Result<core::ClusterDiagnosis> scan =
+            core::DiagnoseCluster(pipeline, sliced);
+        if (!scan.ok()) return scan.status();
+        for (const core::NodeDiagnosis& entry : scan.value().nodes) {
+          if (!entry.context_trained) {
+            one += entry.node_ip + ": (context not trained)\n";
+          } else if (!entry.report.anomaly_detected) {
+            one += entry.node_ip + ": healthy\n";
+          } else {
+            one += entry.node_ip + ": ANOMALOUS (" +
+                   std::to_string(entry.report.num_violations) +
+                   " violations)";
+            if (!entry.report.causes.empty()) {
+              one += " -> " + entry.report.causes[0].problem;
+            }
+            one += "\n";
+          }
+        }
+        return Status::Ok();
+      }();
+      if (!st.ok()) return st;
+      span_out += one;
+    }
+    *out += span_out;
+    return Status::Ok();
+  }
+
+  std::ostringstream message;
+  auto render = [&message](const std::string& where,
+                           const core::DiagnosisReport& report) {
+    if (!report.anomaly_detected) {
+      message << where << ": no anomaly\n";
+      return;
+    }
+    message << where << ": ANOMALY at tick " << report.first_alarm_tick
+            << ", " << report.num_violations << " violations\n";
+    for (const core::RankedCause& cause : report.causes) {
+      message << "  " << cause.problem << "  " << cause.score << "\n";
+    }
+    if (!report.known_problem) {
+      message << "  (below similarity threshold - hints:)\n";
+      for (const std::string& hint : report.hints) {
+        message << "    " << hint << "\n";
+      }
+    }
+  };
+
+  std::string markdown;
+  if (args.Has("node")) {
+    const std::string ip = args.Get("node", "");
+    Result<size_t> node = NodeIndexOf(trace, ip);
+    if (!node.ok()) return node.status();
+    const core::OperationContext context{trace.workload, ip};
+    Result<core::DiagnosisReport> report =
+        pipeline.Diagnose(context, trace, node.value());
+    if (!report.ok()) return report.status();
+    render(ip, report.value());
+    if (args.Has("report")) {
+      Result<const core::ContextModel*> model = pipeline.GetContext(context);
+      if (!model.ok()) return model.status();
+      markdown = core::RenderIncidentReport(context, report.value(),
+                                            *model.value(), trace.ticks,
+                                            &trace.nodes[node.value()]);
+    }
+  } else {
+    Result<core::ClusterDiagnosis> scan =
+        core::DiagnoseCluster(pipeline, trace);
+    if (!scan.ok()) return scan.status();
+    for (const core::NodeDiagnosis& entry : scan.value().nodes) {
+      if (!entry.context_trained) {
+        message << entry.node_ip << ": (context not trained)\n";
+        continue;
+      }
+      render(entry.node_ip, entry.report);
+    }
+    if (scan.value().AnyAnomaly()) {
+      message << "culprit: "
+              << scan.value()
+                     .nodes[static_cast<size_t>(scan.value().culprit)]
+                     .node_ip
+              << "\n";
+    }
+    if (args.Has("report")) {
+      markdown = core::RenderClusterReport(pipeline, scan.value(),
+                                           trace.workload, trace.ticks);
+    }
+  }
+  if (args.Has("report")) {
+    std::ofstream file(args.Get("report", ""));
+    if (!file) return Status::IoError("cannot open report file");
+    file << markdown;
+    message << "wrote incident report to " << args.Get("report", "") << "\n";
+  }
+  *out += message.str();
+  return Status::Ok();
+}
+
+Status RunConflicts(const CommandLine& args, std::string* out) {
+  if (!args.Has("store") || !args.Has("workload") || !args.Has("node")) {
+    return Status::InvalidArgument(
+        "conflicts needs --store DIR --workload W --node IP");
+  }
+  core::InvarNetX pipeline;
+  INVARNETX_RETURN_IF_ERROR(pipeline.LoadFromDirectory(args.Get("store", "")));
+  Result<workload::WorkloadType> type =
+      workload::WorkloadFromName(args.Get("workload", ""));
+  if (!type.ok()) return type.status();
+  Result<const core::ContextModel*> model = pipeline.GetContext(
+      core::OperationContext{type.value(), args.Get("node", "")});
+  if (!model.ok()) return model.status();
+  const double threshold = std::atof(args.Get("threshold", "0.6").c_str());
+  Result<std::vector<core::SignatureConflict>> conflicts =
+      model.value()->sigdb.FindConflicts(threshold);
+  if (!conflicts.ok()) return conflicts.status();
+  std::ostringstream message;
+  if (conflicts.value().empty()) {
+    message << "no signature conflicts at threshold " << threshold << "\n";
+  }
+  for (const core::SignatureConflict& c : conflicts.value()) {
+    message << c.problem_a << " ~ " << c.problem_b << "  " << c.similarity
+            << "\n";
+  }
+  *out += message.str();
+  return Status::Ok();
+}
+
+Status RunInfo(const CommandLine& args, std::string* out) {
+  Result<std::vector<telemetry::RunTrace>> traces = LoadTraces(args);
+  if (!traces.ok()) return traces.status();
+  std::ostringstream message;
+  for (size_t i = 0; i < traces.value().size(); ++i) {
+    const telemetry::RunTrace& trace = traces.value()[i];
+    message << args.positional[i] << ": "
+            << workload::WorkloadName(trace.workload) << ", " << trace.ticks
+            << " ticks, " << trace.nodes.size() << " nodes";
+    for (const telemetry::FaultGroundTruth& fault : trace.injected) {
+      message << ", fault " << faults::FaultName(fault.type) << "@"
+              << fault.window.start_tick;
+    }
+    for (const telemetry::JobSpanInfo& span : trace.job_spans) {
+      message << ", job " << workload::WorkloadName(span.type) << "["
+              << span.start_tick << "," << span.end_tick << ")";
+    }
+    message << "\n";
+  }
+  *out += message.str();
+  return Status::Ok();
+}
+
+std::string Usage() {
+  return
+      "invarnetx <command> [options] [trace files]\n"
+      "\n"
+      "commands:\n"
+      "  simulate  --workload W --seed S [--fault F] [--ticks N] --out FILE\n"
+      "            generate a testbed trace file; or --jobs a,b,c for a\n"
+      "            FIFO queue ([--fault-start T] places the fault)\n"
+      "  train     --node IP [--engine mic|arx|ensemble] --out STOREDIR\n"
+      "            TRACE...  train the node's operation context from\n"
+      "            fault-free traces (the store remembers the engine)\n"
+      "  add-signature --store DIR --problem NAME --node IP TRACE...\n"
+      "            teach the signature base an investigated problem\n"
+      "  diagnose  --store DIR [--node IP] [--report FILE.md] TRACE\n"
+      "            diagnose one node, or scan the whole cluster\n"
+      "  conflicts --store DIR --workload W --node IP [--threshold X]\n"
+      "            list near-identical problem signatures\n"
+      "  info      TRACE...\n"
+      "            print trace metadata\n";
+}
+
+Status RunCommand(const CommandLine& args, std::string* out) {
+  if (args.command == "simulate") return RunSimulate(args, out);
+  if (args.command == "train") return RunTrain(args, out);
+  if (args.command == "add-signature") return RunAddSignature(args, out);
+  if (args.command == "diagnose") return RunDiagnose(args, out);
+  if (args.command == "conflicts") return RunConflicts(args, out);
+  if (args.command == "info") return RunInfo(args, out);
+  *out += Usage();
+  return Status::InvalidArgument("unknown command: " + args.command);
+}
+
+}  // namespace invarnetx::cli

@@ -1,0 +1,54 @@
+#ifndef INVARNETX_CLI_COMMANDS_H_
+#define INVARNETX_CLI_COMMANDS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::cli {
+
+// Parsed command line: `invarnetx <command> [--key value]... [positional]...`
+struct CommandLine {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  // Option lookup with default.
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+// Parses argv (after the program name). Fails on `--key` without a value.
+Result<CommandLine> ParseArgs(int argc, const char* const* argv);
+
+// Command implementations; each prints human-readable results to `out` and
+// returns a Status. Factored out of main() so tests can drive them.
+//
+//   simulate  --workload W --seed S [--fault F] [--ticks N] --out FILE
+//   train     --node IP --out STOREDIR TRACE...
+//   add-signature --store DIR --problem P --node IP TRACE...
+//   diagnose  --store DIR [--node IP] TRACE      (no --node: cluster scan)
+//   conflicts --store DIR --workload W --node IP [--threshold X]
+//   info      TRACE
+Status RunSimulate(const CommandLine& args, std::string* out);
+Status RunTrain(const CommandLine& args, std::string* out);
+Status RunAddSignature(const CommandLine& args, std::string* out);
+Status RunDiagnose(const CommandLine& args, std::string* out);
+Status RunConflicts(const CommandLine& args, std::string* out);
+Status RunInfo(const CommandLine& args, std::string* out);
+
+// Dispatches to the command; unknown commands return kInvalidArgument with
+// the usage text in *out.
+Status RunCommand(const CommandLine& args, std::string* out);
+
+// The usage/help text.
+std::string Usage();
+
+}  // namespace invarnetx::cli
+
+#endif  // INVARNETX_CLI_COMMANDS_H_

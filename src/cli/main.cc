@@ -1,0 +1,30 @@
+// The `invarnetx` command-line tool: trace generation, context training,
+// signature management and diagnosis over CSV trace files. See Usage().
+
+#include <cstdio>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fputs(invarnetx::cli::Usage().c_str(), stderr);
+    return 2;
+  }
+  invarnetx::Result<invarnetx::cli::CommandLine> args =
+      invarnetx::cli::ParseArgs(argc - 1, argv + 1);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n%s",
+                 args.status().ToString().c_str(),
+                 invarnetx::cli::Usage().c_str());
+    return 2;
+  }
+  std::string out;
+  const invarnetx::Status status =
+      invarnetx::cli::RunCommand(args.value(), &out);
+  std::fputs(out.c_str(), stdout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "cluster/cpi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace invarnetx::cluster {
+
+CpiSample ComputeCpi(const SimNode& node) {
+  const DriverState& d = node.drivers;
+
+  // Core oversubscription: co-located CPU demand beyond the free cores
+  // causes cache/context interference (a modest CPU disturbance that fits
+  // in the headroom leaves CPI untouched - the Fig. 2 behaviour).
+  const double total_cpu = d.cpu_task + d.cpu_extra;
+  const double oversub = std::max(0.0, total_cpu - 1.0);
+  const double cache_eff = d.cache_pressure + 0.8 * oversub;
+
+  // Memory: above ~85% occupancy the node starts swapping and thrashing.
+  const double mem_used =
+      d.mem_task_mb + d.mem_extra_mb + 1200.0;  // 1200 MB OS/daemon base
+  const double occupancy = mem_used / node.spec.mem_total_mb;
+  const double swap_thrash = std::max(0.0, occupancy - 0.85) * 6.0;
+
+  // Disk: demand beyond the device bandwidth stalls tasks on I/O. Demands
+  // are relative to the reference device, so slower disks stall earlier.
+  const double io_total =
+      (d.io_read + d.io_write + d.io_extra) * node.DiskDemandScale();
+  const double io_stall = std::max(0.0, io_total - 1.0);
+
+  // Network: loss and latency stall tasks only in proportion to how
+  // network-dependent the current phase is.
+  const double net_dependency = std::clamp(d.net_in + d.net_out, 0.0, 1.0);
+  const double net_stall =
+      (8.0 * d.pkt_loss + d.net_delay_ms / 150.0) * net_dependency;
+
+  const double contention = 1.0 + 0.9 * cache_eff + 0.5 * swap_thrash +
+                            0.45 * io_stall + 0.6 * net_stall +
+                            0.5 * d.lock_contention + 0.3 * d.gc_activity +
+                            0.25 * d.restart_churn;
+
+  double share = std::clamp(d.progress_scale, 0.02, 1.0);
+  if (d.suspended) share = 0.02;
+
+  CpiSample sample;
+  // Stalled-but-scheduled processes keep burning cycles without retiring
+  // instructions, so reduced progress shows up as elevated measured CPI -
+  // this is what keeps T = I * CPI * C an identity in the simulator.
+  sample.cpi = d.cpi_base * node.spec.cpi_factor * contention *
+               (1.0 + d.cpi_noise) / share;
+  sample.cpi = std::max(sample.cpi, 0.05);
+  sample.progress_share = share;
+  return sample;
+}
+
+double InstructionsRetired(const SimNode& node, const CpiSample& sample,
+                           double tick_seconds) {
+  const double demand = std::clamp(node.drivers.cpu_task, 0.0, 1.0);
+  return node.InstructionsPerSecondAtCpi1() * tick_seconds * demand /
+         sample.cpi;
+}
+
+}  // namespace invarnetx::cluster

@@ -1,0 +1,32 @@
+#ifndef INVARNETX_CLUSTER_CPI_H_
+#define INVARNETX_CLUSTER_CPI_H_
+
+#include "cluster/drivers.h"
+#include "cluster/node.h"
+
+namespace invarnetx::cluster {
+
+// Decomposition of a node's effective CPI for one tick.
+struct CpiSample {
+  double cpi = 1.0;             // measured cycles-per-instruction
+  double progress_share = 1.0;  // fraction of demanded work actually retired
+};
+
+// Computes the effective CPI of the Hadoop task processes on a node.
+//
+// CPI = cpi_base * contention terms * (1 + AR(1) noise). The key modelling
+// decision (Sec. 3.1 of the paper): plain CPU *utilization* from co-located
+// processes does NOT raise CPI as long as spare cores absorb it - only
+// contention for shared micro-architectural resources (cache_pressure),
+// memory thrashing, I/O stalls, network stalls and lock contention do.
+// A suspended process retires almost nothing, so its apparent CPI spikes.
+CpiSample ComputeCpi(const SimNode& node);
+
+// Instructions retired by the node's task processes during one tick of
+// `tick_seconds`, given the CPI sample.
+double InstructionsRetired(const SimNode& node, const CpiSample& sample,
+                           double tick_seconds);
+
+}  // namespace invarnetx::cluster
+
+#endif  // INVARNETX_CLUSTER_CPI_H_

@@ -1,0 +1,75 @@
+#ifndef INVARNETX_CLUSTER_DRIVERS_H_
+#define INVARNETX_CLUSTER_DRIVERS_H_
+
+#include <array>
+
+namespace invarnetx::cluster {
+
+// Number of generic per-metric noise slots faults may perturb (the telemetry
+// layer maps its metric catalog onto the first entries).
+inline constexpr int kMetricNoiseSlots = 32;
+
+// Latent activity drivers of one node for one simulation tick.
+//
+// The pipeline under test only ever sees *observable* metrics; these drivers
+// are the hidden state that (a) the workload model writes, (b) fault
+// injectors perturb, and (c) the telemetry layer maps to the 26 observable
+// metrics and to CPI. Shared drivers are what make metric pairs co-move and
+// hence form MIC invariants; faults perturb specific drivers, which is what
+// breaks specific invariants.
+//
+// Demand-style fields are normalized so 1.0 saturates the corresponding
+// hardware resource of the node.
+struct DriverState {
+  // -- written fresh by the workload model each tick --------------------
+  double cpu_task = 0.0;     // CPU demand from Hadoop tasks
+  double io_read = 0.0;      // disk read demand
+  double io_write = 0.0;     // disk write demand
+  double net_in = 0.0;       // inbound network demand
+  double net_out = 0.0;      // outbound network demand
+  double mem_task_mb = 0.0;  // working set of running tasks
+  double task_churn = 0.0;   // task spawn/teardown intensity
+  double rpc_rate = 0.0;     // heartbeat/RPC traffic intensity
+  double cpi_base = 1.0;     // workload-intrinsic cycles per instruction
+
+  // -- persistent or fault-controlled ----------------------------------
+  double cpu_extra = 0.0;       // co-located CPU consumers (noise or hog)
+  double cache_pressure = 0.0;  // cache/membw interference; affects CPI only
+  double mem_extra_mb = 0.0;    // co-located memory consumers
+  double io_extra = 0.0;        // co-located disk activity
+  double rpc_backlog = 0.0;     // queued RPC calls (grows under RPC stalls)
+  double extra_threads = 0.0;   // leaked/extra threads in server processes
+  double gc_activity = 0.0;     // JVM GC intensity
+  double lock_contention = 0.0; // lock-wait intensity
+  double pkt_loss = 0.0;        // packet loss fraction in [0, 1]
+  double net_delay_ms = 0.0;    // added one-way network latency
+  double restart_churn = 0.0;   // process crash/restart intensity
+  bool suspended = false;       // SIGSTOP'd server process
+  double progress_scale = 1.0;  // multiplier on instruction retirement
+
+  // Per-tick AR(1) noise states (updated by the engine).
+  double cpi_noise = 0.0;
+  double demand_noise = 0.0;
+
+  // Extra multiplicative jitter a fault applies to individual observable
+  // metrics (indexed by telemetry metric id). Models faults - like lock
+  // races - whose manifestation is metric-level and nondeterministic.
+  std::array<double, kMetricNoiseSlots> metric_noise{};
+
+  // Clears the fields the workload rewrites each tick; persistent and
+  // fault-controlled fields survive between ticks.
+  void ResetPerTick() {
+    cpu_task = 0.0;
+    io_read = 0.0;
+    io_write = 0.0;
+    net_in = 0.0;
+    net_out = 0.0;
+    mem_task_mb = 0.0;
+    task_churn = 0.0;
+    rpc_rate = 0.0;
+  }
+};
+
+}  // namespace invarnetx::cluster
+
+#endif  // INVARNETX_CLUSTER_DRIVERS_H_

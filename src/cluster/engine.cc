@@ -1,0 +1,73 @@
+#include "cluster/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace invarnetx::cluster {
+namespace {
+
+// Clears the fault-controlled driver fields; active faults re-assert their
+// values immediately afterwards, so an expired fault's effects vanish.
+void ResetFaultControlled(DriverState* d) {
+  d->cpu_extra = 0.0;
+  d->cache_pressure = 0.0;
+  d->mem_extra_mb = 0.0;
+  d->io_extra = 0.0;
+  d->rpc_backlog = 0.0;
+  d->extra_threads = 0.0;
+  d->lock_contention = 0.0;
+  d->pkt_loss = 0.0;
+  d->net_delay_ms = 0.0;
+  d->restart_churn = 0.0;
+  d->suspended = false;
+  d->progress_scale = 1.0;
+  d->metric_noise.fill(0.0);
+}
+
+}  // namespace
+
+EngineResult SimulationEngine::Run(Cluster* cluster, WorkloadModel* workload,
+                                   const std::vector<FaultInjector*>& faults,
+                                   TelemetrySink* sink, Rng* rng) {
+  EngineResult result;
+  std::vector<CpiSample> samples(cluster->size());
+  for (int tick = 0; tick < config_.max_ticks; ++tick) {
+    for (SimNode& node : cluster->nodes()) {
+      node.drivers.ResetPerTick();
+      ResetFaultControlled(&node.drivers);
+    }
+
+    workload->Step(tick, cluster, rng);
+    for (FaultInjector* fault : faults) fault->Apply(tick, cluster, rng);
+
+    for (SimNode& node : cluster->nodes()) {
+      DriverState& d = node.drivers;
+      // Ambient AR(1) noise: slow drifts in CPI and demand.
+      d.cpi_noise = 0.7 * d.cpi_noise + rng->Gaussian(0.0, 0.012);
+      d.demand_noise = 0.6 * d.demand_noise + rng->Gaussian(0.0, 0.02);
+      // JVM garbage collection intensifies with memory occupancy.
+      const double occupancy =
+          (d.mem_task_mb + d.mem_extra_mb + 1200.0) / node.spec.mem_total_mb;
+      d.gc_activity = std::clamp((occupancy - 0.75) * 3.0, 0.0, 1.0);
+    }
+
+    for (size_t i = 0; i < cluster->size(); ++i) {
+      SimNode& node = cluster->node(i);
+      samples[i] = ComputeCpi(node);
+      const double retired =
+          InstructionsRetired(node, samples[i], config_.tick_seconds);
+      workload->OnProgress(i, retired);
+    }
+
+    if (sink != nullptr) sink->Record(tick, *cluster, samples);
+    ++result.ticks_run;
+    if (workload->Finished()) {
+      result.workload_finished = true;
+      break;
+    }
+  }
+  result.duration_seconds = result.ticks_run * config_.tick_seconds;
+  return result;
+}
+
+}  // namespace invarnetx::cluster

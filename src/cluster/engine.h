@@ -1,0 +1,82 @@
+#ifndef INVARNETX_CLUSTER_ENGINE_H_
+#define INVARNETX_CLUSTER_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cpi.h"
+#include "cluster/node.h"
+#include "common/random.h"
+
+namespace invarnetx::cluster {
+
+// Interface implemented by workload models (src/workload). Each tick the
+// model writes per-tick demand drivers (and cpi_base) into every node.
+class WorkloadModel {
+ public:
+  virtual ~WorkloadModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Writes this tick's demand drivers for every node.
+  virtual void Step(int tick, Cluster* cluster, Rng* rng) = 0;
+
+  // The engine reports instructions retired on a node this tick.
+  virtual void OnProgress(size_t node_index, double instructions) = 0;
+
+  // Batch jobs finish when their instruction budget is retired;
+  // interactive workloads never finish (run until max_ticks).
+  virtual bool Finished() const = 0;
+};
+
+// Interface implemented by fault injectors (src/faults). Fault-controlled
+// driver fields are cleared by the engine every tick, so an active fault
+// must (re)assert its effect on each Apply call; injector objects keep any
+// state they need (e.g. a leak accumulator) internally.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  virtual std::string name() const = 0;
+  virtual void Apply(int tick, Cluster* cluster, Rng* rng) = 0;
+};
+
+// Interface implemented by the telemetry layer (src/telemetry).
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  virtual void Record(int tick, const Cluster& cluster,
+                      const std::vector<CpiSample>& cpi) = 0;
+};
+
+struct EngineConfig {
+  double tick_seconds = 10.0;  // the paper's collection interval
+  int max_ticks = 2000;
+};
+
+struct EngineResult {
+  int ticks_run = 0;
+  bool workload_finished = false;
+  double duration_seconds = 0.0;
+};
+
+// Discrete-time driver of one simulated run. Per tick: the workload writes
+// demands, faults assert their perturbations, ambient noise evolves, CPI and
+// retired instructions are computed, and the telemetry sink records.
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(EngineConfig config = EngineConfig())
+      : config_(config) {}
+
+  EngineResult Run(Cluster* cluster, WorkloadModel* workload,
+                   const std::vector<FaultInjector*>& faults,
+                   TelemetrySink* sink, Rng* rng);
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace invarnetx::cluster
+
+#endif  // INVARNETX_CLUSTER_ENGINE_H_

@@ -1,0 +1,95 @@
+#ifndef INVARNETX_COMMON_RANDOM_H_
+#define INVARNETX_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace invarnetx {
+
+// Deterministic pseudo-random generator (xoshiro256** seeded via splitmix64).
+// Every stochastic component in the library takes an explicit Rng (or seed)
+// so simulations and benches are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97f4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  // Uniform 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+
+  // Standard normal via Box-Muller (cached pair).
+  double Gaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return gauss_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = Uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    gauss_ = r * std::sin(theta);
+    has_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // Derives an independent child generator; used to give each node /
+  // fault / run its own stream without cross-coupling.
+  Rng Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {0, 0, 0, 0};
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace invarnetx
+
+#endif  // INVARNETX_COMMON_RANDOM_H_

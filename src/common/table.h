@@ -1,0 +1,44 @@
+#ifndef INVARNETX_COMMON_TABLE_H_
+#define INVARNETX_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx {
+
+// Fixed-width text table for bench/report output, plus CSV export. Cells are
+// strings; use Cell() helpers to format numbers consistently.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders an aligned, pipe-separated table with a header rule.
+  std::string Render() const;
+
+  // Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string RenderCsv() const;
+
+  // Writes RenderCsv() to the given path.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimal places.
+std::string FormatDouble(double value, int decimals = 3);
+
+// Formats a ratio in [0,1] as a percentage string like "91.2%".
+std::string FormatPercent(double ratio, int decimals = 1);
+
+}  // namespace invarnetx
+
+#endif  // INVARNETX_COMMON_TABLE_H_

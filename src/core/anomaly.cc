@@ -1,0 +1,55 @@
+#include "core/anomaly.h"
+
+namespace invarnetx::core {
+
+AnomalyDetector::AnomalyDetector(const PerformanceModel& model,
+                                 ThresholdRule rule, int consecutive_required)
+    : model_(model),
+      rule_(rule),
+      consecutive_required_(consecutive_required),
+      predictor_(model.arima()) {}
+
+bool AnomalyDetector::Exceeds(double residual) const {
+  if (rule_ == ThresholdRule::kMaxMin) {
+    // The paper's max-min rule flags residuals outside [min(R), max(R)].
+    return residual > model_.residual_max() ||
+           residual < model_.residual_min();
+  }
+  return residual > model_.Threshold(rule_);
+}
+
+bool AnomalyDetector::Observe(double cpi) {
+  const bool ready = predictor_.Ready();
+  const double residual = predictor_.Observe(cpi);
+  last_residual_ = ready ? residual : 0.0;
+  const bool flag = ready && Exceeds(last_residual_);
+  consecutive_ = flag ? consecutive_ + 1 : 0;
+  return consecutive_ >= consecutive_required_;
+}
+
+void AnomalyDetector::Reset() {
+  predictor_.Reset();
+  consecutive_ = 0;
+  last_residual_ = 0.0;
+}
+
+AnomalyScan AnomalyDetector::Scan(const std::vector<double>& cpi_series) {
+  Reset();
+  AnomalyScan scan;
+  scan.residuals.reserve(cpi_series.size());
+  scan.raw_flags.reserve(cpi_series.size());
+  scan.alarms.reserve(cpi_series.size());
+  for (size_t i = 0; i < cpi_series.size(); ++i) {
+    const bool ready = predictor_.Ready();
+    const bool alarm = Observe(cpi_series[i]);
+    scan.residuals.push_back(last_residual_);
+    scan.raw_flags.push_back(ready && Exceeds(last_residual_));
+    scan.alarms.push_back(alarm);
+    if (alarm && scan.first_alarm_tick < 0) {
+      scan.first_alarm_tick = static_cast<int>(i);
+    }
+  }
+  return scan;
+}
+
+}  // namespace invarnetx::core

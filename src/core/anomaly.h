@@ -1,0 +1,56 @@
+#ifndef INVARNETX_CORE_ANOMALY_H_
+#define INVARNETX_CORE_ANOMALY_H_
+
+#include <vector>
+
+#include "core/perf_model.h"
+#include "timeseries/arima.h"
+
+namespace invarnetx::core {
+
+// Result of scanning one CPI series for anomalies.
+struct AnomalyScan {
+  std::vector<double> residuals;     // |observed - predicted| per tick
+  std::vector<bool> raw_flags;       // per-tick threshold exceedances
+  std::vector<bool> alarms;          // debounced: 3 consecutive exceedances
+  int first_alarm_tick = -1;         // -1 when no alarm fired
+  bool triggered() const { return first_alarm_tick >= 0; }
+};
+
+// Online performance-anomaly detector: one-step-ahead ARIMA prediction on
+// CPI, residual thresholding by the configured rule, and a three-consecutive
+// debounce to resist system noise (Sec. 3.2).
+class AnomalyDetector {
+ public:
+  AnomalyDetector(const PerformanceModel& model, ThresholdRule rule,
+                  int consecutive_required = 3);
+
+  // Feeds one CPI observation; returns true when the debounced alarm is
+  // raised at this tick.
+  bool Observe(double cpi);
+
+  // Current residual of the last observation.
+  double last_residual() const { return last_residual_; }
+  int consecutive_count() const { return consecutive_; }
+
+  // Clears streaming state (model and thresholds are kept).
+  void Reset();
+
+  // Scans a whole series at once.
+  AnomalyScan Scan(const std::vector<double>& cpi_series);
+
+ private:
+  bool Exceeds(double residual) const;
+
+  const PerformanceModel& model_;
+  ThresholdRule rule_;
+  int consecutive_required_;
+  ts::ArimaPredictor predictor_;
+  int consecutive_ = 0;
+  double last_residual_ = 0.0;
+  int warmup_left_ = 0;
+};
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_ANOMALY_H_

@@ -1,0 +1,99 @@
+#include "core/association.h"
+
+#include <cmath>
+
+#include "arx/arx.h"
+#include "common/stats.h"
+#include "mic/mic.h"
+
+namespace invarnetx::core {
+namespace {
+
+class MicEngine : public AssociationEngine {
+ public:
+  std::string name() const override { return "mic"; }
+
+  Result<double> Score(const std::vector<double>& x,
+                       const std::vector<double>& y) const override {
+    // Degenerate (constant) series carry no association information.
+    if (Variance(x) <= 0.0 || Variance(y) <= 0.0) return 0.0;
+    return mic::MicScore(x, y);
+  }
+};
+
+// Blend of MIC and |Spearman| (their ensemble paper combines multiple
+// association measures; rank correlation is the natural monotone partner
+// for the grid-based MIC).
+class EnsembleEngine : public AssociationEngine {
+ public:
+  std::string name() const override { return "ensemble"; }
+
+  Result<double> Score(const std::vector<double>& x,
+                       const std::vector<double>& y) const override {
+    if (Variance(x) <= 0.0 || Variance(y) <= 0.0) return 0.0;
+    Result<double> mic_score = mic::MicScore(x, y);
+    if (!mic_score.ok()) return mic_score.status();
+    Result<double> rank = SpearmanCorrelation(x, y);
+    if (!rank.ok()) return rank.status();
+    return 0.6 * mic_score.value() + 0.4 * std::fabs(rank.value());
+  }
+};
+
+class ArxEngine : public AssociationEngine {
+ public:
+  std::string name() const override { return "arx"; }
+
+  Result<double> Score(const std::vector<double>& x,
+                       const std::vector<double>& y) const override {
+    if (x.size() != y.size()) {
+      return Status::InvalidArgument("ArxEngine: length mismatch");
+    }
+    if (Variance(x) <= 0.0 || Variance(y) <= 0.0) return 0.0;
+    Result<double> score = arx::ArxAssociationScore(x, y);
+    // An unfittable pair is "no association", not an error (the paper
+    // assigns 0 to pairs absent from a run).
+    if (!score.ok()) return 0.0;
+    return score.value();
+  }
+};
+
+}  // namespace
+
+std::string AssociationEngineName(AssociationEngineType type) {
+  switch (type) {
+    case AssociationEngineType::kMic: return "mic";
+    case AssociationEngineType::kArx: return "arx";
+    case AssociationEngineType::kEnsemble: return "ensemble";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<AssociationEngine> AssociationEngine::Make(
+    AssociationEngineType type) {
+  switch (type) {
+    case AssociationEngineType::kMic:
+      return std::make_unique<MicEngine>();
+    case AssociationEngineType::kArx:
+      return std::make_unique<ArxEngine>();
+    case AssociationEngineType::kEnsemble:
+      return std::make_unique<EnsembleEngine>();
+  }
+  return nullptr;
+}
+
+Result<AssociationMatrix> ComputeAssociationMatrix(
+    const telemetry::NodeTrace& node, const AssociationEngine& engine) {
+  AssociationMatrix matrix(telemetry::kNumMetricPairs, 0.0);
+  for (int a = 0; a < telemetry::kNumMetrics; ++a) {
+    for (int b = a + 1; b < telemetry::kNumMetrics; ++b) {
+      Result<double> score =
+          engine.Score(node.metrics[static_cast<size_t>(a)],
+                       node.metrics[static_cast<size_t>(b)]);
+      if (!score.ok()) return score.status();
+      matrix[static_cast<size_t>(telemetry::PairIndex(a, b))] = score.value();
+    }
+  }
+  return matrix;
+}
+
+}  // namespace invarnetx::core

@@ -1,0 +1,50 @@
+#ifndef INVARNETX_CORE_ASSOCIATION_H_
+#define INVARNETX_CORE_ASSOCIATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::core {
+
+// Flat upper-triangle matrix of pairwise association scores between the 26
+// metrics; index with telemetry::PairIndex(a, b). Scores are in [0, 1];
+// pairs whose association is undefined (constant series, fit failure) hold
+// 0, as the paper specifies.
+using AssociationMatrix = std::vector<double>;
+
+// Which association discovery engine to use: MIC is the paper's choice;
+// ARX is the Jiang et al. baseline it compares against; the ensemble
+// follows the authors' earlier work (their reference [11], "An ensemble
+// MIC-based approach...", IEEE BigData 2013) by blending MIC with rank
+// correlation so that monotone couplings contribute even when the MIC
+// grid estimate is noisy on short windows.
+enum class AssociationEngineType { kMic, kArx, kEnsemble };
+
+std::string AssociationEngineName(AssociationEngineType type);
+
+// Strategy interface for scoring the association of two metric series.
+class AssociationEngine {
+ public:
+  virtual ~AssociationEngine() = default;
+
+  virtual std::string name() const = 0;
+  // Score in [0, 1]. Implementations return errors only for structurally
+  // invalid input (length mismatch / too short); statistical degeneracies
+  // score 0.
+  virtual Result<double> Score(const std::vector<double>& x,
+                               const std::vector<double>& y) const = 0;
+
+  static std::unique_ptr<AssociationEngine> Make(AssociationEngineType type);
+};
+
+// Computes the full pairwise association matrix of one node's metrics.
+Result<AssociationMatrix> ComputeAssociationMatrix(
+    const telemetry::NodeTrace& node, const AssociationEngine& engine);
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_ASSOCIATION_H_

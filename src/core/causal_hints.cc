@@ -1,0 +1,81 @@
+#include "core/causal_hints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/stats.h"
+#include "telemetry/metrics.h"
+
+namespace invarnetx::core {
+namespace {
+
+// corr(a_t, b_{t+1}): how well a's present predicts b's next step.
+Result<double> Lag1Correlation(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 3) {
+    return Status::InvalidArgument("Lag1Correlation: bad series");
+  }
+  const std::vector<double> present(a.begin(), a.end() - 1);
+  const std::vector<double> next(b.begin() + 1, b.end());
+  return PearsonCorrelation(present, next);
+}
+
+}  // namespace
+
+Result<std::vector<CausalHint>> RankRootMetrics(
+    const DiagnosisReport& report, const ContextModel& model,
+    const telemetry::NodeTrace& node, double lead_margin) {
+  // Implicated metrics: endpoints of the violated invariant pairs.
+  const std::vector<int> pair_indices = model.invariants.PairIndices();
+  if (report.violations.size() != pair_indices.size()) {
+    return Status::InvalidArgument(
+        "RankRootMetrics: report does not match the context's invariants");
+  }
+  std::set<int> implicated;
+  for (size_t i = 0; i < report.violations.size(); ++i) {
+    if (!report.violations[i]) continue;
+    int a = 0, b = 0;
+    telemetry::PairFromIndex(pair_indices[i], &a, &b);
+    implicated.insert(a);
+    implicated.insert(b);
+  }
+  std::vector<CausalHint> hints;
+  if (implicated.empty()) return hints;
+
+  const std::vector<int> metrics(implicated.begin(), implicated.end());
+  hints.resize(metrics.size());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    hints[i].metric = metrics[i];
+    hints[i].metric_name = telemetry::MetricName(metrics[i]);
+  }
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    for (size_t j = i + 1; j < metrics.size(); ++j) {
+      const std::vector<double>& a =
+          node.metrics[static_cast<size_t>(metrics[i])];
+      const std::vector<double>& b =
+          node.metrics[static_cast<size_t>(metrics[j])];
+      Result<double> forward = Lag1Correlation(a, b);
+      Result<double> backward = Lag1Correlation(b, a);
+      if (!forward.ok()) return forward.status();
+      if (!backward.ok()) return backward.status();
+      const double lead =
+          std::fabs(forward.value()) - std::fabs(backward.value());
+      if (lead > lead_margin) {
+        ++hints[i].leads;
+        ++hints[j].led_by;
+      } else if (lead < -lead_margin) {
+        ++hints[j].leads;
+        ++hints[i].led_by;
+      }
+    }
+  }
+  std::stable_sort(hints.begin(), hints.end(),
+                   [](const CausalHint& x, const CausalHint& y) {
+                     if (x.score() != y.score()) return x.score() > y.score();
+                     return x.metric < y.metric;
+                   });
+  return hints;
+}
+
+}  // namespace invarnetx::core

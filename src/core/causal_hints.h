@@ -1,0 +1,41 @@
+#ifndef INVARNETX_CORE_CAUSAL_HINTS_H_
+#define INVARNETX_CORE_CAUSAL_HINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::core {
+
+// A lightweight causal ordering over the metrics implicated in a diagnosis,
+// inspired by the authors' companion system CauseInfer (their reference
+// [2]: "automatic and distributed performance diagnosis with hierarchical
+// causality graph"). When a problem is unknown, the paper hands operators
+// the violated association pairs; this ranks the *metrics* behind those
+// pairs by temporal precedence, so investigation starts at the likely
+// origin instead of a symptom.
+//
+// Metric A is said to lead metric B when the lag-1 cross-correlation
+// corr(A_t, B_{t+1}) exceeds corr(B_t, A_{t+1}) by a margin: changes in A
+// foreshadow changes in B. A metric's score is (#metrics it leads) minus
+// (#metrics leading it); the highest scores are the root candidates.
+struct CausalHint {
+  int metric = 0;
+  std::string metric_name;
+  int leads = 0;   // implicated metrics this one temporally precedes
+  int led_by = 0;  // implicated metrics that precede this one
+  int score() const { return leads - led_by; }
+};
+
+// Ranks the metrics implicated by `report.violations` (the endpoints of the
+// violated invariant pairs) using the node's series. Returns hints sorted
+// by descending score (ties by metric id). Empty when nothing violated.
+Result<std::vector<CausalHint>> RankRootMetrics(
+    const DiagnosisReport& report, const ContextModel& model,
+    const telemetry::NodeTrace& node, double lead_margin = 0.1);
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_CAUSAL_HINTS_H_

@@ -1,0 +1,34 @@
+#include "core/cluster_diagnosis.h"
+
+namespace invarnetx::core {
+
+Result<ClusterDiagnosis> DiagnoseCluster(const InvarNetX& pipeline,
+                                         const telemetry::RunTrace& run) {
+  if (run.nodes.size() < 2) {
+    return Status::InvalidArgument("DiagnoseCluster: run has no slave nodes");
+  }
+  ClusterDiagnosis result;
+  int best_violations = -1;
+  for (size_t node = 1; node < run.nodes.size(); ++node) {
+    NodeDiagnosis entry;
+    entry.node_ip = run.nodes[node].ip;
+    entry.node_index = node;
+    const OperationContext context{run.workload, entry.node_ip};
+    entry.context_trained = pipeline.HasContext(context);
+    if (entry.context_trained) {
+      Result<DiagnosisReport> report =
+          pipeline.Diagnose(context, run, node);
+      if (!report.ok()) return report.status();
+      entry.report = std::move(report.value());
+      if (entry.report.anomaly_detected &&
+          entry.report.num_violations > best_violations) {
+        best_violations = entry.report.num_violations;
+        result.culprit = static_cast<int>(result.nodes.size());
+      }
+    }
+    result.nodes.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace invarnetx::core

@@ -1,0 +1,42 @@
+#ifndef INVARNETX_CORE_CLUSTER_DIAGNOSIS_H_
+#define INVARNETX_CORE_CLUSTER_DIAGNOSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::core {
+
+// Diagnosis of one node within a cluster-wide scan.
+struct NodeDiagnosis {
+  std::string node_ip;
+  size_t node_index = 0;
+  bool context_trained = false;
+  DiagnosisReport report;
+};
+
+// Outcome of scanning every node of a run: the paper's Fig. 1 scenario -
+// "the invariant associations ... on slave-3 are violated; by searching a
+// similar signature ... the root cause is a CPU-hog" - requires finding
+// WHICH node misbehaves before asking what is wrong with it.
+struct ClusterDiagnosis {
+  std::vector<NodeDiagnosis> nodes;
+  // Index into `nodes` of the strongest-evidence node (anomaly detected,
+  // most invariant violations); -1 when no node raised an alarm.
+  int culprit = -1;
+
+  bool AnyAnomaly() const { return culprit >= 0; }
+};
+
+// Runs detection (and, where it fires, cause inference) against every
+// slave's operation context. Nodes whose context has not been trained are
+// reported with context_trained = false and skipped. The master (node 0)
+// is excluded: the paper builds contexts per worker.
+Result<ClusterDiagnosis> DiagnoseCluster(const InvarNetX& pipeline,
+                                         const telemetry::RunTrace& run);
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_CLUSTER_DIAGNOSIS_H_

@@ -1,0 +1,91 @@
+#ifndef INVARNETX_CORE_EVALUATE_H_
+#define INVARNETX_CORE_EVALUATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "faults/fault.h"
+#include "telemetry/runner.h"
+
+namespace invarnetx::core {
+
+// Parameters of a fault-injection evaluation campaign (Sec. 4.1: each fault
+// repeated 40 times for 5 minutes; 2 repetitions train the signature, the
+// rest are diagnosed).
+struct EvalConfig {
+  workload::WorkloadType workload = workload::WorkloadType::kWordCount;
+  uint64_t seed = 42;
+  int normal_runs = 10;
+  // Interactive (TPC-DS) training observes longer windows than the 60-tick
+  // diagnosis runs: normal data is abundant offline, and the longer window
+  // stabilizes MIC enough for a rich invariant set.
+  int interactive_train_ticks = 120;
+  int signature_train_runs = 2;
+  int test_runs_per_fault = 38;
+  size_t victim_node = 1;  // the node whose context is diagnosed
+  InvarNetXConfig pipeline;
+  // Restricts the campaign to these faults; empty = all applicable faults.
+  std::vector<faults::FaultType> faults;
+};
+
+// Diagnosis tallies for one fault type.
+struct FaultOutcome {
+  faults::FaultType fault = faults::FaultType::kCpuHog;
+  int true_positives = 0;
+  int false_positives = 0;  // runs of other faults misdiagnosed as this one
+  int false_negatives = 0;
+  int undetected = 0;  // anomaly detection never fired
+  int unknown = 0;     // fired, but no signature cleared min_similarity
+
+  double precision() const {
+    const int denom = true_positives + false_positives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double recall() const {
+    const int denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+};
+
+// Outcome of a whole campaign.
+struct EvalResult {
+  workload::WorkloadType workload = workload::WorkloadType::kWordCount;
+  std::vector<FaultOutcome> per_fault;
+  double avg_precision = 0.0;
+  double avg_recall = 0.0;
+  // confusion[truth][predicted] = count ("unknown" / "undetected" are
+  // pseudo-predictions).
+  std::map<std::string, std::map<std::string, int>> confusion;
+};
+
+// Simulates `count` fault-free runs of the workload (seeds seed, seed+1, ...).
+// `interactive_ticks` sets the observation window for interactive mixes
+// (ignored for batch jobs, which run to completion).
+Result<std::vector<telemetry::RunTrace>> SimulateNormalRuns(
+    workload::WorkloadType workload, int count, uint64_t seed,
+    int interactive_ticks = 120);
+
+// Simulates one run with the given fault injected in its default window.
+Result<telemetry::RunTrace> SimulateFaultRun(workload::WorkloadType workload,
+                                             faults::FaultType fault,
+                                             uint64_t seed);
+
+// Runs the full campaign: train, build signatures, diagnose, tally.
+Result<EvalResult> RunEvaluation(const EvalConfig& config);
+
+// Trains an InvarNetX pipeline (context or pooled-global per its config)
+// from the given normal runs; exposed for benches that need the trained
+// pipeline itself.
+Status TrainPipeline(InvarNetX* pipeline, const EvalConfig& config,
+                     const std::vector<telemetry::RunTrace>& normal_runs);
+
+// The operation context a campaign diagnoses against.
+OperationContext VictimContext(const EvalConfig& config);
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_EVALUATE_H_

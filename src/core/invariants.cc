@@ -1,0 +1,73 @@
+#include "core/invariants.h"
+
+#include <cmath>
+
+#include "telemetry/metrics.h"
+
+namespace invarnetx::core {
+
+int InvariantSet::NumInvariants() const {
+  int count = 0;
+  for (uint8_t p : present) count += p;
+  return count;
+}
+
+std::vector<int> InvariantSet::PairIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < present.size(); ++i) {
+    if (present[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Result<InvariantSet> BuildInvariants(
+    const std::vector<AssociationMatrix>& normal_runs, double tau) {
+  if (normal_runs.size() < 2) {
+    return Status::InvalidArgument(
+        "BuildInvariants: need >= 2 normal runs for a stability filter");
+  }
+  const size_t pairs = normal_runs[0].size();
+  for (const AssociationMatrix& run : normal_runs) {
+    if (run.size() != pairs) {
+      return Status::InvalidArgument(
+          "BuildInvariants: association matrices differ in size");
+    }
+  }
+  InvariantSet set;
+  set.present.assign(pairs, 0);
+  set.values.assign(pairs, 0.0);
+  for (size_t i = 0; i < pairs; ++i) {
+    double lo = normal_runs[0][i];
+    double hi = normal_runs[0][i];
+    for (const AssociationMatrix& run : normal_runs) {
+      lo = std::min(lo, run[i]);
+      hi = std::max(hi, run[i]);
+    }
+    if (hi - lo < tau) {
+      set.present[i] = 1;
+      set.values[i] = hi;  // Algorithm 1 stores Max(V(m, n))
+    }
+  }
+  return set;
+}
+
+Result<std::vector<uint8_t>> ComputeViolationTuple(
+    const InvariantSet& invariants, const AssociationMatrix& abnormal,
+    double epsilon, std::vector<double>* deviations) {
+  if (invariants.present.size() != abnormal.size()) {
+    return Status::InvalidArgument(
+        "ComputeViolationTuple: matrix size mismatch with invariant set");
+  }
+  std::vector<uint8_t> bits;
+  bits.reserve(invariants.present.size());
+  if (deviations != nullptr) deviations->clear();
+  for (size_t i = 0; i < invariants.present.size(); ++i) {
+    if (!invariants.present[i]) continue;
+    const double deviation = std::fabs(invariants.values[i] - abnormal[i]);
+    bits.push_back(deviation >= epsilon ? 1 : 0);
+    if (deviations != nullptr) deviations->push_back(deviation);
+  }
+  return bits;
+}
+
+}  // namespace invarnetx::core

@@ -1,0 +1,42 @@
+#ifndef INVARNETX_CORE_INVARIANTS_H_
+#define INVARNETX_CORE_INVARIANTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/association.h"
+
+namespace invarnetx::core {
+
+// The likely invariants of one operation context: for each metric pair that
+// stayed stable across the N normal runs (max - min of its association
+// score < tau), the stored invariant value is the maximum score observed
+// (Algorithm 1 in the paper).
+struct InvariantSet {
+  std::vector<uint8_t> present;  // kNumMetricPairs entries, 1 = invariant
+  std::vector<double> values;    // stored I(m, n); meaningful iff present
+
+  int NumInvariants() const;
+  // Flat pair indices of the invariants, ascending.
+  std::vector<int> PairIndices() const;
+};
+
+// Algorithm 1: pairwise association scores over N normal runs, stability
+// filter with threshold tau. Requires >= 2 runs (stability of a single run
+// is vacuous) and matrices of equal length.
+Result<InvariantSet> BuildInvariants(
+    const std::vector<AssociationMatrix>& normal_runs, double tau = 0.2);
+
+// The violation tuple of an abnormal run: bit i (over the invariant pairs,
+// ascending pair index) is 1 iff |I(m,n) - A(m,n)| >= epsilon. This tuple
+// signifies a performance problem (Sec. 2). When `deviations` is non-null
+// it receives |I - A| per invariant (same indexing as the tuple), which
+// ranks the paper's "hints" by how badly each association broke.
+Result<std::vector<uint8_t>> ComputeViolationTuple(
+    const InvariantSet& invariants, const AssociationMatrix& abnormal,
+    double epsilon = 0.2, std::vector<double>* deviations = nullptr);
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_INVARIANTS_H_

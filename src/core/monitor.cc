@@ -1,0 +1,54 @@
+#include "core/monitor.h"
+
+namespace invarnetx::core {
+
+Status OnlineMonitor::StartJob(const OperationContext& context) {
+  Result<const ContextModel*> model = pipeline_->GetContext(context);
+  if (!model.ok()) return model.status();
+  context_ = context;
+  detector_.emplace(model.value()->perf,
+                    pipeline_->config().threshold_rule,
+                    pipeline_->config().consecutive_required);
+  buffer_ = telemetry::NodeTrace{};
+  buffer_.ip = context.node_ip;
+  alarm_ = false;
+  first_alarm_tick_ = -1;
+  return Status::Ok();
+}
+
+Result<OnlineMonitor::TickVerdict> OnlineMonitor::Observe(
+    double cpi, const std::array<double, telemetry::kNumMetrics>& metrics) {
+  if (!detector_.has_value()) {
+    return Status::FailedPrecondition("Observe: no active job");
+  }
+  buffer_.cpi.push_back(cpi);
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    buffer_.metrics[static_cast<size_t>(m)].push_back(
+        metrics[static_cast<size_t>(m)]);
+  }
+  TickVerdict verdict;
+  verdict.alarm = detector_->Observe(cpi);
+  verdict.residual = detector_->last_residual();
+  if (verdict.alarm && !alarm_) {
+    first_alarm_tick_ = static_cast<int>(buffer_.cpi.size()) - 1;
+  }
+  alarm_ = alarm_ || verdict.alarm;
+  return verdict;
+}
+
+Result<DiagnosisReport> OnlineMonitor::Diagnose() const {
+  if (!detector_.has_value()) {
+    return Status::FailedPrecondition("Diagnose: no active job");
+  }
+  if (buffer_.cpi.empty()) {
+    return Status::FailedPrecondition("Diagnose: nothing observed yet");
+  }
+  Result<DiagnosisReport> report =
+      pipeline_->InferCauseForNode(context_, buffer_);
+  if (!report.ok()) return report.status();
+  report.value().anomaly_detected = alarm_;
+  report.value().first_alarm_tick = first_alarm_tick_;
+  return report;
+}
+
+}  // namespace invarnetx::core

@@ -1,0 +1,70 @@
+#ifndef INVARNETX_CORE_MONITOR_H_
+#define INVARNETX_CORE_MONITOR_H_
+
+#include <array>
+#include <optional>
+
+#include "core/anomaly.h"
+#include "core/pipeline.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::core {
+
+// Streaming front end for one node: the deployment loop the paper's online
+// part describes. At every job arrival the monitor "selects a performance
+// model from the archived models instantly" (Sec. 3.2) by switching to the
+// job's operation context; each tick it feeds the CPI sample through the
+// one-step ARIMA detector; when the debounced alarm fires, cause inference
+// runs over the observations buffered since the job started.
+//
+// The referenced InvarNetX must outlive the monitor and must not be
+// retrained while a job is active (the detector holds the context's
+// performance model by reference).
+class OnlineMonitor {
+ public:
+  struct TickVerdict {
+    bool alarm = false;      // debounced alarm raised at this tick
+    double residual = 0.0;   // |observed - predicted| CPI
+  };
+
+  // `node_ip` names the node this monitor watches (used for reporting;
+  // the context passed to StartJob decides which models apply).
+  explicit OnlineMonitor(const InvarNetX* pipeline) : pipeline_(pipeline) {}
+
+  // Switches to the context of the newly arrived job: selects its archived
+  // performance model, clears the observation buffer and the alarm latch.
+  // Fails if the context has not been trained.
+  Status StartJob(const OperationContext& context);
+
+  // Feeds one tick of observations (CPI + the 26 metrics). Requires an
+  // active job. The alarm latches: once raised it stays visible via
+  // alarm_active() until the next StartJob.
+  Result<TickVerdict> Observe(
+      double cpi, const std::array<double, telemetry::kNumMetrics>& metrics);
+
+  // Cause inference over everything observed since StartJob. Usually
+  // called once alarm_active(); callable any time >= 1 tick was observed.
+  Result<DiagnosisReport> Diagnose() const;
+
+  bool job_active() const { return detector_.has_value(); }
+  bool alarm_active() const { return alarm_; }
+  // Tick (within the current job) of the first debounced alarm; -1 if none.
+  int first_alarm_tick() const { return first_alarm_tick_; }
+  int ticks_observed() const {
+    return static_cast<int>(buffer_.cpi.size());
+  }
+  const OperationContext& context() const { return context_; }
+
+ private:
+  const InvarNetX* pipeline_;
+  OperationContext context_;
+  std::optional<AnomalyDetector> detector_;
+  telemetry::NodeTrace buffer_;
+  bool alarm_ = false;
+  int first_alarm_tick_ = -1;
+};
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_MONITOR_H_

@@ -1,0 +1,92 @@
+#include "core/perf_model.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace invarnetx::core {
+
+std::string ThresholdRuleName(ThresholdRule rule) {
+  switch (rule) {
+    case ThresholdRule::kMaxMin: return "max-min";
+    case ThresholdRule::k95Percentile: return "95-percentile";
+    case ThresholdRule::kBetaMax: return "beta-max";
+  }
+  return "unknown";
+}
+
+Result<PerformanceModel> PerformanceModel::Train(
+    const std::vector<std::vector<double>>& normal_cpi_traces, double beta) {
+  if (normal_cpi_traces.empty()) {
+    return Status::InvalidArgument("PerformanceModel::Train: no traces");
+  }
+  std::vector<double> concatenated;
+  for (const std::vector<double>& trace : normal_cpi_traces) {
+    concatenated.insert(concatenated.end(), trace.begin(), trace.end());
+  }
+  Result<ts::ArimaModel> arima = ts::FitArimaAuto(concatenated);
+  if (!arima.ok()) return arima.status();
+  return FromArima(std::move(arima.value()), normal_cpi_traces, beta);
+}
+
+Result<PerformanceModel> PerformanceModel::FromArima(
+    ts::ArimaModel arima,
+    const std::vector<std::vector<double>>& calibration_traces, double beta) {
+  PerformanceModel model;
+  model.arima_ = std::move(arima);
+  model.beta_ = beta;
+  INVARNETX_RETURN_IF_ERROR(model.Calibrate(calibration_traces));
+  return model;
+}
+
+PerformanceModel PerformanceModel::FromParts(ts::ArimaModel arima,
+                                             double residual_min,
+                                             double residual_max,
+                                             double residual_p95,
+                                             double beta) {
+  PerformanceModel model;
+  model.arima_ = std::move(arima);
+  model.residual_min_ = residual_min;
+  model.residual_max_ = residual_max;
+  model.residual_p95_ = residual_p95;
+  model.beta_ = beta;
+  return model;
+}
+
+Status PerformanceModel::Calibrate(
+    const std::vector<std::vector<double>>& traces) {
+  std::vector<double> pooled;
+  for (const std::vector<double>& trace : traces) {
+    Result<std::vector<double>> residuals = arima_.AbsResiduals(trace);
+    if (!residuals.ok()) return residuals.status();
+    // Warmup entries are exactly zero by construction; they would drag
+    // min(R) to zero, so drop them.
+    const size_t warmup = static_cast<size_t>(arima_.order().d +
+                                              arima_.order().p + 1);
+    for (size_t i = std::min(warmup, residuals.value().size());
+         i < residuals.value().size(); ++i) {
+      pooled.push_back(residuals.value()[i]);
+    }
+  }
+  if (pooled.size() < 10) {
+    return Status::InvalidArgument(
+        "PerformanceModel: too few residuals to calibrate thresholds");
+  }
+  residual_max_ = Max(pooled);
+  residual_min_ = Min(pooled);
+  Result<double> p95 = Percentile(pooled, 95.0);
+  if (!p95.ok()) return p95.status();
+  residual_p95_ = p95.value();
+  return Status::Ok();
+}
+
+double PerformanceModel::Threshold(ThresholdRule rule) const {
+  switch (rule) {
+    case ThresholdRule::kMaxMin: return residual_max_;
+    case ThresholdRule::k95Percentile: return residual_p95_;
+    case ThresholdRule::kBetaMax: return beta_ * residual_max_;
+  }
+  return residual_max_;
+}
+
+}  // namespace invarnetx::core

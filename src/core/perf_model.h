@@ -1,0 +1,67 @@
+#ifndef INVARNETX_CORE_PERF_MODEL_H_
+#define INVARNETX_CORE_PERF_MODEL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "timeseries/arima.h"
+
+namespace invarnetx::core {
+
+// The three threshold-setting rules of Sec. 3.2.
+enum class ThresholdRule {
+  kMaxMin,        // anomaly if residual > max(R) or < min(R)
+  k95Percentile,  // anomaly if residual > P95(R)
+  kBetaMax,       // anomaly if residual > beta * max(R); the paper's choice
+};
+
+std::string ThresholdRuleName(ThresholdRule rule);
+
+// A context's performance model: the ARIMA model of normal CPI plus the
+// calibrated residual statistics each threshold rule needs.
+class PerformanceModel {
+ public:
+  // An empty placeholder model; assign a trained one before use.
+  PerformanceModel() = default;
+
+  // Fits the ARIMA order on the concatenated training traces (order chosen
+  // by AIC) and calibrates residual statistics per-trace (residual streaks
+  // never span trace boundaries). Requires >= 1 non-trivial trace.
+  static Result<PerformanceModel> Train(
+      const std::vector<std::vector<double>>& normal_cpi_traces,
+      double beta = 1.2);
+
+  const ts::ArimaModel& arima() const { return arima_; }
+  double residual_max() const { return residual_max_; }
+  double residual_min() const { return residual_min_; }
+  double residual_p95() const { return residual_p95_; }
+  double beta() const { return beta_; }
+
+  // The scalar residual threshold implied by a rule (for kMaxMin this is
+  // the upper bar; the lower bar is residual_min()).
+  double Threshold(ThresholdRule rule) const;
+
+  // Rebuilds a model from persisted parameters plus calibration traces.
+  static Result<PerformanceModel> FromArima(
+      ts::ArimaModel arima,
+      const std::vector<std::vector<double>>& calibration_traces,
+      double beta = 1.2);
+
+  // Rebuilds a model from a fully persisted state (no recalibration).
+  static PerformanceModel FromParts(ts::ArimaModel arima, double residual_min,
+                                    double residual_max, double residual_p95,
+                                    double beta = 1.2);
+
+ private:
+  Status Calibrate(const std::vector<std::vector<double>>& traces);
+
+  ts::ArimaModel arima_;
+  double residual_max_ = 0.0;
+  double residual_min_ = 0.0;
+  double residual_p95_ = 0.0;
+  double beta_ = 1.2;
+};
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_PERF_MODEL_H_

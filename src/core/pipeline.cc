@@ -1,0 +1,472 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/metrics.h"
+#include "xmlstore/stores.h"
+#include "xmlstore/xml.h"
+
+namespace invarnetx::core {
+namespace {
+
+constexpr const char* kGlobalIp = "global";
+
+// Collectors can emit garbage (counter wrap, parse bugs); a NaN reaching
+// the ARIMA recursion would silently poison every later forecast, so the
+// pipeline rejects non-finite observations at its boundary.
+Status ValidateNode(const telemetry::NodeTrace& node, const char* what) {
+  for (double v : node.cpi) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": non-finite CPI sample");
+    }
+  }
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    for (double v : node.metrics[static_cast<size_t>(m)]) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(std::string(what) +
+                                       ": non-finite sample in " +
+                                       telemetry::MetricName(m));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Copies ticks [start, start + len) of every series in the node trace.
+telemetry::NodeTrace SliceNode(const telemetry::NodeTrace& node, size_t start,
+                               size_t len) {
+  telemetry::NodeTrace out;
+  out.ip = node.ip;
+  const size_t n = node.cpi.size();
+  const size_t begin = std::min(start, n);
+  const size_t end = std::min(start + len, n);
+  out.cpi.assign(node.cpi.begin() + static_cast<long>(begin),
+                 node.cpi.begin() + static_cast<long>(end));
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    const std::vector<double>& series = node.metrics[static_cast<size_t>(m)];
+    out.metrics[static_cast<size_t>(m)].assign(
+        series.begin() + static_cast<long>(begin),
+        series.begin() + static_cast<long>(end));
+  }
+  return out;
+}
+
+// Start of the length-`window` stretch with the largest total CPI residual:
+// the data "during the performance problem".
+size_t AnomalousWindowStart(const PerformanceModel& perf,
+                            const std::vector<double>& cpi, size_t window) {
+  if (cpi.size() <= window) return 0;
+  Result<std::vector<double>> residuals = perf.arima().AbsResiduals(cpi);
+  if (!residuals.ok()) return 0;
+  const std::vector<double>& r = residuals.value();
+  double sum = 0.0;
+  for (size_t i = 0; i < window; ++i) sum += r[i];
+  double best = sum;
+  size_t best_start = 0;
+  for (size_t start = 1; start + window <= r.size(); ++start) {
+    sum += r[start + window - 1] - r[start - 1];
+    if (sum > best) {
+      best = sum;
+      best_start = start;
+    }
+  }
+  return best_start;
+}
+
+}  // namespace
+
+InvarNetX::InvarNetX(InvarNetXConfig config) : config_(config) {}
+
+OperationContext InvarNetX::Key(const OperationContext& context) const {
+  if (config_.use_operation_context) return context;
+  // The no-operation-context baseline: one model for every workload/node.
+  return OperationContext{workload::WorkloadType::kWordCount, kGlobalIp};
+}
+
+Status InvarNetX::TrainContext(
+    const OperationContext& context,
+    const std::vector<telemetry::RunTrace>& normal_runs, size_t node_index) {
+  std::vector<TrainExample> examples;
+  examples.reserve(normal_runs.size());
+  for (const telemetry::RunTrace& run : normal_runs) {
+    examples.push_back(TrainExample{&run, node_index});
+  }
+  return TrainContextFromExamples(context, examples);
+}
+
+Status InvarNetX::TrainContextFromExamples(
+    const OperationContext& context,
+    const std::vector<TrainExample>& examples) {
+  if (examples.size() < 2) {
+    return Status::InvalidArgument(
+        "TrainContext: need >= 2 training examples");
+  }
+  std::vector<std::vector<double>> cpi_traces;
+  std::vector<AssociationMatrix> matrices;
+  const std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(config_.engine);
+  for (const TrainExample& example : examples) {
+    if (example.run == nullptr ||
+        example.node_index >= example.run->nodes.size()) {
+      return Status::InvalidArgument("TrainContext: bad example");
+    }
+    const telemetry::NodeTrace& node =
+        example.run->nodes[example.node_index];
+    INVARNETX_RETURN_IF_ERROR(ValidateNode(node, "TrainContext"));
+    cpi_traces.push_back(node.cpi);
+    // Slide the analysis window across the run (50% overlap) so the
+    // stability filter only keeps associations that hold in any window
+    // position - the same footing diagnosis-time matrices are computed on.
+    const size_t n = node.cpi.size();
+    const size_t window = config_.analysis_window > 0
+                              ? static_cast<size_t>(config_.analysis_window)
+                              : n;
+    std::vector<size_t> starts;
+    if (window >= n) {
+      starts.push_back(0);
+    } else {
+      for (size_t s = 0; s + window <= n; s += window / 2) starts.push_back(s);
+      if (starts.back() + window < n) starts.push_back(n - window);
+    }
+    for (size_t start : starts) {
+      const telemetry::NodeTrace sliced = SliceNode(node, start, window);
+      Result<AssociationMatrix> matrix =
+          ComputeAssociationMatrix(sliced, *engine);
+      if (!matrix.ok()) return matrix.status();
+      matrices.push_back(std::move(matrix.value()));
+    }
+  }
+
+  Result<PerformanceModel> perf =
+      PerformanceModel::Train(cpi_traces, config_.beta);
+  if (!perf.ok()) return perf.status();
+  Result<InvariantSet> invariants = BuildInvariants(matrices, config_.tau);
+  if (!invariants.ok()) return invariants.status();
+
+  ContextModel& model = contexts_[Key(context)];
+  model.perf = std::move(perf.value());
+  model.invariants = std::move(invariants.value());
+  return Status::Ok();
+}
+
+Status InvarNetX::AddSignature(const OperationContext& context,
+                               const std::string& problem,
+                               const telemetry::RunTrace& abnormal_run,
+                               size_t node_index) {
+  auto it = contexts_.find(Key(context));
+  if (it == contexts_.end()) {
+    return Status::FailedPrecondition("AddSignature: context not trained: " +
+                                      context.ToString());
+  }
+  if (node_index >= abnormal_run.nodes.size()) {
+    return Status::InvalidArgument("AddSignature: node index out of range");
+  }
+  INVARNETX_RETURN_IF_ERROR(
+      ValidateNode(abnormal_run.nodes[node_index], "AddSignature"));
+  Result<AssociationMatrix> matrix =
+      AbnormalMatrix(it->second, abnormal_run.nodes[node_index]);
+  if (!matrix.ok()) return matrix.status();
+  Result<std::vector<uint8_t>> tuple = ComputeViolationTuple(
+      it->second.invariants, matrix.value(), config_.epsilon);
+  if (!tuple.ok()) return tuple.status();
+  return it->second.sigdb.Add(Signature{problem, std::move(tuple.value())});
+}
+
+Result<DiagnosisReport> InvarNetX::Diagnose(const OperationContext& context,
+                                            const telemetry::RunTrace& run,
+                                            size_t node_index) const {
+  auto it = contexts_.find(Key(context));
+  if (it == contexts_.end()) {
+    return Status::FailedPrecondition("Diagnose: context not trained: " +
+                                      context.ToString());
+  }
+  if (node_index >= run.nodes.size()) {
+    return Status::InvalidArgument("Diagnose: node index out of range");
+  }
+  INVARNETX_RETURN_IF_ERROR(ValidateNode(run.nodes[node_index], "Diagnose"));
+  AnomalyDetector detector(it->second.perf, config_.threshold_rule,
+                           config_.consecutive_required);
+  const AnomalyScan scan = detector.Scan(run.nodes[node_index].cpi);
+  if (!scan.triggered()) {
+    DiagnosisReport report;
+    report.anomaly_detected = false;
+    return report;
+  }
+  Result<DiagnosisReport> report = InferCause(context, run, node_index);
+  if (!report.ok()) return report.status();
+  report.value().anomaly_detected = true;
+  report.value().first_alarm_tick = scan.first_alarm_tick;
+  return report;
+}
+
+Result<DiagnosisReport> InvarNetX::InferCause(const OperationContext& context,
+                                              const telemetry::RunTrace& run,
+                                              size_t node_index) const {
+  if (node_index >= run.nodes.size()) {
+    return Status::InvalidArgument("InferCause: node index out of range");
+  }
+  return InferCauseForNode(context, run.nodes[node_index]);
+}
+
+Result<DiagnosisReport> InvarNetX::InferCauseForNode(
+    const OperationContext& context, const telemetry::NodeTrace& node) const {
+  auto it = contexts_.find(Key(context));
+  if (it == contexts_.end()) {
+    return Status::FailedPrecondition("InferCause: context not trained: " +
+                                      context.ToString());
+  }
+  const ContextModel& model = it->second;
+  Result<AssociationMatrix> matrix = AbnormalMatrix(model, node);
+  if (!matrix.ok()) return matrix.status();
+  std::vector<double> deviations;
+  Result<std::vector<uint8_t>> tuple = ComputeViolationTuple(
+      model.invariants, matrix.value(), config_.epsilon, &deviations);
+  if (!tuple.ok()) return tuple.status();
+
+  DiagnosisReport report;
+  report.violations = std::move(tuple.value());
+  for (uint8_t bit : report.violations) report.num_violations += bit;
+
+  // Hints: violated association pairs, worst deviation first, so the
+  // operator sees the most decisively broken invariants at the top.
+  std::vector<size_t> violated;
+  for (size_t i = 0; i < report.violations.size(); ++i) {
+    if (report.violations[i]) violated.push_back(i);
+  }
+  std::stable_sort(violated.begin(), violated.end(),
+                   [&deviations](size_t a, size_t b) {
+                     return deviations[a] > deviations[b];
+                   });
+  const std::vector<int> pair_indices = model.invariants.PairIndices();
+  for (size_t i : violated) {
+    if (report.hints.size() >= 10) break;
+    int a = 0, b = 0;
+    telemetry::PairFromIndex(pair_indices[i], &a, &b);
+    report.hints.push_back(telemetry::MetricName(a) + " ~ " +
+                           telemetry::MetricName(b));
+  }
+
+  if (model.sigdb.size() > 0) {
+    Result<std::vector<RankedCause>> causes =
+        model.sigdb.Query(report.violations, config_.similarity,
+                          config_.top_k);
+    if (!causes.ok()) return causes.status();
+    report.causes = std::move(causes.value());
+    report.known_problem = !report.causes.empty() &&
+                           report.causes[0].score >= config_.min_similarity;
+  }
+  return report;
+}
+
+Result<AssociationMatrix> InvarNetX::AbnormalMatrix(
+    const ContextModel& model, const telemetry::NodeTrace& node) const {
+  const std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(config_.engine);
+  if (config_.analysis_window > 0 &&
+      node.cpi.size() > static_cast<size_t>(config_.analysis_window)) {
+    const size_t window = static_cast<size_t>(config_.analysis_window);
+    const size_t start = AnomalousWindowStart(model.perf, node.cpi, window);
+    return ComputeAssociationMatrix(SliceNode(node, start, window), *engine);
+  }
+  // Whole-run matrices: the contrast between normal stretches (before and
+  // after the problem) and the problem window is exactly what produces the
+  // violation pattern, so no truncation is applied.
+  return ComputeAssociationMatrix(node, *engine);
+}
+
+bool InvarNetX::HasContext(const OperationContext& context) const {
+  return contexts_.find(Key(context)) != contexts_.end();
+}
+
+Result<const ContextModel*> InvarNetX::GetContext(
+    const OperationContext& context) const {
+  auto it = contexts_.find(Key(context));
+  if (it == contexts_.end()) {
+    return Status::NotFound("context not trained: " + context.ToString());
+  }
+  return &it->second;
+}
+
+Status InvarNetX::SaveToDirectory(const std::string& directory) const {
+  // The pipeline configuration is part of the store: violation tuples are
+  // only meaningful against the same engine and thresholds they were
+  // computed with.
+  xmlstore::XmlNode config_node;
+  config_node.name = "invarnetx_config";
+  config_node.SetAttr("engine", AssociationEngineName(config_.engine));
+  config_node.SetAttr("tau", std::to_string(config_.tau));
+  config_node.SetAttr("epsilon", std::to_string(config_.epsilon));
+  config_node.SetAttr("beta", std::to_string(config_.beta));
+  config_node.SetAttr("rule", ThresholdRuleName(config_.threshold_rule));
+  config_node.SetAttr("consecutive",
+                      std::to_string(config_.consecutive_required));
+  config_node.SetAttr("similarity",
+                      SimilarityMetricName(config_.similarity));
+  config_node.SetAttr("min_similarity",
+                      std::to_string(config_.min_similarity));
+  config_node.SetAttr("use_operation_context",
+                      config_.use_operation_context ? "1" : "0");
+  INVARNETX_RETURN_IF_ERROR(
+      xmlstore::WriteXmlFile(directory + "/config.xml", config_node));
+
+  std::vector<xmlstore::ArimaModelRecord> models;
+  std::vector<xmlstore::InvariantSetRecord> invariant_sets;
+  std::vector<xmlstore::SignatureRecord> signatures;
+  for (const auto& [context, model] : contexts_) {
+    xmlstore::ArimaModelRecord rec;
+    const ts::ArimaModel& arima = model.perf.arima();
+    rec.p = arima.order().p;
+    rec.d = arima.order().d;
+    rec.q = arima.order().q;
+    rec.ip = context.node_ip;
+    rec.workload = workload::WorkloadName(context.workload);
+    rec.ar = arima.ar();
+    rec.ma = arima.ma();
+    rec.intercept = arima.intercept();
+    rec.sigma2 = arima.sigma2();
+    rec.residual_min = model.perf.residual_min();
+    rec.residual_max = model.perf.residual_max();
+    rec.residual_p95 = model.perf.residual_p95();
+    models.push_back(std::move(rec));
+
+    xmlstore::InvariantSetRecord inv;
+    inv.ip = context.node_ip;
+    inv.workload = workload::WorkloadName(context.workload);
+    inv.num_metrics = telemetry::kNumMetrics;
+    for (int pair : model.invariants.PairIndices()) {
+      int a = 0, b = 0;
+      telemetry::PairFromIndex(pair, &a, &b);
+      inv.entries.push_back(xmlstore::InvariantEntry{
+          a, b, model.invariants.values[static_cast<size_t>(pair)]});
+    }
+    invariant_sets.push_back(std::move(inv));
+
+    for (const Signature& sig : model.sigdb.signatures()) {
+      xmlstore::SignatureRecord srec;
+      srec.problem = sig.problem;
+      srec.ip = context.node_ip;
+      srec.workload = workload::WorkloadName(context.workload);
+      srec.bits = sig.bits;
+      signatures.push_back(std::move(srec));
+    }
+  }
+  INVARNETX_RETURN_IF_ERROR(
+      xmlstore::SaveArimaModels(directory + "/models.xml", models));
+  INVARNETX_RETURN_IF_ERROR(xmlstore::SaveInvariantSets(
+      directory + "/invariants.xml", invariant_sets));
+  return xmlstore::SaveSignatures(directory + "/signatures.xml", signatures);
+}
+
+Status InvarNetX::LoadFromDirectory(const std::string& directory) {
+  // Restore the configuration the store was built with (older stores
+  // without config.xml keep this pipeline's configuration).
+  Result<xmlstore::XmlNode> config_node =
+      xmlstore::ReadXmlFile(directory + "/config.xml");
+  if (config_node.ok()) {
+    const xmlstore::XmlNode& node = config_node.value();
+    if (node.name != "invarnetx_config") {
+      return Status::Corruption("expected <invarnetx_config> root");
+    }
+    for (AssociationEngineType engine :
+         {AssociationEngineType::kMic, AssociationEngineType::kArx,
+          AssociationEngineType::kEnsemble}) {
+      if (AssociationEngineName(engine) == node.Attr("engine")) {
+        config_.engine = engine;
+      }
+    }
+    for (ThresholdRule rule :
+         {ThresholdRule::kMaxMin, ThresholdRule::k95Percentile,
+          ThresholdRule::kBetaMax}) {
+      if (ThresholdRuleName(rule) == node.Attr("rule")) {
+        config_.threshold_rule = rule;
+      }
+    }
+    for (SimilarityMetric metric :
+         {SimilarityMetric::kJaccard, SimilarityMetric::kDice,
+          SimilarityMetric::kCosine, SimilarityMetric::kHamming,
+          SimilarityMetric::kIdfJaccard}) {
+      if (SimilarityMetricName(metric) == node.Attr("similarity")) {
+        config_.similarity = metric;
+      }
+    }
+    if (!node.Attr("tau").empty()) config_.tau = std::stod(node.Attr("tau"));
+    if (!node.Attr("epsilon").empty()) {
+      config_.epsilon = std::stod(node.Attr("epsilon"));
+    }
+    if (!node.Attr("beta").empty()) {
+      config_.beta = std::stod(node.Attr("beta"));
+    }
+    if (!node.Attr("consecutive").empty()) {
+      config_.consecutive_required = std::stoi(node.Attr("consecutive"));
+    }
+    if (!node.Attr("min_similarity").empty()) {
+      config_.min_similarity = std::stod(node.Attr("min_similarity"));
+    }
+    if (!node.Attr("use_operation_context").empty()) {
+      config_.use_operation_context =
+          node.Attr("use_operation_context") == "1";
+    }
+  }
+
+  Result<std::vector<xmlstore::ArimaModelRecord>> models =
+      xmlstore::LoadArimaModels(directory + "/models.xml");
+  if (!models.ok()) return models.status();
+  Result<std::vector<xmlstore::InvariantSetRecord>> invariant_sets =
+      xmlstore::LoadInvariantSets(directory + "/invariants.xml");
+  if (!invariant_sets.ok()) return invariant_sets.status();
+  Result<std::vector<xmlstore::SignatureRecord>> signatures =
+      xmlstore::LoadSignatures(directory + "/signatures.xml");
+  if (!signatures.ok()) return signatures.status();
+
+  contexts_.clear();
+  for (const xmlstore::ArimaModelRecord& rec : models.value()) {
+    Result<workload::WorkloadType> type =
+        workload::WorkloadFromName(rec.workload);
+    if (!type.ok()) return type.status();
+    Result<ts::ArimaModel> arima = ts::ArimaModel::FromParameters(
+        ts::ArimaOrder{rec.p, rec.d, rec.q}, rec.ar, rec.ma, rec.intercept,
+        rec.sigma2);
+    if (!arima.ok()) return arima.status();
+    const OperationContext context{type.value(), rec.ip};
+    contexts_[context].perf = PerformanceModel::FromParts(
+        std::move(arima.value()), rec.residual_min, rec.residual_max,
+        rec.residual_p95, config_.beta);
+  }
+  for (const xmlstore::InvariantSetRecord& rec : invariant_sets.value()) {
+    Result<workload::WorkloadType> type =
+        workload::WorkloadFromName(rec.workload);
+    if (!type.ok()) return type.status();
+    if (rec.num_metrics != telemetry::kNumMetrics) {
+      return Status::Corruption("invariant set has wrong metric count");
+    }
+    InvariantSet set;
+    set.present.assign(telemetry::kNumMetricPairs, 0);
+    set.values.assign(telemetry::kNumMetricPairs, 0.0);
+    for (const xmlstore::InvariantEntry& entry : rec.entries) {
+      if (entry.metric_a < 0 || entry.metric_b <= entry.metric_a ||
+          entry.metric_b >= telemetry::kNumMetrics) {
+        return Status::Corruption("bad invariant pair indices");
+      }
+      const size_t index = static_cast<size_t>(
+          telemetry::PairIndex(entry.metric_a, entry.metric_b));
+      set.present[index] = 1;
+      set.values[index] = entry.value;
+    }
+    contexts_[OperationContext{type.value(), rec.ip}].invariants =
+        std::move(set);
+  }
+  for (const xmlstore::SignatureRecord& rec : signatures.value()) {
+    Result<workload::WorkloadType> type =
+        workload::WorkloadFromName(rec.workload);
+    if (!type.ok()) return type.status();
+    const Status added =
+        contexts_[OperationContext{type.value(), rec.ip}].sigdb.Add(
+            Signature{rec.problem, rec.bits});
+    if (!added.ok()) return added;
+  }
+  return Status::Ok();
+}
+
+}  // namespace invarnetx::core

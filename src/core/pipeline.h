@@ -1,0 +1,152 @@
+#ifndef INVARNETX_CORE_PIPELINE_H_
+#define INVARNETX_CORE_PIPELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/anomaly.h"
+#include "core/association.h"
+#include "core/context.h"
+#include "core/invariants.h"
+#include "core/perf_model.h"
+#include "core/sigdb.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::core {
+
+// Tunable parameters of the InvarNet-X pipeline, defaulting to the paper's
+// choices (tau = epsilon = 0.2, beta = 1.2, beta-max rule, 3-consecutive
+// debounce, MIC associations, operation context on).
+struct InvarNetXConfig {
+  double tau = 0.2;
+  double epsilon = 0.2;
+  double beta = 1.2;
+  ThresholdRule threshold_rule = ThresholdRule::kBetaMax;
+  int consecutive_required = 3;
+  AssociationEngineType engine = AssociationEngineType::kMic;
+  // When false, a single global model/invariant set/signature base is used
+  // for everything - the "InvarNet-X (no operation context)" baseline.
+  bool use_operation_context = true;
+  SimilarityMetric similarity = SimilarityMetric::kJaccard;
+  // Below this similarity the problem is reported as unknown (the operator
+  // gets hints - the violated association pairs - instead of a cause).
+  double min_similarity = 0.25;
+  size_t top_k = 5;
+  // Length (in ticks) of the window association matrices are computed
+  // over; 0 (the default, and the paper's formulation) uses the whole run.
+  // A nonzero window slides across each normal run during training and
+  // anchors on the most anomalous stretch of the CPI residuals during
+  // diagnosis. Note that a window fully inside a fault shows consistent -
+  // merely shifted - associations and therefore few violations; invariant
+  // violations arise from runs that mix normal and faulty data, which is
+  // why whole-run matrices diagnose better and are the default.
+  int analysis_window = 0;
+};
+
+// Everything InvarNet-X learned about one operation context.
+struct ContextModel {
+  PerformanceModel perf;
+  InvariantSet invariants;
+  SignatureDatabase sigdb;
+};
+
+// The output of one diagnosis: detection outcome, the violation evidence,
+// and the ranked causes (most probable first).
+struct DiagnosisReport {
+  bool anomaly_detected = false;
+  int first_alarm_tick = -1;
+  std::vector<uint8_t> violations;  // over the context's invariants
+  int num_violations = 0;
+  std::vector<RankedCause> causes;
+  bool known_problem = false;  // top cause clears min_similarity
+  // Human-readable violated pairs ("metric_a ~ metric_b"), capped at 10 -
+  // the paper's hints for uninvestigated problems.
+  std::vector<std::string> hints;
+};
+
+// The InvarNet-X pipeline facade (Fig. 3): offline training (performance
+// model building, invariant construction, signature base building) and
+// online diagnosis (performance anomaly detection, cause inference).
+class InvarNetX {
+ public:
+  explicit InvarNetX(InvarNetXConfig config = InvarNetXConfig());
+
+  // ---- offline part -----------------------------------------------------
+
+  // Trains the ARIMA performance model and the MIC likely invariants for a
+  // context from >= 2 fault-free runs. `node_index` selects whose series in
+  // the traces belong to this context.
+  Status TrainContext(const OperationContext& context,
+                      const std::vector<telemetry::RunTrace>& normal_runs,
+                      size_t node_index);
+
+  // One (run, node) pair used as a training example.
+  struct TrainExample {
+    const telemetry::RunTrace* run = nullptr;
+    size_t node_index = 0;
+  };
+
+  // Generalized training entry point: pools the given examples into one
+  // context model. Used directly by the no-operation-context baseline,
+  // which pools every node's series under a single global key.
+  Status TrainContextFromExamples(const OperationContext& context,
+                                  const std::vector<TrainExample>& examples);
+
+  // Adds the violation signature of an investigated problem from a run
+  // recorded while the problem was active.
+  Status AddSignature(const OperationContext& context,
+                      const std::string& problem,
+                      const telemetry::RunTrace& abnormal_run,
+                      size_t node_index);
+
+  // ---- online part ------------------------------------------------------
+
+  // Full diagnosis of a run: anomaly detection on CPI first; cause
+  // inference only when the alarm fires.
+  Result<DiagnosisReport> Diagnose(const OperationContext& context,
+                                   const telemetry::RunTrace& run,
+                                   size_t node_index) const;
+
+  // Cause inference alone (used when detection is handled elsewhere).
+  Result<DiagnosisReport> InferCause(const OperationContext& context,
+                                     const telemetry::RunTrace& run,
+                                     size_t node_index) const;
+
+  // Cause inference from a single node's series (streaming consumers that
+  // buffer their own observations).
+  Result<DiagnosisReport> InferCauseForNode(
+      const OperationContext& context,
+      const telemetry::NodeTrace& node) const;
+
+  // ---- introspection / persistence ---------------------------------------
+
+  bool HasContext(const OperationContext& context) const;
+  Result<const ContextModel*> GetContext(const OperationContext& context) const;
+
+  // Writes models.xml / invariants.xml / signatures.xml into `directory`
+  // (which must exist), in the paper's tuple formats.
+  Status SaveToDirectory(const std::string& directory) const;
+  // Restores the offline state written by SaveToDirectory. Performance
+  // models are restored exactly (coefficients + calibrated thresholds).
+  Status LoadFromDirectory(const std::string& directory);
+
+  const InvarNetXConfig& config() const { return config_; }
+
+ private:
+  // Applies the no-operation-context collapse when configured.
+  OperationContext Key(const OperationContext& context) const;
+
+  // Association matrix of the configured analysis window with the largest
+  // CPI residual mass (data "during the problem").
+  Result<AssociationMatrix> AbnormalMatrix(
+      const ContextModel& model, const telemetry::NodeTrace& node) const;
+
+  InvarNetXConfig config_;
+  std::map<OperationContext, ContextModel> contexts_;
+};
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_PIPELINE_H_

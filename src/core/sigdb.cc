@@ -1,0 +1,169 @@
+#include "core/sigdb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace invarnetx::core {
+
+std::string SimilarityMetricName(SimilarityMetric metric) {
+  switch (metric) {
+    case SimilarityMetric::kJaccard: return "jaccard";
+    case SimilarityMetric::kDice: return "dice";
+    case SimilarityMetric::kCosine: return "cosine";
+    case SimilarityMetric::kHamming: return "hamming";
+    case SimilarityMetric::kIdfJaccard: return "idf-jaccard";
+  }
+  return "unknown";
+}
+
+Result<double> TupleSimilarity(const std::vector<uint8_t>& a,
+                               const std::vector<uint8_t>& b,
+                               SimilarityMetric metric) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("TupleSimilarity: length mismatch");
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("TupleSimilarity: empty tuples");
+  }
+  size_t both = 0, either = 0, ones_a = 0, ones_b = 0, equal = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool xa = a[i] != 0;
+    const bool xb = b[i] != 0;
+    both += xa && xb;
+    either += xa || xb;
+    ones_a += xa;
+    ones_b += xb;
+    equal += xa == xb;
+  }
+  switch (metric) {
+    case SimilarityMetric::kJaccard:
+      // Two all-zero tuples describe the same (empty) violation pattern.
+      if (either == 0) return 1.0;
+      return static_cast<double>(both) / static_cast<double>(either);
+    case SimilarityMetric::kDice:
+      if (ones_a + ones_b == 0) return 1.0;
+      return 2.0 * static_cast<double>(both) /
+             static_cast<double>(ones_a + ones_b);
+    case SimilarityMetric::kCosine:
+      if (ones_a == 0 || ones_b == 0) return ones_a == ones_b ? 1.0 : 0.0;
+      return static_cast<double>(both) /
+             std::sqrt(static_cast<double>(ones_a) *
+                       static_cast<double>(ones_b));
+    case SimilarityMetric::kHamming:
+      return static_cast<double>(equal) / static_cast<double>(a.size());
+    case SimilarityMetric::kIdfJaccard:
+      // Weights need the whole database; plain Jaccard here.
+      if (either == 0) return 1.0;
+      return static_cast<double>(both) / static_cast<double>(either);
+  }
+  return Status::InvalidArgument("unknown similarity metric");
+}
+
+Status SignatureDatabase::Add(Signature signature) {
+  if (signature.problem.empty()) {
+    return Status::InvalidArgument("Signature: empty problem name");
+  }
+  if (!signatures_.empty() &&
+      signatures_.front().bits.size() != signature.bits.size()) {
+    return Status::InvalidArgument(
+        "Signature: tuple length differs from existing signatures");
+  }
+  signatures_.push_back(std::move(signature));
+  return Status::Ok();
+}
+
+Result<std::vector<SignatureConflict>> SignatureDatabase::FindConflicts(
+    double min_similarity, SimilarityMetric metric) const {
+  // Best similarity between any signature of problem a and any of b.
+  std::map<std::pair<std::string, std::string>, double> best;
+  for (size_t i = 0; i < signatures_.size(); ++i) {
+    for (size_t j = i + 1; j < signatures_.size(); ++j) {
+      const Signature& a = signatures_[i];
+      const Signature& b = signatures_[j];
+      if (a.problem == b.problem) continue;
+      Result<double> score = TupleSimilarity(a.bits, b.bits, metric);
+      if (!score.ok()) return score.status();
+      auto key = a.problem < b.problem
+                     ? std::make_pair(a.problem, b.problem)
+                     : std::make_pair(b.problem, a.problem);
+      auto [it, inserted] = best.emplace(key, score.value());
+      if (!inserted) it->second = std::max(it->second, score.value());
+    }
+  }
+  std::vector<SignatureConflict> conflicts;
+  for (const auto& [key, score] : best) {
+    if (score >= min_similarity) {
+      conflicts.push_back(SignatureConflict{key.first, key.second, score});
+    }
+  }
+  std::stable_sort(conflicts.begin(), conflicts.end(),
+                   [](const SignatureConflict& x, const SignatureConflict& y) {
+                     return x.similarity > y.similarity;
+                   });
+  return conflicts;
+}
+
+Result<std::vector<RankedCause>> SignatureDatabase::Query(
+    const std::vector<uint8_t>& tuple, SimilarityMetric metric,
+    size_t top_k) const {
+  if (signatures_.empty()) {
+    return Status::FailedPrecondition("signature database is empty");
+  }
+  // For the IDF-weighted metric, weight each bit by how rarely the stored
+  // signatures violate it.
+  std::vector<double> weights;
+  if (metric == SimilarityMetric::kIdfJaccard && !signatures_.empty()) {
+    const size_t len = signatures_.front().bits.size();
+    std::vector<int> df(len, 0);
+    for (const Signature& sig : signatures_) {
+      for (size_t i = 0; i < len && i < sig.bits.size(); ++i) {
+        df[i] += sig.bits[i] ? 1 : 0;
+      }
+    }
+    weights.resize(len);
+    const double total = static_cast<double>(signatures_.size());
+    for (size_t i = 0; i < len; ++i) {
+      weights[i] = std::log(1.0 + total / (1.0 + df[i]));
+    }
+  }
+  auto weighted_jaccard = [&](const std::vector<uint8_t>& a,
+                              const std::vector<uint8_t>& b) -> double {
+    double both = 0.0, either = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double w = weights[i];
+      both += (a[i] && b[i]) ? w : 0.0;
+      either += (a[i] || b[i]) ? w : 0.0;
+    }
+    return either == 0.0 ? 1.0 : both / either;
+  };
+  std::map<std::string, double> best;
+  for (const Signature& sig : signatures_) {
+    double value = 0.0;
+    if (metric == SimilarityMetric::kIdfJaccard &&
+        tuple.size() == sig.bits.size() && !tuple.empty()) {
+      value = weighted_jaccard(tuple, sig.bits);
+    } else {
+      Result<double> score = TupleSimilarity(tuple, sig.bits, metric);
+      if (!score.ok()) return score.status();
+      value = score.value();
+    }
+    auto [it, inserted] = best.emplace(sig.problem, value);
+    if (!inserted) it->second = std::max(it->second, value);
+  }
+  std::vector<RankedCause> ranked;
+  ranked.reserve(best.size());
+  for (const auto& [problem, score] : best) {
+    ranked.push_back(RankedCause{problem, score});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedCause& x, const RankedCause& y) {
+                     return x.score > y.score;
+                   });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace invarnetx::core

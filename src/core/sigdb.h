@@ -1,0 +1,83 @@
+#ifndef INVARNETX_CORE_SIGDB_H_
+#define INVARNETX_CORE_SIGDB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::core {
+
+// Similarity between two binary violation tuples.
+enum class SimilarityMetric {
+  kJaccard,  // |a & b| / |a | b|  (1 when both are all-zero)
+  kDice,     // 2|a & b| / (|a| + |b|)
+  kCosine,   // |a & b| / sqrt(|a| |b|)
+  kHamming,  // 1 - hamming_distance / length
+  // Jaccard with per-bit inverse-document-frequency weights: bits violated
+  // by many stored signatures (generic "the node is in trouble" bits) count
+  // less than bits specific to a few problems. Computed by
+  // SignatureDatabase::Query from the database contents; TupleSimilarity
+  // falls back to unweighted Jaccard for this metric.
+  kIdfJaccard,
+};
+
+std::string SimilarityMetricName(SimilarityMetric metric);
+
+// Computes the similarity of two equal-length binary tuples in [0, 1].
+Result<double> TupleSimilarity(const std::vector<uint8_t>& a,
+                               const std::vector<uint8_t>& b,
+                               SimilarityMetric metric);
+
+// One stored problem signature.
+struct Signature {
+  std::string problem;
+  std::vector<uint8_t> bits;
+};
+
+// A diagnosed cause candidate.
+struct RankedCause {
+  std::string problem;
+  double score = 0.0;
+};
+
+// Two problems whose stored signatures are nearly identical - the paper's
+// "signature conflict" (e.g. Net-drop vs Net-delay), flagged so operators
+// know the ranked list may swap them.
+struct SignatureConflict {
+  std::string problem_a;
+  std::string problem_b;
+  double similarity = 0.0;
+};
+
+// The signature database of one operation context: violation tuples of
+// investigated problems. Querying returns problems ranked by the best
+// similarity any of their stored signatures achieves - the paper's ranked
+// root-cause list with the most probable cause first.
+class SignatureDatabase {
+ public:
+  Status Add(Signature signature);
+
+  size_t size() const { return signatures_.size(); }
+  const std::vector<Signature>& signatures() const { return signatures_; }
+
+  // Ranked unique problems (ties broken by name for determinism).
+  Result<std::vector<RankedCause>> Query(const std::vector<uint8_t>& tuple,
+                                         SimilarityMetric metric,
+                                         size_t top_k = 5) const;
+
+  // Problem pairs whose best cross-signature similarity reaches
+  // `min_similarity`, most similar first - the signature conflicts the
+  // paper flags for future work. Deterministic order.
+  Result<std::vector<SignatureConflict>> FindConflicts(
+      double min_similarity = 0.6,
+      SimilarityMetric metric = SimilarityMetric::kJaccard) const;
+
+ private:
+  std::vector<Signature> signatures_;
+};
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_SIGDB_H_

@@ -1,0 +1,74 @@
+#ifndef INVARNETX_FAULTS_FAULT_H_
+#define INVARNETX_FAULTS_FAULT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "workload/spec.h"
+
+namespace invarnetx::faults {
+
+// The fault catalog of Sec. 4.1. The first nine are operational-environment
+// faults (injected with AnarchyApe-style tooling in the paper), the next six
+// reproduce real Hadoop bugs, and kCpuUtilNoise is the Fig. 2 utilization
+// disturbance, which is system noise rather than a fault.
+enum class FaultType {
+  // Environment faults.
+  kCpuHog,
+  kMemHog,
+  kDiskHog,
+  kNetDrop,
+  kNetDelay,
+  kBlockCorruption,  // Block-C
+  kMisconfig,        // mapred.max.split.size set to 1 MB
+  kOverload,         // interactive workloads only
+  kSuspend,          // SIGSTOP datanode/tasktracker
+  // Software bugs.
+  kRpcHang,                 // HADOOP-6498
+  kThreadLeak,              // HADOOP-9703
+  kNpeRestart,              // HADOOP-1036
+  kLockRace,                // Lock-R (non-deterministic)
+  kCommInterference,        // HADOOP-1970
+  kBlockReceiverException,  // Block-R
+  // Disturbance (not a fault; used by the Fig. 2 experiment).
+  kCpuUtilNoise,
+};
+
+// The fifteen diagnosable faults, in a stable order.
+const std::vector<FaultType>& AllFaults();
+
+std::string FaultName(FaultType type);
+Result<FaultType> FaultFromName(const std::string& name);
+
+// Whether the fault is applicable under the given workload (Overload only
+// exists for interactive mixes: under FIFO a batch job owns the cluster).
+bool AppliesTo(FaultType fault, workload::WorkloadType type);
+
+// When and where a fault is active. `target_node` is an index into the
+// cluster (0 = master). Network faults injected at the name node also leak
+// milder effects onto the other nodes, as in a shared switch.
+struct FaultWindow {
+  int start_tick = 0;
+  int duration_ticks = 30;  // the paper's 5 minutes at 10 s ticks
+  size_t target_node = 1;
+
+  bool Active(int tick) const {
+    return tick >= start_tick && tick < start_tick + duration_ticks;
+  }
+  int end_tick() const { return start_tick + duration_ticks; }
+};
+
+// Creates an injector. Per-run magnitudes (and, for Lock-R, the random set
+// of perturbed metrics) are drawn from `rng` at construction, so repeated
+// injections of the same fault type differ run to run.
+std::unique_ptr<cluster::FaultInjector> MakeFault(FaultType type,
+                                                  const FaultWindow& window,
+                                                  Rng* rng);
+
+}  // namespace invarnetx::faults
+
+#endif  // INVARNETX_FAULTS_FAULT_H_

@@ -1,0 +1,445 @@
+#include <algorithm>
+#include <cmath>
+
+#include "faults/fault.h"
+
+namespace invarnetx::faults {
+namespace {
+
+using cluster::Cluster;
+using cluster::DriverState;
+using cluster::FaultInjector;
+
+// Base class holding the window and per-run magnitude jitter.
+class FaultBase : public FaultInjector {
+ public:
+  FaultBase(FaultType type, const FaultWindow& window, double magnitude)
+      : type_(type), window_(window), magnitude_(magnitude) {}
+
+  std::string name() const override { return FaultName(type_); }
+
+  void Apply(int tick, Cluster* cluster, Rng* rng) final {
+    if (!window_.Active(tick)) return;
+    ApplyActive(tick, cluster, rng);
+  }
+
+ protected:
+  virtual void ApplyActive(int tick, Cluster* cluster, Rng* rng) = 0;
+
+  DriverState& Target(Cluster* cluster) const {
+    return cluster->node(window_.target_node).drivers;
+  }
+  double magnitude() const { return magnitude_; }
+  const FaultWindow& window() const { return window_; }
+
+ private:
+  FaultType type_;
+  FaultWindow window_;
+  double magnitude_;
+};
+
+// (1) CPU-hog: a CPU-bound co-located process competes sharply for cores
+// and cache - raises both utilization and CPI.
+class CpuHog : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    // Hog processes are bursty; the resulting CPI swings are what keeps the
+    // ARIMA one-step residual elevated for the whole window (Fig. 5).
+    const double burst = 0.6 + 0.8 * rng->Uniform();
+    d.cpu_extra = 0.85 * magnitude() * burst;
+    d.cache_pressure = 0.45 * magnitude() * burst;
+  }
+};
+
+// (2) Mem-hog: a co-located process pins a large allocation, pushing the
+// node over the swap threshold.
+class MemHog : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    // The hog keeps (re)touching a large allocation; resident size and the
+    // induced swap pressure oscillate.
+    d.mem_extra_mb = 11800.0 * magnitude() * (0.85 + 0.35 * rng->Uniform());
+    d.cpu_extra = 0.06;  // the hog itself burns a little CPU touching pages
+  }
+};
+
+// (3) Disk-hog: mass of reads+writes saturating the device.
+class DiskHog : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    d.io_extra = 1.35 * magnitude() * (0.68 + 0.64 * rng->Uniform());
+    d.cpu_extra = 0.05;
+  }
+};
+
+// (4) Net-drop: packet loss injected at the name node; since all traffic
+// crosses the shared switch, slaves see a milder echo.
+class NetDrop : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    const double burst = 0.5 + rng->Uniform();
+    for (size_t i = 0; i < cluster->size(); ++i) {
+      DriverState& d = cluster->node(i).drivers;
+      const double scale = i == window().target_node ? 1.0 : 0.65;
+      d.pkt_loss = std::min(0.9, 0.07 * magnitude() * burst * scale);
+      // Every task blocks on name-node RPCs sooner or later, so loss slows
+      // progress in every phase, not just network-heavy ones.
+      d.progress_scale =
+          std::clamp(1.0 - 5.0 * d.pkt_loss * (0.6 + 0.8 * rng->Uniform()),
+                     0.55, 1.0);
+    }
+  }
+};
+
+// (5) Net-delay: 800 ms added latency at the name node. Deliberately close
+// to Net-drop in its observable footprint (the paper's signature conflict).
+class NetDelay : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    const double burst = 0.85 + 0.3 * rng->Uniform();
+    for (size_t i = 0; i < cluster->size(); ++i) {
+      DriverState& d = cluster->node(i).drivers;
+      const double scale = i == window().target_node ? 1.0 : 0.65;
+      d.net_delay_ms = 800.0 * magnitude() * burst * scale;
+      d.progress_scale = std::clamp(
+          1.0 - d.net_delay_ms / 2200.0 * (0.75 + 0.5 * rng->Uniform()), 0.55,
+          1.0);
+    }
+  }
+};
+
+// (6) Block-C: corrupted blocks on one data node force checksum re-reads
+// and re-replication traffic.
+class BlockCorruption : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    const double burst = 0.6 + 0.8 * rng->Uniform();
+    d.io_read += 0.45 * magnitude() * burst;
+    d.net_out += 0.35 * magnitude() * burst;
+    d.rpc_rate += 0.35 * magnitude();  // block reports to the name node
+    d.restart_churn = 0.15 * magnitude();
+    // Tasks whose blocks fail checksum re-read (or re-fetch) them.
+    d.progress_scale = 0.62 + 0.22 * rng->Uniform();
+  }
+};
+
+// (7) Misconf: mapred.max.split.size = 1 MB floods the cluster with tiny
+// tasks - scheduling overhead dominates useful work.
+class Misconfig : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    for (size_t i = 1; i < cluster->size(); ++i) {
+      DriverState& d = cluster->node(i).drivers;
+      d.task_churn *= 5.0 * magnitude();
+      d.rpc_rate *= 2.6;
+      // Per-task overhead dominates; tiny tasks start and finish in bursts.
+      d.progress_scale = 0.62 + 0.12 * rng->Uniform();
+    }
+    cluster->master().drivers.rpc_rate *= 2.2;
+    cluster->master().drivers.cpu_task += 0.10;
+  }
+};
+
+// (8) Overload: extra concurrent interactive queries on every slave -
+// equivalent to scaling the active mix, since faults run after the
+// workload writes its per-tick demands.
+class Overload : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    // The extra queries arrive in waves; the factor breathes tick to tick.
+    const double f = (1.0 + 1.6 * magnitude()) * (0.75 + 0.5 * rng->Uniform());
+    for (size_t i = 1; i < cluster->size(); ++i) {
+      DriverState& d = cluster->node(i).drivers;
+      d.cpu_task *= f;
+      d.io_read *= f;
+      d.io_write *= f;
+      d.net_in *= f;
+      d.net_out *= f;
+      d.task_churn *= f;
+      d.rpc_rate *= f;
+      d.mem_task_mb += 7000.0 * magnitude();
+    }
+    cluster->master().drivers.rpc_rate *= f;
+  }
+};
+
+// (9) Suspend: SIGSTOP on the datanode/tasktracker process.
+class Suspend : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng*) override {
+    Target(cluster).suspended = true;
+  }
+};
+
+// (10) RPC-hang (HADOOP-6498): a sleep in the RPC path stalls task
+// heartbeats; the backlog builds while the node goes quiet.
+class RpcHang : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    backlog_ += 15.0 * d.rpc_rate * magnitude();
+    d.rpc_backlog = backlog_;
+    d.progress_scale = 0.45 + 0.25 * rng->Uniform();
+    d.net_in *= 0.5;
+    d.net_out *= 0.5;
+    d.task_churn *= 0.4;
+    d.rpc_rate *= 0.2;  // heartbeats stop leaving the hung call path
+  }
+
+ private:
+  double backlog_ = 0.0;
+};
+
+// (11) Thread leak (HADOOP-9703): Client.stop() leaks a thread per call;
+// the server process balloons over the fault window.
+class ThreadLeak : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    leaked_ = std::min(leaked_ + 150.0 * magnitude(), 4000.0);
+    d.extra_threads = leaked_;
+    d.mem_extra_mb = leaked_ * 1.1;  // ~1 MB stack + object churn per thread
+    d.cpu_extra = std::min(0.25, leaked_ / 8000.0);
+    // Thousands of runnable threads contend on scheduler and JVM locks,
+    // increasingly and erratically.
+    d.lock_contention =
+        std::min(0.9, leaked_ / 4000.0) * (0.4 + 0.8 * rng->Uniform());
+  }
+
+ private:
+  double leaked_ = 0.0;
+};
+
+// (12) NPE restart loop (HADOOP-1036): a task child dies on a
+// NullPointerException and the tracker keeps relaunching it.
+class NpeRestart : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    d.restart_churn = 0.8 * magnitude() * (0.6 + 0.8 * rng->Uniform());
+    d.task_churn += 1.8 * magnitude() * (0.8 + 0.4 * rng->Uniform());
+    d.cpu_extra = 0.18 * magnitude() * (0.7 + 0.6 * rng->Uniform());
+    d.progress_scale = 0.65 + 0.2 * rng->Uniform();
+  }
+};
+
+// (13) Lock-R: a removed `synchronized` causes races whose manifestation
+// flickers and lands on a different random set of metrics every run - the
+// paper's canonical non-deterministic fault (low recall expected).
+class LockRace : public FaultBase {
+ public:
+  LockRace(FaultType type, const FaultWindow& window, double magnitude,
+           Rng* rng)
+      : FaultBase(type, window, magnitude) {
+    const int num_affected = 5 + static_cast<int>(rng->UniformInt(6));
+    for (int i = 0; i < num_affected; ++i) {
+      affected_slots_.push_back(static_cast<size_t>(
+          rng->UniformInt(cluster::kMetricNoiseSlots)));
+    }
+    flicker_prob_ = 0.45 + 0.3 * rng->Uniform();
+  }
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    if (rng->Bernoulli(flicker_prob_)) {
+      d.lock_contention = magnitude() * (0.35 + 0.5 * rng->Uniform());
+      d.progress_scale = 0.85;
+    }
+    for (size_t slot : affected_slots_) {
+      d.metric_noise[slot] = 0.25 + 0.35 * rng->Uniform();
+    }
+  }
+
+ private:
+  std::vector<size_t> affected_slots_;
+  double flicker_prob_ = 0.6;
+};
+
+// (14) Communication-thread interference (HADOOP-1970): the task umbilical
+// thread stutters, making network throughput jittery.
+class CommInterference : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    const double jitter = 0.68 + 0.44 * rng->Uniform();
+    d.net_in *= jitter;
+    d.net_out *= jitter;
+    backlog_ += 3.0 * magnitude();
+    d.rpc_backlog = backlog_;
+    d.progress_scale = 0.65 + 0.25 * rng->Uniform();
+  }
+
+ private:
+  double backlog_ = 0.0;
+};
+
+// (15) Block-R: BlockReceiver.receivePacket throws - the HDFS write
+// pipeline on this node keeps failing over.
+class BlockReceiverException : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    DriverState& d = Target(cluster);
+    d.io_write *= 0.25;
+    d.net_in += 0.25 * magnitude();  // clients retry the pipeline
+    d.rpc_rate += 0.4 * magnitude();
+    d.restart_churn = 0.3 * magnitude() * (0.5 + rng->Uniform());
+    d.progress_scale = 0.72 + 0.2 * rng->Uniform();
+  }
+};
+
+// Fig. 2 disturbance: extra CPU utilization that fits in the node's
+// headroom - visible (and jittery, as background load always is) on the
+// utilization metrics, invisible to CPI. This burstiness is what makes a
+// utilization-based KPI false-alarm where the CPI KPI stays quiet.
+class CpuUtilNoise : public FaultBase {
+ public:
+  using FaultBase::FaultBase;
+
+  void ApplyActive(int, Cluster* cluster, Rng* rng) override {
+    Target(cluster).cpu_extra =
+        0.30 * magnitude() * (0.3 + 1.4 * rng->Uniform());
+  }
+};
+
+}  // namespace
+
+const std::vector<FaultType>& AllFaults() {
+  static const std::vector<FaultType>* kFaults = new std::vector<FaultType>{
+      FaultType::kCpuHog,
+      FaultType::kMemHog,
+      FaultType::kDiskHog,
+      FaultType::kNetDrop,
+      FaultType::kNetDelay,
+      FaultType::kBlockCorruption,
+      FaultType::kMisconfig,
+      FaultType::kOverload,
+      FaultType::kSuspend,
+      FaultType::kRpcHang,
+      FaultType::kThreadLeak,
+      FaultType::kNpeRestart,
+      FaultType::kLockRace,
+      FaultType::kCommInterference,
+      FaultType::kBlockReceiverException,
+  };
+  return *kFaults;
+}
+
+std::string FaultName(FaultType type) {
+  switch (type) {
+    case FaultType::kCpuHog: return "cpu-hog";
+    case FaultType::kMemHog: return "mem-hog";
+    case FaultType::kDiskHog: return "disk-hog";
+    case FaultType::kNetDrop: return "net-drop";
+    case FaultType::kNetDelay: return "net-delay";
+    case FaultType::kBlockCorruption: return "block-c";
+    case FaultType::kMisconfig: return "misconf";
+    case FaultType::kOverload: return "overload";
+    case FaultType::kSuspend: return "suspend";
+    case FaultType::kRpcHang: return "rpc-hang";
+    case FaultType::kThreadLeak: return "h-9703";
+    case FaultType::kNpeRestart: return "h-1036";
+    case FaultType::kLockRace: return "lock-r";
+    case FaultType::kCommInterference: return "h-1970";
+    case FaultType::kBlockReceiverException: return "block-r";
+    case FaultType::kCpuUtilNoise: return "cpu-util-noise";
+  }
+  return "unknown";
+}
+
+Result<FaultType> FaultFromName(const std::string& name) {
+  for (FaultType t : AllFaults()) {
+    if (FaultName(t) == name) return t;
+  }
+  if (name == FaultName(FaultType::kCpuUtilNoise)) {
+    return FaultType::kCpuUtilNoise;
+  }
+  return Status::NotFound("unknown fault: " + name);
+}
+
+bool AppliesTo(FaultType fault, workload::WorkloadType type) {
+  if (fault == FaultType::kOverload) {
+    // Under FIFO a batch job owns the cluster: overload cannot happen.
+    return !workload::IsBatch(type);
+  }
+  return true;
+}
+
+std::unique_ptr<cluster::FaultInjector> MakeFault(FaultType type,
+                                                  const FaultWindow& window,
+                                                  Rng* rng) {
+  // Per-run severity jitter keeps repeated injections from being carbon
+  // copies (the paper repeats each fault 40 times). A misconfiguration is
+  // the exception: the same wrong config value is set every run.
+  const double magnitude = type == FaultType::kMisconfig
+                               ? 1.0
+                               : std::max(0.55, rng->Gaussian(1.0, 0.12));
+  switch (type) {
+    case FaultType::kCpuHog:
+      return std::make_unique<CpuHog>(type, window, magnitude);
+    case FaultType::kMemHog:
+      return std::make_unique<MemHog>(type, window, magnitude);
+    case FaultType::kDiskHog:
+      return std::make_unique<DiskHog>(type, window, magnitude);
+    case FaultType::kNetDrop:
+      return std::make_unique<NetDrop>(type, window, magnitude);
+    case FaultType::kNetDelay:
+      return std::make_unique<NetDelay>(type, window, magnitude);
+    case FaultType::kBlockCorruption:
+      return std::make_unique<BlockCorruption>(type, window, magnitude);
+    case FaultType::kMisconfig:
+      return std::make_unique<Misconfig>(type, window, magnitude);
+    case FaultType::kOverload:
+      return std::make_unique<Overload>(type, window, magnitude);
+    case FaultType::kSuspend:
+      return std::make_unique<Suspend>(type, window, magnitude);
+    case FaultType::kRpcHang:
+      return std::make_unique<RpcHang>(type, window, magnitude);
+    case FaultType::kThreadLeak:
+      return std::make_unique<ThreadLeak>(type, window, magnitude);
+    case FaultType::kNpeRestart:
+      return std::make_unique<NpeRestart>(type, window, magnitude);
+    case FaultType::kLockRace:
+      return std::make_unique<LockRace>(type, window, magnitude, rng);
+    case FaultType::kCommInterference:
+      return std::make_unique<CommInterference>(type, window, magnitude);
+    case FaultType::kBlockReceiverException:
+      return std::make_unique<BlockReceiverException>(type, window, magnitude);
+    case FaultType::kCpuUtilNoise:
+      return std::make_unique<CpuUtilNoise>(type, window, magnitude);
+  }
+  return nullptr;
+}
+
+}  // namespace invarnetx::faults

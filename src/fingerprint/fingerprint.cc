@@ -1,0 +1,136 @@
+#include "fingerprint/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace invarnetx::fingerprint {
+namespace {
+
+// Mean absolute elementwise distance between equal-length vectors.
+double MeanL1(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
+  return acc / a.size();
+}
+
+}  // namespace
+
+Status FingerprintIndex::Train(
+    const std::vector<telemetry::RunTrace>& normal_runs, size_t node_index) {
+  if (normal_runs.size() < 2) {
+    return Status::InvalidArgument("FingerprintIndex::Train: need >= 2 runs");
+  }
+  for (const telemetry::RunTrace& run : normal_runs) {
+    if (node_index >= run.nodes.size()) {
+      return Status::InvalidArgument(
+          "FingerprintIndex::Train: node index out of range");
+    }
+  }
+  cold_threshold_.assign(telemetry::kNumMetrics, 0.0);
+  hot_threshold_.assign(telemetry::kNumMetrics, 0.0);
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    std::vector<double> pooled;
+    for (const telemetry::RunTrace& run : normal_runs) {
+      const std::vector<double>& series =
+          run.nodes[node_index].metrics[static_cast<size_t>(m)];
+      pooled.insert(pooled.end(), series.begin(), series.end());
+    }
+    Result<double> cold = Percentile(pooled, options_.cold_quantile);
+    Result<double> hot = Percentile(pooled, options_.hot_quantile);
+    if (!cold.ok()) return cold.status();
+    if (!hot.ok()) return hot.status();
+    cold_threshold_[static_cast<size_t>(m)] = cold.value();
+    hot_threshold_[static_cast<size_t>(m)] = hot.value();
+  }
+  // Healthy centroid: mean fingerprint of the training runs.
+  healthy_centroid_.assign(2 * telemetry::kNumMetrics, 0.0);
+  for (const telemetry::RunTrace& run : normal_runs) {
+    Result<std::vector<double>> values = Summarize(run, node_index);
+    if (!values.ok()) return values.status();
+    for (size_t i = 0; i < healthy_centroid_.size(); ++i) {
+      healthy_centroid_[i] += values.value()[i];
+    }
+  }
+  for (double& value : healthy_centroid_) value /= normal_runs.size();
+  return Status::Ok();
+}
+
+Result<std::vector<double>> FingerprintIndex::Summarize(
+    const telemetry::RunTrace& run, size_t node_index) const {
+  if (!trained()) {
+    return Status::FailedPrecondition("FingerprintIndex: not trained");
+  }
+  if (node_index >= run.nodes.size()) {
+    return Status::InvalidArgument("Summarize: node index out of range");
+  }
+  std::vector<double> values(2 * telemetry::kNumMetrics, 0.0);
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    const std::vector<double>& series =
+        run.nodes[node_index].metrics[static_cast<size_t>(m)];
+    if (series.empty()) {
+      return Status::InvalidArgument("Summarize: empty metric series");
+    }
+    int cold = 0, hot = 0;
+    for (double v : series) {
+      cold += v < cold_threshold_[static_cast<size_t>(m)];
+      hot += v > hot_threshold_[static_cast<size_t>(m)];
+    }
+    values[static_cast<size_t>(2 * m)] =
+        static_cast<double>(cold) / series.size();
+    values[static_cast<size_t>(2 * m + 1)] =
+        static_cast<double>(hot) / series.size();
+  }
+  return values;
+}
+
+Status FingerprintIndex::AddLabeled(const std::string& problem,
+                                    const telemetry::RunTrace& run,
+                                    size_t node_index) {
+  if (problem.empty()) {
+    return Status::InvalidArgument("AddLabeled: empty problem name");
+  }
+  Result<std::vector<double>> values = Summarize(run, node_index);
+  if (!values.ok()) return values.status();
+  labeled_.push_back(LabeledFingerprint{problem, std::move(values.value())});
+  return Status::Ok();
+}
+
+Result<bool> FingerprintIndex::IsAnomalous(const telemetry::RunTrace& run,
+                                           size_t node_index) const {
+  Result<std::vector<double>> values = Summarize(run, node_index);
+  if (!values.ok()) return values.status();
+  return MeanL1(values.value(), healthy_centroid_) > options_.detect_distance;
+}
+
+Result<std::vector<FingerprintMatch>> FingerprintIndex::Classify(
+    const telemetry::RunTrace& run, size_t node_index) const {
+  if (labeled_.empty()) {
+    return Status::FailedPrecondition("Classify: no labeled fingerprints");
+  }
+  Result<std::vector<double>> values = Summarize(run, node_index);
+  if (!values.ok()) return values.status();
+  // Best distance per problem.
+  std::vector<FingerprintMatch> matches;
+  for (const LabeledFingerprint& label : labeled_) {
+    const double distance = MeanL1(values.value(), label.values);
+    if (distance > options_.max_match_distance) continue;
+    bool merged = false;
+    for (FingerprintMatch& match : matches) {
+      if (match.problem == label.problem) {
+        match.distance = std::min(match.distance, distance);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) matches.push_back(FingerprintMatch{label.problem, distance});
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const FingerprintMatch& a, const FingerprintMatch& b) {
+                     return a.distance < b.distance;
+                   });
+  return matches;
+}
+
+}  // namespace invarnetx::fingerprint

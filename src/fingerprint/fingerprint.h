@@ -1,0 +1,85 @@
+#ifndef INVARNETX_FINGERPRINT_FINGERPRINT_H_
+#define INVARNETX_FINGERPRINT_FINGERPRINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::fingerprint {
+
+// A fingerprint-based crisis classifier in the style of Bodik et al.,
+// "Fingerprinting the datacenter: automated classification of performance
+// crises" (EuroSys 2010) - the paper's reference [3] and the classic
+// "coarse-granularity" contrast to invariant-based diagnosis.
+//
+// Each metric's healthy value distribution is summarized by two quantile
+// thresholds (cold/hot). A run's fingerprint is, per metric, the fraction
+// of ticks spent below the cold threshold and above the hot threshold
+// (2 x 26 values in [0, 1]). Crises are classified by nearest labeled
+// fingerprint (L1); detection falls out of the distance to the healthy
+// centroid.
+struct FingerprintOptions {
+  double cold_quantile = 25.0;  // percentile of the healthy distribution
+  double hot_quantile = 75.0;
+  // Mean absolute elementwise distance above which a run is considered
+  // anomalous (vs the healthy centroid) / unclassifiable (vs labels).
+  double detect_distance = 0.08;
+  double max_match_distance = 0.35;
+};
+
+// A labeled crisis fingerprint.
+struct LabeledFingerprint {
+  std::string problem;
+  std::vector<double> values;
+};
+
+// A classification candidate, nearest first.
+struct FingerprintMatch {
+  std::string problem;
+  double distance = 0.0;
+};
+
+class FingerprintIndex {
+ public:
+  explicit FingerprintIndex(FingerprintOptions options = FingerprintOptions())
+      : options_(options) {}
+
+  // Learns the per-metric cold/hot thresholds and the healthy-fingerprint
+  // centroid from fault-free runs of one node. Requires >= 2 runs.
+  Status Train(const std::vector<telemetry::RunTrace>& normal_runs,
+               size_t node_index);
+
+  // The 52-element fingerprint of a run (cold fractions then hot fractions,
+  // metric-major). Requires Train.
+  Result<std::vector<double>> Summarize(const telemetry::RunTrace& run,
+                                        size_t node_index) const;
+
+  // Stores a labeled crisis fingerprint.
+  Status AddLabeled(const std::string& problem,
+                    const telemetry::RunTrace& run, size_t node_index);
+
+  // True when the run's fingerprint sits far from the healthy centroid.
+  Result<bool> IsAnomalous(const telemetry::RunTrace& run,
+                           size_t node_index) const;
+
+  // Labeled problems ranked by fingerprint distance (nearest first;
+  // entries beyond max_match_distance are omitted).
+  Result<std::vector<FingerprintMatch>> Classify(
+      const telemetry::RunTrace& run, size_t node_index) const;
+
+  bool trained() const { return !hot_threshold_.empty(); }
+  size_t num_labeled() const { return labeled_.size(); }
+
+ private:
+  FingerprintOptions options_;
+  std::vector<double> cold_threshold_;  // per metric
+  std::vector<double> hot_threshold_;
+  std::vector<double> healthy_centroid_;
+  std::vector<LabeledFingerprint> labeled_;
+};
+
+}  // namespace invarnetx::fingerprint
+
+#endif  // INVARNETX_FINGERPRINT_FINGERPRINT_H_

@@ -1,0 +1,320 @@
+#include "mic/mic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <numeric>
+#include <utility>
+
+namespace invarnetx::mic {
+namespace internal {
+
+YPartition EquipartitionY(const std::vector<double>& y, int rows) {
+  const int n = static_cast<int>(y.size());
+  YPartition out;
+  out.row_of_point.assign(y.size(), 0);
+  if (n == 0 || rows < 1) return out;
+
+  std::vector<int> order(y.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&y](int a, int b) { return y[a] < y[b]; });
+
+  int row = 0;
+  int in_row = 0;
+  int i = 0;
+  while (i < n) {
+    int j = 1;
+    while (i + j < n && y[order[i + j]] == y[order[i]]) ++j;
+    // Target size of the current row, counting its points among the ones
+    // still to distribute over the remaining rows.
+    double desired = static_cast<double>(n - i + in_row) /
+                     static_cast<double>(rows - row);
+    // Close the current row first when absorbing this tie-run would deviate
+    // from the target size more than stopping short does.
+    if (in_row > 0 && row < rows - 1 &&
+        std::fabs(in_row + j - desired) > std::fabs(in_row - desired)) {
+      ++row;
+      in_row = 0;
+      desired = static_cast<double>(n - i) / static_cast<double>(rows - row);
+    }
+    for (int t = 0; t < j; ++t) out.row_of_point[order[i + t]] = row;
+    in_row += j;
+    i += j;
+    if (row < rows - 1 && in_row >= desired) {
+      ++row;
+      in_row = 0;
+    }
+  }
+  // Count non-empty rows: row ids are assigned densely from 0.
+  int max_row = 0;
+  for (int r : out.row_of_point) max_row = std::max(max_row, r);
+  out.num_rows = max_row + 1;
+  return out;
+}
+
+ClumpPartition BuildClumps(const std::vector<double>& x,
+                           const std::vector<int>& row_of_point) {
+  const int n = static_cast<int>(x.size());
+  ClumpPartition out;
+  out.boundaries.push_back(0);
+  if (n == 0) return out;
+
+  std::vector<int> order(x.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&x](int a, int b) { return x[a] < x[b]; });
+  out.row_in_x_order.resize(x.size());
+  for (int t = 0; t < n; ++t) out.row_in_x_order[t] = row_of_point[order[t]];
+
+  // Atomic groups share an x value; a group is "uniform" when all its points
+  // lie in one Q row (uniform groups with the same row chain into one clump).
+  int i = 0;
+  int clump_row = -2;  // -2: no open clump; -1: open heterogeneous clump
+  int count_in_clump = 0;
+  while (i < n) {
+    int j = 1;
+    while (i + j < n && x[order[i + j]] == x[order[i]]) ++j;
+    int group_row = out.row_in_x_order[i];
+    for (int t = 1; t < j; ++t) {
+      if (out.row_in_x_order[i + t] != group_row) {
+        group_row = -1;
+        break;
+      }
+    }
+    const bool mergeable = clump_row >= 0 && group_row == clump_row;
+    if (count_in_clump > 0 && !mergeable) {
+      out.boundaries.push_back(out.boundaries.back() + count_in_clump);
+      count_in_clump = 0;
+    }
+    count_in_clump += j;
+    clump_row = group_row;
+    if (group_row == -1) {
+      // A heterogeneous group can never merge with its successor.
+      out.boundaries.push_back(out.boundaries.back() + count_in_clump);
+      count_in_clump = 0;
+      clump_row = -2;
+    }
+    i += j;
+  }
+  if (count_in_clump > 0) {
+    out.boundaries.push_back(out.boundaries.back() + count_in_clump);
+  }
+  return out;
+}
+
+std::vector<int> BuildSuperclumps(const std::vector<int>& boundaries,
+                                  int max_clumps) {
+  const int k = static_cast<int>(boundaries.size()) - 1;
+  if (k <= max_clumps || max_clumps < 1) return boundaries;
+  const int n = boundaries.back();
+  std::vector<int> out;
+  out.push_back(0);
+  int used = 0;      // superclumps closed so far
+  int assigned = 0;  // points assigned so far
+  for (int t = 1; t <= k; ++t) {
+    const int size_if_closed = boundaries[t] - assigned;
+    const double desired = static_cast<double>(n - assigned) /
+                           static_cast<double>(max_clumps - used);
+    const bool last_chance = (k - t) < (max_clumps - used);
+    if (!last_chance && size_if_closed < desired && t < k) continue;
+    out.push_back(boundaries[t]);
+    assigned = boundaries[t];
+    ++used;
+    if (used == max_clumps) break;
+  }
+  if (out.back() != n) out.push_back(n);
+  return out;
+}
+
+double RowEntropy(const std::vector<int>& row_of_point, int num_rows) {
+  if (row_of_point.empty()) return 0.0;
+  std::vector<int> counts(static_cast<size_t>(num_rows), 0);
+  for (int r : row_of_point) ++counts[static_cast<size_t>(r)];
+  const double n = static_cast<double>(row_of_point.size());
+  double h = 0.0;
+  for (int c : counts) {
+    if (c == 0) continue;
+    const double p = c / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::vector<double> OptimizeXAxis(const std::vector<int>& boundaries,
+                                  const std::vector<int>& row_in_x_order,
+                                  int num_rows, int max_cols) {
+  const int k = static_cast<int>(boundaries.size()) - 1;
+  std::vector<double> best(static_cast<size_t>(std::max(max_cols, 1)), 0.0);
+  if (k < 1 || max_cols < 1) return best;
+
+  // cum[t][q] = points in the first t clumps that lie in row q.
+  std::vector<std::vector<int>> cum(
+      static_cast<size_t>(k) + 1,
+      std::vector<int>(static_cast<size_t>(num_rows), 0));
+  for (int t = 1; t <= k; ++t) {
+    cum[static_cast<size_t>(t)] = cum[static_cast<size_t>(t - 1)];
+    for (int p = boundaries[t - 1]; p < boundaries[t]; ++p) {
+      ++cum[static_cast<size_t>(t)][static_cast<size_t>(row_in_x_order[p])];
+    }
+  }
+
+  // Column score for clumps (s, t]: sum_q n_pq ln(n_pq / n_p). The total
+  // objective over a partition is -n * H(Q|P), which is additive over
+  // columns, enabling the interval-partition DP below.
+  auto column_score = [&](int s, int t) {
+    const int np = boundaries[t] - boundaries[s];
+    if (np == 0) return 0.0;
+    double acc = 0.0;
+    for (int q = 0; q < num_rows; ++q) {
+      const int npq = cum[static_cast<size_t>(t)][static_cast<size_t>(q)] -
+                      cum[static_cast<size_t>(s)][static_cast<size_t>(q)];
+      if (npq > 0) acc += npq * std::log(static_cast<double>(npq) / np);
+    }
+    return acc;
+  };
+
+  const int cols = std::min(max_cols, k);
+  constexpr double kNegInf = -1e300;
+  // dp[t] = best objective partitioning the first t clumps into l columns.
+  std::vector<double> dp(static_cast<size_t>(k) + 1, kNegInf);
+  for (int t = 1; t <= k; ++t) dp[static_cast<size_t>(t)] = column_score(0, t);
+  best[0] = dp[static_cast<size_t>(k)];
+  std::vector<double> next(static_cast<size_t>(k) + 1, kNegInf);
+  for (int l = 2; l <= cols; ++l) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (int t = l; t <= k; ++t) {
+      double v = kNegInf;
+      for (int s = l - 1; s < t; ++s) {
+        const double cand = dp[static_cast<size_t>(s)] + column_score(s, t);
+        if (cand > v) v = cand;
+      }
+      next[static_cast<size_t>(t)] = v;
+    }
+    dp.swap(next);
+    best[static_cast<size_t>(l - 1)] = dp[static_cast<size_t>(k)];
+  }
+  // More columns than clumps cannot help; extend with the exactly-k value.
+  for (int l = cols + 1; l <= max_cols; ++l) {
+    best[static_cast<size_t>(l - 1)] = best[static_cast<size_t>(cols - 1)];
+  }
+  // Refinement never decreases I(P;Q); make the vector cumulative-max so
+  // entry l-1 is "best with at most l columns".
+  for (size_t l = 1; l < best.size(); ++l) {
+    best[l] = std::max(best[l], best[l - 1]);
+  }
+  return best;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Characteristic matrix, keyed by (columns over the caller's x, rows over
+// the caller's y). Each entry is the larger of the two one-sided
+// ApproxMaxMI approximations, as in the reference MINE implementation.
+using CharMatrix = std::map<std::pair<int, int>, double>;
+
+// Accumulates characteristic-matrix entries for one axis orientation:
+// `axis_x` is partitioned into columns, `axis_y` equipartitioned into rows.
+// `swapped` indicates the orientation relative to the caller's (x, y).
+void ScanOrientation(const std::vector<double>& axis_x,
+                     const std::vector<double>& axis_y, int grid_bound,
+                     int clump_factor, bool swapped, CharMatrix* matrix) {
+  const double n = static_cast<double>(axis_x.size());
+  for (int ny = 2; ny * 2 <= grid_bound; ++ny) {
+    const int max_nx = grid_bound / ny;
+    if (max_nx < 2) break;
+    internal::YPartition q = internal::EquipartitionY(axis_y, ny);
+    if (q.num_rows < 2) continue;
+    const double h_q = internal::RowEntropy(q.row_of_point, q.num_rows);
+    internal::ClumpPartition clumps =
+        internal::BuildClumps(axis_x, q.row_of_point);
+    const std::vector<int> super = internal::BuildSuperclumps(
+        clumps.boundaries, clump_factor * max_nx);
+    const std::vector<double> best = internal::OptimizeXAxis(
+        super, clumps.row_in_x_order, q.num_rows, max_nx);
+    for (int nx = 2; nx <= max_nx; ++nx) {
+      const double mi = h_q + best[static_cast<size_t>(nx - 1)] / n;
+      const double norm = std::log(static_cast<double>(std::min(nx, ny)));
+      double entry = norm > 0.0 ? mi / norm : 0.0;
+      entry = std::clamp(entry, 0.0, 1.0);
+      const std::pair<int, int> key =
+          swapped ? std::make_pair(ny, nx) : std::make_pair(nx, ny);
+      auto [it, inserted] = matrix->emplace(key, entry);
+      if (!inserted) it->second = std::max(it->second, entry);
+    }
+  }
+}
+
+// Derives MIC / MEV / MCN / MAS from the characteristic matrix.
+MicResult Summarize(const CharMatrix& matrix) {
+  MicResult result;
+  for (const auto& [key, value] : matrix) {
+    if (value > result.mic) {
+      result.mic = value;
+      result.best_x = key.first;
+      result.best_y = key.second;
+    }
+    if (key.first == 2 || key.second == 2) {
+      result.mev = std::max(result.mev, value);
+    }
+  }
+  double min_cells = 0.0;
+  bool found = false;
+  for (const auto& [key, value] : matrix) {
+    if (value >= result.mic - 1e-9) {
+      const double cells =
+          std::log2(static_cast<double>(key.first) * key.second);
+      if (!found || cells < min_cells) {
+        min_cells = cells;
+        found = true;
+      }
+    }
+    auto mirror = matrix.find({key.second, key.first});
+    if (mirror != matrix.end()) {
+      result.mas = std::max(result.mas, std::fabs(value - mirror->second));
+    }
+  }
+  result.mcn = found ? min_cells : 0.0;
+  return result;
+}
+
+}  // namespace
+
+Result<MicResult> Mic(const std::vector<double>& x,
+                      const std::vector<double>& y,
+                      const MicOptions& options) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("Mic: series length mismatch");
+  }
+  if (x.size() < 4) {
+    return Status::InvalidArgument("Mic: need at least 4 points");
+  }
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("Mic: alpha must be in (0, 1]");
+  }
+  if (options.clump_factor < 1) {
+    return Status::InvalidArgument("Mic: clump_factor must be >= 1");
+  }
+  const int grid_bound = std::max(
+      static_cast<int>(std::pow(static_cast<double>(x.size()), options.alpha)),
+      4);
+  CharMatrix matrix;
+  ScanOrientation(x, y, grid_bound, options.clump_factor, /*swapped=*/false,
+                  &matrix);
+  ScanOrientation(y, x, grid_bound, options.clump_factor, /*swapped=*/true,
+                  &matrix);
+  return Summarize(matrix);
+}
+
+Result<double> MicScore(const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const MicOptions& options) {
+  Result<MicResult> r = Mic(x, y, options);
+  if (!r.ok()) return r.status();
+  return r.value().mic;
+}
+
+}  // namespace invarnetx::mic

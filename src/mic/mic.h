@@ -1,0 +1,96 @@
+#ifndef INVARNETX_MIC_MIC_H_
+#define INVARNETX_MIC_MIC_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::mic {
+
+// Options for the MINE approximation of the Maximal Information Coefficient
+// (Reshef et al., "Detecting novel associations in large data sets",
+// Science 2011). B(n) = max(floor(n^alpha), 4) bounds the grid resolution
+// (x * y <= B); `clump_factor` (c in the paper) caps the candidate column
+// edges at c * x superclumps.
+struct MicOptions {
+  double alpha = 0.6;
+  int clump_factor = 15;
+};
+
+// Result of a MIC computation: the score, the grid that achieved it, and
+// the companion MINE statistics derived from the characteristic matrix
+// (Reshef et al. 2011, Table 2):
+//   MEV (maximum edge value)     - strength of the best functional fit,
+//                                  max M(x,y) over grids with x=2 or y=2;
+//   MCN (minimum cell number)    - complexity, log2(x*y) of the smallest
+//                                  grid achieving (1-eps) * MIC;
+//   MAS (maximum asymmetry score)- non-monotonicity, max |M(x,y)-M(y,x)|.
+struct MicResult {
+  double mic = 0.0;
+  int best_x = 0;  // columns of the maximizing grid
+  int best_y = 0;  // rows of the maximizing grid
+  double mev = 0.0;
+  double mcn = 0.0;
+  double mas = 0.0;
+};
+
+// Computes MIC(x, y) in [0, 1]. Requires x.size() == y.size() >= 4.
+// Deterministic: no randomness is involved.
+//
+// Implementation: for every grid shape (nx, ny) with nx * ny <= B(n), the
+// y-axis is equipartitioned into ny rows and the x-axis partition into at
+// most nx columns is optimized by dynamic programming over clump edges
+// (ApproxMaxMI); the characteristic matrix entry is the normalized maximum
+// over both axis orientations, and MIC is the matrix maximum.
+Result<MicResult> Mic(const std::vector<double>& x,
+                      const std::vector<double>& y,
+                      const MicOptions& options = MicOptions());
+
+// Convenience wrapper returning only the score.
+Result<double> MicScore(const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const MicOptions& options = MicOptions());
+
+namespace internal {
+
+// Equipartitions the values into at most `rows` groups of near-equal size,
+// keeping ties together. Returns a row id per input index (0-based), and the
+// number of non-empty rows actually used.
+struct YPartition {
+  std::vector<int> row_of_point;  // indexed by original point index
+  int num_rows = 0;
+};
+YPartition EquipartitionY(const std::vector<double>& y, int rows);
+
+// Clump edges for the x-axis given a row assignment: maximal runs of
+// x-ordered points that share a Q row form one clump; points with equal x
+// always share a clump. Returns cumulative point counts (size k+1, first 0,
+// last n) and, aligned with x order, the row of each point.
+struct ClumpPartition {
+  std::vector<int> boundaries;      // cumulative counts, boundaries[0] == 0
+  std::vector<int> row_in_x_order;  // Q row of the t-th point in x order
+};
+ClumpPartition BuildClumps(const std::vector<double>& x,
+                           const std::vector<int>& row_of_point);
+
+// Coarsens a clump partition to at most `max_clumps` superclumps of
+// near-equal point mass (clump edges are preserved).
+std::vector<int> BuildSuperclumps(const std::vector<int>& boundaries,
+                                  int max_clumps);
+
+// For each column budget l in [1, max_cols], the maximum over partitions of
+// the clumps into exactly l columns of sum over columns of
+// sum_q n_pq * log(n_pq / n_p)   (natural log; n_p = column size).
+// Index 0 of the returned vector corresponds to l = 1.
+std::vector<double> OptimizeXAxis(const std::vector<int>& boundaries,
+                                  const std::vector<int>& row_in_x_order,
+                                  int num_rows, int max_cols);
+
+// Entropy (natural log) of the row distribution.
+double RowEntropy(const std::vector<int>& row_of_point, int num_rows);
+
+}  // namespace internal
+
+}  // namespace invarnetx::mic
+
+#endif  // INVARNETX_MIC_MIC_H_

@@ -1,0 +1,130 @@
+#include "peerwatch/peerwatch.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace invarnetx::peerwatch {
+namespace {
+
+// Pairs (i, j), i < j over `slaves` indices, flattened.
+int PairCount(size_t slaves) {
+  return static_cast<int>(slaves * (slaves - 1) / 2);
+}
+
+int PairIndex(size_t i, size_t j, size_t slaves) {
+  int index = 0;
+  for (size_t row = 0; row < i; ++row) {
+    index += static_cast<int>(slaves - 1 - row);
+  }
+  return index + static_cast<int>(j - i - 1);
+}
+
+}  // namespace
+
+Status PeerWatch::Train(
+    const std::vector<telemetry::RunTrace>& normal_runs) {
+  if (normal_runs.size() < 2) {
+    return Status::InvalidArgument("PeerWatch::Train: need >= 2 runs");
+  }
+  if (normal_runs[0].nodes.size() < 3) {  // master + >= 2 slaves
+    return Status::InvalidArgument("PeerWatch::Train: need >= 2 slaves");
+  }
+  num_slaves_ = normal_runs[0].nodes.size() - 1;
+  const int pairs = PairCount(num_slaves_);
+
+  baseline_.assign(telemetry::kNumMetrics,
+                   std::vector<double>(static_cast<size_t>(pairs), 0.0));
+  std::vector<std::vector<int>> counts(
+      telemetry::kNumMetrics, std::vector<int>(static_cast<size_t>(pairs), 0));
+  for (const telemetry::RunTrace& run : normal_runs) {
+    if (run.nodes.size() != num_slaves_ + 1) {
+      return Status::InvalidArgument(
+          "PeerWatch::Train: runs differ in node count");
+    }
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      for (size_t i = 0; i < num_slaves_; ++i) {
+        for (size_t j = i + 1; j < num_slaves_; ++j) {
+          Result<double> corr = PearsonCorrelation(
+              run.nodes[i + 1].metrics[static_cast<size_t>(m)],
+              run.nodes[j + 1].metrics[static_cast<size_t>(m)]);
+          if (!corr.ok()) return corr.status();
+          const size_t p =
+              static_cast<size_t>(PairIndex(i, j, num_slaves_));
+          baseline_[static_cast<size_t>(m)][p] += corr.value();
+          ++counts[static_cast<size_t>(m)][p];
+        }
+      }
+    }
+  }
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    for (int p = 0; p < pairs; ++p) {
+      double& value = baseline_[static_cast<size_t>(m)][static_cast<size_t>(p)];
+      value /= counts[static_cast<size_t>(m)][static_cast<size_t>(p)];
+      // Weakly correlated metrics carry no peer signal.
+      if (std::fabs(value) < options_.min_baseline) value = kUntracked;
+    }
+  }
+  return Status::Ok();
+}
+
+int PeerWatch::NumTrackedCorrelations() const {
+  int tracked = 0;
+  for (const std::vector<double>& metric : baseline_) {
+    for (double value : metric) tracked += value != kUntracked;
+  }
+  return tracked;
+}
+
+Result<PeerWatch::Scan> PeerWatch::Detect(
+    const telemetry::RunTrace& run) const {
+  if (baseline_.empty()) {
+    return Status::FailedPrecondition("PeerWatch::Detect: not trained");
+  }
+  if (run.nodes.size() != num_slaves_ + 1) {
+    return Status::InvalidArgument("PeerWatch::Detect: node count mismatch");
+  }
+  Scan scan;
+  scan.nodes.resize(num_slaves_);
+  for (size_t i = 0; i < num_slaves_; ++i) {
+    scan.nodes[i].node_ip = run.nodes[i + 1].ip;
+    scan.nodes[i].node_index = i + 1;
+  }
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    for (size_t i = 0; i < num_slaves_; ++i) {
+      for (size_t j = i + 1; j < num_slaves_; ++j) {
+        const double base =
+            baseline_[static_cast<size_t>(m)]
+                     [static_cast<size_t>(PairIndex(i, j, num_slaves_))];
+        if (base == kUntracked) continue;
+        Result<double> corr = PearsonCorrelation(
+            run.nodes[i + 1].metrics[static_cast<size_t>(m)],
+            run.nodes[j + 1].metrics[static_cast<size_t>(m)]);
+        if (!corr.ok()) return corr.status();
+        ++scan.nodes[i].tracked;
+        ++scan.nodes[j].tracked;
+        // Correlations carry the baseline's sign; a deviated pair implicates
+        // both endpoints, and the true culprit accumulates deviations
+        // against every peer.
+        const double drop = std::fabs(base) - std::fabs(corr.value());
+        if (drop > options_.deviation_threshold) {
+          ++scan.nodes[i].deviated;
+          ++scan.nodes[j].deviated;
+        }
+      }
+    }
+  }
+  double best = 0.0;
+  for (size_t i = 0; i < num_slaves_; ++i) {
+    NodeScore& node = scan.nodes[i];
+    node.flagged = node.tracked > 0 &&
+                   node.fraction() >= options_.flag_fraction;
+    if (node.flagged && node.fraction() > best) {
+      best = node.fraction();
+      scan.culprit = static_cast<int>(i);
+    }
+  }
+  return scan;
+}
+
+}  // namespace invarnetx::peerwatch

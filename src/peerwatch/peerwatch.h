@@ -1,0 +1,81 @@
+#ifndef INVARNETX_PEERWATCH_PEERWATCH_H_
+#define INVARNETX_PEERWATCH_PEERWATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::peerwatch {
+
+// A PeerWatch-style fault locator (Kang, Chen, Jiang: "PeerWatch: a fault
+// detection and diagnosis tool for virtualized consolidation systems",
+// ICAC 2010), the correlation-based related work the paper critiques in
+// Sec. 5. The premise: peer nodes doing the same work exhibit correlated
+// metrics; a faulty node's correlations with its peers collapse.
+//
+// Training learns, per metric and per slave pair, the typical cross-node
+// correlation over fault-free runs. Detection recomputes the correlations
+// on a fresh run and scores each node by how many of its (metric, peer)
+// correlations dropped far below baseline. The paper's counter-example -
+// a fault that degrades EVERY node the same way keeps peers correlated and
+// is invisible to this method - is reproduced by bench/peerwatch_critique.
+struct PeerWatchOptions {
+  // A (metric, pair) correlation counts as deviated when it drops more
+  // than this below its learned baseline.
+  double deviation_threshold = 0.4;
+  // A node is flagged when at least this fraction of its (metric, peer)
+  // combinations deviate.
+  double flag_fraction = 0.25;
+  // Metrics whose baseline |correlation| is below this carry no peer
+  // signal and are skipped.
+  double min_baseline = 0.4;
+};
+
+class PeerWatch {
+ public:
+  explicit PeerWatch(PeerWatchOptions options = PeerWatchOptions())
+      : options_(options) {}
+
+  // Learns baseline cross-node correlations from fault-free runs (all
+  // slaves, all metrics). Requires >= 2 runs and >= 2 slaves.
+  Status Train(const std::vector<telemetry::RunTrace>& normal_runs);
+
+  struct NodeScore {
+    std::string node_ip;
+    size_t node_index = 0;
+    int deviated = 0;  // (metric, peer) combinations below baseline
+    int tracked = 0;   // combinations with a usable baseline
+    bool flagged = false;
+
+    double fraction() const {
+      return tracked > 0 ? static_cast<double>(deviated) / tracked : 0.0;
+    }
+  };
+
+  struct Scan {
+    std::vector<NodeScore> nodes;
+    int culprit = -1;  // index into nodes, -1 when nothing flagged
+    bool AnyFlagged() const { return culprit >= 0; }
+  };
+
+  // Scores every slave of the run. Requires Train first.
+  Result<Scan> Detect(const telemetry::RunTrace& run) const;
+
+  bool trained() const { return !baseline_.empty(); }
+  // Number of (metric, pair) baselines retained after the min_baseline cut.
+  int NumTrackedCorrelations() const;
+
+ private:
+  // baseline_[metric][pair] = mean normal correlation; pairs enumerate
+  // (i, j), i < j over slave indices; kUntracked marks skipped entries.
+  static constexpr double kUntracked = -2.0;
+  PeerWatchOptions options_;
+  size_t num_slaves_ = 0;
+  std::vector<std::vector<double>> baseline_;
+};
+
+}  // namespace invarnetx::peerwatch
+
+#endif  // INVARNETX_PEERWATCH_PEERWATCH_H_

@@ -1,0 +1,130 @@
+#include "telemetry/collectl_import.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace invarnetx::telemetry {
+namespace {
+
+// Catalog metric -> collectl plot column (collectl -P with -scdmnt).
+const std::map<int, std::string>& ColumnTable() {
+  static const std::map<int, std::string>* kTable =
+      new std::map<int, std::string>{
+          {kCpuUserPct, "[CPU]User%"},
+          {kCpuSysPct, "[CPU]Sys%"},
+          {kCpuIdlePct, "[CPU]Idle%"},
+          {kCpuIowaitPct, "[CPU]Wait%"},
+          {kLoadAvg1m, "[CPU]RunQ"},
+          {kCtxSwitchesPerSec, "[CPU]Ctx"},
+          {kInterruptsPerSec, "[CPU]Intrpt"},
+          {kProcsRunning, "[CPU]RunTot"},
+          {kMemUsedMb, "[MEM]Used"},
+          {kMemFreeMb, "[MEM]Free"},
+          {kMemCachedMb, "[MEM]Cached"},
+          {kSwapUsedMb, "[MEM]SwapUsed"},
+          {kPageFaultsPerSec, "[MEM]Fault"},
+          {kPagesInPerSec, "[MEM]PageIn"},
+          {kPagesOutPerSec, "[MEM]PageOut"},
+          {kDiskReadKbps, "[DSK]ReadKBTot"},
+          {kDiskWriteKbps, "[DSK]WriteKBTot"},
+          {kDiskReadIops, "[DSK]ReadTot"},
+          {kDiskWriteIops, "[DSK]WriteTot"},
+          {kDiskUtilPct, "[DSK]PctUtil"},
+          {kNetRxKbps, "[NET]RxKBTot"},
+          {kNetTxKbps, "[NET]TxKBTot"},
+          {kNetRxPktsPerSec, "[NET]RxPktTot"},
+          {kNetTxPktsPerSec, "[NET]TxPktTot"},
+          {kTcpRetransPerSec, "[TCP]Retrans"},
+          // proc_threads has no node-level collectl counterpart.
+      };
+  return *kTable;
+}
+
+}  // namespace
+
+std::string CollectlColumnFor(int metric) {
+  auto it = ColumnTable().find(metric);
+  return it == ColumnTable().end() ? "" : it->second;
+}
+
+Result<CollectlImportResult> ImportCollectlPlot(
+    const std::string& text, const std::string& node_ip,
+    const std::vector<double>& cpi) {
+  std::istringstream in(text);
+  std::string line;
+  // Find the header line (first line starting with "#Date").
+  std::vector<std::string> columns;
+  while (std::getline(in, line)) {
+    if (line.rfind("#Date", 0) == 0) {
+      std::istringstream header(line);
+      std::string token;
+      while (header >> token) columns.push_back(token);
+      break;
+    }
+  }
+  if (columns.size() < 3) {
+    return Status::Corruption("no collectl plot header (#Date Time ...)");
+  }
+
+  // Column index per catalog metric.
+  std::vector<int> source(kNumMetrics, -1);
+  for (int m = 0; m < kNumMetrics; ++m) {
+    const std::string wanted = CollectlColumnFor(m);
+    if (wanted.empty()) continue;
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (columns[c] == wanted) {
+        source[static_cast<size_t>(m)] = static_cast<int>(c);
+        break;
+      }
+    }
+  }
+
+  CollectlImportResult result;
+  result.node.ip = node_ip;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::vector<double> values;
+    std::string token;
+    while (row >> token) {
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      // Date/time tokens parse partially; keep the raw position alignment
+      // by pushing whatever strtod produced (columns 0-1 are never mapped).
+      values.push_back(end == token.c_str() ? 0.0 : v);
+    }
+    if (values.size() != columns.size()) {
+      return Status::Corruption("collectl row has " +
+                                std::to_string(values.size()) +
+                                " fields, header has " +
+                                std::to_string(columns.size()));
+    }
+    for (int m = 0; m < kNumMetrics; ++m) {
+      const int c = source[static_cast<size_t>(m)];
+      result.node.metrics[static_cast<size_t>(m)].push_back(
+          c < 0 ? 0.0 : values[static_cast<size_t>(c)]);
+    }
+    ++rows;
+  }
+  if (rows == 0) return Status::Corruption("collectl file has no data rows");
+
+  for (int m = 0; m < kNumMetrics; ++m) {
+    if (source[static_cast<size_t>(m)] < 0) {
+      result.missing_metrics.push_back(MetricName(m));
+    }
+  }
+  if (cpi.empty()) {
+    result.node.cpi.assign(static_cast<size_t>(rows), 1.0);
+    result.missing_metrics.push_back("cpi");
+  } else if (cpi.size() != static_cast<size_t>(rows)) {
+    return Status::InvalidArgument(
+        "perf CPI series length does not match collectl row count");
+  } else {
+    result.node.cpi = cpi;
+  }
+  return result;
+}
+
+}  // namespace invarnetx::telemetry

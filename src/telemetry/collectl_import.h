@@ -1,0 +1,42 @@
+#ifndef INVARNETX_TELEMETRY_COLLECTL_IMPORT_H_
+#define INVARNETX_TELEMETRY_COLLECTL_IMPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::telemetry {
+
+// Import of real collectl data. The paper's deployment collects the 26
+// metrics with `collectl` and CPI with `perf`; this adapter converts
+// collectl's plot format (`collectl -P -scdmn ...`) into a NodeTrace:
+//
+//   #Date Time [CPU]User% [CPU]Sys% [CPU]Wait% [CPU]Idle% ... \n
+//   20140601 00:00:10 12.1 3.4 1.0 83.5 ...
+//
+// Recognized columns are mapped onto the metric catalog (see
+// CollectlColumnFor); unrecognized collectl columns are ignored; catalog
+// metrics with no source column are zero-filled and reported in
+// `missing_metrics` so the caller can decide whether the coverage is
+// sufficient. The per-process CPI series from perf is supplied separately
+// (`cpi`); if empty, CPI is filled with 1.0 and "cpi" is reported missing -
+// anomaly detection is meaningless without it, but invariant mining still
+// works.
+struct CollectlImportResult {
+  NodeTrace node;
+  std::vector<std::string> missing_metrics;
+};
+
+Result<CollectlImportResult> ImportCollectlPlot(
+    const std::string& text, const std::string& node_ip,
+    const std::vector<double>& cpi);
+
+// The collectl plot column name a catalog metric is read from, or "" when
+// the metric has no collectl counterpart (it is then zero-filled).
+std::string CollectlColumnFor(int metric);
+
+}  // namespace invarnetx::telemetry
+
+#endif  // INVARNETX_TELEMETRY_COLLECTL_IMPORT_H_

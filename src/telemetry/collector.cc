@@ -1,0 +1,225 @@
+#include "telemetry/collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace invarnetx::telemetry {
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+std::array<double, kNumMetrics> ObserveMetrics(const cluster::SimNode& node,
+                                               Rng* rng) {
+  const cluster::DriverState& d = node.drivers;
+  const cluster::NodeSpec& spec = node.spec;
+
+  // A suspended Hadoop process stops generating activity, but co-located
+  // hogs and already-allocated memory are unaffected.
+  const double act = d.suspended ? 0.06 : 1.0;
+
+  // ---- disk -------------------------------------------------------------
+  // Demands are relative to the 120 MB/s reference device; utilization on
+  // this node scales with its actual disk speed.
+  const double disk_scale = node.DiskDemandScale();
+  const double io_r = (d.io_read * act + 0.5 * d.io_extra) * disk_scale;
+  const double io_w = (d.io_write * act + 0.5 * d.io_extra) * disk_scale;
+  const double io_total = io_r + io_w;
+  const double io_served = std::min(io_total, 1.0);  // device saturates
+  const double read_share = io_total > 0.0 ? io_r / io_total : 0.5;
+  const double disk_read_kbps = spec.disk_mbps * 1024.0 * io_served * read_share;
+  const double disk_write_kbps =
+      spec.disk_mbps * 1024.0 * io_served * (1.0 - read_share);
+  // Random-ish Hadoop I/O averages ~64 KB per request.
+  const double disk_read_iops = disk_read_kbps / 64.0;
+  const double disk_write_iops = disk_write_kbps / 64.0;
+  const double disk_util = 100.0 * io_served;
+
+  // ---- network ----------------------------------------------------------
+  // Loss shrinks goodput via retransmissions; latency shrinks it via the
+  // bandwidth-delay product. 800 ms of added delay is far more damaging
+  // than ~5% loss, but loss produces far more retransmission events.
+  const double net_eff = std::pow(1.0 - d.pkt_loss, 8.0) /
+                         (1.0 + d.net_delay_ms / 250.0);
+  const double rx_kbps =
+      spec.net_mbps * 125.0 * Clamp01(d.net_in * act) * net_eff;
+  const double tx_kbps =
+      spec.net_mbps * 125.0 * Clamp01(d.net_out * act) * net_eff;
+  // ~1400 B frames => ~0.09 packets per kb/s; loss adds small retransmit
+  // frames on top.
+  // Small control packets dominate at low rates, jumbo-ish data frames at
+  // high rates, so the packet rate is sublinear in throughput.
+  const double rx_pkts =
+      std::pow(rx_kbps, 0.88) * 0.22 * (1.0 + 5.0 * d.pkt_loss);
+  const double tx_pkts =
+      std::pow(tx_kbps, 0.88) * 0.22 * (1.0 + 5.0 * d.pkt_loss);
+  const double traffic_pkts = rx_pkts + tx_pkts;
+  const double tcp_retrans = 0.4 + traffic_pkts * d.pkt_loss * 1.3 +
+                             traffic_pkts * (d.net_delay_ms / 800.0) * 0.012;
+
+  // ---- CPU ---------------------------------------------------------------
+  const double cpu_user =
+      100.0 * Clamp01(0.88 * d.cpu_task * act + 0.95 * d.cpu_extra +
+                      0.25 * d.gc_activity);
+  const double cpu_sys = 100.0 * std::clamp(
+      0.10 * io_total + 0.055 * (d.net_in + d.net_out) * act +
+          0.07 * d.task_churn * act + 0.06 * d.restart_churn +
+          0.04 * d.rpc_rate * act + 0.02 * d.lock_contention,
+      0.0, 0.6);
+  // I/O wait grows convexly as the device queue builds.
+  const double cpu_iowait =
+      100.0 * std::clamp(0.16 * std::pow(io_total, 1.8) +
+                             0.45 * std::max(0.0, io_total - 1.0),
+                         0.0, 0.8);
+  const double busy = std::min(99.0, cpu_user + cpu_sys + cpu_iowait);
+  const double cpu_idle = 100.0 - busy;
+
+  // Run-queue length explodes as utilization approaches saturation
+  // (M/M/c-style queueing), so load is strongly nonlinear in demand.
+  const double cpu_demand =
+      std::min(d.cpu_task * act + d.cpu_extra, 1.6);
+  const double load_avg =
+      spec.cores * cpu_demand * (1.0 + 2.2 * std::pow(std::max(0.0, cpu_demand - 0.55), 2.0)) +
+      3.0 * std::max(0.0, io_total - 1.0) + 0.02 * d.rpc_backlog +
+      2.0 * d.lock_contention;
+
+  const double ctx = 2500.0 +
+                     26500.0 * std::pow(d.cpu_task * act + d.cpu_extra, 0.72) +
+                     9000.0 * d.task_churn * act + 4.0 * d.extra_threads +
+                     0.35 * traffic_pkts + 18000.0 * d.lock_contention +
+                     6000.0 * d.restart_churn;
+  const double interrupts =
+      900.0 + 0.9 * traffic_pkts + 0.8 * (disk_read_iops + disk_write_iops);
+  const double procs = 2.0 + 8.0 * (d.cpu_task * act + d.cpu_extra) +
+                       3.0 * d.task_churn * act + 2.5 * d.restart_churn;
+
+  // ---- memory ------------------------------------------------------------
+  // A suspended process keeps its resident set.
+  const double mem_used = 1200.0 + d.mem_task_mb + d.mem_extra_mb;
+  const double headroom = std::max(0.0, spec.mem_total_mb - mem_used);
+  const double mem_cached =
+      std::max(200.0, headroom * 0.55 * (0.5 + 0.5 * std::min(1.0, io_r)));
+  const double mem_free = std::max(64.0, spec.mem_total_mb - mem_used -
+                                             mem_cached);
+  const double swap_pressure =
+      std::max(0.0, mem_used / spec.mem_total_mb - 0.85);
+  const double swap_used = swap_pressure * spec.mem_total_mb * 1.4;
+  const double page_faults = 150.0 + 0.9 * d.mem_task_mb * act +
+                             26000.0 * swap_pressure +
+                             800.0 * d.task_churn * act;
+  const double pages_in =
+      40.0 + disk_read_kbps * 0.06 + 9000.0 * swap_pressure;
+  const double pages_out =
+      30.0 + disk_write_kbps * 0.06 + 7000.0 * swap_pressure;
+
+  const double threads = 110.0 + 60.0 * d.task_churn * act +
+                         d.extra_threads + 25.0 * d.cpu_task * act +
+                         0.3 * d.rpc_backlog;
+
+  std::array<double, kNumMetrics> metrics{};
+  metrics[kCpuUserPct] = cpu_user;
+  metrics[kCpuSysPct] = cpu_sys;
+  metrics[kCpuIdlePct] = cpu_idle;
+  metrics[kCpuIowaitPct] = cpu_iowait;
+  metrics[kLoadAvg1m] = load_avg;
+  metrics[kCtxSwitchesPerSec] = ctx;
+  metrics[kInterruptsPerSec] = interrupts;
+  metrics[kProcsRunning] = procs;
+  metrics[kMemUsedMb] = mem_used;
+  metrics[kMemFreeMb] = mem_free;
+  metrics[kMemCachedMb] = mem_cached;
+  metrics[kSwapUsedMb] = swap_used;
+  metrics[kPageFaultsPerSec] = page_faults;
+  metrics[kPagesInPerSec] = pages_in;
+  metrics[kPagesOutPerSec] = pages_out;
+  metrics[kDiskReadKbps] = disk_read_kbps;
+  metrics[kDiskWriteKbps] = disk_write_kbps;
+  metrics[kDiskReadIops] = disk_read_iops;
+  metrics[kDiskWriteIops] = disk_write_iops;
+  metrics[kDiskUtilPct] = disk_util;
+  metrics[kNetRxKbps] = rx_kbps;
+  metrics[kNetTxKbps] = tx_kbps;
+  metrics[kNetRxPktsPerSec] = rx_pkts;
+  metrics[kNetTxPktsPerSec] = tx_pkts;
+  metrics[kTcpRetransPerSec] = tcp_retrans;
+  metrics[kProcThreads] = threads;
+
+  // Observation noise: a multiplicative component, a fault-injected
+  // metric-level jitter (Lock-R style nondeterministic decoupling), and an
+  // additive idle floor. The floor models OS housekeeping and other
+  // daemons, which keep every metric jittering independently even when the
+  // Hadoop processes go quiet - without it, a suspended or saturated node
+  // would keep its metric couplings intact and violate nothing.
+  static constexpr double kIdleFloor[kNumMetrics] = {
+      1.5,   // cpu_user_pct
+      0.4,   // cpu_sys_pct
+      1.5,   // cpu_idle_pct
+      0.3,   // cpu_iowait_pct
+      0.15,  // load_avg_1m
+      300,   // ctx_switches_per_sec
+      120,   // interrupts_per_sec
+      0.5,   // procs_running
+      60,    // mem_used_mb
+      80,    // mem_free_mb
+      50,    // mem_cached_mb
+      2,     // swap_used_mb
+      40,    // page_faults_per_sec
+      15,    // pages_in_per_sec
+      12,    // pages_out_per_sec
+      180,   // disk_read_kbps
+      120,   // disk_write_kbps
+      4,     // disk_read_iops
+      3,     // disk_write_iops
+      1.5,   // disk_util_pct
+      40,    // net_rx_kbps
+      40,    // net_tx_kbps
+      6,     // net_rx_pkts_per_sec
+      6,     // net_tx_pkts_per_sec
+      0.15,  // tcp_retrans_per_sec
+      2,     // proc_threads
+  };
+  for (int i = 0; i < kNumMetrics; ++i) {
+    double jitter = rng->Gaussian(0.0, 0.03);
+    if (i < cluster::kMetricNoiseSlots && d.metric_noise[static_cast<size_t>(i)] > 0.0) {
+      jitter += rng->Gaussian(0.0, d.metric_noise[static_cast<size_t>(i)]);
+    }
+    const double floor_noise =
+        kIdleFloor[static_cast<size_t>(i)] * std::fabs(rng->Gaussian(0.0, 1.0));
+    metrics[static_cast<size_t>(i)] = std::max(
+        0.0, metrics[static_cast<size_t>(i)] * (1.0 + jitter) + floor_noise);
+  }
+  // Counter-style metrics are small integers in collectl output; the
+  // quantization matters: a retransmission counter that reads 0 almost
+  // every interval forms rock-stable (zero-MIC) invariants whose violation
+  // is a crisp marker for loss-type faults.
+  metrics[kTcpRetransPerSec] = std::floor(metrics[kTcpRetransPerSec]);
+  metrics[kProcsRunning] = std::floor(metrics[kProcsRunning]);
+  metrics[kSwapUsedMb] = std::floor(metrics[kSwapUsedMb]);  // A/B marker
+  return metrics;
+}
+
+void Collector::Record(int /*tick*/, const cluster::Cluster& cluster,
+                       const std::vector<cluster::CpiSample>& cpi) {
+  if (trace_->nodes.empty()) {
+    trace_->nodes.resize(cluster.size());
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      trace_->nodes[i].ip = cluster.node(i).ip;
+    }
+  }
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    const std::array<double, kNumMetrics> metrics =
+        ObserveMetrics(cluster.node(i), rng_);
+    NodeTrace& node_trace = trace_->nodes[i];
+    for (int m = 0; m < kNumMetrics; ++m) {
+      node_trace.metrics[static_cast<size_t>(m)].push_back(
+          metrics[static_cast<size_t>(m)]);
+    }
+    // perf-style CPI reading with a little measurement noise.
+    node_trace.cpi.push_back(
+        std::max(0.05, cpi[i].cpi * (1.0 + rng_->Gaussian(0.0, 0.008))));
+  }
+  ++trace_->ticks;
+}
+
+}  // namespace invarnetx::telemetry

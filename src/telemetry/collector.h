@@ -1,0 +1,37 @@
+#ifndef INVARNETX_TELEMETRY_COLLECTOR_H_
+#define INVARNETX_TELEMETRY_COLLECTOR_H_
+
+#include <array>
+
+#include "cluster/engine.h"
+#include "common/random.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::telemetry {
+
+// Computes the 26 observable metrics of a node from its latent drivers for
+// one tick (pure; observation noise is drawn from `rng`). Exposed so tests
+// can probe the driver -> metric mapping directly.
+std::array<double, kNumMetrics> ObserveMetrics(const cluster::SimNode& node,
+                                               Rng* rng);
+
+// TelemetrySink that appends per-node metric samples and CPI readings to a
+// RunTrace (collectl + perf in the paper's deployment).
+class Collector : public cluster::TelemetrySink {
+ public:
+  // `trace` must outlive the collector; node entries are created lazily on
+  // the first Record call.
+  Collector(RunTrace* trace, Rng* rng) : trace_(trace), rng_(rng) {}
+
+  void Record(int tick, const cluster::Cluster& cluster,
+              const std::vector<cluster::CpiSample>& cpi) override;
+
+ private:
+  RunTrace* trace_;
+  Rng* rng_;
+};
+
+}  // namespace invarnetx::telemetry
+
+#endif  // INVARNETX_TELEMETRY_COLLECTOR_H_

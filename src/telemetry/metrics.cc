@@ -1,0 +1,51 @@
+#include "telemetry/metrics.h"
+
+namespace invarnetx::telemetry {
+namespace {
+
+constexpr const char* kNames[kNumMetrics] = {
+    "cpu_user_pct",       "cpu_sys_pct",       "cpu_idle_pct",
+    "cpu_iowait_pct",     "load_avg_1m",       "ctx_switches_per_sec",
+    "interrupts_per_sec", "procs_running",     "mem_used_mb",
+    "mem_free_mb",        "mem_cached_mb",     "swap_used_mb",
+    "page_faults_per_sec","pages_in_per_sec",  "pages_out_per_sec",
+    "disk_read_kbps",     "disk_write_kbps",   "disk_read_iops",
+    "disk_write_iops",    "disk_util_pct",     "net_rx_kbps",
+    "net_tx_kbps",        "net_rx_pkts_per_sec","net_tx_pkts_per_sec",
+    "tcp_retrans_per_sec","proc_threads",
+};
+
+}  // namespace
+
+std::string MetricName(int id) {
+  if (id < 0 || id >= kNumMetrics) return "invalid_metric";
+  return kNames[id];
+}
+
+Result<int> MetricFromName(const std::string& name) {
+  for (int i = 0; i < kNumMetrics; ++i) {
+    if (name == kNames[i]) return i;
+  }
+  return Status::NotFound("unknown metric: " + name);
+}
+
+int PairIndex(int a, int b) {
+  // Row-major upper triangle: offset of row a plus column distance.
+  // Row a contributes (kNumMetrics - 1 - a) entries.
+  int index = 0;
+  for (int row = 0; row < a; ++row) index += kNumMetrics - 1 - row;
+  return index + (b - a - 1);
+}
+
+void PairFromIndex(int index, int* a, int* b) {
+  int row = 0;
+  int remaining = index;
+  while (remaining >= kNumMetrics - 1 - row) {
+    remaining -= kNumMetrics - 1 - row;
+    ++row;
+  }
+  *a = row;
+  *b = row + 1 + remaining;
+}
+
+}  // namespace invarnetx::telemetry

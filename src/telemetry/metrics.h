@@ -1,0 +1,60 @@
+#ifndef INVARNETX_TELEMETRY_METRICS_H_
+#define INVARNETX_TELEMETRY_METRICS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace invarnetx::telemetry {
+
+// The 26 collectl-style metrics the paper collects every 10 s: coarse CPU /
+// memory / disk / network utilization plus fine-grained counters (context
+// switches, page faults, ...). Indices are stable and used in invariant
+// matrices and signatures.
+enum MetricId : int {
+  kCpuUserPct = 0,
+  kCpuSysPct,
+  kCpuIdlePct,
+  kCpuIowaitPct,
+  kLoadAvg1m,
+  kCtxSwitchesPerSec,
+  kInterruptsPerSec,
+  kProcsRunning,
+  kMemUsedMb,
+  kMemFreeMb,
+  kMemCachedMb,
+  kSwapUsedMb,
+  kPageFaultsPerSec,
+  kPagesInPerSec,
+  kPagesOutPerSec,
+  kDiskReadKbps,
+  kDiskWriteKbps,
+  kDiskReadIops,
+  kDiskWriteIops,
+  kDiskUtilPct,
+  kNetRxKbps,
+  kNetTxKbps,
+  kNetRxPktsPerSec,
+  kNetTxPktsPerSec,
+  kTcpRetransPerSec,
+  kProcThreads,
+};
+
+inline constexpr int kNumMetrics = 26;
+
+// Number of unordered metric pairs (m, n), m < n: the length of a full
+// association matrix / violation tuple.
+inline constexpr int kNumMetricPairs = kNumMetrics * (kNumMetrics - 1) / 2;
+
+std::string MetricName(int id);
+Result<int> MetricFromName(const std::string& name);
+
+// Maps the unordered pair (a, b), a < b, to its flat index in
+// [0, kNumMetricPairs), row-major over the upper triangle.
+int PairIndex(int a, int b);
+// Inverse of PairIndex.
+void PairFromIndex(int index, int* a, int* b);
+
+}  // namespace invarnetx::telemetry
+
+#endif  // INVARNETX_TELEMETRY_METRICS_H_

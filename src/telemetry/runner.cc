@@ -1,0 +1,115 @@
+#include "telemetry/runner.h"
+
+#include <algorithm>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/random.h"
+#include "telemetry/collector.h"
+#include "workload/factory.h"
+#include "workload/sequence.h"
+
+namespace invarnetx::telemetry {
+
+faults::FaultWindow DefaultFaultWindow(faults::FaultType type) {
+  faults::FaultWindow window;
+  window.start_tick = 8;
+  window.duration_ticks = 30;  // 5 minutes at 10 s ticks
+  const bool name_node_fault = type == faults::FaultType::kNetDrop ||
+                               type == faults::FaultType::kNetDelay;
+  window.target_node = name_node_fault ? 0 : 1;
+  return window;
+}
+
+Result<RunTrace> SimulateRun(const RunConfig& config) {
+  Rng rng(config.seed);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+
+  Result<std::unique_ptr<cluster::WorkloadModel>> workload =
+      workload::MakeWorkload(config.workload, testbed, &rng,
+                             config.data_scale);
+  if (!workload.ok()) return workload.status();
+
+  std::vector<std::unique_ptr<cluster::FaultInjector>> owned_faults;
+  std::vector<cluster::FaultInjector*> fault_ptrs;
+  RunTrace trace;
+  trace.workload = config.workload;
+  std::vector<FaultRequest> requested;
+  if (config.fault.has_value()) requested.push_back(*config.fault);
+  requested.insert(requested.end(), config.extra_faults.begin(),
+                   config.extra_faults.end());
+  for (const FaultRequest& request : requested) {
+    if (!faults::AppliesTo(request.type, config.workload)) {
+      return Status::InvalidArgument(faults::FaultName(request.type) +
+                                     " does not apply to " +
+                                     workload::WorkloadName(config.workload));
+    }
+    owned_faults.push_back(
+        faults::MakeFault(request.type, request.window, &rng));
+    fault_ptrs.push_back(owned_faults.back().get());
+    trace.injected.push_back(FaultGroundTruth{request.type, request.window});
+  }
+  if (!trace.injected.empty()) trace.fault = trace.injected.front();
+
+  cluster::EngineConfig engine_config;
+  engine_config.max_ticks =
+      workload::IsBatch(config.workload)
+          ? static_cast<int>(config.max_ticks *
+                             std::max(1.0, config.data_scale))
+          : config.interactive_ticks;
+
+  Collector collector(&trace, &rng);
+  cluster::SimulationEngine engine(engine_config);
+  const cluster::EngineResult result = engine.Run(
+      &testbed, workload.value().get(), fault_ptrs, &collector, &rng);
+
+  trace.duration_seconds = result.duration_seconds;
+  trace.finished = result.workload_finished;
+  return trace;
+}
+
+Result<RunTrace> SimulateJobSequence(const SequenceConfig& config) {
+  if (config.jobs.empty()) {
+    return Status::InvalidArgument("SimulateJobSequence: empty job list");
+  }
+  for (workload::WorkloadType type : config.jobs) {
+    if (!workload::IsBatch(type)) {
+      return Status::InvalidArgument(
+          "SimulateJobSequence: only batch jobs queue under FIFO");
+    }
+  }
+  Rng rng(config.seed);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  workload::JobSequenceModel sequence(config.jobs, testbed, &rng);
+
+  std::vector<std::unique_ptr<cluster::FaultInjector>> owned_faults;
+  std::vector<cluster::FaultInjector*> fault_ptrs;
+  RunTrace trace;
+  trace.workload = config.jobs.front();
+  if (config.fault.has_value()) {
+    owned_faults.push_back(
+        faults::MakeFault(config.fault->type, config.fault->window, &rng));
+    fault_ptrs.push_back(owned_faults.back().get());
+    trace.fault = FaultGroundTruth{config.fault->type, config.fault->window};
+    trace.injected.push_back(*trace.fault);
+  }
+
+  cluster::EngineConfig engine_config;
+  engine_config.max_ticks = config.max_ticks;
+  Collector collector(&trace, &rng);
+  cluster::SimulationEngine engine(engine_config);
+  const cluster::EngineResult result =
+      engine.Run(&testbed, &sequence, fault_ptrs, &collector, &rng);
+
+  trace.duration_seconds = result.duration_seconds;
+  trace.finished = result.workload_finished;
+  for (const workload::JobSequenceModel::JobSpan& span : sequence.spans()) {
+    trace.job_spans.push_back(
+        JobSpanInfo{span.type, span.start_tick, span.end_tick});
+  }
+  return trace;
+}
+
+}  // namespace invarnetx::telemetry

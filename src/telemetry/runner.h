@@ -1,0 +1,60 @@
+#ifndef INVARNETX_TELEMETRY_RUNNER_H_
+#define INVARNETX_TELEMETRY_RUNNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "faults/fault.h"
+#include "telemetry/trace.h"
+#include "workload/spec.h"
+
+namespace invarnetx::telemetry {
+
+// One requested fault injection.
+struct FaultRequest {
+  faults::FaultType type = faults::FaultType::kCpuHog;
+  faults::FaultWindow window;
+};
+
+// Parameters of one simulated run.
+struct RunConfig {
+  workload::WorkloadType workload = workload::WorkloadType::kWordCount;
+  uint64_t seed = 1;
+  // Batch jobs run to completion (capped here); interactive mixes are
+  // observed for exactly this many ticks.
+  int max_ticks = 400;
+  int interactive_ticks = 60;
+  // Batch input size relative to the paper's 15 GB.
+  double data_scale = 1.0;
+  std::optional<FaultRequest> fault;
+  // Additional simultaneous faults (the paper's multi-fault extension:
+  // "the probability of multiple faults happening ... is very tiny", but
+  // the method extends by listing multiple similar signatures).
+  std::vector<FaultRequest> extra_faults;
+};
+
+// Simulates one run on the 5-node testbed and returns its trace.
+// Fully deterministic given `config.seed`.
+Result<RunTrace> SimulateRun(const RunConfig& config);
+
+// Simulates a FIFO queue of batch jobs in one trace (Hadoop's FIFO mode);
+// the returned trace's job_spans record each job's tick range, which the
+// monitoring side uses to switch operation contexts at job boundaries.
+struct SequenceConfig {
+  std::vector<workload::WorkloadType> jobs;
+  uint64_t seed = 1;
+  int max_ticks = 1200;
+  std::optional<FaultRequest> fault;
+};
+Result<RunTrace> SimulateJobSequence(const SequenceConfig& config);
+
+// Convenience: a fault window starting mid-run (tick 8) with the paper's
+// 5-minute duration, targeting slave 1 (node index 1) - or the master for
+// the name-node faults Net-drop / Net-delay.
+faults::FaultWindow DefaultFaultWindow(faults::FaultType type);
+
+}  // namespace invarnetx::telemetry
+
+#endif  // INVARNETX_TELEMETRY_RUNNER_H_

@@ -1,0 +1,30 @@
+#include "telemetry/trace.h"
+
+namespace invarnetx::telemetry {
+
+std::vector<double> RunTrace::MeanSlaveCpi() const {
+  std::vector<double> out(static_cast<size_t>(ticks), 0.0);
+  if (nodes.size() <= 1 || ticks == 0) return out;
+  const size_t slaves = nodes.size() - 1;
+  for (size_t t = 0; t < static_cast<size_t>(ticks); ++t) {
+    double acc = 0.0;
+    for (size_t n = 1; n < nodes.size(); ++n) {
+      acc += nodes[n].cpi[t];
+    }
+    out[t] = acc / static_cast<double>(slaves);
+  }
+  return out;
+}
+
+Result<const std::vector<double>*> RunTrace::Series(size_t node,
+                                                    int metric) const {
+  if (node >= nodes.size()) {
+    return Status::OutOfRange("node index out of range");
+  }
+  if (metric < 0 || metric >= kNumMetrics) {
+    return Status::OutOfRange("metric id out of range");
+  }
+  return &nodes[node].metrics[static_cast<size_t>(metric)];
+}
+
+}  // namespace invarnetx::telemetry

@@ -1,0 +1,207 @@
+#include "telemetry/trace_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace invarnetx::telemetry {
+namespace {
+
+std::string DoubleToStr(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Splits "key=value key=value" metadata payloads.
+std::map<std::string, std::string> ParseKeyValues(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    out[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return out;
+}
+
+Result<double> ToDouble(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return Status::Corruption("bad number: " + s);
+  return v;
+}
+
+Result<int> ToInt(const std::string& s) {
+  Result<double> v = ToDouble(s);
+  if (!v.ok()) return v.status();
+  return static_cast<int>(v.value());
+}
+
+}  // namespace
+
+std::string WriteTraceCsv(const RunTrace& trace) {
+  std::ostringstream out;
+  out << "# invarnetx-trace v1\n";
+  out << "# workload=" << workload::WorkloadName(trace.workload)
+      << " ticks=" << trace.ticks
+      << " duration_seconds=" << DoubleToStr(trace.duration_seconds)
+      << " finished=" << (trace.finished ? 1 : 0) << "\n";
+  for (const FaultGroundTruth& fault : trace.injected) {
+    out << "# fault=" << faults::FaultName(fault.type)
+        << " start=" << fault.window.start_tick
+        << " duration=" << fault.window.duration_ticks
+        << " target=" << fault.window.target_node << "\n";
+  }
+  for (const JobSpanInfo& span : trace.job_spans) {
+    out << "# job_span=" << workload::WorkloadName(span.type)
+        << " start=" << span.start_tick << " end=" << span.end_tick << "\n";
+  }
+  out << "node_ip,tick,cpi";
+  for (int m = 0; m < kNumMetrics; ++m) out << ',' << MetricName(m);
+  out << '\n';
+  for (const NodeTrace& node : trace.nodes) {
+    for (int t = 0; t < trace.ticks; ++t) {
+      out << node.ip << ',' << t << ','
+          << DoubleToStr(node.cpi[static_cast<size_t>(t)]);
+      for (int m = 0; m < kNumMetrics; ++m) {
+        out << ','
+            << DoubleToStr(
+                   node.metrics[static_cast<size_t>(m)][static_cast<size_t>(t)]);
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+Status WriteTraceFile(const std::string& path, const RunTrace& trace) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  file << WriteTraceCsv(trace);
+  if (!file.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<RunTrace> ParseTraceCsv(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# invarnetx-trace", 0) != 0) {
+    return Status::Corruption("missing invarnetx-trace header");
+  }
+  RunTrace trace;
+  bool header_seen = false;
+  std::map<std::string, size_t> node_index;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::map<std::string, std::string> kv =
+          ParseKeyValues(line.substr(1));
+      if (kv.count("workload")) {
+        Result<workload::WorkloadType> type =
+            workload::WorkloadFromName(kv.at("workload"));
+        if (!type.ok()) return type.status();
+        trace.workload = type.value();
+        if (kv.count("duration_seconds")) {
+          Result<double> d = ToDouble(kv.at("duration_seconds"));
+          if (!d.ok()) return d.status();
+          trace.duration_seconds = d.value();
+        }
+        if (kv.count("finished")) trace.finished = kv.at("finished") == "1";
+      } else if (kv.count("fault")) {
+        Result<faults::FaultType> type = faults::FaultFromName(kv.at("fault"));
+        if (!type.ok()) return type.status();
+        Result<int> start = ToInt(kv.at("start"));
+        Result<int> duration = ToInt(kv.at("duration"));
+        Result<int> target = ToInt(kv.at("target"));
+        if (!start.ok() || !duration.ok() || !target.ok()) {
+          return Status::Corruption("bad fault metadata: " + line);
+        }
+        faults::FaultWindow window;
+        window.start_tick = start.value();
+        window.duration_ticks = duration.value();
+        window.target_node = static_cast<size_t>(target.value());
+        trace.injected.push_back(FaultGroundTruth{type.value(), window});
+      } else if (kv.count("job_span")) {
+        Result<workload::WorkloadType> type =
+            workload::WorkloadFromName(kv.at("job_span"));
+        if (!type.ok()) return type.status();
+        Result<int> start = ToInt(kv.at("start"));
+        Result<int> end = ToInt(kv.at("end"));
+        if (!start.ok() || !end.ok()) {
+          return Status::Corruption("bad job_span metadata: " + line);
+        }
+        trace.job_spans.push_back(
+            JobSpanInfo{type.value(), start.value(), end.value()});
+      }
+      continue;
+    }
+    if (!header_seen) {
+      // Column header: validate the metric ordering matches the catalog.
+      std::istringstream cols(line);
+      std::string col;
+      std::getline(cols, col, ',');
+      if (col != "node_ip") return Status::Corruption("bad column header");
+      std::getline(cols, col, ',');
+      std::getline(cols, col, ',');  // tick, cpi
+      for (int m = 0; m < kNumMetrics; ++m) {
+        if (!std::getline(cols, col, ',') || col != MetricName(m)) {
+          return Status::Corruption("metric column mismatch at " +
+                                    MetricName(m));
+        }
+      }
+      header_seen = true;
+      continue;
+    }
+    // Data row.
+    std::istringstream cols(line);
+    std::string ip, tick_str, value;
+    if (!std::getline(cols, ip, ',') || !std::getline(cols, tick_str, ',')) {
+      return Status::Corruption("truncated data row: " + line);
+    }
+    auto [it, inserted] = node_index.emplace(ip, trace.nodes.size());
+    if (inserted) {
+      trace.nodes.push_back(NodeTrace{});
+      trace.nodes.back().ip = ip;
+    }
+    NodeTrace& node = trace.nodes[it->second];
+    if (!std::getline(cols, value, ',')) {
+      return Status::Corruption("row missing cpi: " + line);
+    }
+    Result<double> cpi = ToDouble(value);
+    if (!cpi.ok()) return cpi.status();
+    node.cpi.push_back(cpi.value());
+    for (int m = 0; m < kNumMetrics; ++m) {
+      if (!std::getline(cols, value, ',')) {
+        return Status::Corruption("row missing metric " + MetricName(m));
+      }
+      Result<double> v = ToDouble(value);
+      if (!v.ok()) return v.status();
+      node.metrics[static_cast<size_t>(m)].push_back(v.value());
+    }
+  }
+  if (trace.nodes.empty()) return Status::Corruption("trace has no data rows");
+  trace.ticks = static_cast<int>(trace.nodes[0].cpi.size());
+  for (const NodeTrace& node : trace.nodes) {
+    if (node.cpi.size() != static_cast<size_t>(trace.ticks)) {
+      return Status::Corruption("node " + node.ip +
+                                " has inconsistent tick count");
+    }
+  }
+  if (!trace.injected.empty()) trace.fault = trace.injected.front();
+  return trace;
+}
+
+Result<RunTrace> ReadTraceFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return ParseTraceCsv(buf.str());
+}
+
+}  // namespace invarnetx::telemetry

@@ -1,0 +1,32 @@
+#ifndef INVARNETX_TELEMETRY_TRACE_IO_H_
+#define INVARNETX_TELEMETRY_TRACE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::telemetry {
+
+// Serializes a run trace as CSV with '#'-prefixed metadata lines:
+//
+//   # invarnetx-trace v1
+//   # workload=wordcount ticks=48 duration_seconds=480 finished=1
+//   # fault=cpu-hog start=8 duration=30 target=1        (per injected fault)
+//   # job_span=wordcount start=0 end=43                 (per queued job)
+//   node_ip,tick,cpi,cpu_user_pct,...                   (26 metric columns)
+//   10.0.0.1,0,1.0031,...
+//
+// This is the interchange format between a real collectl/perf collector and
+// the diagnosis pipeline, and what the CLI consumes.
+std::string WriteTraceCsv(const RunTrace& trace);
+Status WriteTraceFile(const std::string& path, const RunTrace& trace);
+
+// Parses WriteTraceCsv output. Validates that every node carries the same
+// tick count and all 26 metric columns.
+Result<RunTrace> ParseTraceCsv(const std::string& text);
+Result<RunTrace> ReadTraceFile(const std::string& path);
+
+}  // namespace invarnetx::telemetry
+
+#endif  // INVARNETX_TELEMETRY_TRACE_IO_H_

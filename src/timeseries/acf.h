@@ -1,0 +1,27 @@
+#ifndef INVARNETX_TIMESERIES_ACF_H_
+#define INVARNETX_TIMESERIES_ACF_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::ts {
+
+// Sample autocorrelation function at lags 0..max_lag (acf[0] == 1).
+// Zero-variance series return all-zeros beyond lag 0.
+Result<std::vector<double>> Acf(const std::vector<double>& series,
+                                int max_lag);
+
+// Partial autocorrelation function at lags 1..max_lag via Durbin-Levinson
+// recursion on the sample ACF.
+Result<std::vector<double>> Pacf(const std::vector<double>& series,
+                                 int max_lag);
+
+// Solves the Yule-Walker equations for AR(p) coefficients from the sample
+// ACF; returns p coefficients (phi_1..phi_p).
+Result<std::vector<double>> YuleWalker(const std::vector<double>& series,
+                                       int p);
+
+}  // namespace invarnetx::ts
+
+#endif  // INVARNETX_TIMESERIES_ACF_H_

@@ -1,0 +1,119 @@
+#ifndef INVARNETX_TIMESERIES_ARIMA_H_
+#define INVARNETX_TIMESERIES_ARIMA_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::ts {
+
+// ARIMA(p, d, q) model order.
+struct ArimaOrder {
+  int p = 0;
+  int d = 0;
+  int q = 0;
+
+  friend bool operator==(const ArimaOrder& a, const ArimaOrder& b) {
+    return a.p == b.p && a.d == b.d && a.q == b.q;
+  }
+  std::string ToString() const;
+};
+
+// A fitted ARIMA model: the d-times-differenced series w_t follows
+//   w_t = c + sum_i ar[i] w_{t-i} + sum_j ma[j] e_{t-j} + e_t.
+//
+// Fitted with the Hannan-Rissanen two-stage regression (long-AR residual
+// proxy, then joint OLS), which is fast, closed-form, and accurate enough
+// for the drift-detection use in InvarNet-X.
+class ArimaModel {
+ public:
+  // An empty ARIMA(0,0,0) model with zero intercept; useful as a
+  // placeholder member before Fit/FromParameters assigns a real model.
+  ArimaModel() = default;
+
+  // Fits the given order on the series. Requires enough observations for
+  // the internal regressions (roughly 3 * (p + q) + d + 10).
+  static Result<ArimaModel> Fit(const std::vector<double>& series,
+                                const ArimaOrder& order);
+
+  const ArimaOrder& order() const { return order_; }
+  const std::vector<double>& ar() const { return ar_; }
+  const std::vector<double>& ma() const { return ma_; }
+  double intercept() const { return intercept_; }
+  // Innovation variance estimated from the fitting residuals.
+  double sigma2() const { return sigma2_; }
+  // Akaike information criterion: n ln(sigma2) + 2 (p + q + 1).
+  double aic() const { return aic_; }
+
+  // One-step-ahead in-sample predictions over `series` (same length;
+  // the first d + p entries, where the recursion has no history, repeat the
+  // observed values so their residual is zero).
+  Result<std::vector<double>> PredictInSample(
+      const std::vector<double>& series) const;
+
+  // |observed - predicted| over `series`; used for threshold calibration.
+  Result<std::vector<double>> AbsResiduals(
+      const std::vector<double>& series) const;
+
+  // Direct construction from parameters (used by persistence).
+  static Result<ArimaModel> FromParameters(const ArimaOrder& order,
+                                           std::vector<double> ar,
+                                           std::vector<double> ma,
+                                           double intercept, double sigma2);
+
+ private:
+  ArimaOrder order_;
+  std::vector<double> ar_;
+  std::vector<double> ma_;
+  double intercept_ = 0.0;
+  double sigma2_ = 0.0;
+  double aic_ = 0.0;
+};
+
+// Streaming one-step-ahead predictor for a fitted ArimaModel. Call
+// PredictNext() to obtain the forecast for the upcoming observation, then
+// Observe() with the actual value; the residual feeds the MA terms.
+class ArimaPredictor {
+ public:
+  explicit ArimaPredictor(ArimaModel model);
+
+  // Forecast of the next raw observation. Until d + p raw observations have
+  // been seen there is not enough history; the predictor then returns the
+  // last observed value (or 0 before any observation).
+  double PredictNext() const;
+
+  // Feeds the actual observation and returns |observation - forecast|.
+  double Observe(double value);
+
+  // Drops accumulated history (e.g., at a workload phase boundary).
+  void Reset();
+
+  // True once enough history has accumulated for model-based forecasts
+  // (d raw values and p differenced values).
+  bool Ready() const;
+
+  const ArimaModel& model() const { return model_; }
+
+ private:
+  bool HasEnoughHistory() const;
+  // w-scale forecast given current differenced history and residuals.
+  double ForecastDifferenced() const;
+
+  ArimaModel model_;
+  std::deque<double> raw_history_;   // recent raw values (bounded)
+  std::deque<double> w_history_;     // recent differenced values, newest last
+  std::deque<double> residuals_;     // recent w-scale residuals, newest last
+};
+
+// Chooses d as the smallest value in [0, max_d] whose differenced series is
+// "stationary enough" (lag-1 autocorrelation below 0.9, and further
+// differencing does not reduce variance), then grid-searches (p, q) in
+// [0, max_p] x [0, max_q] by AIC. (p, q) = (0, 0) with d = 0 is excluded.
+Result<ArimaModel> FitArimaAuto(const std::vector<double>& series,
+                                int max_p = 5, int max_d = 2, int max_q = 3);
+
+}  // namespace invarnetx::ts
+
+#endif  // INVARNETX_TIMESERIES_ARIMA_H_

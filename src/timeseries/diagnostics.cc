@@ -1,0 +1,88 @@
+#include "timeseries/diagnostics.h"
+
+#include <cmath>
+
+#include "timeseries/acf.h"
+
+namespace invarnetx::ts {
+namespace {
+
+// Regularized lower incomplete gamma P(a, x) via series expansion (x < a+1)
+// or continued fraction (x >= a+1). Standard Numerical-Recipes-style
+// formulation, accurate to ~1e-10 for the argument ranges used here.
+double GammaP(double a, double x) {
+  if (x <= 0.0) return 0.0;
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = x^a e^-x / Gamma(a) * sum x^n / (a)_{n+1}
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+  // Continued fraction for Q(a,x); P = 1 - Q.
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - log_gamma_a) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double ChiSquareSurvival(double x, int k) {
+  if (k <= 0) return x > 0.0 ? 0.0 : 1.0;
+  if (x <= 0.0) return 1.0;
+  return 1.0 - GammaP(k / 2.0, x / 2.0);
+}
+
+Result<LjungBoxResult> LjungBoxTest(const std::vector<double>& residuals,
+                                    int lags, int fitted_params) {
+  if (lags < 1) return Status::InvalidArgument("LjungBox: lags < 1");
+  if (fitted_params < 0) {
+    return Status::InvalidArgument("LjungBox: negative fitted_params");
+  }
+  if (lags <= fitted_params) {
+    return Status::InvalidArgument(
+        "LjungBox: lags must exceed fitted_params");
+  }
+  const int n = static_cast<int>(residuals.size());
+  if (n <= lags + 1) {
+    return Status::InvalidArgument("LjungBox: series shorter than lags");
+  }
+  Result<std::vector<double>> acf = Acf(residuals, lags);
+  if (!acf.ok()) return acf.status();
+  double q = 0.0;
+  for (int k = 1; k <= lags; ++k) {
+    const double rho = acf.value()[static_cast<size_t>(k)];
+    q += rho * rho / (n - k);
+  }
+  q *= n * (n + 2.0);
+  LjungBoxResult result;
+  result.q = q;
+  result.lags = lags;
+  result.p_value = ChiSquareSurvival(q, lags - fitted_params);
+  return result;
+}
+
+}  // namespace invarnetx::ts

@@ -1,0 +1,34 @@
+#ifndef INVARNETX_TIMESERIES_DIAGNOSTICS_H_
+#define INVARNETX_TIMESERIES_DIAGNOSTICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::ts {
+
+// Ljung-Box portmanteau test for residual whiteness: a fitted model is
+// adequate when its residuals carry no remaining autocorrelation.
+struct LjungBoxResult {
+  double q = 0.0;        // the Q statistic
+  int lags = 0;          // number of lags tested
+  double p_value = 1.0;  // P(chi2_{lags - fitted_params} >= Q)
+  // Convention: reject whiteness (model inadequate) when p_value < alpha.
+  bool WhiteAt(double alpha = 0.05) const { return p_value >= alpha; }
+};
+
+// Computes the Ljung-Box statistic over residuals at lags 1..`lags`.
+// `fitted_params` reduces the chi-square degrees of freedom (p + q for an
+// ARMA model). Requires lags >= 1, residuals.size() > lags and
+// lags > fitted_params.
+Result<LjungBoxResult> LjungBoxTest(const std::vector<double>& residuals,
+                                    int lags, int fitted_params = 0);
+
+// Upper-tail probability of the chi-square distribution with k degrees of
+// freedom: P(X >= x). Exposed for tests; computed via the regularized
+// incomplete gamma function.
+double ChiSquareSurvival(double x, int k);
+
+}  // namespace invarnetx::ts
+
+#endif  // INVARNETX_TIMESERIES_DIAGNOSTICS_H_

@@ -1,0 +1,46 @@
+#include "timeseries/diff.h"
+
+#include <cstddef>
+
+namespace invarnetx::ts {
+
+Result<std::vector<double>> Difference(const std::vector<double>& series,
+                                       int d) {
+  if (d < 0) return Status::InvalidArgument("Difference: d < 0");
+  if (series.size() <= static_cast<size_t>(d)) {
+    return Status::InvalidArgument("Difference: series shorter than d");
+  }
+  std::vector<double> out = series;
+  for (int round = 0; round < d; ++round) {
+    std::vector<double> next(out.size() - 1);
+    for (size_t i = 1; i < out.size(); ++i) next[i - 1] = out[i] - out[i - 1];
+    out = std::move(next);
+  }
+  return out;
+}
+
+Result<double> Undifference(const std::vector<double>& tail, int d, double w) {
+  if (d < 0) return Status::InvalidArgument("Undifference: d < 0");
+  if (tail.size() < static_cast<size_t>(d)) {
+    return Status::InvalidArgument("Undifference: need d trailing raw values");
+  }
+  // Build the difference triangle from the last d raw values: level k holds
+  // the k-th difference of the tail; the forecast at level d is w and each
+  // lower level adds its own last value.
+  std::vector<std::vector<double>> levels;
+  levels.push_back(
+      std::vector<double>(tail.end() - static_cast<long>(d), tail.end()));
+  for (int k = 1; k < d; ++k) {
+    const std::vector<double>& prev = levels.back();
+    std::vector<double> next(prev.size() - 1);
+    for (size_t i = 1; i < prev.size(); ++i) next[i - 1] = prev[i] - prev[i - 1];
+    levels.push_back(std::move(next));
+  }
+  double forecast = w;
+  for (int k = d - 1; k >= 0; --k) {
+    forecast += levels[static_cast<size_t>(k)].back();
+  }
+  return forecast;
+}
+
+}  // namespace invarnetx::ts

@@ -1,0 +1,25 @@
+#ifndef INVARNETX_TIMESERIES_DIFF_H_
+#define INVARNETX_TIMESERIES_DIFF_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::ts {
+
+// First-order difference applied d times; output length is n - d.
+// Requires d >= 0 and series length > d.
+Result<std::vector<double>> Difference(const std::vector<double>& series,
+                                       int d);
+
+// Inverts Difference: given the last d raw observations that preceded the
+// forecast origin (tail, oldest first) and a one-step forecast of the
+// d-times-differenced series, reconstructs the raw-scale forecast.
+//
+// With d = 0 this is the identity; with d = 1 it returns tail.back() + w;
+// with d = 2 it returns 2*y[t] - y[t-1] + w, etc.
+Result<double> Undifference(const std::vector<double>& tail, int d, double w);
+
+}  // namespace invarnetx::ts
+
+#endif  // INVARNETX_TIMESERIES_DIFF_H_

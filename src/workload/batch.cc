@@ -1,0 +1,187 @@
+#include "workload/batch.h"
+
+#include <algorithm>
+
+namespace invarnetx::workload {
+
+BatchJobModel::BatchJobModel(const BatchSpec& spec,
+                             const cluster::Cluster& cluster, Rng* rng)
+    : spec_(spec) {
+  const size_t num_nodes = cluster.size();
+  node_skew_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    node_skew_.push_back(std::max(0.7, rng->Gaussian(1.0, 0.04)));
+  }
+  // Each slave's shard scales with its compute capability (Hadoop sizes
+  // slot counts by machine) and its per-run input skew; node 0 (the
+  // master) retires no task instructions.
+  node_budget_.assign(num_nodes, 0.0);
+  node_retired_.assign(num_nodes, 0.0);
+  std::vector<double> weight(num_nodes, 0.0);
+  double weight_sum = 0.0;
+  for (size_t i = 1; i < num_nodes; ++i) {
+    const cluster::NodeSpec& node_spec = cluster.node(i).spec;
+    weight[i] = node_skew_[i] * node_spec.cores * node_spec.freq_ghz /
+                node_spec.cpi_factor;
+    weight_sum += weight[i];
+  }
+  for (size_t i = 1; i < num_nodes; ++i) {
+    node_budget_[i] =
+        spec.total_instructions * weight[i] / std::max(weight_sum, 1e-9);
+  }
+}
+
+bool BatchJobModel::NodeFinished(size_t node_index) const {
+  if (node_index == 0 || node_index >= node_budget_.size()) return true;
+  return node_retired_[node_index] >= node_budget_[node_index];
+}
+
+BatchPhase BatchJobModel::phase() const {
+  const double f = fraction_done();
+  if (f < spec_.map_frac) return BatchPhase::kMap;
+  if (f < spec_.map_frac + spec_.shuffle_frac) return BatchPhase::kShuffle;
+  return BatchPhase::kReduce;
+}
+
+double BatchJobModel::fraction_done() const {
+  double retired = 0.0;
+  for (double r : node_retired_) retired += r;
+  return std::min(1.0, retired / spec_.total_instructions);
+}
+
+const PhaseProfile& BatchJobModel::CurrentProfile() const {
+  switch (phase()) {
+    case BatchPhase::kMap: return spec_.map;
+    case BatchPhase::kShuffle: return spec_.shuffle;
+    case BatchPhase::kReduce: return spec_.reduce;
+  }
+  return spec_.map;
+}
+
+PhaseProfile BatchJobModel::BlendedProfile() const {
+  // Tasks of adjacent phases overlap, so demand ramps between phase
+  // profiles instead of stepping (this also keeps the normal CPI series
+  // free of step discontinuities that would inflate residual thresholds).
+  constexpr double kWidth = 0.12;  // transition half-width in progress units
+  const double f = fraction_done();
+  const double shuffle_start = spec_.map_frac;
+  const double reduce_start = spec_.map_frac + spec_.shuffle_frac;
+  auto mix = [](const PhaseProfile& a, const PhaseProfile& b, double w) {
+    auto lerp = [w](double x, double y) { return x + (y - x) * w; };
+    PhaseProfile out;
+    out.cpu = lerp(a.cpu, b.cpu);
+    out.io_read = lerp(a.io_read, b.io_read);
+    out.io_write = lerp(a.io_write, b.io_write);
+    out.net_in = lerp(a.net_in, b.net_in);
+    out.net_out = lerp(a.net_out, b.net_out);
+    out.mem_mb = lerp(a.mem_mb, b.mem_mb);
+    out.churn = lerp(a.churn, b.churn);
+    out.rpc = lerp(a.rpc, b.rpc);
+    out.cpi_base = lerp(a.cpi_base, b.cpi_base);
+    return out;
+  };
+  auto ramp = [](double x) { return std::clamp(x, 0.0, 1.0); };
+  if (f < shuffle_start) {
+    const double w = ramp((f - (shuffle_start - kWidth)) / kWidth);
+    return mix(spec_.map, spec_.shuffle, w);
+  }
+  if (f < reduce_start) {
+    const double w = ramp((f - (reduce_start - kWidth)) / kWidth);
+    return mix(spec_.shuffle, spec_.reduce, w);
+  }
+  return spec_.reduce;
+}
+
+void BatchJobModel::Step(int /*tick*/, cluster::Cluster* cluster, Rng* rng) {
+  if (spec_.speculative_execution) RunSpeculation();
+  const PhaseProfile p = BlendedProfile();
+  for (size_t i = 0; i < cluster->num_slaves(); ++i) {
+    cluster::SimNode& node = cluster->slave(i);
+    cluster::DriverState& d = node.drivers;
+    // Tasks drain gradually as a node's shard completes: demand winds down
+    // over the last ~6% of its shard instead of dropping off a cliff (an
+    // abrupt drop would put a large spurious residual into every normal
+    // CPI trace and inflate the calibrated anomaly thresholds).
+    const size_t node_index = i + 1;
+    double wind = 1.0;
+    if (node_index < node_budget_.size() && node_budget_[node_index] > 0.0) {
+      const double remaining =
+          1.0 - node_retired_[node_index] / node_budget_[node_index];
+      wind = std::clamp(remaining / 0.06, 0.0, 1.0);
+    }
+    const double idle_mix = 1.0 - wind;
+    const double skew =
+        node_index < node_skew_.size() ? node_skew_[node_index]
+                                       : node_skew_.back();
+    // One shared envelope per node per tick keeps metric couplings strong;
+    // telemetry adds per-metric observation noise on top.
+    const double envelope = std::max(
+        0.5, skew * (1.0 + d.demand_noise + rng->Gaussian(0.0, 0.015)));
+    d.cpu_task = p.cpu * envelope * wind + 0.04 * idle_mix;
+    d.io_read = p.io_read * envelope * wind + 0.02 * idle_mix;
+    d.io_write = p.io_write * envelope * wind + 0.02 * idle_mix;
+    d.net_in = p.net_in * envelope * wind + 0.02 * idle_mix;
+    d.net_out = p.net_out * envelope * wind + 0.02 * idle_mix;
+    d.mem_task_mb =
+        p.mem_mb * (1.0 + 0.5 * (envelope - 1.0)) * wind + 600.0 * idle_mix;
+    d.task_churn = p.churn * envelope * wind + 0.05 * idle_mix;
+    d.rpc_rate = p.rpc * envelope * wind + 0.2 * idle_mix;
+    d.cpi_base = p.cpi_base * wind + 1.0 * idle_mix;
+  }
+  // The master runs JobTracker + NameNode: light CPU, RPC that tracks the
+  // slaves' task churn.
+  cluster::DriverState& m = cluster->master().drivers;
+  m.cpu_task = 0.08 + 0.05 * p.churn + rng->Gaussian(0.0, 0.005);
+  m.cpu_task = std::max(0.01, m.cpu_task);
+  m.io_read = 0.02;
+  m.io_write = 0.04;
+  m.net_in = 0.05 + 0.05 * p.rpc;
+  m.net_out = 0.05 + 0.05 * p.rpc;
+  m.mem_task_mb = 2200.0;
+  m.task_churn = 0.1;
+  m.rpc_rate = 0.5 + 0.6 * p.churn;
+  m.cpi_base = 1.0;
+}
+
+void BatchJobModel::OnProgress(size_t node_index, double instructions) {
+  if (node_index == 0 || node_index >= node_retired_.size()) return;
+  node_retired_[node_index] += instructions;
+}
+
+void BatchJobModel::RunSpeculation() {
+  // Hadoop launches backup attempts for stragglers: when a node's shard
+  // lags the cluster badly and another node sits finished, half of the
+  // laggard's remaining work is re-executed there.
+  double fraction_sum = 0.0;
+  int counted = 0;
+  for (size_t i = 1; i < node_budget_.size(); ++i) {
+    if (node_budget_[i] <= 0.0) continue;
+    fraction_sum += std::min(1.0, node_retired_[i] / node_budget_[i]);
+    ++counted;
+  }
+  if (counted == 0) return;
+  const double mean_fraction = fraction_sum / counted;
+  for (size_t lagger = 1; lagger < node_budget_.size(); ++lagger) {
+    if (node_budget_[lagger] <= 0.0 || NodeFinished(lagger)) continue;
+    const double fraction = node_retired_[lagger] / node_budget_[lagger];
+    if (fraction >= mean_fraction - 0.12) continue;
+    const double remaining = node_budget_[lagger] - node_retired_[lagger];
+    if (remaining < spec_.total_instructions * 0.02) continue;
+    for (size_t helper = 1; helper < node_budget_.size(); ++helper) {
+      if (helper == lagger || !NodeFinished(helper)) continue;
+      const double moved = remaining * 0.5;
+      node_budget_[lagger] -= moved;
+      node_budget_[helper] += moved;  // the helper resumes work
+      break;
+    }
+  }
+}
+
+bool BatchJobModel::Finished() const {
+  for (size_t i = 1; i < node_budget_.size(); ++i) {
+    if (!NodeFinished(i)) return false;
+  }
+  return !node_budget_.empty();
+}
+
+}  // namespace invarnetx::workload

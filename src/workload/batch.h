@@ -1,0 +1,57 @@
+#ifndef INVARNETX_WORKLOAD_BATCH_H_
+#define INVARNETX_WORKLOAD_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/random.h"
+#include "workload/spec.h"
+
+namespace invarnetx::workload {
+
+// Execution phase of a MapReduce batch job.
+enum class BatchPhase { kMap, kShuffle, kReduce };
+
+// One Hadoop batch job running exclusively on the cluster (FIFO mode, as
+// the paper assumes). Progress is instruction-based: each slave owns a data
+// shard (an instruction budget), the engine reports retired instructions,
+// and the job moves through map -> shuffle -> reduce as fractions of the
+// cluster budget complete. The job finishes only when EVERY slave finishes
+// its shard - straggler semantics - so inflating one node's CPI stretches
+// the whole job (T = I * CPI * C on the slowest node).
+class BatchJobModel : public cluster::WorkloadModel {
+ public:
+  // Shards are sized from the cluster's node capabilities (Hadoop assigns
+  // task slots by machine size), scaled by a per-run input skew drawn from
+  // `rng` at construction.
+  BatchJobModel(const BatchSpec& spec, const cluster::Cluster& cluster,
+                Rng* rng);
+
+  std::string name() const override { return WorkloadName(spec_.type); }
+  void Step(int tick, cluster::Cluster* cluster, Rng* rng) override;
+  void OnProgress(size_t node_index, double instructions) override;
+  bool Finished() const override;
+
+  BatchPhase phase() const;
+  double fraction_done() const;
+  // Whether the given node has finished its shard.
+  bool NodeFinished(size_t node_index) const;
+  const BatchSpec& spec() const { return spec_; }
+
+ private:
+  const PhaseProfile& CurrentProfile() const;
+  // CurrentProfile with smooth ramps across phase boundaries.
+  PhaseProfile BlendedProfile() const;
+  // One round of speculative re-execution of straggler shards.
+  void RunSpeculation();
+
+  BatchSpec spec_;
+  std::vector<double> node_skew_;   // per-node input-size skew, ~N(1, 0.04)
+  std::vector<double> node_budget_; // per-node instruction shard
+  std::vector<double> node_retired_;
+};
+
+}  // namespace invarnetx::workload
+
+#endif  // INVARNETX_WORKLOAD_BATCH_H_

@@ -1,0 +1,25 @@
+#include "workload/factory.h"
+
+#include "workload/batch.h"
+#include "workload/tpcds.h"
+
+namespace invarnetx::workload {
+
+Result<std::unique_ptr<cluster::WorkloadModel>> MakeWorkload(
+    WorkloadType type, const cluster::Cluster& cluster, Rng* rng,
+    double data_scale) {
+  if (data_scale <= 0.0) {
+    return Status::InvalidArgument("MakeWorkload: data_scale must be > 0");
+  }
+  if (type == WorkloadType::kTpcDs) {
+    return std::unique_ptr<cluster::WorkloadModel>(
+        new TpcDsModel(cluster.size(), rng));
+  }
+  Result<BatchSpec> spec = GetBatchSpec(type);
+  if (!spec.ok()) return spec.status();
+  spec.value().total_instructions *= data_scale;
+  return std::unique_ptr<cluster::WorkloadModel>(
+      new BatchJobModel(spec.value(), cluster, rng));
+}
+
+}  // namespace invarnetx::workload

@@ -1,0 +1,25 @@
+#ifndef INVARNETX_WORKLOAD_FACTORY_H_
+#define INVARNETX_WORKLOAD_FACTORY_H_
+
+#include <memory>
+
+#include "cluster/engine.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "workload/spec.h"
+
+namespace invarnetx::workload {
+
+// Builds a workload model of the given type for the cluster, drawing
+// run-level randomness (input skew, initial mix) from `rng`.
+// `data_scale` multiplies the batch input size relative to the paper's
+// 15 GB (MapReduce spawns proportionally more tasks over the same per-task
+// footprint, so the instruction budget scales linearly); it does not apply
+// to the interactive mix.
+Result<std::unique_ptr<cluster::WorkloadModel>> MakeWorkload(
+    WorkloadType type, const cluster::Cluster& cluster, Rng* rng,
+    double data_scale = 1.0);
+
+}  // namespace invarnetx::workload
+
+#endif  // INVARNETX_WORKLOAD_FACTORY_H_

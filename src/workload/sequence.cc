@@ -1,0 +1,63 @@
+#include "workload/sequence.h"
+
+namespace invarnetx::workload {
+
+JobSequenceModel::JobSequenceModel(std::vector<WorkloadType> types,
+                                   const cluster::Cluster& cluster, Rng* rng)
+    : types_(std::move(types)), cluster_(&cluster), job_rng_(rng->Fork()) {}
+
+int JobSequenceModel::current_job() const {
+  if (current_ == nullptr) return -1;
+  return static_cast<int>(next_job_) - 1;
+}
+
+void JobSequenceModel::StartNextJob(int tick) {
+  Result<BatchSpec> spec = GetBatchSpec(types_[next_job_]);
+  if (!spec.ok()) {
+    // Interactive types cannot be queued; skip defensively (constructor
+    // callers are expected to pass batch types only).
+    ++next_job_;
+    return;
+  }
+  current_ = std::make_unique<BatchJobModel>(spec.value(), *cluster_,
+                                             &job_rng_);
+  spans_.push_back(JobSpan{types_[next_job_], tick, -1});
+  ++next_job_;
+}
+
+void JobSequenceModel::Step(int tick, cluster::Cluster* cluster, Rng* rng) {
+  if (current_ != nullptr && current_->Finished()) {
+    spans_.back().end_tick = tick;
+    current_.reset();
+  }
+  while (current_ == nullptr && next_job_ < types_.size()) {
+    StartNextJob(tick);
+  }
+  if (current_ == nullptr) {
+    // Queue drained: daemons idle along.
+    for (size_t i = 0; i < cluster->size(); ++i) {
+      cluster::DriverState& d = cluster->node(i).drivers;
+      d.cpu_task = 0.04;
+      d.io_read = 0.02;
+      d.io_write = 0.02;
+      d.net_in = 0.02;
+      d.net_out = 0.02;
+      d.mem_task_mb = 600.0;
+      d.task_churn = 0.05;
+      d.rpc_rate = 0.2;
+      d.cpi_base = 1.0;
+    }
+    return;
+  }
+  current_->Step(tick, cluster, rng);
+}
+
+void JobSequenceModel::OnProgress(size_t node_index, double instructions) {
+  if (current_ != nullptr) current_->OnProgress(node_index, instructions);
+}
+
+bool JobSequenceModel::Finished() const {
+  return current_ == nullptr && next_job_ >= types_.size();
+}
+
+}  // namespace invarnetx::workload

@@ -1,0 +1,55 @@
+#ifndef INVARNETX_WORKLOAD_SEQUENCE_H_
+#define INVARNETX_WORKLOAD_SEQUENCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/random.h"
+#include "workload/batch.h"
+#include "workload/spec.h"
+
+namespace invarnetx::workload {
+
+// A FIFO queue of batch jobs, as the paper's Hadoop runs in FIFO mode: each
+// job takes the cluster exclusively; the next starts when it finishes.
+// This is what makes the per-job operation context meaningful - the
+// monitoring side must switch performance models at every job boundary
+// ("when a new job arrives ... InvarNet-X selects a performance model from
+// the archived models instantly", Sec. 3.2).
+class JobSequenceModel : public cluster::WorkloadModel {
+ public:
+  struct JobSpan {
+    WorkloadType type = WorkloadType::kWordCount;
+    int start_tick = 0;
+    int end_tick = -1;  // exclusive; -1 while the job is still running
+  };
+
+  // `types` must be batch workloads. Per-job randomness comes from `rng`.
+  JobSequenceModel(std::vector<WorkloadType> types,
+                   const cluster::Cluster& cluster, Rng* rng);
+
+  std::string name() const override { return "fifo-sequence"; }
+  void Step(int tick, cluster::Cluster* cluster, Rng* rng) override;
+  void OnProgress(size_t node_index, double instructions) override;
+  bool Finished() const override;
+
+  // Completed and in-flight job spans, in FIFO order.
+  const std::vector<JobSpan>& spans() const { return spans_; }
+  // Index of the running job, or -1 between jobs / after the last one.
+  int current_job() const;
+
+ private:
+  void StartNextJob(int tick);
+
+  std::vector<WorkloadType> types_;
+  const cluster::Cluster* cluster_;
+  size_t next_job_ = 0;
+  std::unique_ptr<BatchJobModel> current_;
+  std::vector<JobSpan> spans_;
+  Rng job_rng_;
+};
+
+}  // namespace invarnetx::workload
+
+#endif  // INVARNETX_WORKLOAD_SEQUENCE_H_

@@ -1,0 +1,138 @@
+#include "workload/spec.h"
+
+namespace invarnetx::workload {
+namespace {
+
+// Testbed constants used to size instruction budgets (see NodeSpec):
+// 8 cores * 2.1 GHz, 4 slaves, 10 s ticks.
+constexpr double kIps1 = 8 * 2.1e9;   // instructions/s at CPI 1, all cores
+constexpr double kTickSeconds = 10.0;
+constexpr int kSlaves = 4;
+
+// Instruction budget so a nominal (fault-free) run lasts `target_ticks`.
+double BudgetForTicks(const BatchSpec& spec, double target_ticks) {
+  auto rate = [](const PhaseProfile& p) {
+    return kSlaves * kIps1 * kTickSeconds * p.cpu / p.cpi_base;
+  };
+  const double reduce_frac = 1.0 - spec.map_frac - spec.shuffle_frac;
+  const double ticks_per_instr = spec.map_frac / rate(spec.map) +
+                                 spec.shuffle_frac / rate(spec.shuffle) +
+                                 reduce_frac / rate(spec.reduce);
+  return target_ticks / ticks_per_instr;
+}
+
+BatchSpec WordCountSpec() {
+  BatchSpec s;
+  s.type = WorkloadType::kWordCount;
+  s.map = {0.62, 0.40, 0.08, 0.05, 0.06, 2600, 0.50, 0.40, 0.95};
+  s.shuffle = {0.30, 0.18, 0.30, 0.55, 0.55, 2000, 0.30, 0.50, 1.15};
+  s.reduce = {0.50, 0.12, 0.45, 0.12, 0.10, 3000, 0.35, 0.40, 1.00};
+  s.map_frac = 0.65;
+  s.shuffle_frac = 0.10;
+  s.total_instructions = BudgetForTicks(s, 45.0);
+  return s;
+}
+
+BatchSpec SortSpec() {
+  BatchSpec s;
+  s.type = WorkloadType::kSort;
+  s.map = {0.40, 0.58, 0.30, 0.10, 0.12, 3200, 0.45, 0.40, 1.35};
+  s.shuffle = {0.30, 0.22, 0.48, 0.75, 0.75, 2800, 0.30, 0.50, 1.55};
+  s.reduce = {0.35, 0.18, 0.62, 0.15, 0.10, 3000, 0.30, 0.40, 1.45};
+  s.map_frac = 0.55;
+  s.shuffle_frac = 0.18;
+  s.total_instructions = BudgetForTicks(s, 55.0);
+  return s;
+}
+
+BatchSpec GrepSpec() {
+  BatchSpec s;
+  s.type = WorkloadType::kGrep;
+  s.map = {0.34, 0.66, 0.06, 0.04, 0.05, 1800, 0.55, 0.45, 1.20};
+  s.shuffle = {0.22, 0.20, 0.15, 0.30, 0.30, 1500, 0.25, 0.40, 1.25};
+  s.reduce = {0.28, 0.10, 0.25, 0.08, 0.06, 1600, 0.25, 0.35, 1.15};
+  s.map_frac = 0.85;
+  s.shuffle_frac = 0.05;
+  s.total_instructions = BudgetForTicks(s, 35.0);
+  return s;
+}
+
+BatchSpec BayesSpec() {
+  BatchSpec s;
+  s.type = WorkloadType::kBayes;
+  s.map = {0.65, 0.35, 0.12, 0.08, 0.08, 5200, 0.40, 0.40, 0.90};
+  s.shuffle = {0.45, 0.15, 0.25, 0.45, 0.45, 4800, 0.30, 0.45, 1.05};
+  s.reduce = {0.60, 0.12, 0.30, 0.10, 0.08, 5000, 0.30, 0.40, 0.95};
+  s.map_frac = 0.60;
+  s.shuffle_frac = 0.12;
+  s.total_instructions = BudgetForTicks(s, 50.0);
+  return s;
+}
+
+BatchSpec PageRankSpec() {
+  // Iterative link analysis: network-heavy synchronization every
+  // superstep, moderate CPU, large in-memory rank vectors.
+  BatchSpec s;
+  s.type = WorkloadType::kPageRank;
+  s.map = {0.52, 0.30, 0.10, 0.30, 0.30, 4200, 0.35, 0.50, 1.10};
+  s.shuffle = {0.35, 0.12, 0.20, 0.65, 0.65, 3800, 0.25, 0.55, 1.30};
+  s.reduce = {0.48, 0.10, 0.25, 0.35, 0.35, 4000, 0.30, 0.50, 1.15};
+  s.map_frac = 0.55;
+  s.shuffle_frac = 0.20;
+  s.total_instructions = BudgetForTicks(s, 50.0);
+  return s;
+}
+
+BatchSpec KmeansSpec() {
+  // Iterative clustering: CPU-bound distance computations over cached
+  // points, light I/O after the first scan, small sync traffic.
+  BatchSpec s;
+  s.type = WorkloadType::kKmeans;
+  s.map = {0.66, 0.22, 0.05, 0.10, 0.10, 4600, 0.35, 0.40, 0.85};
+  s.shuffle = {0.45, 0.08, 0.10, 0.35, 0.35, 4200, 0.25, 0.45, 0.95};
+  s.reduce = {0.55, 0.06, 0.15, 0.12, 0.10, 4400, 0.25, 0.40, 0.90};
+  s.map_frac = 0.70;
+  s.shuffle_frac = 0.10;
+  s.total_instructions = BudgetForTicks(s, 40.0);
+  return s;
+}
+
+}  // namespace
+
+std::string WorkloadName(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kWordCount: return "wordcount";
+    case WorkloadType::kSort: return "sort";
+    case WorkloadType::kGrep: return "grep";
+    case WorkloadType::kBayes: return "bayes";
+    case WorkloadType::kTpcDs: return "tpcds";
+    case WorkloadType::kPageRank: return "pagerank";
+    case WorkloadType::kKmeans: return "kmeans";
+  }
+  return "unknown";
+}
+
+Result<WorkloadType> WorkloadFromName(const std::string& name) {
+  for (WorkloadType t : kAllWorkloads) {
+    if (WorkloadName(t) == name) return t;
+  }
+  return Status::NotFound("unknown workload: " + name);
+}
+
+bool IsBatch(WorkloadType type) { return type != WorkloadType::kTpcDs; }
+
+Result<BatchSpec> GetBatchSpec(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kWordCount: return WordCountSpec();
+    case WorkloadType::kSort: return SortSpec();
+    case WorkloadType::kGrep: return GrepSpec();
+    case WorkloadType::kBayes: return BayesSpec();
+    case WorkloadType::kTpcDs:
+      return Status::InvalidArgument("tpcds is interactive, not batch");
+    case WorkloadType::kPageRank: return PageRankSpec();
+    case WorkloadType::kKmeans: return KmeansSpec();
+  }
+  return Status::InvalidArgument("unknown workload type");
+}
+
+}  // namespace invarnetx::workload

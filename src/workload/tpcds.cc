@@ -1,0 +1,138 @@
+#include "workload/tpcds.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace invarnetx::workload {
+
+const std::array<QueryTemplate, kNumTpcDsQueries>& TpcDsQueryTemplates() {
+  static const std::array<QueryTemplate, kNumTpcDsQueries> kTemplates = {{
+      // Footprints are per query instance; arrival rates are high and
+      // footprints small so the law of large numbers keeps the aggregate
+      // demand of the mix reasonably steady (but still noisier than a
+      // batch job, as in the paper).
+      // name          cpu    io_r   io_w   n_in   n_out  mem  churn  rpc   cpi   rate  mean
+      {"q03_scan_agg", 0.045, 0.060, 0.007, 0.011, 0.011, 160, 0.026, 0.019, 1.05, 0.42, 3.0},
+      {"q07_join", 0.053, 0.036, 0.013, 0.030, 0.030, 260, 0.022, 0.026, 1.15, 0.30, 4.0},
+      {"q19_filter", 0.033, 0.072, 0.007, 0.007, 0.007, 130, 0.030, 0.017, 1.10, 0.36, 3.0},
+      {"q27_group", 0.050, 0.030, 0.019, 0.019, 0.019, 230, 0.019, 0.022, 1.08, 0.30, 4.0},
+      {"q34_sort_agg", 0.041, 0.042, 0.033, 0.017, 0.017, 200, 0.022, 0.019, 1.20, 0.27, 4.0},
+      {"q42_report", 0.030, 0.048, 0.011, 0.013, 0.013, 150, 0.026, 0.017, 1.05, 0.39, 3.0},
+      {"q53_window", 0.055, 0.024, 0.013, 0.017, 0.017, 300, 0.017, 0.022, 1.12, 0.24, 5.0},
+      {"q55_topk", 0.036, 0.054, 0.007, 0.011, 0.011, 160, 0.026, 0.017, 1.07, 0.33, 3.0},
+  }};
+  return kTemplates;
+}
+
+int SamplePoisson(Rng* rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double product = rng->Uniform();
+  while (product > limit) {
+    ++k;
+    product *= rng->Uniform();
+  }
+  return k;
+}
+
+TpcDsModel::TpcDsModel(size_t num_nodes, Rng* rng) {
+  active_.assign(num_nodes, {});
+  node_skew_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    node_skew_.push_back(std::max(0.7, rng->Gaussian(1.0, 0.05)));
+  }
+  // Warm the mix to its steady state so observation windows do not all
+  // start from an idle cluster.
+  const auto& templates = TpcDsQueryTemplates();
+  for (size_t n = 1; n < num_nodes; ++n) {
+    for (int t = 0; t < kNumTpcDsQueries; ++t) {
+      const double steady = templates[static_cast<size_t>(t)].arrival_rate *
+                            templates[static_cast<size_t>(t)].mean_ticks;
+      active_[n][static_cast<size_t>(t)] =
+          SamplePoisson(rng, steady * node_skew_[n]);
+    }
+  }
+}
+
+int TpcDsModel::TotalActive() const {
+  int total = 0;
+  for (const auto& node : active_) {
+    for (int c : node) total += c;
+  }
+  return total;
+}
+
+void TpcDsModel::Step(int /*tick*/, cluster::Cluster* cluster, Rng* rng) {
+  const auto& templates = TpcDsQueryTemplates();
+  load_wave_ = 0.88 * load_wave_ + rng->Gaussian(0.0, 0.055);
+  const double wave = std::clamp(1.0 + load_wave_, 0.55, 1.6);
+  double cluster_churn = 0.0;
+  for (size_t i = 0; i < cluster->num_slaves(); ++i) {
+    cluster::SimNode& node = cluster->slave(i);
+    cluster::DriverState& d = node.drivers;
+    const size_t node_index = i + 1;
+    const double skew = node_skew_[node_index];
+
+    // Birth-death evolution of the active query mix.
+    for (int t = 0; t < kNumTpcDsQueries; ++t) {
+      const QueryTemplate& q = templates[static_cast<size_t>(t)];
+      int& count = active_[node_index][static_cast<size_t>(t)];
+      count += SamplePoisson(rng, q.arrival_rate * skew * wave);
+      int departures = 0;
+      for (int inst = 0; inst < count; ++inst) {
+        if (rng->Bernoulli(1.0 / q.mean_ticks)) ++departures;
+      }
+      count -= departures;
+    }
+
+    // Demand is the idle HiveServer baseline plus the active instances.
+    double cpu = 0.06, io_r = 0.04, io_w = 0.02, n_in = 0.02, n_out = 0.02;
+    double mem = 1500.0, churn = 0.05, rpc = 0.15;
+    double cpi_weighted = 0.0, cpi_weight = 0.0;
+    for (int t = 0; t < kNumTpcDsQueries; ++t) {
+      const QueryTemplate& q = templates[static_cast<size_t>(t)];
+      const int count = active_[node_index][static_cast<size_t>(t)];
+      cpu += count * q.cpu;
+      io_r += count * q.io_read;
+      io_w += count * q.io_write;
+      n_in += count * q.net_in;
+      n_out += count * q.net_out;
+      mem += count * q.mem_mb;
+      churn += count * q.churn;
+      rpc += count * q.rpc;
+      cpi_weighted += count * q.cpu * q.cpi;
+      cpi_weight += count * q.cpu;
+    }
+    const double envelope =
+        std::max(0.6, 1.0 + d.demand_noise + rng->Gaussian(0.0, 0.01));
+    d.cpu_task = cpu * envelope;
+    d.io_read = io_r * envelope;
+    d.io_write = io_w * envelope;
+    d.net_in = n_in * envelope;
+    d.net_out = n_out * envelope;
+    d.mem_task_mb = mem;
+    d.task_churn = churn * envelope;
+    d.rpc_rate = rpc * envelope;
+    d.cpi_base = cpi_weight > 0.0 ? cpi_weighted / cpi_weight : 1.10;
+    cluster_churn += churn;
+  }
+
+  cluster::DriverState& m = cluster->master().drivers;
+  m.cpu_task = std::max(0.01, 0.10 + 0.02 * cluster_churn +
+                                  rng->Gaussian(0.0, 0.005));
+  m.io_read = 0.02;
+  m.io_write = 0.04;
+  m.net_in = 0.06 + 0.01 * cluster_churn;
+  m.net_out = 0.06 + 0.01 * cluster_churn;
+  m.mem_task_mb = 2500.0;
+  m.task_churn = 0.1;
+  m.rpc_rate = 0.6 + 0.15 * cluster_churn;
+  m.cpi_base = 1.0;
+}
+
+void TpcDsModel::OnProgress(size_t /*node_index*/, double /*instructions*/) {
+  // Interactive queries have no cluster-wide instruction budget.
+}
+
+}  // namespace invarnetx::workload

@@ -1,0 +1,70 @@
+#ifndef INVARNETX_WORKLOAD_TPCDS_H_
+#define INVARNETX_WORKLOAD_TPCDS_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cluster/engine.h"
+#include "common/random.h"
+#include "workload/spec.h"
+
+namespace invarnetx::workload {
+
+inline constexpr int kNumTpcDsQueries = 8;
+
+// Per-query resource footprint of one active instance of a TPC-DS query
+// template on one node (the paper runs 8 queries in a mixed mode).
+struct QueryTemplate {
+  const char* name;
+  double cpu;
+  double io_read;
+  double io_write;
+  double net_in;
+  double net_out;
+  double mem_mb;
+  double churn;
+  double rpc;
+  double cpi;
+  double arrival_rate;  // expected arrivals per node per tick
+  double mean_ticks;    // expected residency of one instance
+};
+
+// The 8 mixed query templates.
+const std::array<QueryTemplate, kNumTpcDsQueries>& TpcDsQueryTemplates();
+
+// The interactive TPC-DS workload: per node, instances of the 8 query
+// templates arrive (Poisson) and depart (geometric residency); the node's
+// demand is the sum of the footprints of its active instances. The mix
+// never finishes - observation windows are bounded by max_ticks. A varying
+// query mix makes its performance model and invariants noisier than a
+// batch job's, reproducing the paper's batch-vs-interactive gap.
+class TpcDsModel : public cluster::WorkloadModel {
+ public:
+  TpcDsModel(size_t num_nodes, Rng* rng);
+
+  std::string name() const override {
+    return WorkloadName(WorkloadType::kTpcDs);
+  }
+  void Step(int tick, cluster::Cluster* cluster, Rng* rng) override;
+  void OnProgress(size_t node_index, double instructions) override;
+  bool Finished() const override { return false; }
+
+  // Total active query instances across the cluster.
+  int TotalActive() const;
+
+ private:
+  std::vector<std::array<int, kNumTpcDsQueries>> active_;  // [node][template]
+  std::vector<double> node_skew_;
+  // Slow AR(1) load-intensity wave shared by all nodes: interactive traffic
+  // breathes, and this common factor is what couples the activity metrics
+  // strongly enough to form invariants.
+  double load_wave_ = 0.0;
+};
+
+// Samples a Poisson variate (Knuth's method; lambda expected to be small).
+int SamplePoisson(Rng* rng, double lambda);
+
+}  // namespace invarnetx::workload
+
+#endif  // INVARNETX_WORKLOAD_TPCDS_H_

@@ -1,0 +1,293 @@
+#include "xmlstore/xml.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace invarnetx::xmlstore {
+
+std::string XmlNode::Attr(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+const XmlNode* XmlNode::Child(const std::string& child_name) const {
+  for (const XmlNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::Children(
+    const std::string& child_name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& c : children) {
+    if (c.name == child_name) out.push_back(&c);
+  }
+  return out;
+}
+
+XmlNode& XmlNode::AddChild(std::string child_name) {
+  children.push_back(XmlNode{});
+  children.back().name = std::move(child_name);
+  return children.back();
+}
+
+void XmlNode::SetAttr(std::string key, std::string value) {
+  for (auto& [k, v] : attributes) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes.emplace_back(std::move(key), std::move(value));
+}
+
+std::string XmlEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteNode(const XmlNode& node, int depth, std::ostringstream* out) {
+  const std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  *out << pad << '<' << node.name;
+  for (const auto& [k, v] : node.attributes) {
+    *out << ' ' << k << "=\"" << XmlEscape(v) << '"';
+  }
+  if (node.children.empty() && node.text.empty()) {
+    *out << "/>\n";
+    return;
+  }
+  *out << '>';
+  if (!node.text.empty()) *out << XmlEscape(node.text);
+  if (!node.children.empty()) {
+    *out << '\n';
+    for (const XmlNode& c : node.children) WriteNode(c, depth + 1, out);
+    *out << pad;
+  }
+  *out << "</" << node.name << ">\n";
+}
+
+// Recursive-descent parser over the raw document text.
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : in_(input) {}
+
+  Result<XmlNode> Parse() {
+    SkipProlog();
+    XmlNode root;
+    Status st = ParseElement(&root);
+    if (!st.ok()) return st;
+    SkipWhitespaceAndComments();
+    if (pos_ != in_.size()) {
+      return Status::Corruption("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool SkipComment() {
+    if (in_.compare(pos_, 4, "<!--") != 0) return false;
+    const size_t end = in_.find("-->", pos_ + 4);
+    pos_ = end == std::string::npos ? in_.size() : end + 3;
+    return true;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      SkipWhitespace();
+      if (!SkipComment()) return;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespaceAndComments();
+    if (in_.compare(pos_, 5, "<?xml") == 0) {
+      const size_t end = in_.find("?>", pos_);
+      pos_ = end == std::string::npos ? in_.size() : end + 2;
+    }
+    SkipWhitespaceAndComments();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    const size_t start = pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    if (pos_ == start) return Status::Corruption("expected XML name");
+    return in_.substr(start, pos_ - start);
+  }
+
+  Result<std::string> Unescape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      if (semi == std::string::npos) {
+        return Status::Corruption("unterminated entity");
+      }
+      const std::string entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else return Status::Corruption("unknown entity &" + entity + ";");
+      i = semi;
+    }
+    return out;
+  }
+
+  Status ParseAttributes(XmlNode* node) {
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= in_.size()) return Status::Corruption("eof in tag");
+      if (in_[pos_] == '>' || in_[pos_] == '/' || in_[pos_] == '?') {
+        return Status::Ok();
+      }
+      Result<std::string> key = ParseName();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (pos_ >= in_.size() || in_[pos_] != '=') {
+        return Status::Corruption("expected '=' in attribute");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= in_.size() || (in_[pos_] != '"' && in_[pos_] != '\'')) {
+        return Status::Corruption("expected quoted attribute value");
+      }
+      const char quote = in_[pos_++];
+      const size_t end = in_.find(quote, pos_);
+      if (end == std::string::npos) {
+        return Status::Corruption("unterminated attribute value");
+      }
+      Result<std::string> value = Unescape(in_.substr(pos_, end - pos_));
+      if (!value.ok()) return value.status();
+      node->attributes.emplace_back(key.value(), value.value());
+      pos_ = end + 1;
+    }
+  }
+
+  Status ParseElement(XmlNode* node) {
+    SkipWhitespaceAndComments();
+    if (pos_ >= in_.size() || in_[pos_] != '<') {
+      return Status::Corruption("expected '<'");
+    }
+    ++pos_;
+    Result<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+    node->name = name.value();
+    INVARNETX_RETURN_IF_ERROR(ParseAttributes(node));
+    if (in_.compare(pos_, 2, "/>") == 0) {
+      pos_ += 2;
+      return Status::Ok();
+    }
+    if (pos_ >= in_.size() || in_[pos_] != '>') {
+      return Status::Corruption("expected '>' closing tag of " + node->name);
+    }
+    ++pos_;
+    // Content: interleaved text, comments and child elements until </name>.
+    std::string text;
+    for (;;) {
+      const size_t lt = in_.find('<', pos_);
+      if (lt == std::string::npos) {
+        return Status::Corruption("unterminated element " + node->name);
+      }
+      text.append(in_, pos_, lt - pos_);
+      pos_ = lt;
+      if (in_.compare(pos_, 2, "</") == 0) {
+        pos_ += 2;
+        Result<std::string> close = ParseName();
+        if (!close.ok()) return close.status();
+        if (close.value() != node->name) {
+          return Status::Corruption("mismatched close tag: expected " +
+                                    node->name + " got " + close.value());
+        }
+        SkipWhitespace();
+        if (pos_ >= in_.size() || in_[pos_] != '>') {
+          return Status::Corruption("expected '>' in close tag");
+        }
+        ++pos_;
+        break;
+      }
+      if (SkipComment()) continue;
+      XmlNode child;
+      INVARNETX_RETURN_IF_ERROR(ParseElement(&child));
+      node->children.push_back(std::move(child));
+    }
+    // Trim pure-whitespace text (indentation); keep meaningful text.
+    const size_t first = text.find_first_not_of(" \t\r\n");
+    if (first != std::string::npos) {
+      const size_t last = text.find_last_not_of(" \t\r\n");
+      Result<std::string> unescaped =
+          Unescape(text.substr(first, last - first + 1));
+      if (!unescaped.ok()) return unescaped.status();
+      node->text = unescaped.value();
+    }
+    return Status::Ok();
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& root) {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  WriteNode(root, 0, &out);
+  return out.str();
+}
+
+Result<XmlNode> ParseXml(const std::string& input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+Status WriteXmlFile(const std::string& path, const XmlNode& root) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  file << WriteXml(root);
+  if (!file.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<XmlNode> ReadXmlFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return ParseXml(buf.str());
+}
+
+}  // namespace invarnetx::xmlstore

@@ -1,0 +1,50 @@
+#ifndef INVARNETX_XMLSTORE_XML_H_
+#define INVARNETX_XMLSTORE_XML_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace invarnetx::xmlstore {
+
+// A minimal XML document tree. The paper persists ARIMA models, invariants
+// and signatures as XML files; this is the smallest implementation that
+// round-trips those documents (elements, attributes, text, comments,
+// declarations, the five standard entities).
+struct XmlNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::string text;  // concatenated character data directly inside this node
+  std::vector<XmlNode> children;
+
+  // First attribute with the given key, or empty string.
+  std::string Attr(const std::string& key) const;
+  // First child element with the given name, or nullptr.
+  const XmlNode* Child(const std::string& name) const;
+  // All child elements with the given name.
+  std::vector<const XmlNode*> Children(const std::string& name) const;
+
+  XmlNode& AddChild(std::string child_name);
+  void SetAttr(std::string key, std::string value);
+};
+
+// Serializes the tree with 2-space indentation and an XML declaration.
+std::string WriteXml(const XmlNode& root);
+
+// Parses a document produced by WriteXml (or similarly simple XML).
+// Unsupported constructs (CDATA, DTD, processing instructions other than
+// the declaration) yield kCorruption.
+Result<XmlNode> ParseXml(const std::string& input);
+
+// Escapes &, <, >, ", ' for use in text or attribute values.
+std::string XmlEscape(const std::string& raw);
+
+// File helpers.
+Status WriteXmlFile(const std::string& path, const XmlNode& root);
+Result<XmlNode> ReadXmlFile(const std::string& path);
+
+}  // namespace invarnetx::xmlstore
+
+#endif  // INVARNETX_XMLSTORE_XML_H_

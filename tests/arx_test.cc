@@ -1,0 +1,189 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arx/arx.h"
+#include "common/random.h"
+
+namespace invarnetx::arx {
+namespace {
+
+// y(t) = 0.4 y(t-1) + 0.8 u(t) + 0.5 + noise
+void MakeArxPair(int n, double noise, uint64_t seed, std::vector<double>* u,
+                 std::vector<double>* y) {
+  Rng rng(seed);
+  u->clear();
+  y->clear();
+  double prev_y = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double ut = std::sin(i * 0.3) + rng.Gaussian(0.0, 0.2);
+    const double yt =
+        0.4 * prev_y + 0.8 * ut + 0.5 + rng.Gaussian(0.0, noise);
+    u->push_back(ut);
+    y->push_back(yt);
+    prev_y = yt;
+  }
+}
+
+TEST(ArxOrderTest, ToString) {
+  EXPECT_EQ((ArxOrder{2, 1, 0}.ToString()), "ARX(2,1,0)");
+}
+
+TEST(ArxModelTest, RecoversCoefficients) {
+  std::vector<double> u, y;
+  MakeArxPair(2000, 0.01, 11, &u, &y);
+  Result<ArxModel> model = ArxModel::Fit(y, u, ArxOrder{1, 1, 0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model.value().a()[0], 0.4, 0.05);
+  EXPECT_NEAR(model.value().b()[0], 0.8, 0.05);
+  EXPECT_NEAR(model.value().intercept(), 0.5, 0.1);
+  EXPECT_GT(model.value().fitness(), 0.9);
+}
+
+TEST(ArxModelTest, FitValidatesInput) {
+  std::vector<double> five(5, 1.0);
+  EXPECT_FALSE(ArxModel::Fit(five, five, ArxOrder{1, 1, 0}).ok());
+  std::vector<double> u(50, 1.0), y(40, 1.0);
+  EXPECT_FALSE(ArxModel::Fit(y, u, ArxOrder{1, 1, 0}).ok());
+  std::vector<double> ok(50, 1.0);
+  EXPECT_FALSE(ArxModel::Fit(ok, ok, ArxOrder{-1, 1, 0}).ok());
+  EXPECT_FALSE(ArxModel::Fit(ok, ok, ArxOrder{0, 0, 0}).ok());
+}
+
+TEST(ArxModelTest, FitnessOneForPerfectFit) {
+  std::vector<double> u, y;
+  MakeArxPair(400, 0.0, 12, &u, &y);
+  Result<ArxModel> model = ArxModel::Fit(y, u, ArxOrder{1, 1, 0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.value().fitness(), 0.999);
+}
+
+TEST(ArxModelTest, FitnessLowForUnrelatedInput) {
+  Rng rng(13);
+  std::vector<double> u, y;
+  for (int i = 0; i < 300; ++i) {
+    u.push_back(rng.Gaussian(0, 1));
+    y.push_back(rng.Gaussian(0, 1));  // white noise: nothing predicts it
+  }
+  Result<ArxModel> model = ArxModel::Fit(y, u, ArxOrder{1, 1, 0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model.value().fitness(), 0.3);
+}
+
+TEST(ArxModelTest, PredictWarmupEchoes) {
+  std::vector<double> u, y;
+  MakeArxPair(50, 0.05, 14, &u, &y);
+  Result<ArxModel> model = ArxModel::Fit(y, u, ArxOrder{2, 2, 1});
+  ASSERT_TRUE(model.ok());
+  Result<std::vector<double>> preds = model.value().PredictInSample(y, u);
+  ASSERT_TRUE(preds.ok());
+  // warmup = max(na, delay + nb - 1) = 2
+  EXPECT_DOUBLE_EQ(preds.value()[0], y[0]);
+  EXPECT_DOUBLE_EQ(preds.value()[1], y[1]);
+}
+
+TEST(ArxModelTest, EvaluateFitnessOnFreshData) {
+  std::vector<double> u1, y1, u2, y2;
+  MakeArxPair(500, 0.05, 15, &u1, &y1);
+  MakeArxPair(500, 0.05, 16, &u2, &y2);
+  Result<ArxModel> model = ArxModel::Fit(y1, u1, ArxOrder{1, 1, 0});
+  ASSERT_TRUE(model.ok());
+  Result<double> fresh = model.value().EvaluateFitness(y2, u2);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh.value(), 0.8);  // same generating law -> still fits
+}
+
+TEST(ArxModelTest, TrainedModelExposesRegimeChange) {
+  // The trained model must NOT track data from a different law.
+  std::vector<double> u1, y1;
+  MakeArxPair(500, 0.02, 17, &u1, &y1);
+  Result<ArxModel> model = ArxModel::Fit(y1, u1, ArxOrder{1, 1, 0});
+  ASSERT_TRUE(model.ok());
+  // Different law: y no longer depends on u.
+  Rng rng(18);
+  std::vector<double> u2, y2;
+  double prev = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    u2.push_back(std::sin(i * 0.3));
+    prev = 0.9 * prev + rng.Gaussian(0.0, 1.0);
+    y2.push_back(prev);
+  }
+  Result<double> fresh = model.value().EvaluateFitness(y2, u2);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_LT(fresh.value(), 0.6);
+}
+
+TEST(FitArxBestTest, PicksHigherFitnessThanFixedSmallOrder) {
+  std::vector<double> u, y;
+  MakeArxPair(600, 0.05, 19, &u, &y);
+  Result<ArxModel> best = FitArxBest(y, u);
+  ASSERT_TRUE(best.ok());
+  Result<ArxModel> fixed = ArxModel::Fit(y, u, ArxOrder{1, 1, 2});
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_GE(best.value().fitness(), fixed.value().fitness() - 1e-12);
+}
+
+TEST(ArxAssociationTest, CoupledPairScoresHigh) {
+  std::vector<double> u, y;
+  MakeArxPair(200, 0.05, 20, &u, &y);
+  Result<double> score = ArxAssociationScore(u, y);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score.value(), 0.6);
+}
+
+TEST(ArxAssociationTest, StationaryNoiseConforms) {
+  // The association score is a conformance rate: two independent but
+  // stationary noise series keep satisfying whatever (weak) linear law was
+  // fitted, so the score stays high. Violations signal regime *changes*,
+  // not weak coupling - see MidRunRegimeShiftLowersScore.
+  Rng rng(21);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.Gaussian(0, 1));
+    b.push_back(rng.Gaussian(0, 1));
+  }
+  Result<double> score = ArxAssociationScore(a, b);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(score.value(), 0.8);
+}
+
+TEST(ArxAssociationTest, ScoreClampedToUnitInterval) {
+  Rng rng(22);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 120; ++i) {
+      a.push_back(rng.Gaussian(0, 1));
+      b.push_back(0.7 * a.back() + rng.Gaussian(0, 0.4));
+    }
+    Result<double> score = ArxAssociationScore(a, b);
+    ASSERT_TRUE(score.ok());
+    EXPECT_GE(score.value(), 0.0);
+    EXPECT_LE(score.value(), 1.0);
+  }
+}
+
+TEST(ArxAssociationTest, MidRunRegimeShiftLowersScore) {
+  // First half coupled, second half decoupled: the cross-validated score
+  // must land well below the fully-coupled score.
+  Rng rng(23);
+  std::vector<double> u, y;
+  for (int i = 0; i < 120; ++i) {
+    const double ut = std::sin(i * 0.25) + rng.Gaussian(0, 0.1);
+    u.push_back(ut);
+    y.push_back(i < 60 ? 0.9 * ut + rng.Gaussian(0, 0.05)
+                       : rng.Gaussian(0, 1.0));
+  }
+  std::vector<double> u2, y2;
+  for (int i = 0; i < 120; ++i) {
+    const double ut = std::sin(i * 0.25) + rng.Gaussian(0, 0.1);
+    u2.push_back(ut);
+    y2.push_back(0.9 * ut + rng.Gaussian(0, 0.05));
+  }
+  const double broken = ArxAssociationScore(u, y).value();
+  const double intact = ArxAssociationScore(u2, y2).value();
+  EXPECT_LT(broken, intact - 0.15);
+}
+
+}  // namespace
+}  // namespace invarnetx::arx

@@ -1,0 +1,218 @@
+#include "core/causal_hints.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/evaluate.h"
+#include "core/report.h"
+#include "core/pipeline.h"
+#include "gtest/gtest.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::core {
+namespace {
+
+namespace tm = invarnetx::telemetry;
+
+// A context model whose only invariants are the given metric pairs, and a
+// report that marks all of them violated.
+struct Scenario {
+  ContextModel model;
+  DiagnosisReport report;
+};
+
+Scenario MakeScenario(const std::vector<std::pair<int, int>>& pairs) {
+  Scenario s;
+  s.model.invariants.present.assign(tm::kNumMetricPairs, 0);
+  s.model.invariants.values.assign(tm::kNumMetricPairs, 0.0);
+  for (const auto& [a, b] : pairs) {
+    s.model.invariants.present[static_cast<size_t>(tm::PairIndex(a, b))] = 1;
+  }
+  s.report.anomaly_detected = true;
+  s.report.violations.assign(pairs.size(), 1);
+  s.report.num_violations = static_cast<int>(pairs.size());
+  return s;
+}
+
+// A trace where `root` strictly precedes every other listed metric:
+// follower_t = root_{t-1}. Unlisted metrics get uncorrelated noise.
+tm::NodeTrace MakeLeaderTrace(int root, const std::vector<int>& followers,
+                              int ticks) {
+  tm::NodeTrace node;
+  node.ip = "10.0.0.2";
+  Rng rng(2026);
+  std::vector<double> driver(static_cast<size_t>(ticks));
+  for (double& v : driver) v = rng.Uniform();
+  node.metrics[static_cast<size_t>(root)] = driver;
+  for (int m : followers) {
+    std::vector<double> lagged(static_cast<size_t>(ticks));
+    lagged[0] = driver[0];
+    for (int t = 1; t < ticks; ++t) {
+      lagged[static_cast<size_t>(t)] = driver[static_cast<size_t>(t - 1)];
+    }
+    node.metrics[static_cast<size_t>(m)] = lagged;
+  }
+  for (int m = 0; m < tm::kNumMetrics; ++m) {
+    if (node.metrics[static_cast<size_t>(m)].empty()) {
+      std::vector<double> noise(static_cast<size_t>(ticks));
+      for (double& v : noise) v = rng.Uniform();
+      node.metrics[static_cast<size_t>(m)] = noise;
+    }
+  }
+  return node;
+}
+
+TEST(CausalHintsTest, EmptyViolationsYieldNoHints) {
+  Scenario s = MakeScenario({{tm::kCpuUserPct, tm::kLoadAvg1m}});
+  s.report.violations.assign(1, 0);
+  s.report.num_violations = 0;
+  tm::NodeTrace node = MakeLeaderTrace(tm::kCpuUserPct, {tm::kLoadAvg1m}, 60);
+  Result<std::vector<CausalHint>> hints =
+      RankRootMetrics(s.report, s.model, node);
+  ASSERT_TRUE(hints.ok()) << hints.status().ToString();
+  EXPECT_TRUE(hints.value().empty());
+}
+
+TEST(CausalHintsTest, RanksTheTemporalLeaderFirst) {
+  // cpu_user drives load and ctx switches with a one-tick delay; the root
+  // should lead both followers and take the top slot.
+  Scenario s = MakeScenario({{tm::kCpuUserPct, tm::kLoadAvg1m},
+                             {tm::kCpuUserPct, tm::kCtxSwitchesPerSec},
+                             {tm::kLoadAvg1m, tm::kCtxSwitchesPerSec}});
+  tm::NodeTrace node = MakeLeaderTrace(
+      tm::kCpuUserPct, {tm::kLoadAvg1m, tm::kCtxSwitchesPerSec}, 120);
+  Result<std::vector<CausalHint>> hints =
+      RankRootMetrics(s.report, s.model, node);
+  ASSERT_TRUE(hints.ok()) << hints.status().ToString();
+  ASSERT_EQ(hints.value().size(), 3u);
+  EXPECT_EQ(hints.value()[0].metric, tm::kCpuUserPct);
+  EXPECT_EQ(hints.value()[0].leads, 2);
+  EXPECT_EQ(hints.value()[0].led_by, 0);
+  EXPECT_EQ(hints.value()[0].metric_name,
+            tm::MetricName(tm::kCpuUserPct));
+  // Followers are led by the root but do not lead each other (they are
+  // copies of the same lagged series, so neither direction wins).
+  for (size_t i = 1; i < hints.value().size(); ++i) {
+    EXPECT_EQ(hints.value()[i].led_by, 1) << "hint " << i;
+    EXPECT_LT(hints.value()[i].score(), hints.value()[0].score());
+  }
+}
+
+TEST(CausalHintsTest, SortedByDescendingScoreWithMetricTiebreak) {
+  Scenario s = MakeScenario({{tm::kCpuUserPct, tm::kLoadAvg1m},
+                             {tm::kMemUsedMb, tm::kMemFreeMb}});
+  // No temporal structure at all: every score is 0 and ordering falls back
+  // to ascending metric id.
+  tm::NodeTrace node = MakeLeaderTrace(tm::kDiskUtilPct, {}, 120);
+  Result<std::vector<CausalHint>> hints =
+      RankRootMetrics(s.report, s.model, node);
+  ASSERT_TRUE(hints.ok()) << hints.status().ToString();
+  ASSERT_EQ(hints.value().size(), 4u);
+  for (size_t i = 1; i < hints.value().size(); ++i) {
+    const CausalHint& prev = hints.value()[i - 1];
+    const CausalHint& cur = hints.value()[i];
+    EXPECT_TRUE(prev.score() > cur.score() ||
+                (prev.score() == cur.score() && prev.metric < cur.metric));
+  }
+}
+
+TEST(CausalHintsTest, RejectsMismatchedReport) {
+  Scenario s = MakeScenario({{tm::kCpuUserPct, tm::kLoadAvg1m}});
+  s.report.violations.push_back(1);  // one more entry than invariants
+  tm::NodeTrace node = MakeLeaderTrace(tm::kCpuUserPct, {tm::kLoadAvg1m}, 60);
+  Result<std::vector<CausalHint>> hints =
+      RankRootMetrics(s.report, s.model, node);
+  EXPECT_FALSE(hints.ok());
+}
+
+TEST(CausalHintsTest, RejectsTooShortSeries) {
+  Scenario s = MakeScenario({{tm::kCpuUserPct, tm::kLoadAvg1m}});
+  tm::NodeTrace node = MakeLeaderTrace(tm::kCpuUserPct, {tm::kLoadAvg1m}, 2);
+  Result<std::vector<CausalHint>> hints =
+      RankRootMetrics(s.report, s.model, node);
+  EXPECT_FALSE(hints.ok());
+}
+
+TEST(CausalHintsTest, LargeMarginSuppressesAllEdges) {
+  Scenario s = MakeScenario({{tm::kCpuUserPct, tm::kLoadAvg1m}});
+  tm::NodeTrace node = MakeLeaderTrace(tm::kCpuUserPct, {tm::kLoadAvg1m}, 120);
+  Result<std::vector<CausalHint>> hints =
+      RankRootMetrics(s.report, s.model, node, /*lead_margin=*/10.0);
+  ASSERT_TRUE(hints.ok()) << hints.status().ToString();
+  for (const CausalHint& h : hints.value()) {
+    EXPECT_EQ(h.leads, 0);
+    EXPECT_EQ(h.led_by, 0);
+  }
+}
+
+TEST(CausalHintsTest, WorksOnAPipelineDiagnosisEndToEnd) {
+  // Full-stack smoke: train a WordCount context, inject a CPU hog, and
+  // check the hints cover exactly the implicated metrics.
+  InvarNetX pipeline;
+  auto normals = SimulateNormalRuns(workload::WorkloadType::kWordCount, 8, 7);
+  ASSERT_TRUE(normals.ok());
+  const OperationContext context{workload::WorkloadType::kWordCount,
+                                 "10.0.0.2"};
+  ASSERT_TRUE(pipeline.TrainContext(context, normals.value(), 1).ok());
+
+  auto faulty = SimulateFaultRun(workload::WorkloadType::kWordCount,
+                                 faults::FaultType::kCpuHog, 77);
+  ASSERT_TRUE(faulty.ok());
+  Result<DiagnosisReport> report = pipeline.Diagnose(context, faulty.value(), 1);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report.value().anomaly_detected);
+
+  Result<const ContextModel*> model = pipeline.GetContext(context);
+  ASSERT_TRUE(model.ok());
+  Result<std::vector<CausalHint>> hints = RankRootMetrics(
+      report.value(), *model.value(), faulty.value().nodes[1]);
+  ASSERT_TRUE(hints.ok()) << hints.status().ToString();
+  ASSERT_FALSE(hints.value().empty());
+
+  // Every hinted metric is an endpoint of some violated invariant.
+  const std::vector<int> pairs = model.value()->invariants.PairIndices();
+  std::vector<bool> implicated(tm::kNumMetrics, false);
+  for (size_t i = 0; i < report.value().violations.size(); ++i) {
+    if (!report.value().violations[i]) continue;
+    int a = 0, b = 0;
+    tm::PairFromIndex(pairs[i], &a, &b);
+    implicated[static_cast<size_t>(a)] = true;
+    implicated[static_cast<size_t>(b)] = true;
+  }
+  size_t expected = 0;
+  for (bool f : implicated) expected += f ? 1 : 0;
+  EXPECT_EQ(hints.value().size(), expected);
+  for (const CausalHint& h : hints.value()) {
+    EXPECT_TRUE(implicated[static_cast<size_t>(h.metric)])
+        << h.metric_name << " not implicated";
+  }
+}
+
+TEST(CausalHintsTest, ReportEmbedsSuspectedOriginSection) {
+  InvarNetX pipeline;
+  auto normals = SimulateNormalRuns(workload::WorkloadType::kWordCount, 8, 7);
+  ASSERT_TRUE(normals.ok());
+  const OperationContext context{workload::WorkloadType::kWordCount,
+                                 "10.0.0.2"};
+  ASSERT_TRUE(pipeline.TrainContext(context, normals.value(), 1).ok());
+  auto faulty = SimulateFaultRun(workload::WorkloadType::kWordCount,
+                                 faults::FaultType::kCpuHog, 78);
+  ASSERT_TRUE(faulty.ok());
+  Result<DiagnosisReport> report = pipeline.Diagnose(context, faulty.value(), 1);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report.value().anomaly_detected);
+  const std::string markdown = RenderIncidentReport(
+      context, report.value(), *pipeline.GetContext(context).value(),
+      faulty.value().ticks, &faulty.value().nodes[1]);
+  EXPECT_NE(markdown.find("Suspected origin metrics"), std::string::npos);
+  // Without a node trace the section is omitted.
+  const std::string without = RenderIncidentReport(
+      context, report.value(), *pipeline.GetContext(context).value(),
+      faulty.value().ticks);
+  EXPECT_EQ(without.find("Suspected origin metrics"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace invarnetx::core

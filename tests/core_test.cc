@@ -1,0 +1,398 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/anomaly.h"
+#include "core/association.h"
+#include "core/invariants.h"
+#include "core/perf_model.h"
+#include "core/sigdb.h"
+#include "telemetry/metrics.h"
+
+namespace invarnetx::core {
+namespace {
+
+std::vector<double> StableCpiTrace(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  double level = 1.0;
+  for (int i = 0; i < n; ++i) {
+    level = 0.3 + 0.7 * level + rng.Gaussian(0.0, 0.01);
+    out.push_back(level);
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- PerfModel --
+
+TEST(PerfModelTest, TrainNeedsTraces) {
+  EXPECT_FALSE(PerformanceModel::Train({}).ok());
+}
+
+TEST(PerfModelTest, ThresholdOrdering) {
+  std::vector<std::vector<double>> traces;
+  for (int i = 0; i < 5; ++i) traces.push_back(StableCpiTrace(60, 10 + i));
+  Result<PerformanceModel> model = PerformanceModel::Train(traces);
+  ASSERT_TRUE(model.ok());
+  const PerformanceModel& m = model.value();
+  EXPECT_GT(m.residual_max(), m.residual_p95());
+  EXPECT_GT(m.residual_p95(), m.residual_min());
+  EXPECT_GE(m.residual_min(), 0.0);
+  // beta-max = 1.2 * max.
+  EXPECT_NEAR(m.Threshold(ThresholdRule::kBetaMax), 1.2 * m.residual_max(),
+              1e-12);
+  EXPECT_DOUBLE_EQ(m.Threshold(ThresholdRule::kMaxMin), m.residual_max());
+  EXPECT_DOUBLE_EQ(m.Threshold(ThresholdRule::k95Percentile),
+                   m.residual_p95());
+}
+
+TEST(PerfModelTest, RuleNames) {
+  EXPECT_EQ(ThresholdRuleName(ThresholdRule::kMaxMin), "max-min");
+  EXPECT_EQ(ThresholdRuleName(ThresholdRule::k95Percentile), "95-percentile");
+  EXPECT_EQ(ThresholdRuleName(ThresholdRule::kBetaMax), "beta-max");
+}
+
+TEST(PerfModelTest, FromPartsPreservesValues) {
+  const PerformanceModel model =
+      PerformanceModel::FromParts(ts::ArimaModel(), 0.01, 0.2, 0.1, 1.5);
+  EXPECT_DOUBLE_EQ(model.residual_min(), 0.01);
+  EXPECT_DOUBLE_EQ(model.residual_max(), 0.2);
+  EXPECT_DOUBLE_EQ(model.residual_p95(), 0.1);
+  EXPECT_DOUBLE_EQ(model.Threshold(ThresholdRule::kBetaMax), 0.3);
+}
+
+// ---------------------------------------------------------------- Anomaly --
+
+PerformanceModel TrainedModel(uint64_t seed = 1) {
+  std::vector<std::vector<double>> traces;
+  for (int i = 0; i < 8; ++i) {
+    traces.push_back(StableCpiTrace(60, seed * 100 + i));
+  }
+  return PerformanceModel::Train(traces).value();
+}
+
+TEST(AnomalyTest, QuietOnNormalData) {
+  const PerformanceModel model = TrainedModel();
+  AnomalyDetector detector(model, ThresholdRule::kBetaMax);
+  const AnomalyScan scan = detector.Scan(StableCpiTrace(80, 999));
+  EXPECT_FALSE(scan.triggered());
+}
+
+TEST(AnomalyTest, FiresOnSustainedDisturbance) {
+  const PerformanceModel model = TrainedModel();
+  std::vector<double> series = StableCpiTrace(80, 999);
+  // Bursty CPI inflation from tick 40 on.
+  Rng rng(5);
+  for (size_t t = 40; t < series.size(); ++t) {
+    series[t] *= 1.4 + 0.4 * rng.Uniform();
+  }
+  AnomalyDetector detector(model, ThresholdRule::kBetaMax);
+  const AnomalyScan scan = detector.Scan(series);
+  ASSERT_TRUE(scan.triggered());
+  EXPECT_GE(scan.first_alarm_tick, 40);
+  EXPECT_LE(scan.first_alarm_tick, 50);
+}
+
+TEST(AnomalyTest, DebounceRequiresConsecutiveExceedances) {
+  const PerformanceModel model = TrainedModel();
+  std::vector<double> series = StableCpiTrace(80, 999);
+  series[40] *= 2.0;  // one isolated spike
+  AnomalyDetector detector(model, ThresholdRule::kBetaMax, 3);
+  EXPECT_FALSE(detector.Scan(series).triggered());
+  // With a 1-tick requirement the same spike trips the alarm.
+  AnomalyDetector eager(model, ThresholdRule::kBetaMax, 1);
+  EXPECT_TRUE(eager.Scan(series).triggered());
+}
+
+TEST(AnomalyTest, ResetClearsStreak) {
+  const PerformanceModel model = TrainedModel();
+  AnomalyDetector detector(model, ThresholdRule::kBetaMax, 3);
+  std::vector<double> warm = StableCpiTrace(20, 4);
+  for (double v : warm) detector.Observe(v);
+  detector.Observe(warm.back() * 2.0);
+  detector.Observe(warm.back() * 0.5);
+  EXPECT_GT(detector.consecutive_count(), 0);
+  detector.Reset();
+  EXPECT_EQ(detector.consecutive_count(), 0);
+}
+
+TEST(AnomalyTest, ScanOutputsAligned) {
+  const PerformanceModel model = TrainedModel();
+  AnomalyDetector detector(model, ThresholdRule::k95Percentile);
+  const std::vector<double> series = StableCpiTrace(50, 999);
+  const AnomalyScan scan = detector.Scan(series);
+  EXPECT_EQ(scan.residuals.size(), series.size());
+  EXPECT_EQ(scan.raw_flags.size(), series.size());
+  EXPECT_EQ(scan.alarms.size(), series.size());
+}
+
+// ------------------------------------------------------------ Association --
+
+telemetry::NodeTrace MakeNodeTrace(int ticks, uint64_t seed) {
+  Rng rng(seed);
+  telemetry::NodeTrace node;
+  node.ip = "10.0.0.2";
+  for (int t = 0; t < ticks; ++t) {
+    const double driver = std::sin(t * 0.2) + rng.Gaussian(0.0, 0.05);
+    node.cpi.push_back(1.0 + 0.05 * driver);
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      // All metrics follow the common driver with metric-specific gain.
+      node.metrics[static_cast<size_t>(m)].push_back(
+          10.0 + (m + 1) * driver + rng.Gaussian(0.0, 0.1));
+    }
+  }
+  return node;
+}
+
+TEST(AssociationTest, EngineFactory) {
+  EXPECT_EQ(AssociationEngine::Make(AssociationEngineType::kMic)->name(),
+            "mic");
+  EXPECT_EQ(AssociationEngine::Make(AssociationEngineType::kArx)->name(),
+            "arx");
+  EXPECT_EQ(AssociationEngineName(AssociationEngineType::kMic), "mic");
+  EXPECT_EQ(AssociationEngineName(AssociationEngineType::kArx), "arx");
+}
+
+TEST(AssociationTest, MatrixShapeAndRange) {
+  const telemetry::NodeTrace node = MakeNodeTrace(60, 3);
+  const auto engine = AssociationEngine::Make(AssociationEngineType::kMic);
+  Result<AssociationMatrix> matrix = ComputeAssociationMatrix(node, *engine);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ(matrix.value().size(),
+            static_cast<size_t>(telemetry::kNumMetricPairs));
+  for (double v : matrix.value()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(AssociationTest, CoupledMetricsScoreHigh) {
+  const telemetry::NodeTrace node = MakeNodeTrace(80, 4);
+  const auto engine = AssociationEngine::Make(AssociationEngineType::kMic);
+  const AssociationMatrix matrix =
+      ComputeAssociationMatrix(node, *engine).value();
+  // All metrics share one driver, so a randomly picked pair scores high.
+  EXPECT_GT(matrix[static_cast<size_t>(telemetry::PairIndex(0, 5))], 0.5);
+  EXPECT_GT(matrix[static_cast<size_t>(telemetry::PairIndex(3, 20))], 0.5);
+}
+
+TEST(AssociationTest, ConstantSeriesScoreZero) {
+  telemetry::NodeTrace node = MakeNodeTrace(60, 5);
+  std::fill(node.metrics[0].begin(), node.metrics[0].end(), 7.0);
+  const auto engine = AssociationEngine::Make(AssociationEngineType::kMic);
+  const AssociationMatrix matrix =
+      ComputeAssociationMatrix(node, *engine).value();
+  EXPECT_DOUBLE_EQ(matrix[static_cast<size_t>(telemetry::PairIndex(0, 1))],
+                   0.0);
+}
+
+// -------------------------------------------------------------- Invariants --
+
+TEST(InvariantsTest, RequiresTwoRuns) {
+  EXPECT_FALSE(BuildInvariants({AssociationMatrix(10, 0.5)}).ok());
+}
+
+TEST(InvariantsTest, RejectsMismatchedSizes) {
+  EXPECT_FALSE(BuildInvariants(
+                   {AssociationMatrix(10, 0.5), AssociationMatrix(9, 0.5)})
+                   .ok());
+}
+
+TEST(InvariantsTest, StabilityFilter) {
+  // Pair 0 stable at ~0.8, pair 1 swings 0.2..0.7, pair 2 stable at 0.
+  std::vector<AssociationMatrix> runs;
+  for (int i = 0; i < 5; ++i) {
+    AssociationMatrix m(3, 0.0);
+    m[0] = 0.8 + 0.01 * i;
+    m[1] = i % 2 == 0 ? 0.2 : 0.7;
+    m[2] = 0.0;
+    runs.push_back(m);
+  }
+  Result<InvariantSet> set = BuildInvariants(runs, 0.2);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set.value().present[0], 1);
+  EXPECT_EQ(set.value().present[1], 0);
+  EXPECT_EQ(set.value().present[2], 1);
+  EXPECT_EQ(set.value().NumInvariants(), 2);
+  // Algorithm 1 stores the max of V(m, n).
+  EXPECT_DOUBLE_EQ(set.value().values[0], 0.84);
+  EXPECT_EQ(set.value().PairIndices(), (std::vector<int>{0, 2}));
+}
+
+TEST(InvariantsTest, ViolationTuple) {
+  InvariantSet set;
+  set.present = {1, 0, 1, 1};
+  set.values = {0.8, 0.0, 0.1, 0.5};
+  AssociationMatrix abnormal = {0.3, 0.9, 0.15, 0.45};
+  Result<std::vector<uint8_t>> tuple =
+      ComputeViolationTuple(set, abnormal, 0.2);
+  ASSERT_TRUE(tuple.ok());
+  // Non-invariant pair 1 contributes no bit; |0.8-0.3|=0.5 violates,
+  // |0.1-0.15| and |0.5-0.45| do not.
+  EXPECT_EQ(tuple.value(), (std::vector<uint8_t>{1, 0, 0}));
+}
+
+TEST(InvariantsTest, ViolationTupleSizeMismatch) {
+  InvariantSet set;
+  set.present = {1, 1};
+  set.values = {0.5, 0.5};
+  EXPECT_FALSE(ComputeViolationTuple(set, AssociationMatrix(3, 0.0)).ok());
+}
+
+// ------------------------------------------------------------------ SigDb --
+
+TEST(SimilarityTest, IdenticalTuplesScoreOne) {
+  const std::vector<uint8_t> a = {1, 0, 1, 1, 0};
+  for (SimilarityMetric metric :
+       {SimilarityMetric::kJaccard, SimilarityMetric::kDice,
+        SimilarityMetric::kCosine, SimilarityMetric::kHamming}) {
+    EXPECT_DOUBLE_EQ(TupleSimilarity(a, a, metric).value(), 1.0)
+        << SimilarityMetricName(metric);
+  }
+}
+
+TEST(SimilarityTest, DisjointTuples) {
+  const std::vector<uint8_t> a = {1, 1, 0, 0};
+  const std::vector<uint8_t> b = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(
+      TupleSimilarity(a, b, SimilarityMetric::kJaccard).value(), 0.0);
+  EXPECT_DOUBLE_EQ(TupleSimilarity(a, b, SimilarityMetric::kDice).value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      TupleSimilarity(a, b, SimilarityMetric::kHamming).value(), 0.0);
+}
+
+TEST(SimilarityTest, KnownJaccardValue) {
+  const std::vector<uint8_t> a = {1, 1, 0, 0};
+  const std::vector<uint8_t> b = {1, 0, 1, 0};
+  // intersection 1, union 3.
+  EXPECT_NEAR(TupleSimilarity(a, b, SimilarityMetric::kJaccard).value(),
+              1.0 / 3.0, 1e-12);
+  // dice: 2*1/(2+2) = 0.5
+  EXPECT_NEAR(TupleSimilarity(a, b, SimilarityMetric::kDice).value(), 0.5,
+              1e-12);
+  // hamming: 2 equal positions of 4.
+  EXPECT_NEAR(TupleSimilarity(a, b, SimilarityMetric::kHamming).value(), 0.5,
+              1e-12);
+}
+
+TEST(SimilarityTest, AllZeroTuplesAreIdentical) {
+  const std::vector<uint8_t> zero(5, 0);
+  EXPECT_DOUBLE_EQ(
+      TupleSimilarity(zero, zero, SimilarityMetric::kJaccard).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      TupleSimilarity(zero, zero, SimilarityMetric::kCosine).value(), 1.0);
+}
+
+TEST(SimilarityTest, ValidatesInput) {
+  EXPECT_FALSE(
+      TupleSimilarity({1, 0}, {1}, SimilarityMetric::kJaccard).ok());
+  EXPECT_FALSE(TupleSimilarity({}, {}, SimilarityMetric::kJaccard).ok());
+}
+
+TEST(SigDbTest, AddValidation) {
+  SignatureDatabase db;
+  EXPECT_FALSE(db.Add(Signature{"", {1, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"a", {1, 0, 1}}).ok());
+  EXPECT_FALSE(db.Add(Signature{"b", {1, 0}}).ok());  // length mismatch
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(SigDbTest, QueryRanksByBestSimilarity) {
+  SignatureDatabase db;
+  ASSERT_TRUE(db.Add(Signature{"cpu-hog", {1, 1, 0, 0, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"mem-hog", {0, 0, 1, 1, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"mem-hog", {0, 0, 1, 1, 1}}).ok());
+  Result<std::vector<RankedCause>> ranked =
+      db.Query({0, 0, 1, 1, 0}, SimilarityMetric::kJaccard);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked.value().size(), 2u);
+  EXPECT_EQ(ranked.value()[0].problem, "mem-hog");
+  EXPECT_DOUBLE_EQ(ranked.value()[0].score, 1.0);  // best of the two entries
+  EXPECT_EQ(ranked.value()[1].problem, "cpu-hog");
+}
+
+TEST(SigDbTest, QueryTopKLimits) {
+  SignatureDatabase db;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        db.Add(Signature{"p" + std::to_string(i), {1, 0, 0}}).ok());
+  }
+  Result<std::vector<RankedCause>> ranked =
+      db.Query({1, 0, 0}, SimilarityMetric::kJaccard, 3);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked.value().size(), 3u);
+}
+
+TEST(SigDbTest, EmptyDatabaseQueryFails) {
+  SignatureDatabase db;
+  EXPECT_FALSE(db.Query({1, 0}, SimilarityMetric::kJaccard).ok());
+}
+
+TEST(SigDbTest, IdfDownweightsCommonBits) {
+  // Bit 0 is violated by three of four signatures (a generic "node in
+  // trouble" bit); bit 1 is rare. Under plain Jaccard the query's best
+  // match is a signature sharing only the generic bit; under IDF
+  // weighting the signature sharing the rare bit must win.
+  SignatureDatabase db;
+  ASSERT_TRUE(db.Add(Signature{"generic-a", {1, 0, 1, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"rare", {0, 1, 1, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"generic-b", {1, 0, 0, 1}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"generic-c", {1, 0, 0, 0}}).ok());
+  const std::vector<uint8_t> query = {1, 1, 0, 0};
+  const auto plain = db.Query(query, SimilarityMetric::kJaccard).value();
+  EXPECT_EQ(plain[0].problem, "generic-c");  // shares only the common bit
+  const auto idf = db.Query(query, SimilarityMetric::kIdfJaccard).value();
+  EXPECT_EQ(idf[0].problem, "rare");
+}
+
+TEST(SigDbTest, FindConflictsFlagsNearIdenticalProblems) {
+  SignatureDatabase db;
+  ASSERT_TRUE(db.Add(Signature{"net-drop", {1, 1, 1, 0, 0, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"net-delay", {1, 1, 0, 1, 0, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"cpu-hog", {0, 0, 0, 0, 1, 1}}).ok());
+  Result<std::vector<SignatureConflict>> conflicts = db.FindConflicts(0.4);
+  ASSERT_TRUE(conflicts.ok());
+  ASSERT_EQ(conflicts.value().size(), 1u);
+  EXPECT_EQ(conflicts.value()[0].problem_a, "net-delay");
+  EXPECT_EQ(conflicts.value()[0].problem_b, "net-drop");
+  EXPECT_NEAR(conflicts.value()[0].similarity, 0.5, 1e-12);  // 2 of 4
+}
+
+TEST(SigDbTest, FindConflictsUsesBestPairAcrossMultipleSignatures) {
+  SignatureDatabase db;
+  ASSERT_TRUE(db.Add(Signature{"a", {1, 1, 0, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"a", {0, 0, 1, 1}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"b", {1, 1, 0, 0}}).ok());  // identical to a#1
+  Result<std::vector<SignatureConflict>> conflicts = db.FindConflicts(0.9);
+  ASSERT_TRUE(conflicts.ok());
+  ASSERT_EQ(conflicts.value().size(), 1u);
+  EXPECT_DOUBLE_EQ(conflicts.value()[0].similarity, 1.0);
+}
+
+TEST(SigDbTest, FindConflictsIgnoresSameProblemPairs) {
+  SignatureDatabase db;
+  ASSERT_TRUE(db.Add(Signature{"a", {1, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"a", {1, 0}}).ok());
+  Result<std::vector<SignatureConflict>> conflicts = db.FindConflicts(0.1);
+  ASSERT_TRUE(conflicts.ok());
+  EXPECT_TRUE(conflicts.value().empty());
+}
+
+TEST(SigDbTest, FindConflictsSortedDescending) {
+  SignatureDatabase db;
+  ASSERT_TRUE(db.Add(Signature{"a", {1, 1, 1, 1, 0, 0}}).ok());
+  ASSERT_TRUE(db.Add(Signature{"b", {1, 1, 1, 0, 0, 0}}).ok());  // 3/4 vs a
+  ASSERT_TRUE(db.Add(Signature{"c", {1, 1, 0, 0, 1, 1}}).ok());  // lower
+  Result<std::vector<SignatureConflict>> conflicts = db.FindConflicts(0.1);
+  ASSERT_TRUE(conflicts.ok());
+  for (size_t i = 1; i < conflicts.value().size(); ++i) {
+    EXPECT_GE(conflicts.value()[i - 1].similarity,
+              conflicts.value()[i].similarity);
+  }
+}
+
+}  // namespace
+}  // namespace invarnetx::core

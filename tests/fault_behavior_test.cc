@@ -1,0 +1,227 @@
+// End-to-end behavioural contracts for every fault: each fault's documented
+// manifestation must be visible in the observable metrics of a full
+// simulated run (engine + telemetry, not just the driver fields).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "telemetry/runner.h"
+
+namespace invarnetx {
+namespace {
+
+using telemetry::RunTrace;
+using workload::WorkloadType;
+
+// Simulates a WordCount run with the fault (unless kOverload, which runs
+// under TPC-DS).
+RunTrace FaultRun(faults::FaultType fault, uint64_t seed = 77) {
+  telemetry::RunConfig config;
+  config.workload = fault == faults::FaultType::kOverload
+                        ? WorkloadType::kTpcDs
+                        : WorkloadType::kWordCount;
+  config.seed = seed;
+  config.fault =
+      telemetry::FaultRequest{fault, telemetry::DefaultFaultWindow(fault)};
+  return telemetry::SimulateRun(config).value();
+}
+
+RunTrace NormalRun(WorkloadType type = WorkloadType::kWordCount,
+                   uint64_t seed = 77) {
+  telemetry::RunConfig config;
+  config.workload = type;
+  config.seed = seed;
+  return telemetry::SimulateRun(config).value();
+}
+
+// Mean of a metric over the fault window on the given node.
+double WindowMean(const RunTrace& trace, size_t node, int metric) {
+  const faults::FaultWindow& window = trace.fault->window;
+  double acc = 0.0;
+  int count = 0;
+  for (int t = window.start_tick;
+       t < std::min(window.end_tick(), trace.ticks); ++t) {
+    acc += trace.nodes[node].metrics[static_cast<size_t>(metric)]
+                                    [static_cast<size_t>(t)];
+    ++count;
+  }
+  return acc / count;
+}
+
+double NormalMean(const RunTrace& normal, size_t node, int metric,
+                  const faults::FaultWindow& window) {
+  double acc = 0.0;
+  int count = 0;
+  for (int t = window.start_tick;
+       t < std::min(window.end_tick(), normal.ticks); ++t) {
+    acc += normal.nodes[node].metrics[static_cast<size_t>(metric)]
+                                     [static_cast<size_t>(t)];
+    ++count;
+  }
+  return acc / count;
+}
+
+TEST(FaultBehaviorTest, CpuHogRaisesCpuAndCpi) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kCpuHog);
+  const RunTrace normal = NormalRun();
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kCpuUserPct),
+            NormalMean(normal, 1, telemetry::kCpuUserPct,
+                       faulty.fault->window) + 15.0);
+  // CPI elevated on the victim during the window.
+  double faulty_cpi = 0.0, normal_cpi = 0.0;
+  for (int t = 8; t < 38; ++t) {
+    faulty_cpi += faulty.nodes[1].cpi[static_cast<size_t>(t)];
+    normal_cpi += normal.nodes[1].cpi[static_cast<size_t>(t)];
+  }
+  EXPECT_GT(faulty_cpi, normal_cpi * 1.15);
+}
+
+TEST(FaultBehaviorTest, MemHogDrivesSwapAndFaults) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kMemHog);
+  const RunTrace normal = NormalRun();
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kSwapUsedMb), 100.0);
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kPageFaultsPerSec),
+            NormalMean(normal, 1, telemetry::kPageFaultsPerSec,
+                       faulty.fault->window) * 1.5);
+}
+
+TEST(FaultBehaviorTest, DiskHogSaturatesTheDevice) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kDiskHog);
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kDiskUtilPct), 85.0);
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kCpuIowaitPct), 10.0);
+}
+
+TEST(FaultBehaviorTest, NetDropCausesRetransmissionStorm) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kNetDrop);
+  const RunTrace normal = NormalRun();
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kTcpRetransPerSec),
+            NormalMean(normal, 1, telemetry::kTcpRetransPerSec,
+                       faulty.fault->window) + 10.0);
+}
+
+TEST(FaultBehaviorTest, NetDelayCrushesThroughputWithoutRetransStorm) {
+  const RunTrace delay = FaultRun(faults::FaultType::kNetDelay);
+  const RunTrace drop = FaultRun(faults::FaultType::kNetDrop);
+  const RunTrace normal = NormalRun();
+  EXPECT_LT(WindowMean(delay, 1, telemetry::kNetRxKbps),
+            NormalMean(normal, 1, telemetry::kNetRxKbps,
+                       delay.fault->window) * 0.7);
+  EXPECT_LT(WindowMean(delay, 1, telemetry::kTcpRetransPerSec),
+            WindowMean(drop, 1, telemetry::kTcpRetransPerSec) * 0.7);
+}
+
+TEST(FaultBehaviorTest, BlockCorruptionAddsReReadsAndReplication) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kBlockCorruption);
+  const RunTrace normal = NormalRun();
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kDiskReadKbps),
+            NormalMean(normal, 1, telemetry::kDiskReadKbps,
+                       faulty.fault->window) * 1.2);
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kNetTxKbps),
+            NormalMean(normal, 1, telemetry::kNetTxKbps,
+                       faulty.fault->window) * 1.2);
+}
+
+TEST(FaultBehaviorTest, MisconfigMultipliesTaskChurn) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kMisconfig);
+  const RunTrace normal = NormalRun();
+  // Cluster-wide: check a non-victim node too.
+  for (size_t node : {size_t{1}, size_t{3}}) {
+    EXPECT_GT(WindowMean(faulty, node, telemetry::kCtxSwitchesPerSec),
+              NormalMean(normal, node, telemetry::kCtxSwitchesPerSec,
+                         faulty.fault->window) * 1.3)
+        << "node " << node;
+  }
+}
+
+TEST(FaultBehaviorTest, OverloadInflatesEverything) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kOverload);
+  const RunTrace normal = NormalRun(WorkloadType::kTpcDs);
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kCpuUserPct),
+            NormalMean(normal, 1, telemetry::kCpuUserPct,
+                       faulty.fault->window) * 1.3);
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kDiskUtilPct),
+            NormalMean(normal, 1, telemetry::kDiskUtilPct,
+                       faulty.fault->window) * 1.2);
+}
+
+TEST(FaultBehaviorTest, SuspendFreezesActivityKeepsMemory) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kSuspend);
+  const RunTrace normal = NormalRun();
+  EXPECT_LT(WindowMean(faulty, 1, telemetry::kCpuUserPct),
+            NormalMean(normal, 1, telemetry::kCpuUserPct,
+                       faulty.fault->window) * 0.3);
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kMemUsedMb),
+            NormalMean(normal, 1, telemetry::kMemUsedMb,
+                       faulty.fault->window) * 0.7);
+}
+
+TEST(FaultBehaviorTest, RpcHangQuietsNetworkAndStallsProgress) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kRpcHang);
+  const RunTrace normal = NormalRun();
+  EXPECT_LT(WindowMean(faulty, 1, telemetry::kNetRxKbps),
+            NormalMean(normal, 1, telemetry::kNetRxKbps,
+                       faulty.fault->window) * 0.75);
+  EXPECT_GT(faulty.duration_seconds, normal.duration_seconds * 1.1);
+}
+
+TEST(FaultBehaviorTest, ThreadLeakGrowsProcThreadsMonotonically) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kThreadLeak);
+  const auto& threads = faulty.nodes[1].metrics[telemetry::kProcThreads];
+  const faults::FaultWindow& window = faulty.fault->window;
+  const double early = threads[static_cast<size_t>(window.start_tick + 3)];
+  const double late = threads[static_cast<size_t>(
+      std::min(window.end_tick() - 1, faulty.ticks - 1))];
+  EXPECT_GT(late, early + 500.0);
+}
+
+TEST(FaultBehaviorTest, NpeRestartChurnsProcesses) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kNpeRestart);
+  const RunTrace normal = NormalRun();
+  EXPECT_GT(WindowMean(faulty, 1, telemetry::kProcsRunning),
+            NormalMean(normal, 1, telemetry::kProcsRunning,
+                       faulty.fault->window) + 1.0);
+}
+
+TEST(FaultBehaviorTest, LockRaceStretchesTheRun) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kLockRace);
+  const RunTrace normal = NormalRun();
+  EXPECT_GE(faulty.duration_seconds, normal.duration_seconds);
+}
+
+TEST(FaultBehaviorTest, CommInterferenceJittersNetwork) {
+  // Mean tick-to-tick relative change of rx throughput inside the window:
+  // the per-tick jitter multiplies successive ticks by different factors,
+  // which shows up as choppiness (phase ramps change levels only slowly,
+  // so the normal run stays smooth by comparison).
+  const RunTrace faulty = FaultRun(faults::FaultType::kCommInterference);
+  const RunTrace normal = NormalRun();
+  auto choppiness = [](const RunTrace& trace,
+                       const faults::FaultWindow& window) {
+    double acc = 0.0;
+    int count = 0;
+    const auto& rx = trace.nodes[1].metrics[telemetry::kNetRxKbps];
+    for (int t = window.start_tick + 1;
+         t < std::min(window.end_tick(), trace.ticks); ++t) {
+      const double prev = rx[static_cast<size_t>(t - 1)];
+      if (prev <= 0.0) continue;
+      acc += std::fabs(rx[static_cast<size_t>(t)] - prev) / prev;
+      ++count;
+    }
+    return count > 0 ? acc / count : 0.0;
+  };
+  EXPECT_GT(choppiness(faulty, faulty.fault->window),
+            choppiness(normal, faulty.fault->window) * 1.5);
+}
+
+TEST(FaultBehaviorTest, BlockReceiverSuppressesWrites) {
+  const RunTrace faulty = FaultRun(faults::FaultType::kBlockReceiverException);
+  const RunTrace normal = NormalRun();
+  EXPECT_LT(WindowMean(faulty, 1, telemetry::kDiskWriteKbps),
+            NormalMean(normal, 1, telemetry::kDiskWriteKbps,
+                       faulty.fault->window) * 0.7);
+}
+
+}  // namespace
+}  // namespace invarnetx

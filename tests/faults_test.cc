@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "cluster/node.h"
+#include "faults/fault.h"
+
+namespace invarnetx::faults {
+namespace {
+
+cluster::Cluster Testbed() { return cluster::Cluster::MakeTestbed(); }
+
+// Applies one active tick of a fault to a fresh testbed and returns it.
+cluster::Cluster ApplyOnce(FaultType type, uint64_t seed = 5,
+                           size_t target = 1) {
+  cluster::Cluster testbed = Testbed();
+  Rng rng(seed);
+  FaultWindow window;
+  window.start_tick = 0;
+  window.duration_ticks = 10;
+  window.target_node = target;
+  auto fault = MakeFault(type, window, &rng);
+  fault->Apply(0, &testbed, &rng);
+  return testbed;
+}
+
+TEST(FaultCatalogTest, FifteenFaults) {
+  EXPECT_EQ(AllFaults().size(), 15u);
+}
+
+TEST(FaultCatalogTest, NamesRoundTrip) {
+  for (FaultType type : AllFaults()) {
+    Result<FaultType> parsed = FaultFromName(FaultName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), type);
+  }
+  EXPECT_FALSE(FaultFromName("no-such-fault").ok());
+}
+
+TEST(FaultCatalogTest, OverloadOnlyForInteractive) {
+  EXPECT_FALSE(AppliesTo(FaultType::kOverload,
+                         workload::WorkloadType::kWordCount));
+  EXPECT_TRUE(AppliesTo(FaultType::kOverload, workload::WorkloadType::kTpcDs));
+  EXPECT_TRUE(AppliesTo(FaultType::kCpuHog,
+                        workload::WorkloadType::kWordCount));
+}
+
+TEST(FaultWindowTest, ActiveRange) {
+  FaultWindow window;
+  window.start_tick = 5;
+  window.duration_ticks = 3;
+  EXPECT_FALSE(window.Active(4));
+  EXPECT_TRUE(window.Active(5));
+  EXPECT_TRUE(window.Active(7));
+  EXPECT_FALSE(window.Active(8));
+  EXPECT_EQ(window.end_tick(), 8);
+}
+
+TEST(FaultWindowTest, InactiveTicksHaveNoEffect) {
+  cluster::Cluster testbed = Testbed();
+  Rng rng(1);
+  FaultWindow window;
+  window.start_tick = 5;
+  window.duration_ticks = 3;
+  auto fault = MakeFault(FaultType::kCpuHog, window, &rng);
+  fault->Apply(0, &testbed, &rng);
+  EXPECT_DOUBLE_EQ(testbed.node(1).drivers.cpu_extra, 0.0);
+  fault->Apply(9, &testbed, &rng);
+  EXPECT_DOUBLE_EQ(testbed.node(1).drivers.cpu_extra, 0.0);
+  fault->Apply(6, &testbed, &rng);
+  EXPECT_GT(testbed.node(1).drivers.cpu_extra, 0.2);
+}
+
+TEST(FaultEffectTest, CpuHogTargetsCpuAndCache) {
+  cluster::Cluster hit = ApplyOnce(FaultType::kCpuHog);
+  EXPECT_GT(hit.node(1).drivers.cpu_extra, 0.3);
+  EXPECT_GT(hit.node(1).drivers.cache_pressure, 0.1);
+  EXPECT_DOUBLE_EQ(hit.node(2).drivers.cpu_extra, 0.0);  // node-local
+}
+
+TEST(FaultEffectTest, MemHogAllocatesMemory) {
+  cluster::Cluster hit = ApplyOnce(FaultType::kMemHog);
+  EXPECT_GT(hit.node(1).drivers.mem_extra_mb, 6000.0);
+}
+
+TEST(FaultEffectTest, DiskHogGeneratesIo) {
+  cluster::Cluster hit = ApplyOnce(FaultType::kDiskHog);
+  EXPECT_GT(hit.node(1).drivers.io_extra, 0.4);
+}
+
+TEST(FaultEffectTest, NetFaultsLeakClusterWide) {
+  cluster::Cluster drop = ApplyOnce(FaultType::kNetDrop, 5, 0);
+  EXPECT_GT(drop.node(0).drivers.pkt_loss, 0.0);
+  EXPECT_GT(drop.node(2).drivers.pkt_loss, 0.0);  // shared switch echo
+  EXPECT_LT(drop.node(2).drivers.pkt_loss, drop.node(0).drivers.pkt_loss);
+
+  cluster::Cluster delay = ApplyOnce(FaultType::kNetDelay, 5, 0);
+  EXPECT_GT(delay.node(0).drivers.net_delay_ms, 100.0);
+  EXPECT_GT(delay.node(3).drivers.net_delay_ms, 100.0);
+}
+
+TEST(FaultEffectTest, SuspendSetsFlag) {
+  cluster::Cluster hit = ApplyOnce(FaultType::kSuspend);
+  EXPECT_TRUE(hit.node(1).drivers.suspended);
+  EXPECT_FALSE(hit.node(2).drivers.suspended);
+}
+
+TEST(FaultEffectTest, MisconfigIsClusterWideAndDeterministic) {
+  cluster::Cluster testbed = Testbed();
+  // Give slaves some churn for the multiplier to act on.
+  for (size_t i = 1; i < testbed.size(); ++i) {
+    testbed.node(i).drivers.task_churn = 0.5;
+  }
+  Rng rng(5);
+  FaultWindow window;
+  window.duration_ticks = 10;
+  auto fault = MakeFault(FaultType::kMisconfig, window, &rng);
+  fault->Apply(0, &testbed, &rng);
+  for (size_t i = 1; i < testbed.size(); ++i) {
+    EXPECT_GT(testbed.node(i).drivers.task_churn, 1.5) << "node " << i;
+    EXPECT_LT(testbed.node(i).drivers.progress_scale, 0.95);
+  }
+}
+
+TEST(FaultEffectTest, RpcHangBacklogAccumulates) {
+  cluster::Cluster testbed = Testbed();
+  Rng rng(6);
+  FaultWindow window;
+  window.duration_ticks = 20;
+  auto fault = MakeFault(FaultType::kRpcHang, window, &rng);
+  testbed.node(1).drivers.rpc_rate = 0.5;
+  fault->Apply(0, &testbed, &rng);
+  const double first = testbed.node(1).drivers.rpc_backlog;
+  testbed.node(1).drivers.rpc_backlog = 0.0;  // engine resets each tick
+  testbed.node(1).drivers.rpc_rate = 0.5;
+  fault->Apply(1, &testbed, &rng);
+  EXPECT_GT(testbed.node(1).drivers.rpc_backlog, first);
+}
+
+TEST(FaultEffectTest, ThreadLeakGrows) {
+  cluster::Cluster testbed = Testbed();
+  Rng rng(7);
+  FaultWindow window;
+  window.duration_ticks = 40;
+  auto fault = MakeFault(FaultType::kThreadLeak, window, &rng);
+  fault->Apply(0, &testbed, &rng);
+  const double early = testbed.node(1).drivers.extra_threads;
+  for (int t = 1; t < 20; ++t) fault->Apply(t, &testbed, &rng);
+  EXPECT_GT(testbed.node(1).drivers.extra_threads, early * 5.0);
+  // and the leak saturates at its cap
+  for (int t = 20; t < 40; ++t) fault->Apply(t, &testbed, &rng);
+  EXPECT_LE(testbed.node(1).drivers.extra_threads, 4000.0);
+}
+
+TEST(FaultEffectTest, LockRaceIsNondeterministicAcrossRuns) {
+  // Two Lock-R injectors built from different streams must perturb
+  // different metric-noise slots (with overwhelming probability).
+  auto slots = [](uint64_t seed) {
+    cluster::Cluster testbed = Testbed();
+    Rng rng(seed);
+    FaultWindow window;
+    window.duration_ticks = 10;
+    auto fault = MakeFault(FaultType::kLockRace, window, &rng);
+    // Apply several ticks to catch the flickering activation.
+    for (int t = 0; t < 10; ++t) fault->Apply(t, &testbed, &rng);
+    std::vector<size_t> out;
+    for (size_t i = 0; i < cluster::kMetricNoiseSlots; ++i) {
+      if (testbed.node(1).drivers.metric_noise[i] > 0.0) out.push_back(i);
+    }
+    return out;
+  };
+  const std::vector<size_t> a = slots(100);
+  const std::vector<size_t> b = slots(200);
+  EXPECT_FALSE(a.empty());
+  EXPECT_FALSE(b.empty());
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultEffectTest, BlockReceiverBreaksWritePath) {
+  cluster::Cluster testbed = Testbed();
+  testbed.node(1).drivers.io_write = 0.6;
+  Rng rng(8);
+  FaultWindow window;
+  window.duration_ticks = 10;
+  auto fault = MakeFault(FaultType::kBlockReceiverException, window, &rng);
+  fault->Apply(0, &testbed, &rng);
+  EXPECT_LT(testbed.node(1).drivers.io_write, 0.3);
+  EXPECT_GT(testbed.node(1).drivers.net_in, 0.1);
+}
+
+TEST(FaultEffectTest, CpuUtilNoiseLeavesCacheAlone) {
+  // The Fig. 2 disturbance adds utilization but no cache pressure or
+  // progress penalty, so CPI stays flat.
+  cluster::Cluster hit = ApplyOnce(FaultType::kCpuUtilNoise);
+  EXPECT_GT(hit.node(1).drivers.cpu_extra, 0.1);
+  EXPECT_LT(hit.node(1).drivers.cpu_extra, 0.45);
+  EXPECT_DOUBLE_EQ(hit.node(1).drivers.cache_pressure, 0.0);
+  EXPECT_DOUBLE_EQ(hit.node(1).drivers.progress_scale, 1.0);
+}
+
+TEST(FaultEffectTest, MagnitudeVariesAcrossRuns) {
+  // Same fault type, different injector streams: severities differ.
+  const double a = ApplyOnce(FaultType::kMemHog, 1).node(1).drivers.mem_extra_mb;
+  const double b = ApplyOnce(FaultType::kMemHog, 2).node(1).drivers.mem_extra_mb;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace invarnetx::faults

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "fingerprint/fingerprint.h"
+
+namespace invarnetx::fingerprint {
+namespace {
+
+using workload::WorkloadType;
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    normal_ = new std::vector<telemetry::RunTrace>(
+        core::SimulateNormalRuns(WorkloadType::kWordCount, 8, 42).value());
+    index_ = new FingerprintIndex();
+    ASSERT_TRUE(index_->Train(*normal_, 1).ok());
+    for (uint64_t rep = 0; rep < 2; ++rep) {
+      auto hog = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                        faults::FaultType::kMemHog,
+                                        500 + rep);
+      ASSERT_TRUE(index_->AddLabeled("mem-hog", hog.value(), 1).ok());
+      auto cpu = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                        faults::FaultType::kCpuHog,
+                                        510 + rep);
+      ASSERT_TRUE(index_->AddLabeled("cpu-hog", cpu.value(), 1).ok());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete normal_;
+  }
+
+  static std::vector<telemetry::RunTrace>* normal_;
+  static FingerprintIndex* index_;
+};
+
+std::vector<telemetry::RunTrace>* FingerprintTest::normal_ = nullptr;
+FingerprintIndex* FingerprintTest::index_ = nullptr;
+
+TEST_F(FingerprintTest, TrainingValidates) {
+  FingerprintIndex fresh;
+  EXPECT_FALSE(fresh.trained());
+  EXPECT_FALSE(fresh.Train({}, 1).ok());
+  EXPECT_FALSE(fresh.Train(*normal_, 99).ok());
+  EXPECT_FALSE(fresh.Summarize((*normal_)[0], 1).ok());  // before Train
+}
+
+TEST_F(FingerprintTest, FingerprintShapeAndRange) {
+  Result<std::vector<double>> values = index_->Summarize((*normal_)[0], 1);
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values.value().size(),
+            static_cast<size_t>(2 * telemetry::kNumMetrics));
+  for (double v : values.value()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_F(FingerprintTest, HealthyRunsAreQuietFaultyRunsAreNot) {
+  auto clean = core::SimulateNormalRuns(WorkloadType::kWordCount, 1, 777);
+  EXPECT_FALSE(index_->IsAnomalous(clean.value()[0], 1).value());
+  auto faulty = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                       faults::FaultType::kMemHog, 888);
+  EXPECT_TRUE(index_->IsAnomalous(faulty.value(), 1).value());
+}
+
+TEST_F(FingerprintTest, ClassifiesNearestCrisis) {
+  int correct = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto run = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                      faults::FaultType::kMemHog,
+                                      900 + seed * 3);
+    const auto matches = index_->Classify(run.value(), 1).value();
+    if (!matches.empty() && matches[0].problem == "mem-hog") ++correct;
+  }
+  EXPECT_GE(correct, 4);
+}
+
+TEST_F(FingerprintTest, MatchesSortedByDistance) {
+  auto run = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                    faults::FaultType::kCpuHog, 950);
+  const auto matches = index_->Classify(run.value(), 1).value();
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i].distance, matches[i - 1].distance);
+  }
+}
+
+TEST_F(FingerprintTest, ClassifyRequiresLabels) {
+  FingerprintIndex fresh;
+  ASSERT_TRUE(fresh.Train(*normal_, 1).ok());
+  auto run = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                    faults::FaultType::kCpuHog, 960);
+  EXPECT_FALSE(fresh.Classify(run.value(), 1).ok());
+  EXPECT_EQ(fresh.num_labeled(), 0u);
+}
+
+}  // namespace
+}  // namespace invarnetx::fingerprint

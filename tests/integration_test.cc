@@ -1,0 +1,172 @@
+// End-to-end scenarios across the whole stack: simulator -> telemetry ->
+// offline training -> online detection -> cause inference.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+
+namespace invarnetx {
+namespace {
+
+using core::DiagnosisReport;
+using core::InvarNetX;
+using core::OperationContext;
+using workload::WorkloadType;
+
+constexpr size_t kVictim = 1;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  // One fully trained pipeline shared by the scenarios (built once).
+  static void SetUpTestSuite() {
+    pipeline_ = new InvarNetX();
+    context_ = new OperationContext{WorkloadType::kWordCount, "10.0.0.2"};
+    auto normal = core::SimulateNormalRuns(WorkloadType::kWordCount, 10, 42);
+    ASSERT_TRUE(normal.ok());
+    ASSERT_TRUE(
+        pipeline_->TrainContext(*context_, normal.value(), kVictim).ok());
+    uint64_t fault_index = 0;
+    for (faults::FaultType fault : faults::AllFaults()) {
+      if (!faults::AppliesTo(fault, WorkloadType::kWordCount)) continue;
+      for (uint64_t rep = 0; rep < 2; ++rep) {
+        auto run = core::SimulateFaultRun(WorkloadType::kWordCount, fault,
+                                          42 + 0x20000 + fault_index * 1000 +
+                                              rep);
+        ASSERT_TRUE(pipeline_
+                        ->AddSignature(*context_, faults::FaultName(fault),
+                                       run.value(), kVictim)
+                        .ok());
+      }
+      ++fault_index;
+    }
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete context_;
+  }
+
+  DiagnosisReport Diagnose(faults::FaultType fault, uint64_t seed) {
+    auto run = core::SimulateFaultRun(WorkloadType::kWordCount, fault, seed);
+    return pipeline_->Diagnose(*context_, run.value(), kVictim).value();
+  }
+
+  static InvarNetX* pipeline_;
+  static OperationContext* context_;
+};
+
+InvarNetX* IntegrationTest::pipeline_ = nullptr;
+OperationContext* IntegrationTest::context_ = nullptr;
+
+TEST_F(IntegrationTest, EveryFaultTypeTripsTheAlarm) {
+  for (faults::FaultType fault : faults::AllFaults()) {
+    if (!faults::AppliesTo(fault, WorkloadType::kWordCount)) continue;
+    int detected = 0;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      if (Diagnose(fault, 5000 + seed).anomaly_detected) ++detected;
+    }
+    EXPECT_GE(detected, 2) << faults::FaultName(fault);
+  }
+}
+
+TEST_F(IntegrationTest, DistinctiveFaultsDiagnosedTopOne) {
+  // The faults the paper finds easiest must be diagnosed correctly in the
+  // majority of runs.
+  for (faults::FaultType fault :
+       {faults::FaultType::kCpuHog, faults::FaultType::kMemHog,
+        faults::FaultType::kSuspend}) {
+    int top2 = 0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      const DiagnosisReport report = Diagnose(fault, 6000 + seed * 13);
+      if (!report.anomaly_detected) continue;
+      for (size_t k = 0; k < report.causes.size() && k < 2; ++k) {
+        if (report.causes[k].problem == faults::FaultName(fault)) {
+          ++top2;
+          break;
+        }
+      }
+    }
+    EXPECT_GE(top2, 4) << faults::FaultName(fault);
+  }
+}
+
+TEST_F(IntegrationTest, NetDropAndDelayShareSignatureNeighborhood) {
+  // The paper's signature conflict: whichever of the two wins, the other
+  // must rank in the top candidates.
+  const DiagnosisReport report = Diagnose(faults::FaultType::kNetDrop, 7100);
+  ASSERT_TRUE(report.anomaly_detected);
+  bool drop_seen = false, delay_seen = false;
+  for (size_t i = 0; i < report.causes.size() && i < 3; ++i) {
+    drop_seen |= report.causes[i].problem == "net-drop";
+    delay_seen |= report.causes[i].problem == "net-delay";
+  }
+  EXPECT_TRUE(drop_seen);
+  EXPECT_TRUE(delay_seen);
+}
+
+TEST_F(IntegrationTest, CleanRunsStayQuietAcrossSeeds) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    auto clean =
+        core::SimulateNormalRuns(WorkloadType::kWordCount, 1, 8000 + seed);
+    const DiagnosisReport report =
+        pipeline_->Diagnose(*context_, clean.value()[0], kVictim).value();
+    EXPECT_FALSE(report.anomaly_detected) << "seed " << seed;
+  }
+}
+
+TEST_F(IntegrationTest, SuspendProducesManyViolations) {
+  // Suspension freezes the Hadoop processes: a substantial slice of the
+  // invariant network must break, every time.
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const DiagnosisReport report =
+        Diagnose(faults::FaultType::kSuspend, 9100 + seed);
+    ASSERT_TRUE(report.anomaly_detected) << seed;
+    EXPECT_GT(report.num_violations, 10) << seed;
+  }
+}
+
+TEST_F(IntegrationTest, CpuUtilNoiseIsNotAnAnomaly) {
+  // The Fig. 2 scenario end-to-end: a pure utilization disturbance must
+  // not trigger diagnosis.
+  telemetry::RunConfig config;
+  config.workload = WorkloadType::kWordCount;
+  config.seed = 9200;
+  faults::FaultWindow window;
+  window.start_tick = 10;
+  window.duration_ticks = 30;
+  window.target_node = 1;
+  config.fault =
+      telemetry::FaultRequest{faults::FaultType::kCpuUtilNoise, window};
+  auto run = telemetry::SimulateRun(config);
+  const DiagnosisReport report =
+      pipeline_->Diagnose(*context_, run.value(), kVictim).value();
+  EXPECT_FALSE(report.anomaly_detected);
+}
+
+TEST(InteractiveIntegrationTest, TpcDsPipelineEndToEnd) {
+  InvarNetX pipeline;
+  const OperationContext context{WorkloadType::kTpcDs, "10.0.0.2"};
+  core::EvalConfig defaults;
+  auto normal = core::SimulateNormalRuns(WorkloadType::kTpcDs, 8, 42,
+                                         defaults.interactive_train_ticks);
+  ASSERT_TRUE(normal.ok());
+  ASSERT_TRUE(pipeline.TrainContext(context, normal.value(), kVictim).ok());
+  for (int rep = 0; rep < 2; ++rep) {
+    auto run = core::SimulateFaultRun(WorkloadType::kTpcDs,
+                                      faults::FaultType::kOverload,
+                                      500 + static_cast<uint64_t>(rep));
+    ASSERT_TRUE(
+        pipeline.AddSignature(context, "overload", run.value(), kVictim)
+            .ok());
+  }
+  auto incident = core::SimulateFaultRun(WorkloadType::kTpcDs,
+                                         faults::FaultType::kOverload, 900);
+  const DiagnosisReport report =
+      pipeline.Diagnose(context, incident.value(), kVictim).value();
+  EXPECT_TRUE(report.anomaly_detected);
+  ASSERT_FALSE(report.causes.empty());
+  EXPECT_EQ(report.causes[0].problem, "overload");
+}
+
+}  // namespace
+}  // namespace invarnetx

@@ -1,0 +1,295 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mic/mic.h"
+
+namespace invarnetx::mic {
+namespace {
+
+std::vector<double> Linspace(int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(static_cast<double>(i) / n);
+  return out;
+}
+
+// ---------------------------------------------------------- public Mic() --
+
+TEST(MicTest, RejectsBadInput) {
+  EXPECT_FALSE(Mic({1, 2, 3}, {1, 2}).ok());
+  EXPECT_FALSE(Mic({1, 2, 3}, {1, 2, 3}).ok());  // < 4 points
+  MicOptions bad_alpha;
+  bad_alpha.alpha = 0.0;
+  EXPECT_FALSE(Mic({1, 2, 3, 4}, {1, 2, 3, 4}, bad_alpha).ok());
+  MicOptions bad_clump;
+  bad_clump.clump_factor = 0;
+  EXPECT_FALSE(Mic({1, 2, 3, 4}, {1, 2, 3, 4}, bad_clump).ok());
+}
+
+TEST(MicTest, PerfectLinearRelationshipScoresOne) {
+  std::vector<double> x = Linspace(200);
+  std::vector<double> y;
+  for (double v : x) y.push_back(3.0 * v + 1.0);
+  Result<MicResult> r = Mic(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().mic, 0.95);
+}
+
+TEST(MicTest, PerfectNonlinearRelationshipsScoreHigh) {
+  std::vector<double> x = Linspace(200);
+  std::vector<double> parabola, sine, expy;
+  for (double v : x) {
+    parabola.push_back((v - 0.5) * (v - 0.5));  // non-monotone
+    sine.push_back(std::sin(8.0 * v));
+    expy.push_back(std::exp(3.0 * v));
+  }
+  EXPECT_GT(MicScore(x, parabola).value(), 0.8);
+  EXPECT_GT(MicScore(x, sine).value(), 0.7);
+  EXPECT_GT(MicScore(x, expy).value(), 0.95);
+}
+
+TEST(MicTest, IndependentNoiseScoresLow) {
+  Rng rng(41);
+  std::vector<double> x, y;
+  for (int i = 0; i < 400; ++i) {
+    x.push_back(rng.Gaussian(0, 1));
+    y.push_back(rng.Gaussian(0, 1));
+  }
+  Result<double> score = MicScore(x, y);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(score.value(), 0.35);
+}
+
+TEST(MicTest, SymmetricInArguments) {
+  Rng rng(42);
+  std::vector<double> x, y;
+  for (int i = 0; i < 150; ++i) {
+    const double v = rng.Uniform();
+    x.push_back(v);
+    y.push_back(v * v + rng.Gaussian(0, 0.05));
+  }
+  const double xy = MicScore(x, y).value();
+  const double yx = MicScore(y, x).value();
+  EXPECT_DOUBLE_EQ(xy, yx);
+}
+
+TEST(MicTest, DeterministicAcrossCalls) {
+  Rng rng(43);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(rng.Uniform());
+    y.push_back(rng.Uniform());
+  }
+  EXPECT_DOUBLE_EQ(MicScore(x, y).value(), MicScore(x, y).value());
+}
+
+TEST(MicTest, ScoreWithinUnitInterval) {
+  Rng rng(44);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 60; ++i) {
+      x.push_back(rng.Gaussian(0, 1));
+      y.push_back(0.5 * x.back() + rng.Gaussian(0, 0.5));
+    }
+    const double s = MicScore(x, y).value();
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(MicTest, NoiseDegradesScoreMonotonically) {
+  Rng rng(45);
+  std::vector<double> x = Linspace(300);
+  double prev = 1.1;
+  for (double noise : {0.0, 0.3, 1.0, 3.0}) {
+    std::vector<double> y;
+    for (double v : x) y.push_back(v + rng.Gaussian(0, noise));
+    const double s = MicScore(x, y).value();
+    EXPECT_LT(s, prev + 0.12);  // allow small non-monotone wiggle
+    prev = s;
+  }
+  EXPECT_LT(prev, 0.5);  // heavy noise ends low
+}
+
+TEST(MicTest, ConstantSeriesScoresZero) {
+  std::vector<double> x = Linspace(50);
+  std::vector<double> y(50, 2.0);
+  Result<MicResult> r = Mic(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().mic, 1e-9);
+}
+
+TEST(MicTest, TiesHandled) {
+  // Heavily tied data (integers mod 3) with an exact functional relation.
+  std::vector<double> x, y;
+  for (int i = 0; i < 120; ++i) {
+    x.push_back(i % 3);
+    y.push_back(2.0 * (i % 3));
+  }
+  Result<double> s = MicScore(x, y);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s.value(), 0.9);
+}
+
+TEST(MicTest, ReportsMaximizingGrid) {
+  std::vector<double> x = Linspace(100);
+  std::vector<double> y = x;
+  Result<MicResult> r = Mic(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().best_x, 2);
+  EXPECT_GE(r.value().best_y, 2);
+}
+
+// ------------------------------------------------ companion MINE stats ---
+
+TEST(MineStatsTest, LinearRelationship) {
+  std::vector<double> x = Linspace(200);
+  Result<MicResult> r = Mic(x, x);
+  ASSERT_TRUE(r.ok());
+  // A noiseless line: full-strength functional fit on the smallest grid,
+  // no asymmetry.
+  EXPECT_GT(r.value().mev, 0.95);
+  EXPECT_NEAR(r.value().mcn, 2.0, 1e-9);  // log2(2*2)
+  EXPECT_LT(r.value().mas, 0.1);
+}
+
+TEST(MineStatsTest, MevNeverExceedsMic) {
+  Rng rng(51);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 80; ++i) {
+      x.push_back(rng.Gaussian(0, 1));
+      y.push_back(0.5 * x.back() * x.back() + rng.Gaussian(0, 0.3));
+    }
+    Result<MicResult> r = Mic(x, y);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r.value().mev, r.value().mic + 1e-9);
+    EXPECT_GE(r.value().mas, 0.0);
+    EXPECT_LE(r.value().mas, 1.0);
+    EXPECT_GE(r.value().mcn, 2.0 - 1e-9);
+  }
+}
+
+TEST(MineStatsTest, ParabolaNeedsMoreCellsThanLine) {
+  // A non-monotone function cannot be captured by a 2-column grid: its
+  // minimal MIC-achieving grid is strictly larger than the line's.
+  std::vector<double> x = Linspace(300);
+  std::vector<double> parabola;
+  for (double v : x) parabola.push_back((v - 0.5) * (v - 0.5));
+  const MicResult line = Mic(x, x).value();
+  const MicResult curve = Mic(x, parabola).value();
+  EXPECT_GT(curve.mcn, line.mcn);
+}
+
+// ------------------------------------------------------------- internals --
+
+TEST(EquipartitionTest, BalancedWithoutTies) {
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) y.push_back(i);
+  internal::YPartition part = internal::EquipartitionY(y, 3);
+  EXPECT_EQ(part.num_rows, 3);
+  int counts[3] = {0, 0, 0};
+  for (int r : part.row_of_point) ++counts[r];
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 4);
+  EXPECT_EQ(counts[2], 4);
+}
+
+TEST(EquipartitionTest, TiesStayTogether) {
+  std::vector<double> y = {1, 1, 1, 1, 1, 2, 3, 4};
+  internal::YPartition part = internal::EquipartitionY(y, 4);
+  // All the 1s must share a row.
+  const int row_of_ones = part.row_of_point[0];
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(part.row_of_point[i], row_of_ones);
+}
+
+TEST(EquipartitionTest, OrderedByValue) {
+  std::vector<double> y = {5, 1, 4, 2, 3, 0};
+  internal::YPartition part = internal::EquipartitionY(y, 2);
+  // Small values in row 0, large in row 1.
+  EXPECT_EQ(part.row_of_point[5], 0);  // value 0
+  EXPECT_EQ(part.row_of_point[0], 1);  // value 5
+}
+
+TEST(ClumpsTest, EqualXForcedTogether) {
+  std::vector<double> x = {1, 1, 2, 3};
+  std::vector<int> rows = {0, 1, 0, 1};
+  internal::ClumpPartition clumps = internal::BuildClumps(x, rows);
+  // First clump must contain both x=1 points (heterogeneous rows).
+  ASSERT_GE(clumps.boundaries.size(), 2u);
+  EXPECT_EQ(clumps.boundaries[0], 0);
+  EXPECT_EQ(clumps.boundaries[1], 2);
+}
+
+TEST(ClumpsTest, SameRowRunsMerge) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<int> rows = {0, 0, 0, 1, 1, 1};
+  internal::ClumpPartition clumps = internal::BuildClumps(x, rows);
+  // Two clumps: the row-0 run and the row-1 run.
+  ASSERT_EQ(clumps.boundaries.size(), 3u);
+  EXPECT_EQ(clumps.boundaries[1], 3);
+  EXPECT_EQ(clumps.boundaries[2], 6);
+}
+
+TEST(SuperclumpsTest, CapsClumpCount) {
+  std::vector<int> boundaries;
+  for (int i = 0; i <= 100; ++i) boundaries.push_back(i);
+  std::vector<int> super = internal::BuildSuperclumps(boundaries, 10);
+  EXPECT_LE(super.size(), 12u);  // ~10 superclumps + endpoints slack
+  EXPECT_EQ(super.front(), 0);
+  EXPECT_EQ(super.back(), 100);
+  // Boundaries must be a subset of the originals (strictly increasing).
+  for (size_t i = 1; i < super.size(); ++i) {
+    EXPECT_GT(super[i], super[i - 1]);
+  }
+}
+
+TEST(SuperclumpsTest, NoOpWhenUnderCap) {
+  std::vector<int> boundaries = {0, 5, 10};
+  EXPECT_EQ(internal::BuildSuperclumps(boundaries, 10), boundaries);
+}
+
+TEST(RowEntropyTest, UniformMaximal) {
+  std::vector<int> rows = {0, 1, 0, 1};
+  EXPECT_NEAR(internal::RowEntropy(rows, 2), std::log(2.0), 1e-12);
+  std::vector<int> single(4, 0);
+  EXPECT_DOUBLE_EQ(internal::RowEntropy(single, 1), 0.0);
+}
+
+TEST(OptimizeXAxisTest, PerfectSeparationRecoversFullMi) {
+  // 2 clumps, each pure in one of 2 rows: I = H(Q) = ln 2, so the column
+  // objective sum must be 0 (= -n H(Q|P) with H(Q|P) = 0).
+  std::vector<int> boundaries = {0, 5, 10};
+  std::vector<int> rows_in_x(10, 0);
+  for (int i = 5; i < 10; ++i) rows_in_x[static_cast<size_t>(i)] = 1;
+  std::vector<double> best =
+      internal::OptimizeXAxis(boundaries, rows_in_x, 2, 2);
+  EXPECT_NEAR(best[1], 0.0, 1e-12);
+  // With one column the objective is -n H(Q) = -10 ln 2.
+  EXPECT_NEAR(best[0], -10.0 * std::log(2.0), 1e-9);
+}
+
+TEST(OptimizeXAxisTest, MonotoneInColumnBudget) {
+  Rng rng(46);
+  std::vector<int> boundaries;
+  boundaries.push_back(0);
+  for (int i = 1; i <= 12; ++i) {
+    boundaries.push_back(boundaries.back() + 1 +
+                         static_cast<int>(rng.UniformInt(3)));
+  }
+  std::vector<int> rows_in_x;
+  for (int i = 0; i < boundaries.back(); ++i) {
+    rows_in_x.push_back(static_cast<int>(rng.UniformInt(3)));
+  }
+  std::vector<double> best =
+      internal::OptimizeXAxis(boundaries, rows_in_x, 3, 6);
+  for (size_t l = 1; l < best.size(); ++l) {
+    EXPECT_GE(best[l], best[l - 1] - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace invarnetx::mic

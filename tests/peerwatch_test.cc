@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "peerwatch/peerwatch.h"
+
+namespace invarnetx::peerwatch {
+namespace {
+
+using workload::WorkloadType;
+
+class PeerWatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    normal_ = new std::vector<telemetry::RunTrace>(
+        core::SimulateNormalRuns(WorkloadType::kWordCount, 8, 42).value());
+    detector_ = new PeerWatch();
+    ASSERT_TRUE(detector_->Train(*normal_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete normal_;
+  }
+
+  static std::vector<telemetry::RunTrace>* normal_;
+  static PeerWatch* detector_;
+};
+
+std::vector<telemetry::RunTrace>* PeerWatchTest::normal_ = nullptr;
+PeerWatch* PeerWatchTest::detector_ = nullptr;
+
+TEST_F(PeerWatchTest, TrainingValidatesInput) {
+  PeerWatch fresh;
+  EXPECT_FALSE(fresh.trained());
+  EXPECT_FALSE(fresh.Train({}).ok());
+  std::vector<telemetry::RunTrace> one(normal_->begin(),
+                                       normal_->begin() + 1);
+  EXPECT_FALSE(fresh.Train(one).ok());
+  // Detect before Train fails.
+  EXPECT_FALSE(fresh.Detect((*normal_)[0]).ok());
+}
+
+TEST_F(PeerWatchTest, TracksUsefulCorrelations) {
+  EXPECT_TRUE(detector_->trained());
+  // Peers run the same job, so plenty of metrics correlate across nodes.
+  EXPECT_GT(detector_->NumTrackedCorrelations(), 50);
+}
+
+TEST_F(PeerWatchTest, QuietOnNormalRuns) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    auto clean = core::SimulateNormalRuns(WorkloadType::kWordCount, 1,
+                                          900 + seed);
+    const PeerWatch::Scan scan = detector_->Detect(clean.value()[0]).value();
+    EXPECT_FALSE(scan.AnyFlagged()) << "seed " << seed;
+  }
+}
+
+TEST_F(PeerWatchTest, FlagsTheNodeLocalVictim) {
+  int correct = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto run = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                      faults::FaultType::kSuspend,
+                                      800 + seed);
+    const PeerWatch::Scan scan = detector_->Detect(run.value()).value();
+    if (scan.AnyFlagged() &&
+        scan.nodes[static_cast<size_t>(scan.culprit)].node_ip ==
+            "10.0.0.2") {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 4);
+}
+
+TEST_F(PeerWatchTest, BlindToClusterWideFaults) {
+  // The paper's Sec. 5 critique: every node degrades identically, peers
+  // stay correlated, nothing is flagged.
+  int flagged = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto run = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                      faults::FaultType::kMisconfig,
+                                      700 + seed);
+    const PeerWatch::Scan scan = detector_->Detect(run.value()).value();
+    if (scan.AnyFlagged()) ++flagged;
+  }
+  EXPECT_LE(flagged, 1);
+}
+
+TEST_F(PeerWatchTest, DetectRejectsMismatchedCluster) {
+  telemetry::RunTrace wrong;
+  wrong.nodes.resize(2);  // master + 1 slave, trained on 4
+  EXPECT_FALSE(detector_->Detect(wrong).ok());
+}
+
+TEST_F(PeerWatchTest, ScoresExposeEvidence) {
+  auto run = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                    faults::FaultType::kSuspend, 801);
+  const PeerWatch::Scan scan = detector_->Detect(run.value()).value();
+  ASSERT_EQ(scan.nodes.size(), 4u);
+  for (const PeerWatch::NodeScore& node : scan.nodes) {
+    EXPECT_GT(node.tracked, 0);
+    EXPECT_GE(node.fraction(), 0.0);
+    EXPECT_LE(node.fraction(), 1.0);
+  }
+  // The victim accumulates more deviated peers than the healthy nodes.
+  ASSERT_TRUE(scan.AnyFlagged());
+  const PeerWatch::NodeScore& culprit =
+      scan.nodes[static_cast<size_t>(scan.culprit)];
+  for (const PeerWatch::NodeScore& node : scan.nodes) {
+    if (node.node_index != culprit.node_index) {
+      EXPECT_GE(culprit.fraction(), node.fraction());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace invarnetx::peerwatch

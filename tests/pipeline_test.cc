@@ -1,0 +1,292 @@
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+
+namespace invarnetx::core {
+namespace {
+
+using workload::WorkloadType;
+
+constexpr size_t kVictim = 1;
+
+const OperationContext kContext{WorkloadType::kWordCount, "10.0.0.2"};
+
+// Shared expensive fixtures: trained pipeline + a few runs.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    normal_ = new std::vector<telemetry::RunTrace>(
+        SimulateNormalRuns(WorkloadType::kWordCount, 10, 42).value());
+    pipeline_ = new InvarNetX();
+    ASSERT_TRUE(pipeline_->TrainContext(kContext, *normal_, kVictim).ok());
+    uint64_t fault_index = 0;
+    for (auto fault : {faults::FaultType::kMemHog, faults::FaultType::kCpuHog,
+                       faults::FaultType::kSuspend}) {
+      for (uint64_t rep = 0; rep < 2; ++rep) {
+        auto run = SimulateFaultRun(WorkloadType::kWordCount, fault,
+                                    1000 + fault_index * 131 + rep);
+        ASSERT_TRUE(pipeline_
+                        ->AddSignature(kContext, faults::FaultName(fault),
+                                       run.value(), kVictim)
+                        .ok());
+      }
+      ++fault_index;
+    }
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete normal_;
+    pipeline_ = nullptr;
+    normal_ = nullptr;
+  }
+
+  static std::vector<telemetry::RunTrace>* normal_;
+  static InvarNetX* pipeline_;
+};
+
+std::vector<telemetry::RunTrace>* PipelineTest::normal_ = nullptr;
+InvarNetX* PipelineTest::pipeline_ = nullptr;
+
+TEST_F(PipelineTest, TrainingPopulatesContext) {
+  EXPECT_TRUE(pipeline_->HasContext(kContext));
+  EXPECT_FALSE(pipeline_->HasContext(
+      OperationContext{WorkloadType::kSort, "10.0.0.2"}));
+  const ContextModel& model = *pipeline_->GetContext(kContext).value();
+  EXPECT_GT(model.invariants.NumInvariants(), 50);
+  EXPECT_GT(model.perf.residual_max(), 0.0);
+  EXPECT_EQ(model.sigdb.size(), 6u);
+}
+
+TEST_F(PipelineTest, TrainRejectsTooFewRuns) {
+  InvarNetX fresh;
+  std::vector<telemetry::RunTrace> one(normal_->begin(),
+                                       normal_->begin() + 1);
+  EXPECT_FALSE(fresh.TrainContext(kContext, one, kVictim).ok());
+}
+
+TEST_F(PipelineTest, TrainRejectsBadNodeIndex) {
+  InvarNetX fresh;
+  EXPECT_FALSE(fresh.TrainContext(kContext, *normal_, 99).ok());
+}
+
+TEST_F(PipelineTest, DiagnoseUntrainedContextFails) {
+  auto run = SimulateFaultRun(WorkloadType::kSort,
+                              faults::FaultType::kCpuHog, 7);
+  Result<DiagnosisReport> report = pipeline_->Diagnose(
+      OperationContext{WorkloadType::kSort, "10.0.0.2"}, run.value(),
+      kVictim);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PipelineTest, NormalRunRaisesNoAlarm) {
+  auto clean = SimulateNormalRuns(WorkloadType::kWordCount, 1, 555);
+  Result<DiagnosisReport> report =
+      pipeline_->Diagnose(kContext, clean.value()[0], kVictim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().anomaly_detected);
+  EXPECT_TRUE(report.value().causes.empty());
+}
+
+TEST_F(PipelineTest, KnownFaultDiagnosedCorrectly) {
+  // Across a handful of incident runs, mem-hog must always be detected and
+  // rank among the top-2 causes (a heavy swap storm partially collapses
+  // node activity, so it genuinely borders the suspend signature; the
+  // full-scale campaign in bench/fig8 measures exact top-1 rates).
+  int detected = 0, top2 = 0, top1 = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                                faults::FaultType::kMemHog, 9001 + seed * 7);
+    Result<DiagnosisReport> report =
+        pipeline_->Diagnose(kContext, run.value(), kVictim);
+    ASSERT_TRUE(report.ok());
+    if (!report.value().anomaly_detected) continue;
+    ++detected;
+    EXPECT_GT(report.value().num_violations, 3);
+    const auto& causes = report.value().causes;
+    for (size_t k = 0; k < causes.size() && k < 2; ++k) {
+      if (causes[k].problem == "mem-hog") {
+        ++top2;
+        if (k == 0) ++top1;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(detected, 4);
+  EXPECT_EQ(top2, detected);
+  EXPECT_GE(top1, 2);
+}
+
+TEST_F(PipelineTest, CausesAreSortedDescending) {
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kSuspend, 9002);
+  Result<DiagnosisReport> report =
+      pipeline_->InferCause(kContext, run.value(), kVictim);
+  ASSERT_TRUE(report.ok());
+  for (size_t i = 1; i < report.value().causes.size(); ++i) {
+    EXPECT_GE(report.value().causes[i - 1].score,
+              report.value().causes[i].score);
+  }
+}
+
+TEST_F(PipelineTest, HintsNameViolatedPairs) {
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kCpuHog, 9003);
+  Result<DiagnosisReport> report =
+      pipeline_->InferCause(kContext, run.value(), kVictim);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report.value().hints.empty());
+  EXPECT_LE(report.value().hints.size(), 10u);
+  EXPECT_NE(report.value().hints[0].find(" ~ "), std::string::npos);
+}
+
+TEST_F(PipelineTest, SaveLoadRoundTrip) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "invarnetx_pipeline_test")
+          .string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(pipeline_->SaveToDirectory(dir).ok());
+
+  InvarNetX reloaded;
+  ASSERT_TRUE(reloaded.LoadFromDirectory(dir).ok());
+  ASSERT_TRUE(reloaded.HasContext(kContext));
+  const ContextModel& original = *pipeline_->GetContext(kContext).value();
+  const ContextModel& copy = *reloaded.GetContext(kContext).value();
+  EXPECT_EQ(copy.invariants.NumInvariants(),
+            original.invariants.NumInvariants());
+  EXPECT_EQ(copy.sigdb.size(), original.sigdb.size());
+  EXPECT_DOUBLE_EQ(copy.perf.residual_max(), original.perf.residual_max());
+  EXPECT_EQ(copy.perf.arima().order().p, original.perf.arima().order().p);
+
+  // The reloaded pipeline must produce the same inference output.
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kMemHog, 9004);
+  const DiagnosisReport a =
+      pipeline_->InferCause(kContext, run.value(), kVictim).value();
+  const DiagnosisReport b =
+      reloaded.InferCause(kContext, run.value(), kVictim).value();
+  EXPECT_EQ(a.violations, b.violations);
+  ASSERT_FALSE(a.causes.empty());
+  ASSERT_FALSE(b.causes.empty());
+  EXPECT_EQ(a.causes[0].problem, b.causes[0].problem);
+  EXPECT_DOUBLE_EQ(a.causes[0].score, b.causes[0].score);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PipelineTest, StoreRemembersItsConfiguration) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "invarnetx_cfg_test")
+          .string();
+  std::filesystem::create_directories(dir);
+  InvarNetXConfig config;
+  config.engine = AssociationEngineType::kEnsemble;
+  config.epsilon = 0.15;
+  config.similarity = SimilarityMetric::kIdfJaccard;
+  InvarNetX trained(config);
+  auto normal = SimulateNormalRuns(WorkloadType::kWordCount, 4, 42);
+  ASSERT_TRUE(trained.TrainContext(kContext, normal.value(), kVictim).ok());
+  ASSERT_TRUE(trained.SaveToDirectory(dir).ok());
+
+  // A fresh pipeline with DEFAULT configuration picks up the store's.
+  InvarNetX reloaded;
+  ASSERT_TRUE(reloaded.LoadFromDirectory(dir).ok());
+  EXPECT_EQ(reloaded.config().engine, AssociationEngineType::kEnsemble);
+  EXPECT_DOUBLE_EQ(reloaded.config().epsilon, 0.15);
+  EXPECT_EQ(reloaded.config().similarity, SimilarityMetric::kIdfJaccard);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(PipelineTest, LoadFromMissingDirectoryFails) {
+  InvarNetX fresh;
+  EXPECT_FALSE(fresh.LoadFromDirectory("/nonexistent/invarnetx").ok());
+}
+
+TEST(PipelineVariantTest, NoContextCollapsesKeys) {
+  InvarNetXConfig config;
+  config.use_operation_context = false;
+  InvarNetX pipeline(config);
+  auto normal = SimulateNormalRuns(WorkloadType::kWordCount, 4, 42);
+  ASSERT_TRUE(
+      pipeline.TrainContext(kContext, normal.value(), kVictim).ok());
+  // Any context resolves to the same pooled model.
+  EXPECT_TRUE(pipeline.HasContext(kContext));
+  EXPECT_TRUE(pipeline.HasContext(
+      OperationContext{WorkloadType::kSort, "10.0.0.9"}));
+}
+
+TEST(PipelineVariantTest, ArxEngineTrainsAndDiagnoses) {
+  InvarNetXConfig config;
+  config.engine = AssociationEngineType::kArx;
+  InvarNetX pipeline(config);
+  auto normal = SimulateNormalRuns(WorkloadType::kWordCount, 4, 42);
+  ASSERT_TRUE(
+      pipeline.TrainContext(kContext, normal.value(), kVictim).ok());
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kCpuHog, 77);
+  ASSERT_TRUE(
+      pipeline.AddSignature(kContext, "cpu-hog", run.value(), kVictim).ok());
+  auto test_run = SimulateFaultRun(WorkloadType::kWordCount,
+                                   faults::FaultType::kCpuHog, 78);
+  Result<DiagnosisReport> report =
+      pipeline.InferCause(kContext, test_run.value(), kVictim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().causes.empty());
+}
+
+TEST(PipelineVariantTest, AddSignatureBeforeTrainingFails) {
+  InvarNetX pipeline;
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kCpuHog, 5);
+  EXPECT_FALSE(
+      pipeline.AddSignature(kContext, "cpu-hog", run.value(), kVictim).ok());
+}
+
+// ----------------------------------------------------------------- eval --
+
+TEST(EvaluateTest, VictimContextIp) {
+  EvalConfig config;
+  config.victim_node = 1;
+  EXPECT_EQ(VictimContext(config).node_ip, "10.0.0.2");
+  config.victim_node = 3;
+  EXPECT_EQ(VictimContext(config).node_ip, "10.0.0.4");
+}
+
+TEST(EvaluateTest, FaultOutcomeMath) {
+  FaultOutcome outcome;
+  outcome.true_positives = 8;
+  outcome.false_positives = 2;
+  outcome.false_negatives = 2;
+  EXPECT_DOUBLE_EQ(outcome.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(outcome.recall(), 0.8);
+  FaultOutcome empty;
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 0.0);
+}
+
+TEST(EvaluateTest, SmallCampaignProducesSaneNumbers) {
+  EvalConfig config;
+  config.workload = WorkloadType::kWordCount;
+  config.normal_runs = 6;
+  config.test_runs_per_fault = 2;
+  config.faults = {faults::FaultType::kCpuHog, faults::FaultType::kMemHog,
+                   faults::FaultType::kSuspend};
+  Result<EvalResult> result = RunEvaluation(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().per_fault.size(), 3u);
+  EXPECT_GE(result.value().avg_precision, 0.0);
+  EXPECT_LE(result.value().avg_precision, 1.0);
+  // Three very distinct faults at small scale: expect decent accuracy.
+  EXPECT_GT(result.value().avg_recall, 0.5);
+  // Tallies are complete: each fault accounts for every test run.
+  for (const FaultOutcome& o : result.value().per_fault) {
+    EXPECT_EQ(o.true_positives + o.false_negatives,
+              config.test_runs_per_fault);
+  }
+}
+
+}  // namespace
+}  // namespace invarnetx::core

@@ -1,0 +1,374 @@
+// Property-style suites (parameterized with TEST_P / INSTANTIATE_TEST_SUITE_P)
+// covering invariants that must hold across whole input families rather than
+// single examples.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/association.h"
+#include "core/sigdb.h"
+#include "mic/mic.h"
+#include "telemetry/metrics.h"
+#include "timeseries/arima.h"
+#include "timeseries/diff.h"
+
+namespace invarnetx {
+namespace {
+
+// ------------------------------------------------ MIC invariance sweeps --
+
+struct MicCase {
+  const char* name;
+  int n;
+  uint64_t seed;
+  double coupling;  // 0 = independent, 1 = strongly coupled
+};
+
+class MicPropertyTest : public ::testing::TestWithParam<MicCase> {
+ protected:
+  void MakePair(std::vector<double>* x, std::vector<double>* y) const {
+    const MicCase& c = GetParam();
+    Rng rng(c.seed);
+    for (int i = 0; i < c.n; ++i) {
+      const double xi = rng.Gaussian(0.0, 1.0);
+      x->push_back(xi);
+      y->push_back(c.coupling * xi * xi +
+                   (1.0 - c.coupling) * rng.Gaussian(0.0, 1.0));
+    }
+  }
+};
+
+TEST_P(MicPropertyTest, ScoreInUnitInterval) {
+  std::vector<double> x, y;
+  MakePair(&x, &y);
+  const double score = mic::MicScore(x, y).value();
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+}
+
+TEST_P(MicPropertyTest, Symmetric) {
+  std::vector<double> x, y;
+  MakePair(&x, &y);
+  EXPECT_DOUBLE_EQ(mic::MicScore(x, y).value(), mic::MicScore(y, x).value());
+}
+
+TEST_P(MicPropertyTest, InvariantUnderMonotoneTransformsOfX) {
+  // MIC is grid-based on ranks, so strictly monotone transforms of either
+  // axis leave the score unchanged.
+  std::vector<double> x, y;
+  MakePair(&x, &y);
+  std::vector<double> ex;
+  ex.reserve(x.size());
+  for (double v : x) ex.push_back(std::exp(0.5 * v));
+  EXPECT_NEAR(mic::MicScore(x, y).value(), mic::MicScore(ex, y).value(),
+              1e-12);
+}
+
+TEST_P(MicPropertyTest, InvariantUnderAffineTransforms) {
+  std::vector<double> x, y;
+  MakePair(&x, &y);
+  std::vector<double> scaled;
+  scaled.reserve(y.size());
+  for (double v : y) scaled.push_back(-3.0 * v + 11.0);
+  EXPECT_NEAR(mic::MicScore(x, y).value(), mic::MicScore(x, scaled).value(),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MicPropertyTest,
+    ::testing::Values(MicCase{"small_indep", 40, 1, 0.0},
+                      MicCase{"small_coupled", 40, 2, 1.0},
+                      MicCase{"mid_indep", 100, 3, 0.0},
+                      MicCase{"mid_half", 100, 4, 0.5},
+                      MicCase{"mid_coupled", 100, 5, 1.0},
+                      MicCase{"large_half", 250, 6, 0.5},
+                      MicCase{"large_coupled", 250, 7, 1.0}),
+    [](const ::testing::TestParamInfo<MicCase>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------- similarity metric properties --
+
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<core::SimilarityMetric> {};
+
+TEST_P(SimilarityPropertyTest, RangeReflexivityAndSymmetry) {
+  Rng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint8_t> a, b;
+    const size_t len = 1 + rng.UniformInt(64);
+    for (size_t i = 0; i < len; ++i) {
+      a.push_back(rng.Bernoulli(0.3));
+      b.push_back(rng.Bernoulli(0.3));
+    }
+    const double ab = core::TupleSimilarity(a, b, GetParam()).value();
+    const double ba = core::TupleSimilarity(b, a, GetParam()).value();
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_DOUBLE_EQ(core::TupleSimilarity(a, a, GetParam()).value(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, SimilarityPropertyTest,
+    ::testing::Values(core::SimilarityMetric::kJaccard,
+                      core::SimilarityMetric::kDice,
+                      core::SimilarityMetric::kCosine,
+                      core::SimilarityMetric::kHamming),
+    [](const ::testing::TestParamInfo<core::SimilarityMetric>& info) {
+      return core::SimilarityMetricName(info.param);
+    });
+
+// ----------------------------------------------- ARIMA predictor sweeps --
+
+class ArimaOrderPropertyTest
+    : public ::testing::TestWithParam<ts::ArimaOrder> {};
+
+TEST_P(ArimaOrderPropertyTest, PredictorMatchesInSamplePath) {
+  // The streaming predictor and the batch PredictInSample must agree.
+  Rng rng(21);
+  std::vector<double> series;
+  double level = 5.0;
+  for (int i = 0; i < 120; ++i) {
+    level += rng.Gaussian(0.02, 0.1);
+    series.push_back(level);
+  }
+  Result<ts::ArimaModel> model = ts::ArimaModel::Fit(series, GetParam());
+  ASSERT_TRUE(model.ok()) << GetParam().ToString();
+  const std::vector<double> batch =
+      model.value().PredictInSample(series).value();
+
+  ts::ArimaPredictor predictor(model.value());
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double streamed =
+        predictor.Ready() ? predictor.PredictNext() : series[i];
+    EXPECT_NEAR(streamed, batch[i], 1e-9) << "tick " << i;
+    predictor.Observe(series[i]);
+  }
+}
+
+TEST_P(ArimaOrderPropertyTest, ResidualsNonNegativeAndFiniteEverywhere) {
+  Rng rng(22);
+  std::vector<double> series;
+  for (int i = 0; i < 150; ++i) series.push_back(rng.Gaussian(1.0, 0.2));
+  Result<ts::ArimaModel> model = ts::ArimaModel::Fit(series, GetParam());
+  ASSERT_TRUE(model.ok());
+  const std::vector<double> residuals =
+      model.value().AbsResiduals(series).value();
+  for (double r : residuals) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrderSweep, ArimaOrderPropertyTest,
+    ::testing::Values(ts::ArimaOrder{1, 0, 0}, ts::ArimaOrder{2, 0, 0},
+                      ts::ArimaOrder{0, 0, 1}, ts::ArimaOrder{1, 0, 1},
+                      ts::ArimaOrder{1, 1, 0}, ts::ArimaOrder{0, 1, 1},
+                      ts::ArimaOrder{2, 1, 1}, ts::ArimaOrder{1, 2, 0}),
+    [](const ::testing::TestParamInfo<ts::ArimaOrder>& info) {
+      return "p" + std::to_string(info.param.p) + "d" +
+             std::to_string(info.param.d) + "q" +
+             std::to_string(info.param.q);
+    });
+
+// ------------------------------------------------- differencing round trip --
+
+class DiffPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffPropertyTest, UndifferenceInvertsDifference) {
+  const int d = GetParam();
+  Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<double> series;
+    const int n = d + 2 + static_cast<int>(rng.UniformInt(40));
+    for (int i = 0; i < n; ++i) series.push_back(rng.Gaussian(0.0, 3.0));
+    const std::vector<double> w = ts::Difference(series, d).value();
+    std::vector<double> tail(series.begin(), series.end() - 1);
+    EXPECT_NEAR(ts::Undifference(tail, d, w.back()).value(), series.back(),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DSweep, DiffPropertyTest, ::testing::Values(0, 1, 2, 3));
+
+// ---------------------------------------------------- stats properties --
+
+TEST(StatsPropertyTest, PearsonBoundedAndScaleInvariant) {
+  Rng rng(41);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<double> x, y, y_scaled;
+    for (int i = 0; i < 50; ++i) {
+      x.push_back(rng.Gaussian(0, 1));
+      y.push_back(0.3 * x.back() + rng.Gaussian(0, 1));
+      y_scaled.push_back(4.0 * y.back() - 7.0);
+    }
+    const double r = PearsonCorrelation(x, y).value();
+    EXPECT_GE(r, -1.0 - 1e-12);
+    EXPECT_LE(r, 1.0 + 1e-12);
+    EXPECT_NEAR(r, PearsonCorrelation(x, y_scaled).value(), 1e-9);
+  }
+}
+
+TEST(StatsPropertyTest, PercentileMonotoneInP) {
+  Rng rng(42);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Gaussian(0, 1));
+  double prev = Percentile(v, 0).value();
+  for (int p = 5; p <= 100; p += 5) {
+    const double current = Percentile(v, p).value();
+    EXPECT_GE(current, prev);
+    prev = current;
+  }
+}
+
+TEST(StatsPropertyTest, SpearmanInvariantUnderMonotoneTransform) {
+  Rng rng(43);
+  std::vector<double> x, y, y_exp;
+  for (int i = 0; i < 80; ++i) {
+    x.push_back(rng.Gaussian(0, 1));
+    y.push_back(x.back() + rng.Gaussian(0, 0.5));
+    y_exp.push_back(std::exp(y.back()));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y).value(),
+              SpearmanCorrelation(x, y_exp).value(), 1e-9);
+}
+
+// --------------------------------------------------- solver properties --
+
+TEST(SolverPropertyTest, SolutionSatisfiesSystem) {
+  Rng rng(51);
+  for (int round = 0; round < 40; ++round) {
+    const size_t n = 2 + rng.UniformInt(6);
+    Matrix a(n, n);
+    std::vector<double> b(n);
+    for (size_t r = 0; r < n; ++r) {
+      b[r] = rng.Gaussian(0, 5);
+      for (size_t col = 0; col < n; ++col) a(r, col) = rng.Gaussian(0, 2);
+      a(r, r) += 3.0;  // keep it comfortably non-singular
+    }
+    const std::vector<double> x = SolveLinearSystem(a, b).value();
+    const std::vector<double> ax = a.MultiplyVec(x);
+    for (size_t r = 0; r < n; ++r) EXPECT_NEAR(ax[r], b[r], 1e-7);
+  }
+}
+
+TEST(SolverPropertyTest, LeastSquaresResidualOrthogonalToColumns) {
+  // The OLS normal equations make X'(y - X beta) ~ 0 (up to the tiny
+  // stabilizing ridge).
+  Rng rng(52);
+  for (int round = 0; round < 20; ++round) {
+    const size_t rows = 30, cols = 4;
+    Matrix x(rows, cols);
+    std::vector<double> y(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) x(r, c) = rng.Gaussian(0, 1);
+      y[r] = rng.Gaussian(0, 1);
+    }
+    const std::vector<double> beta = LeastSquares(x, y).value();
+    const std::vector<double> fitted = x.MultiplyVec(beta);
+    for (size_t c = 0; c < cols; ++c) {
+      double dot = 0.0;
+      for (size_t r = 0; r < rows; ++r) {
+        dot += x(r, c) * (y[r] - fitted[r]);
+      }
+      EXPECT_NEAR(dot, 0.0, 1e-4);
+    }
+  }
+}
+
+TEST(SolverPropertyTest, LeastSquaresNeverBeatenByPerturbation) {
+  // beta minimizes ||X beta - y||; nudging any coefficient cannot reduce
+  // the residual norm (local optimality).
+  Rng rng(53);
+  Matrix x(25, 3);
+  std::vector<double> y(25);
+  for (size_t r = 0; r < 25; ++r) {
+    for (size_t c = 0; c < 3; ++c) x(r, c) = rng.Gaussian(0, 1);
+    y[r] = rng.Gaussian(0, 1);
+  }
+  std::vector<double> beta = LeastSquares(x, y).value();
+  auto sse = [&](const std::vector<double>& b) {
+    const std::vector<double> fitted = x.MultiplyVec(b);
+    double acc = 0.0;
+    for (size_t r = 0; r < 25; ++r) {
+      acc += (y[r] - fitted[r]) * (y[r] - fitted[r]);
+    }
+    return acc;
+  };
+  const double best = sse(beta);
+  for (size_t c = 0; c < 3; ++c) {
+    for (double delta : {-0.05, 0.05}) {
+      std::vector<double> nudged = beta;
+      nudged[c] += delta;
+      EXPECT_GE(sse(nudged), best - 1e-9);
+    }
+  }
+}
+
+// ----------------------------------------- association engine contracts --
+
+class EngineContractTest
+    : public ::testing::TestWithParam<core::AssociationEngineType> {};
+
+TEST_P(EngineContractTest, ScoresInRangeAndDeterministic) {
+  const auto engine = core::AssociationEngine::Make(GetParam());
+  ASSERT_NE(engine, nullptr);
+  Rng rng(61);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 60; ++i) {
+      x.push_back(rng.Gaussian(0, 1));
+      y.push_back(0.4 * x.back() + rng.Gaussian(0, 0.6));
+    }
+    const double a = engine->Score(x, y).value();
+    const double b = engine->Score(x, y).value();
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST_P(EngineContractTest, ConstantSeriesScoreZero) {
+  const auto engine = core::AssociationEngine::Make(GetParam());
+  std::vector<double> constant(60, 3.0), varying;
+  Rng rng(62);
+  for (int i = 0; i < 60; ++i) varying.push_back(rng.Gaussian(0, 1));
+  EXPECT_DOUBLE_EQ(engine->Score(constant, varying).value(), 0.0);
+  EXPECT_DOUBLE_EQ(engine->Score(varying, constant).value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, EngineContractTest,
+    ::testing::Values(core::AssociationEngineType::kMic,
+                      core::AssociationEngineType::kArx,
+                      core::AssociationEngineType::kEnsemble),
+    [](const ::testing::TestParamInfo<core::AssociationEngineType>& info) {
+      return core::AssociationEngineName(info.param);
+    });
+
+// ----------------------------------------------- pair index exhaustively --
+
+TEST(PairIndexPropertyTest, DenseAndInvertible) {
+  std::vector<bool> seen(telemetry::kNumMetricPairs, false);
+  for (int a = 0; a < telemetry::kNumMetrics; ++a) {
+    for (int b = a + 1; b < telemetry::kNumMetrics; ++b) {
+      const int index = telemetry::PairIndex(a, b);
+      ASSERT_GE(index, 0);
+      ASSERT_LT(index, telemetry::kNumMetricPairs);
+      EXPECT_FALSE(seen[static_cast<size_t>(index)]);  // injective
+      seen[static_cast<size_t>(index)] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);  // surjective
+}
+
+}  // namespace
+}  // namespace invarnetx

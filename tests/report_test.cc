@@ -1,0 +1,128 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster_diagnosis.h"
+#include "core/evaluate.h"
+#include "core/report.h"
+
+namespace invarnetx::core {
+namespace {
+
+using workload::WorkloadType;
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new InvarNetX();
+    auto normal = SimulateNormalRuns(WorkloadType::kWordCount, 8, 42);
+    for (size_t node = 1; node <= 4; ++node) {
+      const OperationContext context{
+          WorkloadType::kWordCount, "10.0.0." + std::to_string(node + 1)};
+      ASSERT_TRUE(
+          pipeline_->TrainContext(context, normal.value(), node).ok());
+    }
+    const OperationContext victim{WorkloadType::kWordCount, "10.0.0.2"};
+    for (uint64_t rep = 0; rep < 2; ++rep) {
+      auto hog = SimulateFaultRun(WorkloadType::kWordCount,
+                                  faults::FaultType::kMemHog, 700 + rep);
+      ASSERT_TRUE(
+          pipeline_->AddSignature(victim, "mem-hog", hog.value(), 1).ok());
+      auto net = SimulateFaultRun(WorkloadType::kWordCount,
+                                  faults::FaultType::kNetDrop, 800 + rep);
+      ASSERT_TRUE(
+          pipeline_->AddSignature(victim, "net-drop", net.value(), 1).ok());
+      auto delay = SimulateFaultRun(WorkloadType::kWordCount,
+                                    faults::FaultType::kNetDelay, 810 + rep);
+      ASSERT_TRUE(
+          pipeline_->AddSignature(victim, "net-delay", delay.value(), 1)
+              .ok());
+    }
+  }
+  static void TearDownTestSuite() { delete pipeline_; }
+
+  static InvarNetX* pipeline_;
+};
+
+InvarNetX* ReportTest::pipeline_ = nullptr;
+
+TEST_F(ReportTest, AnomalousRunRendersFullReport) {
+  const OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kMemHog, 999);
+  const DiagnosisReport report =
+      pipeline_->Diagnose(context, run.value(), 1).value();
+  ASSERT_TRUE(report.anomaly_detected);
+  const std::string markdown = RenderIncidentReport(
+      context, report, *pipeline_->GetContext(context).value(),
+      run.value().ticks);
+  EXPECT_NE(markdown.find("# Incident report - wordcount@10.0.0.2"),
+            std::string::npos);
+  EXPECT_NE(markdown.find("Anomaly detected"), std::string::npos);
+  EXPECT_NE(markdown.find("Ranked causes"), std::string::npos);
+  EXPECT_NE(markdown.find("mem-hog"), std::string::npos);
+  EXPECT_NE(markdown.find("metric family"), std::string::npos);
+  EXPECT_NE(markdown.find("memory"), std::string::npos);
+}
+
+TEST_F(ReportTest, CleanRunSaysSo) {
+  const OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  DiagnosisReport quiet;  // default: no anomaly
+  const std::string markdown = RenderIncidentReport(
+      context, quiet, *pipeline_->GetContext(context).value(), 50);
+  EXPECT_NE(markdown.find("No performance anomaly detected"),
+            std::string::npos);
+  EXPECT_EQ(markdown.find("Ranked causes"), std::string::npos);
+}
+
+TEST_F(ReportTest, ConflictWarningAppearsForConflictedTopCause) {
+  // Net faults are the designed conflict pair; a net-drop incident's report
+  // must warn about the net-delay neighbour when they collide.
+  const OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  const ContextModel& model = *pipeline_->GetContext(context).value();
+  auto conflicts = model.sigdb.FindConflicts(0.55);
+  ASSERT_TRUE(conflicts.ok());
+  bool net_pair = false;
+  for (const auto& c : conflicts.value()) {
+    net_pair |= c.problem_a == "net-delay" && c.problem_b == "net-drop";
+  }
+  if (!net_pair) GTEST_SKIP() << "no net conflict at this seed";
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kNetDrop, 998);
+  const DiagnosisReport report =
+      pipeline_->Diagnose(context, run.value(), 1).value();
+  if (!report.anomaly_detected || report.causes.empty() ||
+      (report.causes[0].problem != "net-drop" &&
+       report.causes[0].problem != "net-delay")) {
+    GTEST_SKIP() << "net fault not top-ranked at this seed";
+  }
+  const std::string markdown =
+      RenderIncidentReport(context, report, model, run.value().ticks);
+  EXPECT_NE(markdown.find("Signature conflicts"), std::string::npos);
+}
+
+TEST_F(ReportTest, ClusterReportNamesCulprit) {
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kMemHog, 997);
+  const ClusterDiagnosis scan =
+      DiagnoseCluster(*pipeline_, run.value()).value();
+  ASSERT_TRUE(scan.AnyAnomaly());
+  const std::string markdown = RenderClusterReport(
+      *pipeline_, scan, WorkloadType::kWordCount, run.value().ticks);
+  EXPECT_NE(markdown.find("# Cluster scan"), std::string::npos);
+  EXPECT_NE(markdown.find("Culprit: **10.0.0.2**"), std::string::npos);
+  EXPECT_NE(markdown.find("healthy"), std::string::npos);
+  EXPECT_NE(markdown.find("# Incident report"), std::string::npos);
+}
+
+TEST_F(ReportTest, ClusterReportQuietWhenHealthy) {
+  auto clean = SimulateNormalRuns(WorkloadType::kWordCount, 1, 555);
+  const ClusterDiagnosis scan =
+      DiagnoseCluster(*pipeline_, clean.value()[0]).value();
+  const std::string markdown = RenderClusterReport(
+      *pipeline_, scan, WorkloadType::kWordCount, clean.value()[0].ticks);
+  EXPECT_NE(markdown.find("No node raised an alarm"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace invarnetx::core

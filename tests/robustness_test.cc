@@ -1,0 +1,182 @@
+// Failure-injection / fuzz-style robustness suites: parsers must reject
+// arbitrary mutations of valid inputs with an error Status - never crash,
+// hang, or silently accept corrupted data as something else.
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "telemetry/runner.h"
+#include "telemetry/trace_io.h"
+#include "xmlstore/xml.h"
+
+namespace invarnetx {
+namespace {
+
+// Applies one random mutation (byte flip, deletion, insertion, truncation,
+// or block duplication) to the text.
+std::string Mutate(const std::string& text, Rng* rng) {
+  if (text.empty()) return text;
+  std::string out = text;
+  const size_t pos = rng->UniformInt(out.size());
+  switch (rng->UniformInt(5)) {
+    case 0:  // flip a byte to a random printable character
+      out[pos] = static_cast<char>(' ' + rng->UniformInt(95));
+      break;
+    case 1:  // delete a byte
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert a random byte
+      out.insert(pos, 1, static_cast<char>(' ' + rng->UniformInt(95)));
+      break;
+    case 3:  // truncate
+      out.resize(pos);
+      break;
+    default: {  // duplicate a small block
+      const size_t len = std::min<size_t>(1 + rng->UniformInt(40),
+                                          out.size() - pos);
+      out.insert(pos, out.substr(pos, len));
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(XmlFuzzTest, MutatedDocumentsNeverCrash) {
+  xmlstore::XmlNode root;
+  root.name = "doc";
+  root.SetAttr("a", "value with <specials> & \"quotes\"");
+  for (int i = 0; i < 5; ++i) {
+    xmlstore::XmlNode& child = root.AddChild("item" + std::to_string(i));
+    child.SetAttr("k", std::to_string(i));
+    child.text = "text " + std::to_string(i);
+  }
+  const std::string valid = xmlstore::WriteXml(root);
+  Rng rng(77);
+  int accepted = 0;
+  for (int round = 0; round < 500; ++round) {
+    const std::string mutated = Mutate(valid, &rng);
+    Result<xmlstore::XmlNode> parsed = xmlstore::ParseXml(mutated);
+    // Either outcome is fine; what matters is no crash / no hang / a clean
+    // Status on rejection.
+    if (parsed.ok()) ++accepted;
+  }
+  // Most single mutations break well-formedness; sanity-check the corpus
+  // actually exercised the error paths.
+  EXPECT_LT(accepted, 450);
+}
+
+TEST(XmlFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(78);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const size_t len = rng.UniformInt(200);
+    for (size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.UniformInt(256));
+    }
+    (void)xmlstore::ParseXml(garbage);  // must simply return a Status
+  }
+}
+
+TEST(TraceFuzzTest, MutatedTracesNeverCrash) {
+  telemetry::RunConfig config;
+  config.workload = workload::WorkloadType::kGrep;
+  config.seed = 5;
+  const std::string valid =
+      telemetry::WriteTraceCsv(telemetry::SimulateRun(config).value());
+  Rng rng(79);
+  for (int round = 0; round < 300; ++round) {
+    const std::string mutated = Mutate(valid, &rng);
+    Result<telemetry::RunTrace> parsed = telemetry::ParseTraceCsv(mutated);
+    if (!parsed.ok()) continue;
+    // Anything accepted must still be structurally consistent.
+    for (const telemetry::NodeTrace& node : parsed.value().nodes) {
+      EXPECT_EQ(node.cpi.size(),
+                static_cast<size_t>(parsed.value().ticks));
+    }
+  }
+}
+
+TEST(PipelineRobustnessTest, RejectsNonFiniteObservations) {
+  auto normal = core::SimulateNormalRuns(workload::WorkloadType::kGrep, 4, 9);
+  core::InvarNetX pipeline;
+  const core::OperationContext context{workload::WorkloadType::kGrep,
+                                       "10.0.0.2"};
+  ASSERT_TRUE(pipeline.TrainContext(context, normal.value(), 1).ok());
+
+  auto poisoned = core::SimulateNormalRuns(workload::WorkloadType::kGrep, 1,
+                                           10);
+  poisoned.value()[0].nodes[1].cpi[5] =
+      std::numeric_limits<double>::quiet_NaN();
+  Result<core::DiagnosisReport> report =
+      pipeline.Diagnose(context, poisoned.value()[0], 1);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+
+  auto inf_metric = core::SimulateNormalRuns(workload::WorkloadType::kGrep,
+                                             1, 11);
+  inf_metric.value()[0].nodes[1].metrics[3][2] =
+      std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(pipeline.Diagnose(context, inf_metric.value()[0], 1).ok());
+}
+
+TEST(PipelineRobustnessTest, RejectsNonFiniteTrainingData) {
+  auto normal =
+      core::SimulateNormalRuns(workload::WorkloadType::kGrep, 4, 12);
+  normal.value()[2].nodes[1].metrics[0][0] =
+      -std::numeric_limits<double>::infinity();
+  core::InvarNetX pipeline;
+  const core::OperationContext context{workload::WorkloadType::kGrep,
+                                       "10.0.0.2"};
+  EXPECT_FALSE(pipeline.TrainContext(context, normal.value(), 1).ok());
+}
+
+TEST(StoreRobustnessTest, CorruptedStoreFilesRejectedCleanly) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "invarnetx_robustness_store").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto normal = core::SimulateNormalRuns(workload::WorkloadType::kGrep, 4, 13);
+  core::InvarNetX pipeline;
+  const core::OperationContext context{workload::WorkloadType::kGrep,
+                                       "10.0.0.2"};
+  ASSERT_TRUE(pipeline.TrainContext(context, normal.value(), 1).ok());
+  ASSERT_TRUE(pipeline.SaveToDirectory(dir).ok());
+
+  // Mutations of each store file must load as errors, never crash.
+  Rng rng(80);
+  for (const char* name : {"models.xml", "invariants.xml", "signatures.xml"}) {
+    const std::string path = dir + "/" + name;
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string valid = buffer.str();
+    for (int round = 0; round < 50; ++round) {
+      {
+        std::ofstream out(path);
+        out << Mutate(valid, &rng);
+      }
+      core::InvarNetX fresh;
+      (void)fresh.LoadFromDirectory(dir);  // Status either way; no crash
+    }
+    // Restore the valid file for the next iteration.
+    std::ofstream out(path);
+    out << valid;
+  }
+  // Fully restored store still loads.
+  core::InvarNetX restored;
+  EXPECT_TRUE(restored.LoadFromDirectory(dir).ok());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace invarnetx

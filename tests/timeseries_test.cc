@@ -1,0 +1,356 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "timeseries/acf.h"
+#include "timeseries/arima.h"
+#include "timeseries/diagnostics.h"
+#include "timeseries/diff.h"
+
+namespace invarnetx::ts {
+namespace {
+
+// Synthesizes an AR(1) series x_t = c + phi x_{t-1} + eps.
+std::vector<double> MakeAr1(double phi, double c, double sigma, int n,
+                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  double x = c / (1.0 - phi);
+  for (int i = 0; i < n; ++i) {
+    x = c + phi * x + rng.Gaussian(0.0, sigma);
+    out.push_back(x);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ diff --
+
+TEST(DiffTest, FirstDifference) {
+  Result<std::vector<double>> d = Difference({1, 3, 6, 10}, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), (std::vector<double>{2, 3, 4}));
+}
+
+TEST(DiffTest, SecondDifference) {
+  Result<std::vector<double>> d = Difference({1, 3, 6, 10}, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), (std::vector<double>{1, 1}));
+}
+
+TEST(DiffTest, ZeroDifferenceIdentity) {
+  Result<std::vector<double>> d = Difference({1, 2}, 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), (std::vector<double>{1, 2}));
+}
+
+TEST(DiffTest, RejectsBadInput) {
+  EXPECT_FALSE(Difference({1, 2}, -1).ok());
+  EXPECT_FALSE(Difference({1, 2}, 2).ok());
+}
+
+TEST(DiffTest, UndifferenceInvertsD1) {
+  // Forecast of w = 4 after series ending at 10 should be 14.
+  Result<double> y = Undifference({10.0}, 1, 4.0);
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ(y.value(), 14.0);
+}
+
+TEST(DiffTest, UndifferenceInvertsD2) {
+  // series 1,3,6,10: diffs 2,3,4; second diffs 1,1. A second-diff forecast
+  // of 1 implies next first-diff 5, next value 15.
+  Result<double> y = Undifference({6.0, 10.0}, 2, 1.0);
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ(y.value(), 15.0);
+}
+
+TEST(DiffTest, UndifferenceD0IsIdentity) {
+  EXPECT_DOUBLE_EQ(Undifference({}, 0, 3.5).value(), 3.5);
+}
+
+TEST(DiffTest, RoundTripPropertyRandomSeries) {
+  Rng rng(99);
+  for (int d = 0; d <= 2; ++d) {
+    std::vector<double> series;
+    for (int i = 0; i < 30; ++i) series.push_back(rng.Gaussian(0, 1));
+    Result<std::vector<double>> w = Difference(series, d);
+    ASSERT_TRUE(w.ok());
+    if (w.value().empty()) continue;
+    // Reconstruct the last point of the series from its predecessors.
+    std::vector<double> tail(series.begin(), series.end() - 1);
+    Result<double> rebuilt = Undifference(tail, d, w.value().back());
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_NEAR(rebuilt.value(), series.back(), 1e-9) << "d=" << d;
+  }
+}
+
+// ------------------------------------------------------------------- acf --
+
+TEST(AcfTest, WhiteNoiseUncorrelated) {
+  std::vector<double> series = MakeAr1(0.0, 0.0, 1.0, 4000, 21);
+  Result<std::vector<double>> acf = Acf(series, 5);
+  ASSERT_TRUE(acf.ok());
+  EXPECT_DOUBLE_EQ(acf.value()[0], 1.0);
+  for (int lag = 1; lag <= 5; ++lag) {
+    EXPECT_NEAR(acf.value()[static_cast<size_t>(lag)], 0.0, 0.05);
+  }
+}
+
+TEST(AcfTest, Ar1DecaysGeometrically) {
+  std::vector<double> series = MakeAr1(0.7, 0.0, 1.0, 20000, 22);
+  Result<std::vector<double>> acf = Acf(series, 3);
+  ASSERT_TRUE(acf.ok());
+  EXPECT_NEAR(acf.value()[1], 0.7, 0.05);
+  EXPECT_NEAR(acf.value()[2], 0.49, 0.06);
+}
+
+TEST(AcfTest, ConstantSeriesZeroBeyondLag0) {
+  std::vector<double> series(50, 3.0);
+  Result<std::vector<double>> acf = Acf(series, 3);
+  ASSERT_TRUE(acf.ok());
+  EXPECT_DOUBLE_EQ(acf.value()[0], 1.0);
+  EXPECT_DOUBLE_EQ(acf.value()[1], 0.0);
+}
+
+TEST(PacfTest, Ar1CutsOffAfterLag1) {
+  std::vector<double> series = MakeAr1(0.6, 0.0, 1.0, 20000, 23);
+  Result<std::vector<double>> pacf = Pacf(series, 4);
+  ASSERT_TRUE(pacf.ok());
+  EXPECT_NEAR(pacf.value()[0], 0.6, 0.05);
+  for (size_t lag = 1; lag < 4; ++lag) {
+    EXPECT_NEAR(pacf.value()[lag], 0.0, 0.05);
+  }
+}
+
+TEST(YuleWalkerTest, RecoversAr2) {
+  // x_t = 0.5 x_{t-1} + 0.3 x_{t-2} + eps
+  Rng rng(24);
+  std::vector<double> x = {0.0, 0.0};
+  for (int i = 0; i < 30000; ++i) {
+    x.push_back(0.5 * x[x.size() - 1] + 0.3 * x[x.size() - 2] +
+                rng.Gaussian(0, 1));
+  }
+  Result<std::vector<double>> phi = YuleWalker(x, 2);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(phi.value()[0], 0.5, 0.05);
+  EXPECT_NEAR(phi.value()[1], 0.3, 0.05);
+}
+
+// ----------------------------------------------------------------- arima --
+
+TEST(ArimaTest, FitRecoversAr1Coefficient) {
+  std::vector<double> series = MakeAr1(0.65, 1.0, 0.5, 5000, 31);
+  Result<ArimaModel> model = ArimaModel::Fit(series, ArimaOrder{1, 0, 0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model.value().ar()[0], 0.65, 0.05);
+  EXPECT_NEAR(model.value().intercept(), 1.0, 0.15);
+  EXPECT_NEAR(model.value().sigma2(), 0.25, 0.05);
+}
+
+TEST(ArimaTest, FitRejectsShortSeries) {
+  std::vector<double> tiny(8, 1.0);
+  EXPECT_FALSE(ArimaModel::Fit(tiny, ArimaOrder{1, 0, 0}).ok());
+}
+
+TEST(ArimaTest, FitRejectsNegativeOrder) {
+  std::vector<double> series(100, 1.0);
+  EXPECT_FALSE(ArimaModel::Fit(series, ArimaOrder{-1, 0, 0}).ok());
+}
+
+TEST(ArimaTest, WhiteNoiseModelUsesMean) {
+  std::vector<double> series = MakeAr1(0.0, 2.0, 1.0, 2000, 32);
+  Result<ArimaModel> model = ArimaModel::Fit(series, ArimaOrder{0, 0, 0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model.value().intercept(), 2.0, 0.1);
+}
+
+TEST(ArimaTest, PredictionBeatsNaiveOnAr1) {
+  std::vector<double> series = MakeAr1(0.8, 0.0, 1.0, 2000, 33);
+  Result<ArimaModel> model = ArimaModel::Fit(series, ArimaOrder{1, 0, 0});
+  ASSERT_TRUE(model.ok());
+  Result<std::vector<double>> preds =
+      model.value().PredictInSample(series);
+  ASSERT_TRUE(preds.ok());
+  double model_sse = 0.0, naive_sse = 0.0;
+  for (size_t i = 10; i < series.size(); ++i) {
+    model_sse += std::pow(series[i] - preds.value()[i], 2);
+    naive_sse += std::pow(series[i] - series[i - 1], 2);
+  }
+  EXPECT_LT(model_sse, naive_sse);
+}
+
+TEST(ArimaTest, TrendNeedsDifferencing) {
+  // Random walk with drift: ARIMA(0,1,0)-ish; check residuals are small
+  // relative to the drifting scale.
+  Rng rng(34);
+  std::vector<double> series;
+  double x = 0.0;
+  for (int i = 0; i < 800; ++i) {
+    x += 0.5 + rng.Gaussian(0.0, 0.1);
+    series.push_back(x);
+  }
+  Result<ArimaModel> model = ArimaModel::Fit(series, ArimaOrder{1, 1, 0});
+  ASSERT_TRUE(model.ok());
+  Result<std::vector<double>> resid = model.value().AbsResiduals(series);
+  ASSERT_TRUE(resid.ok());
+  double mean_resid = 0.0;
+  for (size_t i = 10; i < resid.value().size(); ++i) {
+    mean_resid += resid.value()[i];
+  }
+  mean_resid /= static_cast<double>(resid.value().size() - 10);
+  EXPECT_LT(mean_resid, 0.2);  // ~sigma of the innovations
+}
+
+TEST(ArimaTest, MaTermImprovesMa1Fit) {
+  // x_t = eps_t + 0.7 eps_{t-1}
+  Rng rng(35);
+  std::vector<double> series;
+  double prev_eps = rng.Gaussian(0, 1);
+  for (int i = 0; i < 5000; ++i) {
+    const double eps = rng.Gaussian(0, 1);
+    series.push_back(eps + 0.7 * prev_eps);
+    prev_eps = eps;
+  }
+  Result<ArimaModel> ma = ArimaModel::Fit(series, ArimaOrder{0, 0, 1});
+  ASSERT_TRUE(ma.ok());
+  EXPECT_NEAR(ma.value().ma()[0], 0.7, 0.1);
+}
+
+TEST(ArimaTest, FromParametersValidates) {
+  EXPECT_FALSE(
+      ArimaModel::FromParameters(ArimaOrder{1, 0, 0}, {}, {}, 0.0, 1.0).ok());
+  Result<ArimaModel> ok =
+      ArimaModel::FromParameters(ArimaOrder{1, 0, 0}, {0.5}, {}, 0.1, 1.0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.value().ar()[0], 0.5);
+}
+
+TEST(ArimaPredictorTest, WarmupEchoesThenPredicts) {
+  Result<ArimaModel> model =
+      ArimaModel::FromParameters(ArimaOrder{1, 0, 0}, {0.5}, {}, 0.0, 1.0);
+  ASSERT_TRUE(model.ok());
+  ArimaPredictor predictor(model.value());
+  EXPECT_FALSE(predictor.Ready());
+  EXPECT_DOUBLE_EQ(predictor.PredictNext(), 0.0);
+  predictor.Observe(4.0);
+  EXPECT_TRUE(predictor.Ready());
+  // AR(1) with phi=0.5, c=0: forecast = 0.5 * 4 = 2.
+  EXPECT_DOUBLE_EQ(predictor.PredictNext(), 2.0);
+  const double resid = predictor.Observe(3.0);
+  EXPECT_DOUBLE_EQ(resid, 1.0);
+}
+
+TEST(ArimaPredictorTest, ResetClearsHistory) {
+  Result<ArimaModel> model =
+      ArimaModel::FromParameters(ArimaOrder{1, 0, 0}, {0.5}, {}, 0.0, 1.0);
+  ASSERT_TRUE(model.ok());
+  ArimaPredictor predictor(model.value());
+  predictor.Observe(4.0);
+  predictor.Reset();
+  EXPECT_FALSE(predictor.Ready());
+}
+
+TEST(ArimaPredictorTest, D1ForecastTracksRandomWalk) {
+  // ARIMA(0,1,0) with intercept mu predicts y_t + mu.
+  Result<ArimaModel> model =
+      ArimaModel::FromParameters(ArimaOrder{0, 1, 0}, {}, {}, 0.5, 1.0);
+  ASSERT_TRUE(model.ok());
+  ArimaPredictor predictor(model.value());
+  predictor.Observe(10.0);
+  EXPECT_TRUE(predictor.Ready());
+  EXPECT_DOUBLE_EQ(predictor.PredictNext(), 10.5);
+  predictor.Observe(11.0);
+  EXPECT_DOUBLE_EQ(predictor.PredictNext(), 11.5);
+}
+
+TEST(FitArimaAutoTest, SelectsReasonableOrderForAr1) {
+  std::vector<double> series = MakeAr1(0.7, 0.0, 1.0, 600, 36);
+  Result<ArimaModel> model = FitArimaAuto(series);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model.value().order().d, 0);
+  EXPECT_GE(model.value().order().p + model.value().order().q, 1);
+}
+
+TEST(FitArimaAutoTest, ChoosesDifferencingForTrend) {
+  Rng rng(37);
+  std::vector<double> series;
+  double x = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    x += 1.0 + rng.Gaussian(0.0, 0.05);
+    series.push_back(x);
+  }
+  Result<ArimaModel> model = FitArimaAuto(series);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GE(model.value().order().d, 1);
+}
+
+TEST(FitArimaAutoTest, RejectsTinySeries) {
+  std::vector<double> tiny(10, 1.0);
+  EXPECT_FALSE(FitArimaAuto(tiny).ok());
+}
+
+TEST(ArimaOrderTest, ToStringFormat) {
+  EXPECT_EQ((ArimaOrder{2, 1, 3}.ToString()), "ARIMA(2,1,3)");
+}
+
+// ----------------------------------------------------------- diagnostics --
+
+TEST(ChiSquareTest, KnownValues) {
+  // P(chi2_1 >= 3.841) = 0.05; P(chi2_10 >= 18.307) = 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1), 0.05, 1e-3);
+  EXPECT_NEAR(ChiSquareSurvival(18.307, 10), 0.05, 1e-3);
+  // Degenerate edges.
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(0.0, 5), 1.0);
+  EXPECT_LT(ChiSquareSurvival(1000.0, 5), 1e-10);
+}
+
+TEST(LjungBoxTest, WhiteNoisePasses) {
+  Rng rng(61);
+  std::vector<double> white;
+  for (int i = 0; i < 400; ++i) white.push_back(rng.Gaussian(0, 1));
+  Result<LjungBoxResult> result = LjungBoxTest(white, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().WhiteAt(0.01));
+  EXPECT_GT(result.value().p_value, 0.01);
+}
+
+TEST(LjungBoxTest, AutocorrelatedSeriesFails) {
+  std::vector<double> series = MakeAr1(0.8, 0.0, 1.0, 400, 62);
+  Result<LjungBoxResult> result = LjungBoxTest(series, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().WhiteAt(0.05));
+  EXPECT_LT(result.value().p_value, 1e-6);
+  EXPECT_GT(result.value().q, 100.0);
+}
+
+TEST(LjungBoxTest, FittedArimaResidualsAreWhite) {
+  // After fitting an adequate AR(1), the residuals must pass the test the
+  // raw series fails.
+  std::vector<double> series = MakeAr1(0.8, 0.0, 1.0, 600, 63);
+  Result<ArimaModel> model = ArimaModel::Fit(series, ArimaOrder{1, 0, 0});
+  ASSERT_TRUE(model.ok());
+  Result<std::vector<double>> preds = model.value().PredictInSample(series);
+  ASSERT_TRUE(preds.ok());
+  std::vector<double> residuals;
+  for (size_t i = 5; i < series.size(); ++i) {
+    residuals.push_back(series[i] - preds.value()[i]);
+  }
+  Result<LjungBoxResult> result =
+      LjungBoxTest(residuals, 10, /*fitted_params=*/1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().WhiteAt(0.01));
+}
+
+TEST(LjungBoxTest, ValidatesInput) {
+  std::vector<double> series(100, 1.0);
+  EXPECT_FALSE(LjungBoxTest(series, 0).ok());
+  EXPECT_FALSE(LjungBoxTest(series, 5, 5).ok());   // lags <= params
+  EXPECT_FALSE(LjungBoxTest(series, 5, -1).ok());
+  std::vector<double> tiny(5, 1.0);
+  EXPECT_FALSE(LjungBoxTest(tiny, 10).ok());
+}
+
+}  // namespace
+}  // namespace invarnetx::ts

@@ -1,0 +1,192 @@
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/collectl_import.h"
+#include "telemetry/runner.h"
+#include "telemetry/trace_io.h"
+
+namespace invarnetx::telemetry {
+namespace {
+
+RunTrace SampleTrace() {
+  RunConfig config;
+  config.workload = workload::WorkloadType::kGrep;
+  config.seed = 7;
+  config.fault = FaultRequest{faults::FaultType::kDiskHog,
+                              DefaultFaultWindow(faults::FaultType::kDiskHog)};
+  return SimulateRun(config).value();
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  const RunTrace original = SampleTrace();
+  Result<RunTrace> parsed = ParseTraceCsv(WriteTraceCsv(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const RunTrace& copy = parsed.value();
+  EXPECT_EQ(copy.workload, original.workload);
+  EXPECT_EQ(copy.ticks, original.ticks);
+  EXPECT_DOUBLE_EQ(copy.duration_seconds, original.duration_seconds);
+  EXPECT_EQ(copy.finished, original.finished);
+  ASSERT_EQ(copy.nodes.size(), original.nodes.size());
+  for (size_t n = 0; n < copy.nodes.size(); ++n) {
+    EXPECT_EQ(copy.nodes[n].ip, original.nodes[n].ip);
+    EXPECT_EQ(copy.nodes[n].cpi, original.nodes[n].cpi);  // exact: %.17g
+    for (int m = 0; m < kNumMetrics; ++m) {
+      EXPECT_EQ(copy.nodes[n].metrics[static_cast<size_t>(m)],
+                original.nodes[n].metrics[static_cast<size_t>(m)])
+          << MetricName(m);
+    }
+  }
+  ASSERT_TRUE(copy.fault.has_value());
+  EXPECT_EQ(copy.fault->type, faults::FaultType::kDiskHog);
+  EXPECT_EQ(copy.fault->window.start_tick,
+            original.fault->window.start_tick);
+  ASSERT_EQ(copy.injected.size(), 1u);
+}
+
+TEST(TraceIoTest, RoundTripJobSpans) {
+  SequenceConfig config;
+  config.jobs = {workload::WorkloadType::kGrep,
+                 workload::WorkloadType::kWordCount};
+  config.seed = 8;
+  const RunTrace original = SimulateJobSequence(config).value();
+  Result<RunTrace> parsed = ParseTraceCsv(WriteTraceCsv(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().job_spans.size(), 2u);
+  EXPECT_EQ(parsed.value().job_spans[1].type,
+            workload::WorkloadType::kWordCount);
+  EXPECT_EQ(parsed.value().job_spans[1].start_tick,
+            original.job_spans[1].start_tick);
+  EXPECT_EQ(parsed.value().job_spans[1].end_tick,
+            original.job_spans[1].end_tick);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "invarnetx_trace_test.csv")
+          .string();
+  const RunTrace original = SampleTrace();
+  ASSERT_TRUE(WriteTraceFile(path, original).ok());
+  Result<RunTrace> parsed = ReadTraceFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().ticks, original.ticks);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseTraceCsv("").ok());
+  EXPECT_FALSE(ParseTraceCsv("not a trace\n").ok());
+  EXPECT_FALSE(ParseTraceCsv("# invarnetx-trace v1\n").ok());  // no data
+}
+
+TEST(TraceIoTest, RejectsWrongColumnOrder) {
+  std::string text = WriteTraceCsv(SampleTrace());
+  // Swap two metric names in the column header.
+  const size_t pos = text.find("cpu_user_pct");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "cpu_sys_pct,");
+  EXPECT_FALSE(ParseTraceCsv(text).ok());
+}
+
+TEST(TraceIoTest, RejectsTruncatedRows) {
+  std::string text = WriteTraceCsv(SampleTrace());
+  // Chop the final line short.
+  const size_t last_newline = text.find_last_of('\n', text.size() - 2);
+  text = text.substr(0, last_newline + 30);
+  EXPECT_FALSE(ParseTraceCsv(text).ok());
+}
+
+TEST(TraceIoTest, RejectsInconsistentTickCounts) {
+  std::string text = WriteTraceCsv(SampleTrace());
+  // Duplicate the final data row: its node then has one extra tick.
+  const size_t last_newline = text.find_last_of('\n', text.size() - 2);
+  text += text.substr(last_newline + 1);
+  EXPECT_FALSE(ParseTraceCsv(text).ok());
+}
+
+TEST(TraceIoTest, MissingFileIsIoError) {
+  Result<RunTrace> trace = ReadTraceFile("/does/not/exist.csv");
+  EXPECT_FALSE(trace.ok());
+  EXPECT_EQ(trace.status().code(), StatusCode::kIoError);
+}
+
+// ------------------------------------------------------ collectl import --
+
+constexpr const char* kCollectlSample =
+    "################################################################\n"
+    "# Collectl: V4.0.2 ...\n"
+    "#Date Time [CPU]User% [CPU]Sys% [CPU]Wait% [CPU]Idle% [CPU]Ctx "
+    "[CPU]Intrpt [MEM]Used [MEM]Free [MEM]Cached [MEM]SwapUsed "
+    "[DSK]ReadKBTot [DSK]WriteKBTot [NET]RxKBTot [NET]TxKBTot "
+    "[TCP]Retrans\n"
+    "20140601 00:00:10 45.0 6.0 2.0 47.0 21000 1800 6100 4200 5900 0 "
+    "52000 11000 24000 23000 0\n"
+    "20140601 00:00:20 47.5 5.5 2.5 44.5 22500 1850 6150 4180 5870 0 "
+    "54100 11300 24400 23300 1\n"
+    "20140601 00:00:30 44.1 6.2 1.8 47.9 20800 1790 6120 4210 5880 0 "
+    "51800 10900 23900 23100 0\n";
+
+TEST(CollectlImportTest, MapsKnownColumns) {
+  Result<CollectlImportResult> imported =
+      ImportCollectlPlot(kCollectlSample, "10.0.0.2", {1.0, 1.1, 1.05});
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  const NodeTrace& node = imported.value().node;
+  EXPECT_EQ(node.ip, "10.0.0.2");
+  ASSERT_EQ(node.cpi.size(), 3u);
+  EXPECT_DOUBLE_EQ(node.metrics[kCpuUserPct][0], 45.0);
+  EXPECT_DOUBLE_EQ(node.metrics[kCpuUserPct][1], 47.5);
+  EXPECT_DOUBLE_EQ(node.metrics[kCtxSwitchesPerSec][2], 20800.0);
+  EXPECT_DOUBLE_EQ(node.metrics[kDiskReadKbps][1], 54100.0);
+  EXPECT_DOUBLE_EQ(node.metrics[kTcpRetransPerSec][1], 1.0);
+}
+
+TEST(CollectlImportTest, ReportsMissingMetrics) {
+  Result<CollectlImportResult> imported =
+      ImportCollectlPlot(kCollectlSample, "10.0.0.2", {});
+  ASSERT_TRUE(imported.ok());
+  const auto& missing = imported.value().missing_metrics;
+  // The sample lacks load, procs, page, iops, util, pkt and threads
+  // columns plus the perf CPI series.
+  auto has = [&missing](const std::string& name) {
+    for (const std::string& m : missing) {
+      if (m == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("load_avg_1m"));
+  EXPECT_TRUE(has("proc_threads"));
+  EXPECT_TRUE(has("cpi"));
+  EXPECT_FALSE(has("cpu_user_pct"));
+  // Missing sources are zero-filled, and CPI defaults to 1.0.
+  EXPECT_DOUBLE_EQ(imported.value().node.metrics[kLoadAvg1m][0], 0.0);
+  EXPECT_DOUBLE_EQ(imported.value().node.cpi[0], 1.0);
+}
+
+TEST(CollectlImportTest, ValidatesStructure) {
+  EXPECT_FALSE(ImportCollectlPlot("", "ip", {}).ok());
+  EXPECT_FALSE(ImportCollectlPlot("no header\n1 2 3\n", "ip", {}).ok());
+  // Header but no rows.
+  EXPECT_FALSE(
+      ImportCollectlPlot("#Date Time [CPU]User%\n", "ip", {}).ok());
+  // Row width mismatch.
+  EXPECT_FALSE(ImportCollectlPlot(
+                   "#Date Time [CPU]User%\n20140601 00:00:10\n", "ip", {})
+                   .ok());
+  // CPI length mismatch.
+  EXPECT_FALSE(ImportCollectlPlot(
+                   "#Date Time [CPU]User%\n20140601 00:00:10 45.0\n", "ip",
+                   {1.0, 2.0})
+                   .ok());
+}
+
+TEST(CollectlImportTest, ColumnTableCoversMostOfTheCatalog) {
+  int covered = 0;
+  for (int m = 0; m < kNumMetrics; ++m) {
+    if (!CollectlColumnFor(m).empty()) ++covered;
+  }
+  EXPECT_EQ(covered, kNumMetrics - 1);  // all but proc_threads
+}
+
+}  // namespace
+}  // namespace invarnetx::telemetry

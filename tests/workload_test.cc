@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "cluster/engine.h"
+#include "workload/batch.h"
+#include "workload/factory.h"
+#include "workload/spec.h"
+#include "workload/tpcds.h"
+
+namespace invarnetx::workload {
+namespace {
+
+// ------------------------------------------------------------------- spec --
+
+TEST(SpecTest, NamesRoundTrip) {
+  for (WorkloadType type : kAllWorkloads) {
+    Result<WorkloadType> parsed = WorkloadFromName(WorkloadName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), type);
+  }
+  EXPECT_FALSE(WorkloadFromName("bogus").ok());
+}
+
+TEST(SpecTest, BatchVsInteractive) {
+  EXPECT_TRUE(IsBatch(WorkloadType::kWordCount));
+  EXPECT_TRUE(IsBatch(WorkloadType::kSort));
+  EXPECT_TRUE(IsBatch(WorkloadType::kGrep));
+  EXPECT_TRUE(IsBatch(WorkloadType::kBayes));
+  EXPECT_FALSE(IsBatch(WorkloadType::kTpcDs));
+}
+
+TEST(SpecTest, BatchSpecsAreWellFormed) {
+  for (WorkloadType type : kAllWorkloads) {
+    if (!IsBatch(type)) continue;
+    Result<BatchSpec> spec = GetBatchSpec(type);
+    ASSERT_TRUE(spec.ok()) << WorkloadName(type);
+    EXPECT_GT(spec.value().total_instructions, 0.0);
+    EXPECT_GT(spec.value().map_frac, 0.0);
+    EXPECT_GT(spec.value().shuffle_frac, 0.0);
+    EXPECT_LT(spec.value().map_frac + spec.value().shuffle_frac, 1.0);
+    // Keep CPU headroom so utilization noise cannot oversubscribe cores.
+    EXPECT_LE(spec.value().map.cpu, 0.7);
+    EXPECT_GT(spec.value().map.cpi_base, 0.0);
+  }
+  EXPECT_FALSE(GetBatchSpec(WorkloadType::kTpcDs).ok());
+}
+
+TEST(SpecTest, WorkloadsHaveDistinctResourceShapes) {
+  const BatchSpec wc = GetBatchSpec(WorkloadType::kWordCount).value();
+  const BatchSpec sort = GetBatchSpec(WorkloadType::kSort).value();
+  const BatchSpec grep = GetBatchSpec(WorkloadType::kGrep).value();
+  const BatchSpec bayes = GetBatchSpec(WorkloadType::kBayes).value();
+  EXPECT_GT(wc.map.cpu, sort.map.cpu);       // wordcount is CPU-bound
+  EXPECT_GT(sort.map.io_read, wc.map.io_read);  // sort is IO-bound
+  EXPECT_GT(grep.map_frac, wc.map_frac);     // grep is map-dominant
+  EXPECT_GT(bayes.map.mem_mb, wc.map.mem_mb);   // bayes is memory-hungry
+}
+
+// ------------------------------------------------------------------ batch --
+
+TEST(BatchJobTest, PhaseProgression) {
+  Rng rng(1);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  BatchJobModel job(GetBatchSpec(WorkloadType::kWordCount).value(), testbed,
+                    &rng);
+  EXPECT_EQ(job.phase(), BatchPhase::kMap);
+  EXPECT_DOUBLE_EQ(job.fraction_done(), 0.0);
+  EXPECT_FALSE(job.Finished());
+  const double total = job.spec().total_instructions;
+  // Push 70% of the budget through slave 1.
+  job.OnProgress(1, total * 0.70);
+  EXPECT_EQ(job.phase(), BatchPhase::kShuffle);
+  job.OnProgress(2, total * 0.10);
+  EXPECT_EQ(job.phase(), BatchPhase::kReduce);
+}
+
+TEST(BatchJobTest, MasterProgressIgnored) {
+  Rng rng(2);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  BatchJobModel job(GetBatchSpec(WorkloadType::kGrep).value(), testbed, &rng);
+  job.OnProgress(0, 1e18);
+  EXPECT_DOUBLE_EQ(job.fraction_done(), 0.0);
+}
+
+TEST(BatchJobTest, StragglerSemantics) {
+  // The job is unfinished until EVERY slave finishes its shard.
+  Rng rng(3);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  BatchJobModel job(GetBatchSpec(WorkloadType::kWordCount).value(), testbed,
+                    &rng);
+  const double total = job.spec().total_instructions;
+  for (size_t node = 1; node <= 3; ++node) {
+    job.OnProgress(node, total);  // way beyond their shards
+  }
+  EXPECT_FALSE(job.Finished());
+  EXPECT_FALSE(job.NodeFinished(4));
+  job.OnProgress(4, total);
+  EXPECT_TRUE(job.Finished());
+  EXPECT_TRUE(job.NodeFinished(4));
+}
+
+TEST(BatchJobTest, StepWritesDemands) {
+  Rng rng(4);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  BatchJobModel job(GetBatchSpec(WorkloadType::kWordCount).value(), testbed,
+                    &rng);
+  job.Step(0, &testbed, &rng);
+  for (size_t i = 0; i < testbed.num_slaves(); ++i) {
+    EXPECT_GT(testbed.slave(i).drivers.cpu_task, 0.3);
+    EXPECT_GT(testbed.slave(i).drivers.io_read, 0.1);
+    EXPECT_GT(testbed.slave(i).drivers.mem_task_mb, 1000.0);
+    EXPECT_GT(testbed.slave(i).drivers.cpi_base, 0.5);
+  }
+  EXPECT_GT(testbed.master().drivers.rpc_rate, 0.3);
+  EXPECT_LT(testbed.master().drivers.cpu_task, 0.3);
+}
+
+TEST(BatchJobTest, FinishedSlaveGoesIdle) {
+  Rng rng(5);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  BatchJobModel job(GetBatchSpec(WorkloadType::kWordCount).value(), testbed,
+                    &rng);
+  job.OnProgress(1, job.spec().total_instructions);  // slave 1 done
+  job.Step(0, &testbed, &rng);
+  EXPECT_LT(testbed.slave(0).drivers.cpu_task, 0.1);
+  EXPECT_GT(testbed.slave(1).drivers.cpu_task, 0.3);  // others still busy
+}
+
+TEST(BatchJobTest, ShardsScaleWithCapability) {
+  // The 12-core slave must receive a larger shard than the 4-core one:
+  // drive only those two nodes and check completion order under equal
+  // per-tick progress reporting.
+  Rng rng(6);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  BatchJobModel job(GetBatchSpec(WorkloadType::kWordCount).value(), testbed,
+                    &rng);
+  // Equal progress to the 4-core node (index 2) and 12-core node (index 3).
+  const double step = job.spec().total_instructions * 0.05;
+  int small_done_at = -1, big_done_at = -1;
+  for (int i = 0; i < 40; ++i) {
+    job.OnProgress(2, step);
+    job.OnProgress(3, step);
+    if (small_done_at < 0 && job.NodeFinished(2)) small_done_at = i;
+    if (big_done_at < 0 && job.NodeFinished(3)) big_done_at = i;
+  }
+  ASSERT_GE(small_done_at, 0);
+  ASSERT_GE(big_done_at, 0);
+  EXPECT_LT(small_done_at, big_done_at);
+}
+
+TEST(BatchJobTest, SpeculationReassignsStragglerWork) {
+  Rng rng(7);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  BatchSpec spec = GetBatchSpec(WorkloadType::kWordCount).value();
+  spec.speculative_execution = true;
+  BatchJobModel job(spec, testbed, &rng);
+  const double total = spec.total_instructions;
+  // Nodes 2-4 finish their shards with just enough work (small increments,
+  // so retired ~= budget); node 1 is stuck at ~2%.
+  for (size_t node = 2; node <= 4; ++node) {
+    while (!job.NodeFinished(node)) job.OnProgress(node, total * 0.005);
+  }
+  job.OnProgress(1, total * 0.02);
+  ASSERT_FALSE(job.Finished());
+  // One Step triggers speculation: node 1's remaining work halves and a
+  // finished node takes the other half, becoming unfinished again.
+  job.Step(0, &testbed, &rng);
+  job.OnProgress(1, total);  // more than enough for the reduced shard
+  EXPECT_TRUE(job.NodeFinished(1));
+  bool helper_reopened = false;
+  for (size_t node = 2; node <= 4; ++node) {
+    helper_reopened |= !job.NodeFinished(node);
+  }
+  EXPECT_TRUE(helper_reopened);
+  EXPECT_FALSE(job.Finished());
+  for (size_t node = 2; node <= 4; ++node) job.OnProgress(node, total);
+  EXPECT_TRUE(job.Finished());
+}
+
+TEST(BatchJobTest, NoSpeculationByDefault) {
+  Rng rng(8);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  const BatchSpec spec = GetBatchSpec(WorkloadType::kWordCount).value();
+  EXPECT_FALSE(spec.speculative_execution);
+  BatchJobModel job(spec, testbed, &rng);
+  const double total = spec.total_instructions;
+  for (size_t node = 2; node <= 4; ++node) job.OnProgress(node, total);
+  job.OnProgress(1, total * 0.02);
+  job.Step(0, &testbed, &rng);
+  // Without speculation the straggler keeps its whole shard.
+  job.OnProgress(1, total * 0.05);
+  EXPECT_FALSE(job.NodeFinished(1));
+}
+
+// ------------------------------------------------------------------ tpcds --
+
+TEST(TpcDsTest, TemplatesAreSane) {
+  const auto& templates = TpcDsQueryTemplates();
+  for (const QueryTemplate& q : templates) {
+    EXPECT_GT(q.cpu, 0.0);
+    EXPECT_GT(q.arrival_rate, 0.0);
+    EXPECT_GE(q.mean_ticks, 1.0);
+    EXPECT_GT(q.cpi, 0.5);
+    EXPECT_LT(q.cpi, 2.0);
+  }
+}
+
+TEST(TpcDsTest, WarmStartHasActiveQueries) {
+  Rng rng(7);
+  TpcDsModel mix(5, &rng);
+  EXPECT_GT(mix.TotalActive(), 0);
+}
+
+TEST(TpcDsTest, NeverFinishes) {
+  Rng rng(8);
+  TpcDsModel mix(5, &rng);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  for (int t = 0; t < 50; ++t) {
+    mix.Step(t, &testbed, &rng);
+    EXPECT_FALSE(mix.Finished());
+  }
+}
+
+TEST(TpcDsTest, MixStaysBounded) {
+  Rng rng(9);
+  TpcDsModel mix(5, &rng);
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  for (int t = 0; t < 200; ++t) {
+    mix.Step(t, &testbed, &rng);
+    // Birth-death equilibrium: the mix must neither die out for long nor
+    // grow without bound.
+    EXPECT_LT(mix.TotalActive(), 200);
+    EXPECT_LT(testbed.slave(0).drivers.cpu_task, 1.6);
+  }
+  EXPECT_GT(mix.TotalActive(), 0);
+}
+
+TEST(PoissonTest, MeanMatchesLambda) {
+  Rng rng(10);
+  const double lambda = 1.7;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += SamplePoisson(&rng, lambda);
+  EXPECT_NEAR(sum / n, lambda, 0.05);
+  EXPECT_EQ(SamplePoisson(&rng, 0.0), 0);
+  EXPECT_EQ(SamplePoisson(&rng, -1.0), 0);
+}
+
+// ---------------------------------------------------------------- factory --
+
+TEST(FactoryTest, BuildsEveryWorkload) {
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  for (WorkloadType type : kAllWorkloads) {
+    Rng rng(11);
+    Result<std::unique_ptr<cluster::WorkloadModel>> model =
+        MakeWorkload(type, testbed, &rng);
+    ASSERT_TRUE(model.ok()) << WorkloadName(type);
+    EXPECT_EQ(model.value()->name(), WorkloadName(type));
+  }
+}
+
+}  // namespace
+}  // namespace invarnetx::workload

@@ -1,0 +1,47 @@
+// Developer tool: accuracy sweep over workloads and seeds to give a
+// low-variance view of campaign precision/recall while tuning the
+// simulator and pipeline. Not part of the bench suite.
+//
+// Usage: accuracy_sweep [reps=10] [seeds=3]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "core/evaluate.h"
+
+int main(int argc, char** argv) {
+  namespace core = invarnetx::core;
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int num_seeds = argc > 2 ? std::atoi(argv[2]) : 3;
+  const uint64_t seeds[] = {42, 7, 1234, 99, 2026};
+
+  invarnetx::TextTable table({"workload", "seed", "precision", "recall"});
+  for (auto workload : {invarnetx::workload::WorkloadType::kWordCount,
+                        invarnetx::workload::WorkloadType::kTpcDs}) {
+    double psum = 0, rsum = 0;
+    for (int s = 0; s < num_seeds && s < 5; ++s) {
+      core::EvalConfig config;
+      config.workload = workload;
+      config.seed = seeds[s];
+      config.test_runs_per_fault = reps;
+      auto result = core::RunEvaluation(config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "eval failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      psum += result.value().avg_precision;
+      rsum += result.value().avg_recall;
+      table.AddRow({invarnetx::workload::WorkloadName(workload),
+                    std::to_string(seeds[s]),
+                    invarnetx::FormatPercent(result.value().avg_precision),
+                    invarnetx::FormatPercent(result.value().avg_recall)});
+    }
+    table.AddRow({invarnetx::workload::WorkloadName(workload), "MEAN",
+                  invarnetx::FormatPercent(psum / num_seeds),
+                  invarnetx::FormatPercent(rsum / num_seeds)});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

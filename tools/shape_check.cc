@@ -1,0 +1,141 @@
+// Developer tool: one-shot check of every headline "shape" the reproduction
+// must preserve, at reduced campaign sizes. Use while tuning the simulator:
+// any change should keep all of these in the green.
+//
+// Usage: shape_check [reps=8] [seed=42]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/evaluate.h"
+
+namespace {
+
+using namespace invarnetx;
+using core::EvalConfig;
+using core::EvalResult;
+using workload::WorkloadType;
+
+int failures = 0;
+
+void Check(bool ok, const char* what, double got, double want,
+           const char* cmp) {
+  std::printf("  [%s] %-52s got %6.3f (want %s %g)\n", ok ? "ok" : "!!",
+              what, got, cmp, want);
+  if (!ok) ++failures;
+}
+
+void CheckGe(double got, double want, const char* what) {
+  Check(got >= want, what, got, want, ">=");
+}
+void CheckLe(double got, double want, const char* what) {
+  Check(got <= want, what, got, want, "<=");
+}
+
+double Fig4Corr(WorkloadType type, uint64_t seed) {
+  const faults::FaultType injected[] = {faults::FaultType::kNetDelay,
+                                        faults::FaultType::kCpuHog,
+                                        faults::FaultType::kDiskHog};
+  std::vector<double> times, cpis;
+  for (int rep = 0; rep < 25; ++rep) {
+    telemetry::RunConfig config;
+    config.workload = type;
+    config.seed = seed + static_cast<uint64_t>(rep);
+    if (rep % 4 != 0) {
+      const faults::FaultType fault = injected[rep % 3];
+      config.fault =
+          telemetry::FaultRequest{fault, telemetry::DefaultFaultWindow(fault)};
+    }
+    const telemetry::RunTrace trace =
+        telemetry::SimulateRun(config).value();
+    times.push_back(trace.duration_seconds);
+    cpis.push_back(Mean(trace.nodes[1].cpi));
+  }
+  return PearsonCorrelation(cpis, times).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 8;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  // --- campaigns ---------------------------------------------------------
+  EvalConfig wc;
+  wc.workload = WorkloadType::kWordCount;
+  wc.seed = seed;
+  wc.test_runs_per_fault = reps;
+  const EvalResult wc_result = core::RunEvaluation(wc).value();
+
+  EvalConfig td = wc;
+  td.workload = WorkloadType::kTpcDs;
+  const EvalResult td_result = core::RunEvaluation(td).value();
+
+  EvalConfig arx = wc;
+  arx.pipeline.engine = core::AssociationEngineType::kArx;
+  const EvalResult arx_result = core::RunEvaluation(arx).value();
+
+  EvalConfig nocontext = wc;
+  nocontext.pipeline.use_operation_context = false;
+  const EvalResult nc_result = core::RunEvaluation(nocontext).value();
+
+  std::printf("campaign shapes (reps=%d seed=%llu):\n", reps,
+              static_cast<unsigned long long>(seed));
+  CheckGe(wc_result.avg_precision, 0.82, "wordcount precision (paper 91.2%)");
+  CheckGe(wc_result.avg_recall, 0.74, "wordcount recall (paper 87.3%)");
+  CheckGe(td_result.avg_precision, 0.75, "tpcds precision (paper 88.1%)");
+  CheckGe(td_result.avg_recall, 0.66, "tpcds recall (paper 86%)");
+  CheckGe(wc_result.avg_precision - td_result.avg_precision, -0.05,
+          "batch >= interactive precision (roughly)");
+  CheckGe(wc_result.avg_precision - arx_result.avg_precision, 0.04,
+          "InvarNet-X precision above ARX (paper ~9%)");
+  CheckGe(arx_result.avg_recall, 0.45, "ARX recall not degenerate");
+  CheckLe(nc_result.avg_precision, wc_result.avg_precision - 0.25,
+          "no-context precision collapses");
+  CheckLe(nc_result.avg_recall, wc_result.avg_recall - 0.25,
+          "no-context recall collapses");
+
+  // Per-fault shapes under WordCount.
+  double lockr_recall = 1.0, suspend_recall = 0.0;
+  for (const core::FaultOutcome& o : wc_result.per_fault) {
+    if (o.fault == faults::FaultType::kLockRace) lockr_recall = o.recall();
+    if (o.fault == faults::FaultType::kSuspend) suspend_recall = o.recall();
+  }
+  CheckLe(lockr_recall, 0.75, "lock-r recall is the weak spot");
+  CheckGe(suspend_recall, 0.8, "suspend recall near-perfect");
+
+  // --- Fig. 4 correlations -----------------------------------------------
+  std::printf("fig4 shapes:\n");
+  CheckGe(Fig4Corr(WorkloadType::kWordCount, seed), 0.9,
+          "wordcount CPI~time correlation (paper 0.97)");
+  CheckGe(Fig4Corr(WorkloadType::kSort, seed + 1000), 0.9,
+          "sort CPI~time correlation (paper 0.95)");
+
+  // --- Fig. 2 robustness --------------------------------------------------
+  {
+    telemetry::RunConfig normal;
+    normal.workload = WorkloadType::kWordCount;
+    normal.seed = seed;
+    telemetry::RunConfig noisy = normal;
+    faults::FaultWindow window;
+    window.start_tick = 15;
+    window.duration_ticks = 30;
+    noisy.fault =
+        telemetry::FaultRequest{faults::FaultType::kCpuUtilNoise, window};
+    const auto a = telemetry::SimulateRun(normal).value();
+    const auto b = telemetry::SimulateRun(noisy).value();
+    std::printf("fig2 shapes:\n");
+    CheckLe(std::fabs(b.duration_seconds / a.duration_seconds - 1.0), 0.05,
+            "cpu noise leaves execution time flat");
+    const double cpi_ratio =
+        Mean(b.nodes[1].cpi) / Mean(a.nodes[1].cpi);
+    CheckLe(std::fabs(cpi_ratio - 1.0), 0.05, "cpu noise leaves CPI flat");
+  }
+
+  std::printf("\n%s (%d failing)\n",
+              failures == 0 ? "ALL SHAPES HOLD" : "SHAPE REGRESSIONS",
+              failures);
+  return failures == 0 ? 0 : 1;
+}
