@@ -1,0 +1,145 @@
+// Invariant-mining throughput: pair scores per second for the serial loop,
+// the parallel fan-out at several worker counts, and a warm-cache rerun.
+// Also asserts the tentpole guarantee that the parallel matrix is
+// bit-identical to the serial one before reporting any numbers.
+//
+// Overrides: INVARNETX_TICKS (series length, default 256) and
+// INVARNETX_REPS (matrices per timed measurement, default 3).
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "core/assoc_cache.h"
+#include "core/association.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::bench {
+namespace {
+
+telemetry::NodeTrace SyntheticNode(int ticks, uint64_t seed) {
+  Rng rng(seed);
+  telemetry::NodeTrace node;
+  node.ip = "10.0.0.1";
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    std::vector<double>& series = node.metrics[m];
+    series.reserve(ticks);
+    // A shared sinusoidal load signal plus per-metric noise, so pairs have
+    // genuine structure and MIC's grid search does representative work.
+    const double phase = rng.Uniform(0.0, 6.28318);
+    const double coupling = rng.Uniform(0.2, 1.0);
+    double level = rng.Uniform(10.0, 100.0);
+    for (int t = 0; t < ticks; ++t) {
+      const double shared = std::sin(0.05 * t + phase);
+      level += 0.1 * rng.Gaussian();
+      series.push_back(level + 5.0 * coupling * shared + 0.5 * rng.Gaussian());
+    }
+  }
+  return node;
+}
+
+double MatricesPerSecond(const std::vector<telemetry::NodeTrace>& nodes,
+                         const core::AssociationEngine& engine,
+                         const core::AssociationOptions& options, int reps,
+                         double* out_seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const telemetry::NodeTrace& node : nodes) {
+      Result<core::AssociationMatrix> matrix =
+          core::ComputeAssociationMatrix(node, engine, options);
+      CheckOk(matrix.status(), "ComputeAssociationMatrix");
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  *out_seconds = elapsed.count();
+  return static_cast<double>(reps) * static_cast<double>(nodes.size()) /
+         elapsed.count();
+}
+
+int Main() {
+  const int ticks = EnvInt("INVARNETX_TICKS", 256);
+  const int reps = EnvInt("INVARNETX_REPS", 3);
+  const int num_nodes = EnvInt("INVARNETX_NODES", 4);
+
+  std::vector<telemetry::NodeTrace> nodes;
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes.push_back(SyntheticNode(ticks, 0x5EED0000ULL + i));
+  }
+  std::unique_ptr<core::AssociationEngine> engine =
+      core::AssociationEngine::Make(core::AssociationEngineType::kMic);
+
+  // Bit-identity check: serial vs 8-way parallel on every node.
+  core::AssociationOptions serial{.num_threads = 1, .use_cache = false};
+  core::AssociationOptions par8{.num_threads = 8, .use_cache = false};
+  for (const telemetry::NodeTrace& node : nodes) {
+    Result<core::AssociationMatrix> a =
+        core::ComputeAssociationMatrix(node, *engine, serial);
+    Result<core::AssociationMatrix> b =
+        core::ComputeAssociationMatrix(node, *engine, par8);
+    CheckOk(a.status(), "serial matrix");
+    CheckOk(b.status(), "parallel matrix");
+    if (std::memcmp(a.value().data(), b.value().data(),
+                    a.value().size() * sizeof(double)) != 0) {
+      std::fprintf(stderr, "FATAL: parallel matrix differs from serial\n");
+      return 1;
+    }
+  }
+  std::printf("bit-identity: serial == 8-thread parallel on %d nodes\n\n",
+              num_nodes);
+
+  TextTable table({"configuration", "threads", "cache", "matrices/s",
+                   "pairs/s", "speedup"});
+  double base_rate = 0.0;
+  struct Config {
+    const char* label;
+    int threads;
+    bool cache;
+  };
+  const Config configs[] = {
+      {"serial", 1, false},       {"parallel", 2, false},
+      {"parallel", 4, false},     {"parallel", 8, false},
+      {"warm cache", 1, true},
+  };
+  for (const Config& config : configs) {
+    core::AssociationScoreCache& cache = core::AssociationScoreCache::Shared();
+    if (config.cache) {
+      // Warm pass populates all keys, then the timed pass runs hot.
+      cache.Clear();
+      core::AssociationOptions warm{.num_threads = 1, .use_cache = true};
+      double ignored = 0.0;
+      MatricesPerSecond(nodes, *engine, warm, 1, &ignored);
+    } else {
+      cache.Clear();
+    }
+    core::AssociationOptions options{.num_threads = config.threads,
+                                     .use_cache = config.cache};
+    double seconds = 0.0;
+    const double rate =
+        MatricesPerSecond(nodes, *engine, options, reps, &seconds);
+    if (base_rate == 0.0) base_rate = rate;
+    table.AddRow({config.label, std::to_string(config.threads),
+                  config.cache ? "warm" : "off", FormatDouble(rate, 2),
+                  FormatDouble(rate * telemetry::kNumMetricPairs, 0),
+                  FormatDouble(rate / base_rate, 2) + "x"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  core::AssociationScoreCache& cache = core::AssociationScoreCache::Shared();
+  std::printf("cache: %zu entries, %zu hits, %zu misses\n", cache.size(),
+              cache.hits(), cache.misses());
+  std::printf("series length %d ticks, %d reps, %d nodes, engine %s\n", ticks,
+              reps, num_nodes, engine->name().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace invarnetx::bench
+
+int main() { return invarnetx::bench::Main(); }

@@ -34,6 +34,15 @@ Result<size_t> NodeIndexOf(const telemetry::RunTrace& trace,
   return Status::NotFound("trace has no node " + ip);
 }
 
+// Applies the mining-performance knobs shared by train / add-signature /
+// diagnose: --threads N (0 = one worker per hardware thread) and
+// --assoc-cache 0|1 (per-pair score memoization, on by default).
+void ApplyMiningOptions(const CommandLine& args,
+                        core::InvarNetXConfig* config) {
+  config->num_threads = std::atoi(args.Get("threads", "0").c_str());
+  config->use_association_cache = args.Get("assoc-cache", "1") != "0";
+}
+
 // Loads every positional argument as a trace; they must share a workload.
 Result<std::vector<telemetry::RunTrace>> LoadTraces(const CommandLine& args) {
   if (args.positional.empty()) {
@@ -147,6 +156,7 @@ Status RunTrain(const CommandLine& args, std::string* out) {
   if (!node.ok()) return node.status();
 
   core::InvarNetXConfig pipeline_config;
+  ApplyMiningOptions(args, &pipeline_config);
   if (args.Has("engine")) {
     const std::string engine = args.Get("engine", "mic");
     if (engine == "mic") {
@@ -185,7 +195,9 @@ Status RunAddSignature(const CommandLine& args, std::string* out) {
   Result<std::vector<telemetry::RunTrace>> traces = LoadTraces(args);
   if (!traces.ok()) return traces.status();
   const std::string dir = args.Get("store", "");
-  core::InvarNetX pipeline;
+  core::InvarNetXConfig pipeline_config;
+  ApplyMiningOptions(args, &pipeline_config);
+  core::InvarNetX pipeline(pipeline_config);
   INVARNETX_RETURN_IF_ERROR(pipeline.LoadFromDirectory(dir));
   const std::string ip = args.Get("node", "");
   const std::string problem = args.Get("problem", "");
@@ -210,7 +222,9 @@ Status RunDiagnose(const CommandLine& args, std::string* out) {
   }
   Result<std::vector<telemetry::RunTrace>> traces = LoadTraces(args);
   if (!traces.ok()) return traces.status();
-  core::InvarNetX pipeline;
+  core::InvarNetXConfig pipeline_config;
+  ApplyMiningOptions(args, &pipeline_config);
+  core::InvarNetX pipeline(pipeline_config);
   INVARNETX_RETURN_IF_ERROR(pipeline.LoadFromDirectory(args.Get("store", "")));
   const telemetry::RunTrace& trace = traces.value()[0];
 
@@ -435,7 +449,12 @@ std::string Usage() {
       "  conflicts --store DIR --workload W --node IP [--threshold X]\n"
       "            list near-identical problem signatures\n"
       "  info      TRACE...\n"
-      "            print trace metadata\n";
+      "            print trace metadata\n"
+      "\n"
+      "mining options (train / add-signature / diagnose):\n"
+      "  --threads N       worker threads for invariant mining\n"
+      "                    (0 = one per hardware thread; 1 = serial)\n"
+      "  --assoc-cache 0|1 per-pair score memoization (default 1)\n";
 }
 
 Status RunCommand(const CommandLine& args, std::string* out) {

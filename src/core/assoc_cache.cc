@@ -1,0 +1,96 @@
+#include "core/assoc_cache.h"
+
+#include <cstring>
+
+namespace invarnetx::core {
+namespace {
+
+// Two independent FNV-1a accumulators over the same byte stream. The second
+// uses a distinct offset basis and both are finalized with a splitmix64-style
+// avalanche so nearby inputs (series differing in one low bit) spread over
+// the whole key space.
+struct Hash128 {
+  uint64_t a = 14695981039346656037ULL;           // FNV-1a offset basis
+  uint64_t b = 14695981039346656037ULL ^ 0x9E3779B97F4A7C15ULL;
+
+  void Bytes(const void* data, size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      a = (a ^ p[i]) * 1099511628211ULL;  // FNV-1a prime
+      b = (b ^ p[i]) * 0x00000100000001B3ULL + 0x632BE59BD9B4E019ULL;
+    }
+  }
+
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+
+  static uint64_t Avalanche(uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  PairScoreKey Finish() const {
+    return PairScoreKey{Avalanche(a), Avalanche(b)};
+  }
+};
+
+}  // namespace
+
+PairScoreKey HashSeriesPair(std::string_view engine,
+                            const std::vector<double>& x,
+                            const std::vector<double>& y) {
+  Hash128 hash;
+  hash.U64(engine.size());
+  hash.Bytes(engine.data(), engine.size());
+  // Lengths delimit the variable-size parts so ({1,2},{3}) != ({1},{2,3}).
+  hash.U64(x.size());
+  if (!x.empty()) hash.Bytes(x.data(), x.size() * sizeof(double));
+  hash.U64(y.size());
+  if (!y.empty()) hash.Bytes(y.data(), y.size() * sizeof(double));
+  return hash.Finish();
+}
+
+std::optional<double> AssociationScoreCache::Lookup(
+    const PairScoreKey& key) const {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.scores.find(key);
+  if (it == shard.scores.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void AssociationScoreCache::Insert(const PairScoreKey& key, double score) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.scores.size() >= kMaxEntriesPerShard) shard.scores.clear();
+  shard.scores.emplace(key, score);
+}
+
+void AssociationScoreCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.scores.clear();
+  }
+}
+
+size_t AssociationScoreCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.scores.size();
+  }
+  return total;
+}
+
+AssociationScoreCache& AssociationScoreCache::Shared() {
+  static AssociationScoreCache* cache = new AssociationScoreCache();
+  return *cache;
+}
+
+}  // namespace invarnetx::core

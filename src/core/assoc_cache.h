@@ -1,0 +1,102 @@
+#ifndef INVARNETX_CORE_ASSOC_CACHE_H_
+#define INVARNETX_CORE_ASSOC_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace invarnetx::core {
+
+// Content-hash key of one (engine, x series, y series) association score.
+// 128 bits of two independent FNV/splitmix hashes over the engine name and
+// the raw bytes of both series: a collision between distinct inputs needs
+// both halves to collide (~2^-128 per pair), so the cache stores no series
+// data and a lookup costs a hash instead of a MIC grid search.
+struct PairScoreKey {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const PairScoreKey& a, const PairScoreKey& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+// Hashes an ordered series pair under the given engine name. Order matters
+// (it mirrors the engine call), and the engine name keys apart engines that
+// score the same series differently. Engines currently run with their
+// default options; an engine that grows tunable options must fold them into
+// its name() for the key to stay sound.
+PairScoreKey HashSeriesPair(std::string_view engine,
+                            const std::vector<double>& x,
+                            const std::vector<double>& y);
+
+// Process-wide memoization of pairwise association scores, shared by every
+// ComputeAssociationMatrix call. Invariant mining re-scores identical
+// series constantly - the N-run stability filter, sliding training windows,
+// baselines and benches all revisit the same normal-run traces - and MIC is
+// the pipeline's dominant cost, so repeats should hit a hash table.
+//
+// Thread-safe via sharded mutexes (16 shards keyed by the low hash bits),
+// so parallel mining workers rarely contend. Values are the exact doubles
+// the engine produced: a hit is bit-identical to the compute it memoizes.
+class AssociationScoreCache {
+ public:
+  AssociationScoreCache() = default;
+
+  AssociationScoreCache(const AssociationScoreCache&) = delete;
+  AssociationScoreCache& operator=(const AssociationScoreCache&) = delete;
+
+  // The score stored for `key`, if any. Counts a hit or a miss.
+  std::optional<double> Lookup(const PairScoreKey& key) const;
+
+  // Stores a computed score. When a shard reaches its entry cap the shard
+  // is flushed wholesale - a cache, not a store; correctness never depends
+  // on retention.
+  void Insert(const PairScoreKey& key, double score);
+
+  void Clear();
+  size_t size() const;
+
+  // Lifetime hit/miss tallies (Clear does not reset them); used by benches
+  // and tests to observe cache effectiveness.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  // The shared instance used by ComputeAssociationMatrix.
+  static AssociationScoreCache& Shared();
+
+ private:
+  static constexpr size_t kNumShards = 16;
+  // ~64k scores/shard * 16 shards * 16 B/entry keeps worst-case footprint
+  // in the tens of MB.
+  static constexpr size_t kMaxEntriesPerShard = 1 << 16;
+
+  struct KeyHash {
+    size_t operator()(const PairScoreKey& key) const {
+      return static_cast<size_t>(key.hi);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PairScoreKey, double, KeyHash> scores;
+  };
+
+  Shard& ShardFor(const PairScoreKey& key) const {
+    return shards_[static_cast<size_t>(key.lo) % kNumShards];
+  }
+
+  mutable std::array<Shard, kNumShards> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_ASSOC_CACHE_H_

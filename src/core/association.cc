@@ -1,13 +1,22 @@
 #include "core/association.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "arx/arx.h"
+#include "common/parallel.h"
 #include "common/stats.h"
+#include "core/assoc_cache.h"
 #include "mic/mic.h"
 
 namespace invarnetx::core {
 namespace {
+
+// Relative variance below which a series is treated as constant. Collector
+// quantization and float round-off put O(eps^2) variance on a constant
+// signal (~1e-30); a genuinely informative series sits many orders above
+// this even at small amplitudes.
+constexpr double kDegenerateRelativeVariance = 1e-18;
 
 class MicEngine : public AssociationEngine {
  public:
@@ -16,7 +25,7 @@ class MicEngine : public AssociationEngine {
   Result<double> Score(const std::vector<double>& x,
                        const std::vector<double>& y) const override {
     // Degenerate (constant) series carry no association information.
-    if (Variance(x) <= 0.0 || Variance(y) <= 0.0) return 0.0;
+    if (IsDegenerateSeries(x) || IsDegenerateSeries(y)) return 0.0;
     return mic::MicScore(x, y);
   }
 };
@@ -30,7 +39,7 @@ class EnsembleEngine : public AssociationEngine {
 
   Result<double> Score(const std::vector<double>& x,
                        const std::vector<double>& y) const override {
-    if (Variance(x) <= 0.0 || Variance(y) <= 0.0) return 0.0;
+    if (IsDegenerateSeries(x) || IsDegenerateSeries(y)) return 0.0;
     Result<double> mic_score = mic::MicScore(x, y);
     if (!mic_score.ok()) return mic_score.status();
     Result<double> rank = SpearmanCorrelation(x, y);
@@ -48,7 +57,7 @@ class ArxEngine : public AssociationEngine {
     if (x.size() != y.size()) {
       return Status::InvalidArgument("ArxEngine: length mismatch");
     }
-    if (Variance(x) <= 0.0 || Variance(y) <= 0.0) return 0.0;
+    if (IsDegenerateSeries(x) || IsDegenerateSeries(y)) return 0.0;
     Result<double> score = arx::ArxAssociationScore(x, y);
     // An unfittable pair is "no association", not an error (the paper
     // assigns 0 to pairs absent from a run).
@@ -58,6 +67,13 @@ class ArxEngine : public AssociationEngine {
 };
 
 }  // namespace
+
+bool IsDegenerateSeries(const std::vector<double>& v) {
+  const double variance = Variance(v);
+  if (variance <= 0.0) return true;
+  const double mean = Mean(v);
+  return variance <= kDegenerateRelativeVariance * std::max(1.0, mean * mean);
+}
 
 std::string AssociationEngineName(AssociationEngineType type) {
   switch (type) {
@@ -82,18 +98,42 @@ std::unique_ptr<AssociationEngine> AssociationEngine::Make(
 }
 
 Result<AssociationMatrix> ComputeAssociationMatrix(
-    const telemetry::NodeTrace& node, const AssociationEngine& engine) {
+    const telemetry::NodeTrace& node, const AssociationEngine& engine,
+    const AssociationOptions& options) {
   AssociationMatrix matrix(telemetry::kNumMetricPairs, 0.0);
-  for (int a = 0; a < telemetry::kNumMetrics; ++a) {
-    for (int b = a + 1; b < telemetry::kNumMetrics; ++b) {
-      Result<double> score =
-          engine.Score(node.metrics[static_cast<size_t>(a)],
-                       node.metrics[static_cast<size_t>(b)]);
-      if (!score.ok()) return score.status();
-      matrix[static_cast<size_t>(telemetry::PairIndex(a, b))] = score.value();
-    }
-  }
+  const std::string engine_name = engine.name();
+  AssociationScoreCache& cache = AssociationScoreCache::Shared();
+  // Each worker writes only its own preallocated slot, so the result is
+  // identical for any thread count; the pair index doubles as the task
+  // index, so error propagation follows the serial visitation order.
+  Status mined = ParallelFor(
+      static_cast<size_t>(telemetry::kNumMetricPairs), options.num_threads,
+      [&](size_t pair) -> Status {
+        int a = 0, b = 0;
+        telemetry::PairFromIndex(static_cast<int>(pair), &a, &b);
+        const std::vector<double>& x = node.metrics[static_cast<size_t>(a)];
+        const std::vector<double>& y = node.metrics[static_cast<size_t>(b)];
+        PairScoreKey key;
+        if (options.use_cache) {
+          key = HashSeriesPair(engine_name, x, y);
+          if (std::optional<double> hit = cache.Lookup(key)) {
+            matrix[pair] = *hit;
+            return Status::Ok();
+          }
+        }
+        Result<double> score = engine.Score(x, y);
+        if (!score.ok()) return score.status();
+        matrix[pair] = score.value();
+        if (options.use_cache) cache.Insert(key, score.value());
+        return Status::Ok();
+      });
+  if (!mined.ok()) return mined;
   return matrix;
+}
+
+Result<AssociationMatrix> ComputeAssociationMatrix(
+    const telemetry::NodeTrace& node, const AssociationEngine& engine) {
+  return ComputeAssociationMatrix(node, engine, AssociationOptions());
 }
 
 }  // namespace invarnetx::core

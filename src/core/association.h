@@ -34,14 +34,41 @@ class AssociationEngine {
   virtual std::string name() const = 0;
   // Score in [0, 1]. Implementations return errors only for structurally
   // invalid input (length mismatch / too short); statistical degeneracies
-  // score 0.
+  // score 0. Implementations are stateless: Score must be safe to call
+  // concurrently from parallel mining workers.
   virtual Result<double> Score(const std::vector<double>& x,
                                const std::vector<double>& y) const = 0;
 
   static std::unique_ptr<AssociationEngine> Make(AssociationEngineType type);
 };
 
+// True when a series carries no association information: exactly constant,
+// or numerically near-constant (variance within float noise of zero
+// relative to the series scale). Such series must short-circuit to score 0
+// instead of paying the MIC grid search for an unstable answer.
+bool IsDegenerateSeries(const std::vector<double>& v);
+
+// Execution options for ComputeAssociationMatrix: how wide to fan the
+// C(26,2) = 325 pair scores out, and whether to memoize per-pair scores in
+// the shared AssociationScoreCache. Both knobs only change cost, never
+// values: parallel output is bit-identical to the serial path, and a cache
+// hit returns the exact double a cold compute produced.
+struct AssociationOptions {
+  // Workers for the pair fan-out. <= 0: one per hardware thread;
+  // 1: plain serial loop in the caller.
+  int num_threads = 0;
+  bool use_cache = true;
+};
+
 // Computes the full pairwise association matrix of one node's metrics.
+// Scores are written into a preallocated matrix slot per pair (no
+// reduction-order dependence); on engine failure the Status of the lowest
+// pair index is returned, matching the serial loop's first error.
+Result<AssociationMatrix> ComputeAssociationMatrix(
+    const telemetry::NodeTrace& node, const AssociationEngine& engine,
+    const AssociationOptions& options);
+
+// Default options: full hardware fan-out, cache enabled.
 Result<AssociationMatrix> ComputeAssociationMatrix(
     const telemetry::NodeTrace& node, const AssociationEngine& engine);
 

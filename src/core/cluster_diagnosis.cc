@@ -1,5 +1,9 @@
 #include "core/cluster_diagnosis.h"
 
+#include <utility>
+
+#include "common/parallel.h"
+
 namespace invarnetx::core {
 
 Result<ClusterDiagnosis> DiagnoseCluster(const InvarNetX& pipeline,
@@ -7,26 +11,40 @@ Result<ClusterDiagnosis> DiagnoseCluster(const InvarNetX& pipeline,
   if (run.nodes.size() < 2) {
     return Status::InvalidArgument("DiagnoseCluster: run has no slave nodes");
   }
+  // Each slave's diagnosis is independent (the pipeline is read-only during
+  // Diagnose), so the scan fans out across workers; every worker fills its
+  // own preallocated entry, and the culprit reduction below runs serially
+  // in node order, so the result is identical to the serial scan.
+  const size_t num_slaves = run.nodes.size() - 1;
+  std::vector<NodeDiagnosis> entries(num_slaves);
+  INVARNETX_RETURN_IF_ERROR(ParallelFor(
+      num_slaves, pipeline.config().num_threads, [&](size_t i) -> Status {
+        const size_t node = i + 1;
+        NodeDiagnosis entry;
+        entry.node_ip = run.nodes[node].ip;
+        entry.node_index = node;
+        const OperationContext context{run.workload, entry.node_ip};
+        entry.context_trained = pipeline.HasContext(context);
+        if (entry.context_trained) {
+          Result<DiagnosisReport> report =
+              pipeline.Diagnose(context, run, node);
+          if (!report.ok()) return report.status();
+          entry.report = std::move(report.value());
+        }
+        entries[i] = std::move(entry);
+        return Status::Ok();
+      }));
+
   ClusterDiagnosis result;
+  result.nodes = std::move(entries);
   int best_violations = -1;
-  for (size_t node = 1; node < run.nodes.size(); ++node) {
-    NodeDiagnosis entry;
-    entry.node_ip = run.nodes[node].ip;
-    entry.node_index = node;
-    const OperationContext context{run.workload, entry.node_ip};
-    entry.context_trained = pipeline.HasContext(context);
-    if (entry.context_trained) {
-      Result<DiagnosisReport> report =
-          pipeline.Diagnose(context, run, node);
-      if (!report.ok()) return report.status();
-      entry.report = std::move(report.value());
-      if (entry.report.anomaly_detected &&
-          entry.report.num_violations > best_violations) {
-        best_violations = entry.report.num_violations;
-        result.culprit = static_cast<int>(result.nodes.size());
-      }
+  for (size_t i = 0; i < result.nodes.size(); ++i) {
+    const NodeDiagnosis& entry = result.nodes[i];
+    if (entry.context_trained && entry.report.anomaly_detected &&
+        entry.report.num_violations > best_violations) {
+      best_violations = entry.report.num_violations;
+      result.culprit = static_cast<int>(i);
     }
-    result.nodes.push_back(std::move(entry));
   }
   return result;
 }

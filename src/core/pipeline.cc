@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "telemetry/metrics.h"
 #include "xmlstore/stores.h"
 #include "xmlstore/xml.h"
@@ -104,9 +105,18 @@ Status InvarNetX::TrainContextFromExamples(
         "TrainContext: need >= 2 training examples");
   }
   std::vector<std::vector<double>> cpi_traces;
-  std::vector<AssociationMatrix> matrices;
   const std::unique_ptr<AssociationEngine> engine =
       AssociationEngine::Make(config_.engine);
+  // Validation and window layout run serially (cheap); the MIC mining of
+  // every (example, window) slice - the dominant training cost - fans out
+  // across workers, each writing its own preallocated matrix slot so the
+  // result is independent of scheduling.
+  struct SliceTask {
+    const telemetry::NodeTrace* node = nullptr;
+    size_t start = 0;
+    size_t window = 0;
+  };
+  std::vector<SliceTask> slices;
   for (const TrainExample& example : examples) {
     if (example.run == nullptr ||
         example.node_index >= example.run->nodes.size()) {
@@ -123,21 +133,31 @@ Status InvarNetX::TrainContextFromExamples(
     const size_t window = config_.analysis_window > 0
                               ? static_cast<size_t>(config_.analysis_window)
                               : n;
-    std::vector<size_t> starts;
     if (window >= n) {
-      starts.push_back(0);
+      slices.push_back(SliceTask{&node, 0, window});
     } else {
-      for (size_t s = 0; s + window <= n; s += window / 2) starts.push_back(s);
-      if (starts.back() + window < n) starts.push_back(n - window);
-    }
-    for (size_t start : starts) {
-      const telemetry::NodeTrace sliced = SliceNode(node, start, window);
-      Result<AssociationMatrix> matrix =
-          ComputeAssociationMatrix(sliced, *engine);
-      if (!matrix.ok()) return matrix.status();
-      matrices.push_back(std::move(matrix.value()));
+      size_t last = 0;
+      for (size_t s = 0; s + window <= n; s += window / 2) {
+        slices.push_back(SliceTask{&node, s, window});
+        last = s;
+      }
+      if (last + window < n) slices.push_back(SliceTask{&node, n - window,
+                                                        window});
     }
   }
+  std::vector<AssociationMatrix> matrices(slices.size());
+  const AssociationOptions assoc = AssocOptions();
+  INVARNETX_RETURN_IF_ERROR(ParallelFor(
+      slices.size(), config_.num_threads, [&](size_t i) -> Status {
+        const SliceTask& task = slices[i];
+        const telemetry::NodeTrace sliced =
+            SliceNode(*task.node, task.start, task.window);
+        Result<AssociationMatrix> matrix =
+            ComputeAssociationMatrix(sliced, *engine, assoc);
+        if (!matrix.ok()) return matrix.status();
+        matrices[i] = std::move(matrix.value());
+        return Status::Ok();
+      }));
 
   Result<PerformanceModel> perf =
       PerformanceModel::Train(cpi_traces, config_.beta);
@@ -260,6 +280,13 @@ Result<DiagnosisReport> InvarNetX::InferCauseForNode(
   return report;
 }
 
+AssociationOptions InvarNetX::AssocOptions() const {
+  AssociationOptions options;
+  options.num_threads = config_.num_threads;
+  options.use_cache = config_.use_association_cache;
+  return options;
+}
+
 Result<AssociationMatrix> InvarNetX::AbnormalMatrix(
     const ContextModel& model, const telemetry::NodeTrace& node) const {
   const std::unique_ptr<AssociationEngine> engine =
@@ -268,12 +295,13 @@ Result<AssociationMatrix> InvarNetX::AbnormalMatrix(
       node.cpi.size() > static_cast<size_t>(config_.analysis_window)) {
     const size_t window = static_cast<size_t>(config_.analysis_window);
     const size_t start = AnomalousWindowStart(model.perf, node.cpi, window);
-    return ComputeAssociationMatrix(SliceNode(node, start, window), *engine);
+    return ComputeAssociationMatrix(SliceNode(node, start, window), *engine,
+                                    AssocOptions());
   }
   // Whole-run matrices: the contrast between normal stretches (before and
   // after the problem) and the problem window is exactly what produces the
   // violation pattern, so no truncation is applied.
-  return ComputeAssociationMatrix(node, *engine);
+  return ComputeAssociationMatrix(node, *engine, AssocOptions());
 }
 
 bool InvarNetX::HasContext(const OperationContext& context) const {

@@ -43,6 +43,14 @@ struct InvarNetXConfig {
   // violations arise from runs that mix normal and faulty data, which is
   // why whole-run matrices diagnose better and are the default.
   int analysis_window = 0;
+  // Workers for invariant mining and the cluster scan (<= 0: one per
+  // hardware thread; 1: serial). A runtime knob, not persisted with the
+  // store; results are bit-identical for every value.
+  int num_threads = 0;
+  // Memoize per-pair association scores in the shared score cache, so the
+  // N-run stability filter and repeated diagnoses of the same traces skip
+  // the MIC dynamic program.
+  bool use_association_cache = true;
 };
 
 // Everything InvarNet-X learned about one operation context.
@@ -137,6 +145,9 @@ class InvarNetX {
  private:
   // Applies the no-operation-context collapse when configured.
   OperationContext Key(const OperationContext& context) const;
+
+  // The mining execution knobs (thread count, cache) from this config.
+  AssociationOptions AssocOptions() const;
 
   // Association matrix of the configured analysis window with the largest
   // CPI residual mass (data "during the problem").

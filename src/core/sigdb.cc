@@ -142,8 +142,17 @@ Result<std::vector<RankedCause>> SignatureDatabase::Query(
   std::map<std::string, double> best;
   for (const Signature& sig : signatures_) {
     double value = 0.0;
-    if (metric == SimilarityMetric::kIdfJaccard &&
-        tuple.size() == sig.bits.size() && !tuple.empty()) {
+    if (metric == SimilarityMetric::kIdfJaccard) {
+      // Structurally invalid tuples are an error here exactly as they are
+      // for every other metric (TupleSimilarity rejects them); silently
+      // degrading to a fallback score would hide a caller bug.
+      if (tuple.size() != sig.bits.size()) {
+        return Status::InvalidArgument(
+            "Query: tuple length does not match stored signatures");
+      }
+      if (tuple.empty()) {
+        return Status::InvalidArgument("Query: empty tuples");
+      }
       value = weighted_jaccard(tuple, sig.bits);
     } else {
       Result<double> score = TupleSimilarity(tuple, sig.bits, metric);

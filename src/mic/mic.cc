@@ -124,7 +124,17 @@ std::vector<int> BuildSuperclumps(const std::vector<int>& boundaries,
     ++used;
     if (used == max_clumps) break;
   }
-  if (out.back() != n) out.push_back(n);
+  if (out.back() != n) {
+    if (used >= max_clumps) {
+      // The cap is already reached but points remain (the break above fired
+      // before the last boundary): merge the leftovers into the final
+      // superclump instead of emitting a max_clumps+1-th one, which would
+      // violate the cap OptimizeXAxis sizes its DP tables for.
+      out.back() = n;
+    } else {
+      out.push_back(n);
+    }
+  }
   return out;
 }
 

@@ -1,0 +1,176 @@
+#include "core/association.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/assoc_cache.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::core {
+namespace {
+
+telemetry::NodeTrace RandomNode(uint64_t seed, int ticks = 64) {
+  Rng rng(seed);
+  telemetry::NodeTrace node;
+  node.ip = "10.0.0.7";
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    std::vector<double>& series = node.metrics[m];
+    for (int t = 0; t < ticks; ++t) {
+      series.push_back(50.0 + 10.0 * rng.Gaussian());
+    }
+  }
+  return node;
+}
+
+bool SameBytes(const AssociationMatrix& a, const AssociationMatrix& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// ------------------------------------------------- parallel determinism --
+
+TEST(AssociationParallelTest, MatrixBitIdenticalAcrossThreadCounts) {
+  const telemetry::NodeTrace node = RandomNode(42);
+  std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(AssociationEngineType::kMic);
+  AssociationOptions serial{.num_threads = 1, .use_cache = false};
+  Result<AssociationMatrix> reference =
+      ComputeAssociationMatrix(node, *engine, serial);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (int threads : {2, 8}) {
+    AssociationOptions options{.num_threads = threads, .use_cache = false};
+    Result<AssociationMatrix> parallel =
+        ComputeAssociationMatrix(node, *engine, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_TRUE(SameBytes(reference.value(), parallel.value()))
+        << "matrix differs from serial at " << threads << " threads";
+  }
+}
+
+TEST(AssociationParallelTest, ErrorsMatchSerialAcrossThreadCounts) {
+  // Metric 0 is shorter than the rest, so every pair touching it fails
+  // inside worker context; all thread counts must surface the same error
+  // (pair index 0 = metrics (0, 1) is the lowest failing task).
+  telemetry::NodeTrace node = RandomNode(43);
+  node.metrics[0].pop_back();
+  std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(AssociationEngineType::kMic);
+  std::string serial_message;
+  for (int threads : {1, 2, 8}) {
+    AssociationOptions options{.num_threads = threads, .use_cache = false};
+    Result<AssociationMatrix> result =
+        ComputeAssociationMatrix(node, *engine, options);
+    ASSERT_FALSE(result.ok()) << threads << " threads";
+    if (serial_message.empty()) {
+      serial_message = result.status().ToString();
+    } else {
+      EXPECT_EQ(result.status().ToString(), serial_message)
+          << threads << " threads";
+    }
+  }
+}
+
+// --------------------------------------------------------- score cache --
+
+TEST(AssociationCacheTest, WarmRunIsBitIdenticalAndHits) {
+  AssociationScoreCache& cache = AssociationScoreCache::Shared();
+  cache.Clear();
+  const telemetry::NodeTrace node = RandomNode(44);
+  std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(AssociationEngineType::kMic);
+
+  AssociationOptions cached{.num_threads = 1, .use_cache = true};
+  const uint64_t misses_before = cache.misses();
+  Result<AssociationMatrix> cold = ComputeAssociationMatrix(node, *engine,
+                                                            cached);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cache.misses() - misses_before,
+            static_cast<uint64_t>(telemetry::kNumMetricPairs));
+
+  const uint64_t hits_before = cache.hits();
+  Result<AssociationMatrix> warm = ComputeAssociationMatrix(node, *engine,
+                                                            cached);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cache.hits() - hits_before,
+            static_cast<uint64_t>(telemetry::kNumMetricPairs));
+  EXPECT_TRUE(SameBytes(cold.value(), warm.value()));
+
+  // And the cached result matches a cache-off compute exactly.
+  AssociationOptions uncached{.num_threads = 1, .use_cache = false};
+  Result<AssociationMatrix> direct =
+      ComputeAssociationMatrix(node, *engine, uncached);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(SameBytes(direct.value(), warm.value()));
+}
+
+TEST(AssociationCacheTest, HashSeparatesInputs) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {4.0, 3.0, 2.0, 1.0};
+  const PairScoreKey base = HashSeriesPair("mic", x, y);
+  EXPECT_EQ(HashSeriesPair("mic", x, y), base);  // deterministic
+  EXPECT_FALSE(HashSeriesPair("ensemble", x, y) == base);  // engine keyed
+  EXPECT_FALSE(HashSeriesPair("mic", y, x) == base);       // order matters
+  std::vector<double> x2 = x;
+  x2[3] = 4.0000001;
+  EXPECT_FALSE(HashSeriesPair("mic", x2, y) == base);  // content keyed
+}
+
+TEST(AssociationCacheTest, InsertLookupClear) {
+  AssociationScoreCache cache;
+  const PairScoreKey key = HashSeriesPair("mic", {1, 2, 3, 4}, {2, 4, 6, 8});
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  cache.Insert(key, 0.625);
+  ASSERT_TRUE(cache.Lookup(key).has_value());
+  EXPECT_EQ(*cache.Lookup(key), 0.625);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+}
+
+// ------------------------------------------------- degenerate shortcut --
+
+TEST(DegenerateSeriesTest, ClassifiesSeries) {
+  EXPECT_TRUE(IsDegenerateSeries({}));
+  EXPECT_TRUE(IsDegenerateSeries({3.0}));
+  EXPECT_TRUE(IsDegenerateSeries(std::vector<double>(64, 7.5)));
+  // Constant plus float-noise jitter: variance ~1e-30 relative to scale.
+  std::vector<double> jitter(64, 5.0);
+  for (size_t i = 0; i < jitter.size(); ++i) {
+    jitter[i] += (i % 2 == 0 ? 1.0 : -1.0) * 1e-15;
+  }
+  EXPECT_TRUE(IsDegenerateSeries(jitter));
+  // Small but genuine variation is not degenerate.
+  std::vector<double> varied;
+  for (int i = 0; i < 64; ++i) varied.push_back(5.0 + 0.001 * i);
+  EXPECT_FALSE(IsDegenerateSeries(varied));
+}
+
+TEST(DegenerateSeriesTest, EnginesScoreDegeneratePairsZero) {
+  std::vector<double> jitter(64, 5.0);
+  for (size_t i = 0; i < jitter.size(); ++i) {
+    jitter[i] += (i % 2 == 0 ? 1.0 : -1.0) * 1e-15;
+  }
+  std::vector<double> varied;
+  for (int i = 0; i < 64; ++i) varied.push_back(0.5 * i);
+
+  for (AssociationEngineType type :
+       {AssociationEngineType::kMic, AssociationEngineType::kEnsemble,
+        AssociationEngineType::kArx}) {
+    std::unique_ptr<AssociationEngine> engine = AssociationEngine::Make(type);
+    Result<double> score = engine->Score(jitter, varied);
+    ASSERT_TRUE(score.ok()) << engine->name();
+    EXPECT_EQ(score.value(), 0.0) << engine->name();
+    score = engine->Score(varied, jitter);
+    ASSERT_TRUE(score.ok()) << engine->name();
+    EXPECT_EQ(score.value(), 0.0) << engine->name();
+  }
+}
+
+}  // namespace
+}  // namespace invarnetx::core

@@ -348,6 +348,24 @@ TEST(SigDbTest, IdfDownweightsCommonBits) {
   EXPECT_EQ(idf[0].problem, "rare");
 }
 
+TEST(SigDbTest, IdfQueryRejectsMismatchedTupleLength) {
+  // Regression: a kIdfJaccard query whose tuple length differs from the
+  // stored signatures used to fall back silently to unweighted similarity;
+  // it must be an InvalidArgument error like the plain-Jaccard path.
+  SignatureDatabase db;
+  ASSERT_TRUE(db.Add(Signature{"cpu-hog", {1, 0, 1, 0}}).ok());
+  Result<std::vector<RankedCause>> short_tuple =
+      db.Query({1, 0, 1}, SimilarityMetric::kIdfJaccard);
+  ASSERT_FALSE(short_tuple.ok());
+  EXPECT_EQ(short_tuple.status().code(), StatusCode::kInvalidArgument);
+  Result<std::vector<RankedCause>> empty_tuple =
+      db.Query({}, SimilarityMetric::kIdfJaccard);
+  ASSERT_FALSE(empty_tuple.ok());
+  EXPECT_EQ(empty_tuple.status().code(), StatusCode::kInvalidArgument);
+  // Matching length still works.
+  EXPECT_TRUE(db.Query({1, 0, 1, 0}, SimilarityMetric::kIdfJaccard).ok());
+}
+
 TEST(SigDbTest, FindConflictsFlagsNearIdenticalProblems) {
   SignatureDatabase db;
   ASSERT_TRUE(db.Add(Signature{"net-drop", {1, 1, 1, 0, 0, 0}}).ok());

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -250,6 +251,59 @@ TEST(SuperclumpsTest, CapsClumpCount) {
 TEST(SuperclumpsTest, NoOpWhenUnderCap) {
   std::vector<int> boundaries = {0, 5, 10};
   EXPECT_EQ(internal::BuildSuperclumps(boundaries, 10), boundaries);
+}
+
+TEST(SuperclumpsTest, NeverEmitsMoreThanMaxClumps) {
+  // Adversarial layouts sweeping clump counts, size skews and caps: the
+  // output must respect the cap OptimizeXAxis sizes its DP tables for
+  // (at most max_clumps superclumps), stay strictly increasing, and cover
+  // [0, n] exactly. Regression for the leftover-points overflow where a
+  // max_clumps+1-th superclump could be appended after the cap was reached.
+  Rng rng(0xC1A5);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<int> boundaries = {0};
+    const int k = 1 + static_cast<int>(rng.UniformInt(40));
+    for (int i = 0; i < k; ++i) {
+      // Mix tiny clumps with occasional huge ones to stress the
+      // desired-size heuristic.
+      const int size = rng.Uniform() < 0.2
+                           ? 50 + static_cast<int>(rng.UniformInt(200))
+                           : 1 + static_cast<int>(rng.UniformInt(4));
+      boundaries.push_back(boundaries.back() + size);
+    }
+    for (int max_clumps = 1; max_clumps <= 12; ++max_clumps) {
+      const std::vector<int> super =
+          internal::BuildSuperclumps(boundaries, max_clumps);
+      const int cap = std::min(k, max_clumps);
+      ASSERT_LE(static_cast<int>(super.size()) - 1, cap)
+          << "trial " << trial << " max_clumps " << max_clumps;
+      ASSERT_GE(super.size(), 2u);
+      EXPECT_EQ(super.front(), 0);
+      EXPECT_EQ(super.back(), boundaries.back());
+      for (size_t i = 1; i < super.size(); ++i) {
+        ASSERT_GT(super[i], super[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(SuperclumpsTest, ExponentialSkewRespectsCap) {
+  // Exponentially growing clump sizes push nearly all mass into the last
+  // clump; the desired-size heuristic closes superclumps early, so the
+  // trailing clumps must fold into the final superclump, not overflow it.
+  std::vector<int> boundaries = {0};
+  int size = 1;
+  for (int i = 0; i < 16; ++i) {
+    boundaries.push_back(boundaries.back() + size);
+    size *= 2;
+  }
+  for (int max_clumps = 1; max_clumps <= 8; ++max_clumps) {
+    const std::vector<int> super =
+        internal::BuildSuperclumps(boundaries, max_clumps);
+    EXPECT_LE(static_cast<int>(super.size()) - 1, max_clumps);
+    EXPECT_EQ(super.front(), 0);
+    EXPECT_EQ(super.back(), boundaries.back());
+  }
 }
 
 TEST(RowEntropyTest, UniformMaximal) {
