@@ -134,6 +134,10 @@ int Main() {
   core::AssociationScoreCache& cache = core::AssociationScoreCache::Shared();
   std::printf("cache: %zu entries, %zu hits, %zu misses\n", cache.size(),
               cache.hits(), cache.misses());
+  std::printf("cache: %llu flushes, %llu entries evicted, %.1f%% hit rate\n",
+              static_cast<unsigned long long>(cache.flushes()),
+              static_cast<unsigned long long>(cache.evicted()),
+              100.0 * cache.HitRate());
   std::printf("series length %d ticks, %d reps, %d nodes, engine %s\n", ticks,
               reps, num_nodes, engine->name().c_str());
   return 0;

@@ -9,6 +9,9 @@
 #include "core/evaluate.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "telemetry/runner.h"
 #include "telemetry/trace_io.h"
 
@@ -69,6 +72,12 @@ Result<CommandLine> ParseArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
+      // Both spellings work: `--key value` and `--key=value`.
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        out.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        continue;
+      }
       if (i + 1 >= argc) {
         return Status::InvalidArgument("missing value for " + arg);
       }
@@ -310,10 +319,12 @@ Status RunDiagnose(const CommandLine& args, std::string* out) {
   }
 
   std::ostringstream message;
-  auto render = [&message](const std::string& where,
-                           const core::DiagnosisReport& report) {
+  const bool show_cost = args.Get("stats", "0") != "0";
+  auto render = [&message, show_cost](const std::string& where,
+                                      const core::DiagnosisReport& report) {
     if (!report.anomaly_detected) {
       message << where << ": no anomaly\n";
+      if (show_cost) message << "  cost: " << report.cost.Summary() << "\n";
       return;
     }
     message << where << ": ANOMALY at tick " << report.first_alarm_tick
@@ -327,6 +338,7 @@ Status RunDiagnose(const CommandLine& args, std::string* out) {
         message << "    " << hint << "\n";
       }
     }
+    if (show_cost) message << "  cost: " << report.cost.Summary() << "\n";
   };
 
   std::string markdown;
@@ -431,6 +443,69 @@ Status RunInfo(const CommandLine& args, std::string* out) {
   return Status::Ok();
 }
 
+Status RunStats(const CommandLine& args, std::string* out) {
+  // A fresh process has an empty metrics registry, so `stats` first runs a
+  // small representative workload end to end (simulate -> train -> diagnose
+  // one faulty run) and then dumps the registry those stages populated.
+  Result<workload::WorkloadType> type =
+      workload::WorkloadFromName(args.Get("workload", "wordcount"));
+  if (!type.ok()) return type.status();
+  Result<uint64_t> seed = ParseSeed(args);
+  if (!seed.ok()) return seed.status();
+  const std::string format = args.Get("format", "text");
+  if (format != "text" && format != "json") {
+    return Status::InvalidArgument("bad --format (want text|json): " + format);
+  }
+  core::EvalConfig config;
+  config.workload = type.value();
+  config.seed = seed.value();
+  config.normal_runs = std::atoi(args.Get("runs", "4").c_str());
+  if (config.normal_runs < 2) config.normal_runs = 2;
+  ApplyMiningOptions(args, &config.pipeline);
+  // The self-exercise should light up the thread-pool metrics even on a
+  // single-core machine, where `--threads 0` would resolve to the serial
+  // path; default to two workers unless the user chose explicitly.
+  if (!args.Has("threads")) config.pipeline.num_threads = 2;
+
+  Result<std::vector<telemetry::RunTrace>> normal = core::SimulateNormalRuns(
+      config.workload, config.normal_runs, config.seed,
+      config.interactive_train_ticks);
+  if (!normal.ok()) return normal.status();
+  core::InvarNetX pipeline(config.pipeline);
+  INVARNETX_RETURN_IF_ERROR(
+      core::TrainPipeline(&pipeline, config, normal.value()));
+  Result<telemetry::RunTrace> faulty = core::SimulateFaultRun(
+      config.workload, faults::FaultType::kCpuHog, config.seed + 1000);
+  if (!faulty.ok()) return faulty.status();
+  const core::OperationContext context = core::VictimContext(config);
+  // Diagnose the same run twice: the first pass populates the association
+  // score cache, the second hits it, so the dump shows both sides of the
+  // cache counters.
+  Result<core::DiagnosisReport> cold =
+      pipeline.Diagnose(context, faulty.value(), config.victim_node);
+  if (!cold.ok()) return cold.status();
+  Result<core::DiagnosisReport> report =
+      pipeline.Diagnose(context, faulty.value(), config.victim_node);
+  if (!report.ok()) return report.status();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  if (format == "json") {
+    *out += registry.RenderJson();
+    *out += "\n";
+    return Status::Ok();
+  }
+  std::ostringstream message;
+  message << "# self-exercise: " << context.ToString() << ", "
+          << config.normal_runs << " training runs, fault "
+          << faults::FaultName(faults::FaultType::kCpuHog) << ", "
+          << (report.value().anomaly_detected ? "anomaly detected"
+                                              : "no anomaly")
+          << "\n# cost: " << report.value().cost.Summary() << "\n"
+          << registry.RenderText();
+  *out += message.str();
+  return Status::Ok();
+}
+
 std::string Usage() {
   return
       "invarnetx <command> [options] [trace files]\n"
@@ -444,28 +519,60 @@ std::string Usage() {
       "            fault-free traces (the store remembers the engine)\n"
       "  add-signature --store DIR --problem NAME --node IP TRACE...\n"
       "            teach the signature base an investigated problem\n"
-      "  diagnose  --store DIR [--node IP] [--report FILE.md] TRACE\n"
-      "            diagnose one node, or scan the whole cluster\n"
+      "  diagnose  --store DIR [--node IP] [--report FILE.md] [--stats 1]\n"
+      "            TRACE  diagnose one node, or scan the whole cluster\n"
+      "            (--stats 1 appends a per-stage cost line per report)\n"
       "  conflicts --store DIR --workload W --node IP [--threshold X]\n"
       "            list near-identical problem signatures\n"
       "  info      TRACE...\n"
       "            print trace metadata\n"
+      "  stats     [--workload W] [--runs N] [--format text|json]\n"
+      "            run a built-in end-to-end self-exercise and dump the\n"
+      "            process metrics registry (counters/gauges/histograms)\n"
       "\n"
-      "mining options (train / add-signature / diagnose):\n"
+      "global options (every command):\n"
+      "  --log-level L     debug|info|warn|error|off (default info);\n"
+      "                    structured key=value diagnostics on stderr\n"
+      "  --trace-out FILE  record Chrome trace-event JSON for the whole\n"
+      "                    invocation (open in chrome://tracing / Perfetto)\n"
+      "\n"
+      "mining options (train / add-signature / diagnose / stats):\n"
       "  --threads N       worker threads for invariant mining\n"
       "                    (0 = one per hardware thread; 1 = serial)\n"
       "  --assoc-cache 0|1 per-pair score memoization (default 1)\n";
 }
 
 Status RunCommand(const CommandLine& args, std::string* out) {
-  if (args.command == "simulate") return RunSimulate(args, out);
-  if (args.command == "train") return RunTrain(args, out);
-  if (args.command == "add-signature") return RunAddSignature(args, out);
-  if (args.command == "diagnose") return RunDiagnose(args, out);
-  if (args.command == "conflicts") return RunConflicts(args, out);
-  if (args.command == "info") return RunInfo(args, out);
-  *out += Usage();
-  return Status::InvalidArgument("unknown command: " + args.command);
+  if (args.Has("log-level")) {
+    Result<obs::LogLevel> level =
+        obs::LogLevelFromName(args.Get("log-level", ""));
+    if (!level.ok()) return level.status();
+    obs::SetLogLevel(level.value());
+  }
+  const std::string trace_out = args.Get("trace-out", "");
+  if (!trace_out.empty()) obs::TraceRecorder::Shared().SetEnabled(true);
+  Status status = [&]() -> Status {
+    if (args.command == "simulate") return RunSimulate(args, out);
+    if (args.command == "train") return RunTrain(args, out);
+    if (args.command == "add-signature") return RunAddSignature(args, out);
+    if (args.command == "diagnose") return RunDiagnose(args, out);
+    if (args.command == "conflicts") return RunConflicts(args, out);
+    if (args.command == "info") return RunInfo(args, out);
+    if (args.command == "stats") return RunStats(args, out);
+    *out += Usage();
+    return Status::InvalidArgument("unknown command: " + args.command);
+  }();
+  if (!trace_out.empty()) {
+    const Status write =
+        obs::TraceRecorder::Shared().WriteChromeTrace(trace_out);
+    if (write.ok()) {
+      *out += "wrote trace events to " + trace_out + "\n";
+    } else if (status.ok()) {
+      // The command itself succeeded; surface the trace-write failure.
+      status = write;
+    }
+  }
+  return status;
 }
 
 }  // namespace invarnetx::cli

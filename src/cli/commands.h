@@ -35,15 +35,19 @@ Result<CommandLine> ParseArgs(int argc, const char* const* argv);
 //   diagnose  --store DIR [--node IP] TRACE      (no --node: cluster scan)
 //   conflicts --store DIR --workload W --node IP [--threshold X]
 //   info      TRACE
+//   stats     [--workload W] [--runs N] [--format text|json]
 Status RunSimulate(const CommandLine& args, std::string* out);
 Status RunTrain(const CommandLine& args, std::string* out);
 Status RunAddSignature(const CommandLine& args, std::string* out);
 Status RunDiagnose(const CommandLine& args, std::string* out);
 Status RunConflicts(const CommandLine& args, std::string* out);
 Status RunInfo(const CommandLine& args, std::string* out);
+Status RunStats(const CommandLine& args, std::string* out);
 
 // Dispatches to the command; unknown commands return kInvalidArgument with
-// the usage text in *out.
+// the usage text in *out. Also applies the global observability options
+// every command honours: --log-level LEVEL (debug|info|warn|error|off) and
+// --trace-out FILE (records Chrome trace-event JSON of the invocation).
 Status RunCommand(const CommandLine& args, std::string* out);
 
 // The usage/help text.

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "cli/commands.h"
+#include "obs/log.h"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -13,9 +14,9 @@ int main(int argc, char** argv) {
   invarnetx::Result<invarnetx::cli::CommandLine> args =
       invarnetx::cli::ParseArgs(argc - 1, argv + 1);
   if (!args.ok()) {
-    std::fprintf(stderr, "error: %s\n%s",
-                 args.status().ToString().c_str(),
-                 invarnetx::cli::Usage().c_str());
+    invarnetx::obs::Log(invarnetx::obs::LogLevel::kError, "bad command line",
+                        {{"error", args.status().ToString()}});
+    std::fputs(invarnetx::cli::Usage().c_str(), stderr);
     return 2;
   }
   std::string out;
@@ -23,7 +24,9 @@ int main(int argc, char** argv) {
       invarnetx::cli::RunCommand(args.value(), &out);
   std::fputs(out.c_str(), stdout);
   if (!status.ok()) {
-    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    invarnetx::obs::Log(invarnetx::obs::LogLevel::kError, "command failed",
+                        {{"command", args.value().command},
+                         {"error", status.ToString()}});
     return 1;
   }
   return 0;

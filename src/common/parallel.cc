@@ -5,8 +5,28 @@
 #include <memory>
 #include <utility>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace invarnetx {
 namespace {
+
+// Stable handles into the shared registry; bound once so the per-task cost
+// is a couple of relaxed atomic updates, not a map lookup.
+struct PoolMetrics {
+  obs::Counter& tasks_executed;
+  obs::Histogram& queue_wait;
+  obs::Histogram& task_seconds;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* metrics = new PoolMetrics{
+        obs::MetricsRegistry::Shared().GetCounter("threadpool.tasks_executed"),
+        obs::MetricsRegistry::Shared().GetHistogram("threadpool.queue_wait"),
+        obs::MetricsRegistry::Shared().GetHistogram("threadpool.task_seconds"),
+    };
+    return *metrics;
+  }
+};
 
 // Shared state of one ParallelFor invocation. Workers pull indices from the
 // atomic counter; the caller blocks until every pulled index has finished.
@@ -53,6 +73,10 @@ ThreadPool::ThreadPool(int num_threads) {
   EnsureSize(EffectiveThreadCount(num_threads));
 }
 
+ThreadPool::ThreadPool(int num_threads, SharedTag) : report_metrics_(true) {
+  EnsureSize(EffectiveThreadCount(num_threads));
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -70,27 +94,47 @@ int ThreadPool::size() const {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(PendingTask{std::move(task), obs::UptimeMicros()});
   }
   cv_.notify_one();
 }
 
+void ThreadPool::PublishSizeGauge(int size) {
+  // GetGauge is idempotent by name: pipelines racing to grow the shared
+  // pool all update the one `threadpool.workers` gauge instead of
+  // registering duplicates.
+  obs::MetricsRegistry::Shared()
+      .GetGauge("threadpool.workers")
+      .Set(static_cast<double>(size));
+}
+
 void ThreadPool::EnsureSize(int num_threads) {
   const int target = std::min(num_threads, kMaxThreads);
-  std::lock_guard<std::mutex> lock(mu_);
-  while (static_cast<int>(workers_.size()) < target) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  int new_size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < target) {
+      const int index = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, index] { WorkerLoop(index); });
+    }
+    new_size = static_cast<int>(workers_.size());
   }
+  if (report_metrics_) PublishSizeGauge(new_size);
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool(0);
+  static ThreadPool* pool = new ThreadPool(0, SharedTag{});
   return *pool;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int worker_index) {
+  obs::Gauge* busy = nullptr;
+  if (report_metrics_) {
+    busy = &obs::MetricsRegistry::Shared().GetGauge(
+        "threadpool.busy_seconds.w" + std::to_string(worker_index));
+  }
   for (;;) {
-    std::function<void()> task;
+    PendingTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -98,7 +142,20 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    if (report_metrics_) {
+      PoolMetrics& metrics = PoolMetrics::Get();
+      const uint64_t start_us = obs::UptimeMicros();
+      metrics.queue_wait.Record(
+          static_cast<double>(start_us - task.enqueue_us) / 1e6);
+      task.fn();
+      const double seconds =
+          static_cast<double>(obs::UptimeMicros() - start_us) / 1e6;
+      metrics.task_seconds.Record(seconds);
+      metrics.tasks_executed.Increment();
+      busy->Add(seconds);
+    } else {
+      task.fn();
+    }
   }
 }
 

@@ -31,6 +31,17 @@ inline constexpr int kMaxThreads = 256;
 // block on a condition variable and cost nothing. Tasks must not block on
 // other tasks' completion - ParallelFor's caller-participates design keeps
 // that property for the fan-outs in this codebase.
+//
+// Self-observability (all in obs::MetricsRegistry::Shared(), shared-pool
+// instances only so private bench pools do not pollute the process view):
+//   counter   threadpool.tasks_executed    tasks run to completion
+//   histogram threadpool.queue_wait        Submit -> dequeue latency (s)
+//   histogram threadpool.task_seconds      task execution wall time (s)
+//   gauge     threadpool.workers           current worker count
+//   gauge     threadpool.busy_seconds.w<N> per-worker cumulative busy time
+// The workers gauge is registered once per process even when several
+// pipelines grow the shared pool concurrently (registration by name is
+// idempotent), so exports never show duplicates.
 class ThreadPool {
  public:
   // Starts `num_threads` workers (<= 0: one per hardware thread).
@@ -55,11 +66,22 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  // Tag for the metrics-reporting shared instance.
+  struct SharedTag {};
+  ThreadPool(int num_threads, SharedTag);
 
+  struct PendingTask {
+    std::function<void()> fn;
+    uint64_t enqueue_us = 0;
+  };
+
+  void WorkerLoop(int worker_index);
+  void PublishSizeGauge(int size);
+
+  const bool report_metrics_ = false;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
+  std::deque<PendingTask> tasks_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };

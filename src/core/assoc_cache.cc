@@ -2,8 +2,31 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace invarnetx::core {
 namespace {
+
+// Registry mirrors of the cache tallies, bound once. Every cache instance
+// (shared or private) feeds the same process-wide counters; the per-instance
+// atomics remain the per-cache source of truth.
+struct CacheCounters {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& flushes;
+  obs::Counter& evicted;
+
+  static CacheCounters& Get() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+    static CacheCounters* counters = new CacheCounters{
+        registry.GetCounter("assoc_cache.hits"),
+        registry.GetCounter("assoc_cache.misses"),
+        registry.GetCounter("assoc_cache.flushes"),
+        registry.GetCounter("assoc_cache.evicted"),
+    };
+    return *counters;
+  }
+};
 
 // Two independent FNV-1a accumulators over the same byte stream. The second
 // uses a distinct offset basis and both are finalized with a splitmix64-style
@@ -59,17 +82,32 @@ std::optional<double> AssociationScoreCache::Lookup(
   auto it = shard.scores.find(key);
   if (it == shard.scores.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheCounters::Get().misses.Increment();
     return std::nullopt;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  CacheCounters::Get().hits.Increment();
   return it->second;
 }
 
 void AssociationScoreCache::Insert(const PairScoreKey& key, double score) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.scores.size() >= kMaxEntriesPerShard) shard.scores.clear();
+  if (shard.scores.size() >= max_entries_per_shard_) {
+    const uint64_t dropped = shard.scores.size();
+    shard.scores.clear();
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    evicted_.fetch_add(dropped, std::memory_order_relaxed);
+    CacheCounters::Get().flushes.Increment();
+    CacheCounters::Get().evicted.Increment(dropped);
+  }
   shard.scores.emplace(key, score);
+}
+
+double AssociationScoreCache::HitRate() const {
+  const uint64_t h = hits();
+  const uint64_t m = misses();
+  return h + m == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(h + m);
 }
 
 void AssociationScoreCache::Clear() {

@@ -45,9 +45,18 @@ PairScoreKey HashSeriesPair(std::string_view engine,
 // Thread-safe via sharded mutexes (16 shards keyed by the low hash bits),
 // so parallel mining workers rarely contend. Values are the exact doubles
 // the engine produced: a hit is bit-identical to the compute it memoizes.
+//
+// Every instance additionally mirrors its hit/miss/flush/evicted events
+// into the shared obs::MetricsRegistry (`assoc_cache.*` counters), so
+// `invarnetx stats` and the benches can report cache effectiveness and
+// cache-thrash without holding a cache pointer.
 class AssociationScoreCache {
  public:
-  AssociationScoreCache() = default;
+  // `max_entries_per_shard` bounds each shard; reaching the cap flushes the
+  // shard wholesale. The default keeps worst-case footprint in the tens of
+  // MB; tests shrink it to observe flush behaviour.
+  explicit AssociationScoreCache(size_t max_entries_per_shard = 1 << 16)
+      : max_entries_per_shard_(max_entries_per_shard) {}
 
   AssociationScoreCache(const AssociationScoreCache&) = delete;
   AssociationScoreCache& operator=(const AssociationScoreCache&) = delete;
@@ -67,15 +76,20 @@ class AssociationScoreCache {
   // and tests to observe cache effectiveness.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Lifetime capacity-flush tallies: how often a full shard was dropped
+  // wholesale and how many entries that evicted. A rising flush count with
+  // a low hit rate is cache-thrash - the working set exceeds the cap.
+  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
+
+  // Hits / (hits + misses); 0 before any lookup.
+  double HitRate() const;
 
   // The shared instance used by ComputeAssociationMatrix.
   static AssociationScoreCache& Shared();
 
  private:
   static constexpr size_t kNumShards = 16;
-  // ~64k scores/shard * 16 shards * 16 B/entry keeps worst-case footprint
-  // in the tens of MB.
-  static constexpr size_t kMaxEntriesPerShard = 1 << 16;
 
   struct KeyHash {
     size_t operator()(const PairScoreKey& key) const {
@@ -92,9 +106,12 @@ class AssociationScoreCache {
     return shards_[static_cast<size_t>(key.lo) % kNumShards];
   }
 
+  const size_t max_entries_per_shard_;
   mutable std::array<Shard, kNumShards> shards_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> evicted_{0};
 };
 
 }  // namespace invarnetx::core

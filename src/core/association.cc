@@ -8,6 +8,8 @@
 #include "common/stats.h"
 #include "core/assoc_cache.h"
 #include "mic/mic.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace invarnetx::core {
 namespace {
@@ -103,6 +105,17 @@ Result<AssociationMatrix> ComputeAssociationMatrix(
   AssociationMatrix matrix(telemetry::kNumMetricPairs, 0.0);
   const std::string engine_name = engine.name();
   AssociationScoreCache& cache = AssociationScoreCache::Shared();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  // Handles bound outside the fan-out: inside the per-pair lambda they cost
+  // relaxed atomics only, keeping the instrumented matrix bit-identical and
+  // contention-free.
+  obs::Counter& pairs_scored = registry.GetCounter("assoc.pairs_scored");
+  obs::Histogram& pair_seconds = registry.GetHistogram("assoc.pair_score");
+  obs::Span span("assoc_matrix",
+                 {{"engine", engine_name},
+                  {"ticks", node.cpi.empty() ? node.metrics[0].size()
+                                             : node.cpi.size()}});
+  registry.GetCounter("assoc.matrices").Increment();
   // Each worker writes only its own preallocated slot, so the result is
   // identical for any thread count; the pair index doubles as the task
   // index, so error propagation follows the serial visitation order.
@@ -121,8 +134,12 @@ Result<AssociationMatrix> ComputeAssociationMatrix(
             return Status::Ok();
           }
         }
+        const uint64_t start_us = obs::UptimeMicros();
         Result<double> score = engine.Score(x, y);
         if (!score.ok()) return score.status();
+        pair_seconds.Record(
+            static_cast<double>(obs::UptimeMicros() - start_us) / 1e6);
+        pairs_scored.Increment();
         matrix[pair] = score.value();
         if (options.use_cache) cache.Insert(key, score.value());
         return Status::Ok();

@@ -3,6 +3,9 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace invarnetx::core {
 
@@ -11,6 +14,11 @@ Result<ClusterDiagnosis> DiagnoseCluster(const InvarNetX& pipeline,
   if (run.nodes.size() < 2) {
     return Status::InvalidArgument("DiagnoseCluster: run has no slave nodes");
   }
+  obs::Span span("diagnose_cluster", {{"nodes", run.nodes.size() - 1}});
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  registry.GetCounter("cluster.scans").Increment();
+  registry.GetCounter("cluster.nodes_diagnosed")
+      .Increment(run.nodes.size() - 1);
   // Each slave's diagnosis is independent (the pipeline is read-only during
   // Diagnose), so the scan fans out across workers; every worker fills its
   // own preallocated entry, and the culprit reduction below runs serially
@@ -46,6 +54,12 @@ Result<ClusterDiagnosis> DiagnoseCluster(const InvarNetX& pipeline,
       result.culprit = static_cast<int>(i);
     }
   }
+  span.End();
+  INVARNETX_OBS_LOG(
+      obs::LogLevel::kDebug, "cluster scan complete",
+      {{"nodes", result.nodes.size()},
+       {"culprit", result.culprit},
+       {"total_s", span.Seconds()}});
   return result;
 }
 

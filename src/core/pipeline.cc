@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/parallel.h"
+#include "core/assoc_cache.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "telemetry/metrics.h"
 #include "xmlstore/stores.h"
 #include "xmlstore/xml.h"
@@ -78,6 +83,17 @@ size_t AnomalousWindowStart(const PerformanceModel& perf,
 
 }  // namespace
 
+std::string DiagnosisCost::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "detect_s=%.6f matrix_s=%.6f infer_s=%.6f total_s=%.6f "
+                "cache_hits=%llu cache_misses=%llu",
+                detect_seconds, matrix_seconds, infer_seconds, total_seconds,
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses));
+  return buf;
+}
+
 InvarNetX::InvarNetX(InvarNetXConfig config) : config_(config) {}
 
 OperationContext InvarNetX::Key(const OperationContext& context) const {
@@ -104,6 +120,11 @@ Status InvarNetX::TrainContextFromExamples(
     return Status::InvalidArgument(
         "TrainContext: need >= 2 training examples");
   }
+  obs::Span train_span("train_context",
+                       {{"context", Key(context).ToString()},
+                        {"examples", examples.size()}});
+  obs::MetricsRegistry::Shared().GetCounter("pipeline.train_calls")
+      .Increment();
   std::vector<std::vector<double>> cpi_traces;
   const std::unique_ptr<AssociationEngine> engine =
       AssociationEngine::Make(config_.engine);
@@ -147,6 +168,7 @@ Status InvarNetX::TrainContextFromExamples(
   }
   std::vector<AssociationMatrix> matrices(slices.size());
   const AssociationOptions assoc = AssocOptions();
+  obs::Span mine_span("mine_invariants", {{"slices", slices.size()}});
   INVARNETX_RETURN_IF_ERROR(ParallelFor(
       slices.size(), config_.num_threads, [&](size_t i) -> Status {
         const SliceTask& task = slices[i];
@@ -158,16 +180,27 @@ Status InvarNetX::TrainContextFromExamples(
         matrices[i] = std::move(matrix.value());
         return Status::Ok();
       }));
+  mine_span.End();
 
+  obs::Span perf_span("train_perf_model");
   Result<PerformanceModel> perf =
       PerformanceModel::Train(cpi_traces, config_.beta);
   if (!perf.ok()) return perf.status();
+  perf_span.End();
   Result<InvariantSet> invariants = BuildInvariants(matrices, config_.tau);
   if (!invariants.ok()) return invariants.status();
 
   ContextModel& model = contexts_[Key(context)];
   model.perf = std::move(perf.value());
   model.invariants = std::move(invariants.value());
+  INVARNETX_OBS_LOG(
+      obs::LogLevel::kInfo, "trained context",
+      {{"context", Key(context).ToString()},
+       {"examples", examples.size()},
+       {"slices", slices.size()},
+       {"invariants", model.invariants.NumInvariants()},
+       {"mine_s", mine_span.Seconds()},
+       {"perf_model_s", perf_span.Seconds()}});
   return Status::Ok();
 }
 
@@ -191,6 +224,11 @@ Status InvarNetX::AddSignature(const OperationContext& context,
   Result<std::vector<uint8_t>> tuple = ComputeViolationTuple(
       it->second.invariants, matrix.value(), config_.epsilon);
   if (!tuple.ok()) return tuple.status();
+  obs::MetricsRegistry::Shared().GetCounter("pipeline.signatures_added")
+      .Increment();
+  INVARNETX_OBS_LOG(obs::LogLevel::kInfo, "added signature",
+                    {{"context", Key(context).ToString()},
+                     {"problem", problem}});
   return it->second.sigdb.Add(Signature{problem, std::move(tuple.value())});
 }
 
@@ -206,18 +244,40 @@ Result<DiagnosisReport> InvarNetX::Diagnose(const OperationContext& context,
     return Status::InvalidArgument("Diagnose: node index out of range");
   }
   INVARNETX_RETURN_IF_ERROR(ValidateNode(run.nodes[node_index], "Diagnose"));
+  obs::Span diagnose_span("diagnose", {{"context", Key(context).ToString()}});
+  obs::MetricsRegistry::Shared().GetCounter("pipeline.diagnose_calls")
+      .Increment();
   AnomalyDetector detector(it->second.perf, config_.threshold_rule,
                            config_.consecutive_required);
+  obs::Span detect_span("detect");
   const AnomalyScan scan = detector.Scan(run.nodes[node_index].cpi);
+  detect_span.End();
   if (!scan.triggered()) {
     DiagnosisReport report;
     report.anomaly_detected = false;
+    diagnose_span.End();
+    report.cost.detect_seconds = detect_span.Seconds();
+    report.cost.total_seconds = diagnose_span.Seconds();
+    INVARNETX_OBS_LOG(obs::LogLevel::kDebug, "diagnosis: no anomaly",
+                      {{"context", Key(context).ToString()},
+                       {"detect_s", detect_span.Seconds()}});
     return report;
   }
+  obs::MetricsRegistry::Shared().GetCounter("pipeline.anomalies").Increment();
   Result<DiagnosisReport> report = InferCause(context, run, node_index);
   if (!report.ok()) return report.status();
   report.value().anomaly_detected = true;
   report.value().first_alarm_tick = scan.first_alarm_tick;
+  diagnose_span.End();
+  report.value().cost.detect_seconds = detect_span.Seconds();
+  report.value().cost.total_seconds = diagnose_span.Seconds();
+  INVARNETX_OBS_LOG(
+      obs::LogLevel::kInfo, "diagnosis: anomaly",
+      {{"context", Key(context).ToString()},
+       {"first_alarm_tick", scan.first_alarm_tick},
+       {"violations", report.value().num_violations},
+       {"known_problem", report.value().known_problem},
+       {"total_s", diagnose_span.Seconds()}});
   return report;
 }
 
@@ -238,14 +298,24 @@ Result<DiagnosisReport> InvarNetX::InferCauseForNode(
                                       context.ToString());
   }
   const ContextModel& model = it->second;
+  obs::Span infer_span("infer_cause", {{"context", Key(context).ToString()}});
+  const AssociationScoreCache& cache = AssociationScoreCache::Shared();
+  const uint64_t hits_before = cache.hits();
+  const uint64_t misses_before = cache.misses();
+  const uint64_t matrix_start_us = obs::UptimeMicros();
   Result<AssociationMatrix> matrix = AbnormalMatrix(model, node);
   if (!matrix.ok()) return matrix.status();
+  const double matrix_seconds =
+      static_cast<double>(obs::UptimeMicros() - matrix_start_us) / 1e6;
   std::vector<double> deviations;
   Result<std::vector<uint8_t>> tuple = ComputeViolationTuple(
       model.invariants, matrix.value(), config_.epsilon, &deviations);
   if (!tuple.ok()) return tuple.status();
 
   DiagnosisReport report;
+  report.cost.matrix_seconds = matrix_seconds;
+  report.cost.cache_hits = cache.hits() - hits_before;
+  report.cost.cache_misses = cache.misses() - misses_before;
   report.violations = std::move(tuple.value());
   for (uint8_t bit : report.violations) report.num_violations += bit;
 
@@ -277,6 +347,9 @@ Result<DiagnosisReport> InvarNetX::InferCauseForNode(
     report.known_problem = !report.causes.empty() &&
                            report.causes[0].score >= config_.min_similarity;
   }
+  infer_span.End();
+  report.cost.total_seconds = infer_span.Seconds();
+  report.cost.infer_seconds = infer_span.Seconds() - matrix_seconds;
   return report;
 }
 

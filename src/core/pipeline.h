@@ -60,6 +60,22 @@ struct ContextModel {
   SignatureDatabase sigdb;
 };
 
+// What one diagnosis cost the analysis engine itself - the self-measured
+// counterpart of the paper's Table 1 overhead numbers. Cache tallies are
+// deltas of the shared score cache over this call, so they are approximate
+// when diagnoses run concurrently.
+struct DiagnosisCost {
+  double detect_seconds = 0.0;  // CPI anomaly detection (Perf-D)
+  double matrix_seconds = 0.0;  // association matrix of the abnormal run
+  double infer_seconds = 0.0;   // violation tuple + signature query
+  double total_seconds = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  // One-line `key=value` rendering for reports and logs.
+  std::string Summary() const;
+};
+
 // The output of one diagnosis: detection outcome, the violation evidence,
 // and the ranked causes (most probable first).
 struct DiagnosisReport {
@@ -72,6 +88,8 @@ struct DiagnosisReport {
   // Human-readable violated pairs ("metric_a ~ metric_b"), capped at 10 -
   // the paper's hints for uninvestigated problems.
   std::vector<std::string> hints;
+  // Self-observability summary appended by Diagnose / InferCause.
+  DiagnosisCost cost;
 };
 
 // The InvarNet-X pipeline facade (Fig. 3): offline training (performance

@@ -1,0 +1,221 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace invarnetx::obs {
+namespace {
+
+std::string DoubleToStr(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// JSON string escaping for metric names (which are code-controlled, but a
+// malformed export must never be possible).
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+size_t BucketIndex(double value) {
+  if (value <= Histogram::kMinBucket) return 0;
+  double bound = Histogram::kMinBucket;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (value <= bound) return i;
+    bound *= 2.0;
+  }
+  return Histogram::kNumBuckets;  // overflow
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  if (!(value >= 0.0)) value = 0.0;  // negatives and NaN clamp to zero
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next =
+        std::bit_cast<uint64_t>(std::bit_cast<double>(cur) + value);
+    if (sum_bits_.compare_exchange_weak(cur, next,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  double bound = kMinBucket;
+  for (size_t b = 0; b < i && b < kNumBuckets - 1; ++b) bound *= 2.0;
+  return bound;
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample (1-based, ceil), then walk the cumulative
+  // distribution to its bucket.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double upper = BucketUpperBound(i >= kNumBuckets ? kNumBuckets - 1
+                                                             : i);
+      const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      const double fraction = static_cast<double>(rank - cumulative) /
+                              static_cast<double>(in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+bool MetricsRegistry::HasGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.count(name) > 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramStats stats;
+    stats.count = hist->count();
+    stats.sum = hist->sum();
+    stats.p50 = hist->Percentile(0.50);
+    stats.p95 = hist->Percentile(0.95);
+    stats.p99 = hist->Percentile(0.99);
+    snap.histograms[name] = stats;
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  const Snapshot snap = Snap();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << "gauge " << name << " " << DoubleToStr(value) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << "histogram " << name << " count=" << h.count
+        << " sum=" << DoubleToStr(h.sum) << " p50=" << DoubleToStr(h.p50)
+        << " p95=" << DoubleToStr(h.p95) << " p99=" << DoubleToStr(h.p99)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  const Snapshot snap = Snap();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":" << DoubleToStr(value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonString(name) << ":{\"count\":" << h.count
+        << ",\"sum\":" << DoubleToStr(h.sum)
+        << ",\"p50\":" << DoubleToStr(h.p50)
+        << ",\"p95\":" << DoubleToStr(h.p95)
+        << ",\"p99\":" << DoubleToStr(h.p99) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Shared() {
+  // Leaked so instrumented code (including detached pool workers) can
+  // report during static destruction without racing teardown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace invarnetx::obs

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/log.h"
+
 namespace invarnetx::telemetry {
 namespace {
 
@@ -81,9 +83,21 @@ std::string WriteTraceCsv(const RunTrace& trace) {
 
 Status WriteTraceFile(const std::string& path, const RunTrace& trace) {
   std::ofstream file(path);
-  if (!file) return Status::IoError("cannot open " + path);
+  if (!file) {
+    INVARNETX_OBS_LOG(obs::LogLevel::kError, "trace write failed",
+                      {{"path", path}, {"reason", "cannot open"}});
+    return Status::IoError("cannot open " + path);
+  }
   file << WriteTraceCsv(trace);
-  if (!file.good()) return Status::IoError("write failed for " + path);
+  if (!file.good()) {
+    INVARNETX_OBS_LOG(obs::LogLevel::kError, "trace write failed",
+                      {{"path", path}, {"reason", "write error"}});
+    return Status::IoError("write failed for " + path);
+  }
+  INVARNETX_OBS_LOG(obs::LogLevel::kDebug, "wrote trace file",
+                    {{"path", path},
+                     {"ticks", trace.ticks},
+                     {"nodes", trace.nodes.size()}});
   return Status::Ok();
 }
 
@@ -198,10 +212,25 @@ Result<RunTrace> ParseTraceCsv(const std::string& text) {
 
 Result<RunTrace> ReadTraceFile(const std::string& path) {
   std::ifstream file(path);
-  if (!file) return Status::IoError("cannot open " + path);
+  if (!file) {
+    INVARNETX_OBS_LOG(obs::LogLevel::kWarn, "trace read failed",
+                      {{"path", path}, {"reason", "cannot open"}});
+    return Status::IoError("cannot open " + path);
+  }
   std::ostringstream buf;
   buf << file.rdbuf();
-  return ParseTraceCsv(buf.str());
+  Result<RunTrace> trace = ParseTraceCsv(buf.str());
+  if (!trace.ok()) {
+    INVARNETX_OBS_LOG(obs::LogLevel::kWarn, "trace parse failed",
+                      {{"path", path},
+                       {"error", trace.status().ToString()}});
+    return trace;
+  }
+  INVARNETX_OBS_LOG(obs::LogLevel::kDebug, "read trace file",
+                    {{"path", path},
+                     {"ticks", trace.value().ticks},
+                     {"nodes", trace.value().nodes.size()}});
+  return trace;
 }
 
 }  // namespace invarnetx::telemetry

@@ -4,10 +4,26 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/log.h"
 #include "xmlstore/xml.h"
 
 namespace invarnetx::xmlstore {
 namespace {
+
+// One debug line per store round-trip, one warn per failure: store I/O is
+// rare and operator-visible, so every call is worth a structured record.
+void LogStoreOp(const char* op, const std::string& path, size_t records,
+                const Status& status) {
+  if (!status.ok()) {
+    INVARNETX_OBS_LOG(obs::LogLevel::kWarn, "xml store operation failed",
+                      {{"op", op},
+                       {"path", path},
+                       {"error", status.ToString()}});
+    return;
+  }
+  INVARNETX_OBS_LOG(obs::LogLevel::kDebug, "xml store operation",
+                    {{"op", op}, {"path", path}, {"records", records}});
+}
 
 std::string DoubleToStr(double v) {
   char buf[64];
@@ -71,7 +87,9 @@ Status SaveArimaModels(const std::string& path,
     node.AddChild("ar").text = JoinDoubles(rec.ar);
     node.AddChild("ma").text = JoinDoubles(rec.ma);
   }
-  return WriteXmlFile(path, root);
+  const Status status = WriteXmlFile(path, root);
+  LogStoreOp("save_models", path, records.size(), status);
+  return status;
 }
 
 Result<std::vector<ArimaModelRecord>> LoadArimaModels(
@@ -127,6 +145,7 @@ Result<std::vector<ArimaModelRecord>> LoadArimaModels(
     }
     out.push_back(std::move(rec));
   }
+  LogStoreOp("load_models", path, out.size(), Status::Ok());
   return out;
 }
 
@@ -146,7 +165,9 @@ Status SaveInvariantSets(const std::string& path,
       child.SetAttr("value", DoubleToStr(e.value));
     }
   }
-  return WriteXmlFile(path, root);
+  const Status status = WriteXmlFile(path, root);
+  LogStoreOp("save_invariants", path, records.size(), status);
+  return status;
 }
 
 Result<std::vector<InvariantSetRecord>> LoadInvariantSets(
@@ -175,6 +196,7 @@ Result<std::vector<InvariantSetRecord>> LoadInvariantSets(
     }
     out.push_back(std::move(rec));
   }
+  LogStoreOp("load_invariants", path, out.size(), Status::Ok());
   return out;
 }
 
@@ -192,7 +214,9 @@ Status SaveSignatures(const std::string& path,
     for (uint8_t b : rec.bits) bits += b ? '1' : '0';
     node.text = bits;
   }
-  return WriteXmlFile(path, root);
+  const Status status = WriteXmlFile(path, root);
+  LogStoreOp("save_signatures", path, records.size(), status);
+  return status;
 }
 
 Result<std::vector<SignatureRecord>> LoadSignatures(const std::string& path) {
@@ -214,6 +238,7 @@ Result<std::vector<SignatureRecord>> LoadSignatures(const std::string& path) {
     }
     out.push_back(std::move(rec));
   }
+  LogStoreOp("load_signatures", path, out.size(), Status::Ok());
   return out;
 }
 

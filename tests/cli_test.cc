@@ -1,10 +1,14 @@
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cli/commands.h"
+#include "obs/log.h"
+#include "obs/span.h"
 
 namespace invarnetx::cli {
 namespace {
@@ -37,11 +41,31 @@ TEST(ParseArgsTest, RejectsEmpty) {
   EXPECT_FALSE(ParseArgs(0, nullptr).ok());
 }
 
+TEST(ParseArgsTest, AcceptsEqualsSpelling) {
+  const CommandLine args =
+      Parse({"diagnose", "--store=dir", "--log-level=debug", "trace.csv"});
+  EXPECT_EQ(args.Get("store", ""), "dir");
+  EXPECT_EQ(args.Get("log-level", ""), "debug");
+  ASSERT_EQ(args.positional.size(), 1u);
+  // An empty value after '=' is still a present option.
+  const CommandLine empty = Parse({"diagnose", "--node="});
+  EXPECT_TRUE(empty.Has("node"));
+  EXPECT_EQ(empty.Get("node", "fallback"), "");
+}
+
 TEST(RunCommandTest, UnknownCommandShowsUsage) {
   std::string out;
   const Status status = RunCommand(Parse({"frobnicate"}), &out);
   EXPECT_FALSE(status.ok());
   EXPECT_NE(out.find("commands:"), std::string::npos);
+}
+
+TEST(RunCommandTest, RejectsBadLogLevel) {
+  std::string out;
+  const Status status =
+      RunCommand(Parse({"info", "--log-level", "loud", "x.csv"}), &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("loud"), std::string::npos);
 }
 
 // --------------------------------------------------------- full workflow --
@@ -214,6 +238,69 @@ TEST_F(CliWorkflowTest, DiagnoseNeedsStore) {
   std::string out;
   EXPECT_FALSE(
       RunDiagnose(Parse({"diagnose", Path("none.csv").c_str()}), &out).ok());
+}
+
+// ---------------------------------------------------------- observability --
+
+TEST_F(CliWorkflowTest, StatsDumpsTheMetricsRegistry) {
+  std::string out;
+  ASSERT_TRUE(RunCommand(Parse({"stats", "--workload", "grep", "--runs", "2"}),
+                         &out)
+                  .ok())
+      << out;
+  // The built-in self-exercise must light up the pipeline, cache, and
+  // thread-pool instrumentation.
+  EXPECT_NE(out.find("counter pipeline.train_calls"), std::string::npos) << out;
+  EXPECT_NE(out.find("counter assoc_cache.hits"), std::string::npos);
+  EXPECT_NE(out.find("counter threadpool.tasks_executed"), std::string::npos);
+  EXPECT_NE(out.find("histogram span.diagnose"), std::string::npos);
+  EXPECT_NE(out.find("# cost: "), std::string::npos);
+
+  out.clear();
+  ASSERT_TRUE(RunStats(Parse({"stats", "--workload", "grep", "--runs", "2",
+                              "--format", "json"}),
+                       &out)
+                  .ok());
+  EXPECT_TRUE(obs::ValidateJson(out).ok()) << out;
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+
+  EXPECT_FALSE(
+      RunStats(Parse({"stats", "--format", "xml"}), &out).ok());
+  EXPECT_FALSE(
+      RunStats(Parse({"stats", "--workload", "bogus"}), &out).ok());
+}
+
+TEST_F(CliWorkflowTest, TraceOutWritesValidChromeTrace) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Shared();
+  recorder.SetEnabled(false);
+  recorder.Clear();
+
+  std::string out;
+  const std::string trace_path = Path("cli_trace.json");
+  ASSERT_TRUE(RunCommand(Parse({"stats", "--workload", "grep", "--runs", "2",
+                                "--trace-out", trace_path.c_str()}),
+                         &out)
+                  .ok())
+      << out;
+  recorder.SetEnabled(false);
+  recorder.Clear();
+  EXPECT_NE(out.find("wrote trace events to"), std::string::npos) << out;
+
+  std::ifstream file(trace_path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  size_t num_events = 0;
+  ASSERT_TRUE(obs::ValidateChromeTrace(buffer.str(), &num_events).ok())
+      << buffer.str();
+  EXPECT_GT(num_events, 0u);
+  // The end-to-end self-exercise covers training, detection, diagnosis and
+  // the association matrix, so all four stage spans must appear.
+  for (const char* stage :
+       {"train_context", "mine_invariants", "detect", "diagnose",
+        "assoc_matrix"}) {
+    EXPECT_NE(buffer.str().find(stage), std::string::npos) << stage;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,380 @@
+// Tests for the self-observability layer: structured logging, the metrics
+// registry, and stage-level trace spans - plus the registry wiring of the
+// association score cache and the shared thread pool.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/assoc_cache.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace invarnetx {
+namespace {
+
+// Restores the global log level and sink on scope exit so tests cannot leak
+// configuration into each other.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture() : previous_level_(obs::GetLogLevel()) {
+    obs::SetLogSink([this](obs::LogLevel level, const std::string& line) {
+      levels_.push_back(level);
+      lines_.push_back(line);
+    });
+  }
+  ~ScopedLogCapture() {
+    obs::SetLogSink(nullptr);
+    obs::SetLogLevel(previous_level_);
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  const std::vector<obs::LogLevel>& levels() const { return levels_; }
+
+ private:
+  obs::LogLevel previous_level_;
+  std::vector<obs::LogLevel> levels_;
+  std::vector<std::string> lines_;
+};
+
+TEST(LogTest, LevelNamesRoundTrip) {
+  for (obs::LogLevel level :
+       {obs::LogLevel::kDebug, obs::LogLevel::kInfo, obs::LogLevel::kWarn,
+        obs::LogLevel::kError, obs::LogLevel::kOff}) {
+    Result<obs::LogLevel> parsed =
+        obs::LogLevelFromName(obs::LogLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), level);
+  }
+  EXPECT_FALSE(obs::LogLevelFromName("verbose").ok());
+  EXPECT_FALSE(obs::LogLevelFromName("").ok());
+}
+
+TEST(LogTest, LevelFiltering) {
+  ScopedLogCapture capture;
+  obs::SetLogLevel(obs::LogLevel::kWarn);
+  obs::Log(obs::LogLevel::kDebug, "dropped");
+  obs::Log(obs::LogLevel::kInfo, "dropped");
+  obs::Log(obs::LogLevel::kWarn, "kept warn");
+  obs::Log(obs::LogLevel::kError, "kept error");
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_EQ(capture.levels()[0], obs::LogLevel::kWarn);
+  EXPECT_EQ(capture.levels()[1], obs::LogLevel::kError);
+
+  obs::SetLogLevel(obs::LogLevel::kOff);
+  obs::Log(obs::LogLevel::kError, "silenced");
+  EXPECT_EQ(capture.lines().size(), 2u);
+}
+
+TEST(LogTest, StructuredLineFormat) {
+  ScopedLogCapture capture;
+  obs::SetLogLevel(obs::LogLevel::kInfo);
+  obs::Log(obs::LogLevel::kInfo, "trained context",
+           {{"context", "wordcount@10.0.0.2"},
+            {"examples", 3},
+            {"ratio", 0.5},
+            {"ok", true}});
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  EXPECT_NE(line.find("level=info"), std::string::npos);
+  EXPECT_NE(line.find("msg=\"trained context\""), std::string::npos);
+  // String values are quoted; numbers and booleans are bare.
+  EXPECT_NE(line.find("context=\"wordcount@10.0.0.2\""), std::string::npos);
+  EXPECT_NE(line.find("examples=3"), std::string::npos);
+  EXPECT_NE(line.find("ok=true"), std::string::npos);
+  EXPECT_EQ(line.rfind("ts=", 0), 0u) << line;
+}
+
+TEST(LogTest, QuotesAndEscapesStringValues) {
+  const std::string line = obs::FormatLogLine(
+      obs::LogLevel::kWarn, "weird \"message\"",
+      {obs::LogField{"path", std::string("a\\b\"c\nd")}});
+  EXPECT_NE(line.find("msg=\"weird \\\"message\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
+}
+
+TEST(LogTest, MacroSkipsArgumentEvaluationWhenDisabled) {
+  ScopedLogCapture capture;
+  obs::SetLogLevel(obs::LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string("value");
+  };
+  INVARNETX_OBS_LOG(obs::LogLevel::kDebug, "msg", {{"k", expensive()}});
+  EXPECT_EQ(evaluations, 0);
+  INVARNETX_OBS_LOG(obs::LogLevel::kError, "msg", {{"k", expensive()}});
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(MetricsTest, CounterConcurrentIncrements) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsTest, GaugeSetAndConcurrentAdd) {
+  obs::Gauge gauge;
+  gauge.Set(5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < 1000; ++i) gauge.Add(0.5);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0 + 4 * 1000 * 0.5);
+}
+
+TEST(MetricsTest, HistogramPercentiles) {
+  obs::Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.5), 0.0);
+
+  // 100 samples in a known ascending pattern: 1ms, 2ms, ..., 100ms.
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Record(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_NEAR(histogram.sum(), 5.050, 1e-9);
+  // Percentiles are exact to within one exponential bucket: the bucket
+  // holding the true quantile has bounds within a factor of two of it.
+  const double p50 = histogram.Percentile(0.5);
+  EXPECT_GE(p50, 0.025);
+  EXPECT_LE(p50, 0.105);
+  const double p99 = histogram.Percentile(0.99);
+  EXPECT_GE(p99, 0.05);
+  EXPECT_LE(p99, 0.21);
+  EXPECT_LE(histogram.Percentile(0.5), histogram.Percentile(0.95));
+  EXPECT_LE(histogram.Percentile(0.95), histogram.Percentile(0.99));
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+}
+
+TEST(MetricsTest, HistogramClampsNegativeAndOverflow) {
+  obs::Histogram histogram;
+  histogram.Record(-1.0);  // clamps to 0, still counted
+  histogram.Record(1e12);  // overflow bucket
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_GT(histogram.Percentile(0.99), 0.0);
+}
+
+TEST(MetricsTest, RegistryHandlesAreIdempotent) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.GetCounter("test.counter");
+  obs::Counter& b = registry.GetCounter("test.counter");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g1 = registry.GetGauge("test.gauge");
+  obs::Gauge& g2 = registry.GetGauge("test.gauge");
+  EXPECT_EQ(&g1, &g2);
+  EXPECT_TRUE(registry.HasGauge("test.gauge"));
+  EXPECT_FALSE(registry.HasGauge("test.other"));
+
+  a.Increment(3);
+  const obs::MetricsRegistry::Snapshot snapshot = registry.Snap();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters.at("test.counter"), 3u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+}
+
+TEST(MetricsTest, RenderTextAndJson) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("pipeline.train_calls").Increment(2);
+  registry.GetGauge("threadpool.workers").Set(4.0);
+  registry.GetHistogram("span.detect").Record(0.005);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("counter pipeline.train_calls 2"), std::string::npos);
+  EXPECT_NE(text.find("gauge threadpool.workers 4"), std::string::npos);
+  EXPECT_NE(text.find("histogram span.detect count=1"), std::string::npos);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_TRUE(obs::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"pipeline.train_calls\":2"), std::string::npos);
+
+  registry.ResetAll();
+  EXPECT_EQ(registry.Snap().counters.at("pipeline.train_calls"), 0u);
+}
+
+TEST(SpanTest, RecordsHistogramAlways) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  const uint64_t before =
+      registry.GetHistogram("span.obs_test_stage").count();
+  {
+    obs::Span span("obs_test_stage");
+  }
+  EXPECT_EQ(registry.GetHistogram("span.obs_test_stage").count(), before + 1);
+}
+
+TEST(SpanTest, EndIsIdempotentAndFreezesDuration) {
+  obs::Span span("obs_test_end");
+  span.End();
+  const double first = span.Seconds();
+  span.End();
+  EXPECT_DOUBLE_EQ(span.Seconds(), first);
+}
+
+TEST(SpanTest, RecorderCapturesEventsOnlyWhenEnabled) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Shared();
+  recorder.SetEnabled(false);
+  recorder.Clear();
+  {
+    obs::Span span("obs_test_disabled");
+  }
+  EXPECT_EQ(recorder.NumEvents(), 0u);
+
+  recorder.SetEnabled(true);
+  {
+    obs::Span span("obs_test_enabled", {{"context", "wordcount@10.0.0.2"}});
+  }
+  recorder.SetEnabled(false);
+  const std::vector<obs::TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "obs_test_enabled");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "context");
+  recorder.Clear();
+}
+
+TEST(SpanTest, ChromeTraceRoundTrip) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Shared();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  {
+    obs::Span outer("outer", {{"k", "v with \"quotes\""}});
+    obs::Span inner("inner");
+  }
+  recorder.SetEnabled(false);
+
+  const std::string json = recorder.RenderChromeTrace();
+  size_t num_events = 0;
+  ASSERT_TRUE(obs::ValidateChromeTrace(json, &num_events).ok()) << json;
+  EXPECT_EQ(num_events, 2u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  recorder.Clear();
+}
+
+TEST(SpanTest, WriteChromeTraceGoldenFile) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Shared();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  {
+    obs::Span span("golden_stage", {{"ticks", 60}});
+  }
+  recorder.SetEnabled(false);
+
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "invarnetx_obs_golden.json";
+  ASSERT_TRUE(recorder.WriteChromeTrace(path.string()).ok());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  size_t num_events = 0;
+  ASSERT_TRUE(obs::ValidateChromeTrace(buffer.str(), &num_events).ok());
+  EXPECT_EQ(num_events, 1u);
+  EXPECT_NE(buffer.str().find("golden_stage"), std::string::npos);
+  std::filesystem::remove(path);
+  recorder.Clear();
+}
+
+TEST(SpanTest, ValidatorRejectsMalformedDocuments) {
+  size_t num_events = 0;
+  EXPECT_FALSE(obs::ValidateChromeTrace("", &num_events).ok());
+  EXPECT_FALSE(obs::ValidateChromeTrace("{", &num_events).ok());
+  EXPECT_FALSE(obs::ValidateChromeTrace("[]", &num_events).ok());
+  EXPECT_FALSE(
+      obs::ValidateChromeTrace("{\"traceEvents\":{}}", &num_events).ok());
+  EXPECT_FALSE(obs::ValidateJson("{\"a\":1,}").ok());
+  EXPECT_TRUE(obs::ValidateJson("{\"a\":[1,2,{\"b\":null}]}").ok());
+}
+
+TEST(CacheMetricsTest, FlushAndEvictionCounters) {
+  // One-entry shards: any second insert landing in an occupied shard flushes
+  // it. 64 distinct keys over 16 shards guarantee collisions by pigeonhole.
+  core::AssociationScoreCache cache(1);
+  std::vector<double> base{1.0, 2.0, 3.0, 4.0};
+  for (int i = 0; i < 64; ++i) {
+    std::vector<double> y = base;
+    y[0] = static_cast<double>(i);
+    const core::PairScoreKey key = core::HashSeriesPair("mic", base, y);
+    cache.Lookup(key);
+    cache.Insert(key, 0.5);
+  }
+  EXPECT_EQ(cache.misses(), 64u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(cache.flushes(), 0u);
+  EXPECT_GT(cache.evicted(), 0u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.0);
+
+  // A re-lookup of the last key hits (its shard was not flushed after it).
+  std::vector<double> y = base;
+  y[0] = 63.0;
+  const core::PairScoreKey key = core::HashSeriesPair("mic", base, y);
+  EXPECT_TRUE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_GT(cache.HitRate(), 0.0);
+}
+
+TEST(ThreadPoolMetricsTest, SharedPoolReportsTasksAndSingleWorkerGauge) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  const uint64_t before =
+      registry.GetCounter("threadpool.tasks_executed").value();
+
+  // Force pool participation even on single-core machines.
+  std::atomic<int> sum{0};
+  ASSERT_TRUE(ParallelFor(64, 4, [&sum](size_t i) -> Status {
+                sum.fetch_add(static_cast<int>(i));
+                return Status::Ok();
+              }).ok());
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  // Runner tasks report their metrics after the caller's ParallelFor has
+  // already returned (the caller can drain every index itself); give the
+  // workers a bounded moment to finish accounting.
+  obs::Counter& tasks = registry.GetCounter("threadpool.tasks_executed");
+  for (int i = 0; i < 5000 && tasks.value() <= before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(tasks.value(), before);
+
+  // Growing the pool repeatedly must update the one workers gauge, not
+  // register duplicates.
+  ThreadPool::Shared().EnsureSize(2);
+  ThreadPool::Shared().EnsureSize(3);
+  EXPECT_TRUE(registry.HasGauge("threadpool.workers"));
+  EXPECT_FALSE(registry.HasGauge("threadpool.workers.1"));
+  EXPECT_GE(registry.GetGauge("threadpool.workers").value(), 3.0);
+
+  // Private pools stay out of the shared registry: the gauge tracks the
+  // shared pool's size, and a throwaway pool must not overwrite it.
+  const double shared_size = registry.GetGauge("threadpool.workers").value();
+  {
+    ThreadPool private_pool(8);
+  }
+  EXPECT_DOUBLE_EQ(registry.GetGauge("threadpool.workers").value(),
+                   shared_size);
+}
+
+}  // namespace
+}  // namespace invarnetx
