@@ -1,0 +1,223 @@
+#include "campaign/runner.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "telemetry/runner.h"
+
+namespace invarnetx::campaign {
+namespace {
+
+// Distinct seed streams per scenario stage, mirroring core/evaluate: the
+// normal, signature and test run populations never share seeds, so changing
+// one count does not reshuffle the others.
+constexpr uint64_t kSignatureStream = 0x20000;
+constexpr uint64_t kTestStream = 0x40000;
+
+telemetry::RunConfig BaseRunConfig(const Scenario& scenario) {
+  telemetry::RunConfig config;
+  config.workload = scenario.workload;
+  config.num_slaves = scenario.slaves;
+  config.interactive_ticks = scenario.interactive_ticks;
+  return config;
+}
+
+// The node whose operation context the campaign diagnoses: the fault's
+// target when it is a slave; otherwise (name-node faults, whose effects
+// leak onto every node) slave 1, as in the paper's evaluation.
+size_t VictimNode(const Scenario& scenario) {
+  return scenario.window.target_node >= 1 ? scenario.window.target_node : 1;
+}
+
+core::OperationContext VictimContext(const Scenario& scenario) {
+  return core::OperationContext{
+      scenario.workload, "10.0.0." + std::to_string(VictimNode(scenario) + 1)};
+}
+
+}  // namespace
+
+Result<ScenarioScore> RunScenario(const Scenario& scenario,
+                                  const CampaignOptions& options) {
+  obs::Span span("campaign_scenario", {{"scenario", scenario.name}});
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  registry.GetCounter("campaign.scenarios_run").Increment();
+
+  // 1. Fault-free runs (seeds seed, seed+1, ...), simulated concurrently;
+  // each run owns its Rng, so the fan-out is bit-identical to the serial
+  // loop.
+  std::vector<telemetry::RunTrace> normal(
+      static_cast<size_t>(scenario.normal_runs));
+  INVARNETX_RETURN_IF_ERROR(ParallelFor(
+      normal.size(), options.threads, [&](size_t i) -> Status {
+        telemetry::RunConfig config = BaseRunConfig(scenario);
+        config.seed = scenario.seed + static_cast<uint64_t>(i);
+        Result<telemetry::RunTrace> trace = telemetry::SimulateRun(config);
+        if (!trace.ok()) return trace.status();
+        normal[i] = std::move(trace.value());
+        return Status::Ok();
+      }));
+
+  // 2. Train the victim context.
+  core::InvarNetXConfig pipeline_config;
+  pipeline_config.num_threads = options.threads;
+  pipeline_config.use_association_cache = options.use_assoc_cache;
+  pipeline_config.top_k = options.top_k;
+  core::InvarNetX pipeline(pipeline_config);
+  const size_t victim = VictimNode(scenario);
+  const core::OperationContext context = VictimContext(scenario);
+  INVARNETX_RETURN_IF_ERROR(pipeline.TrainContext(context, normal, victim));
+
+  // 3. Teach the signature database the scenario's problem catalog. Each
+  // problem is learned from runs injected in its own default window (the
+  // operator investigated those incidents under normal conditions); only
+  // the test runs use the scenario's possibly unusual schedule. Slave
+  // faults are retargeted at the victim node, since signatures are
+  // violation patterns of the diagnosed context: an incident on another
+  // slave would barely touch the victim's invariants.
+  for (size_t fi = 0; fi < scenario.signature_faults.size(); ++fi) {
+    const faults::FaultType fault = scenario.signature_faults[fi];
+    faults::FaultWindow window = telemetry::DefaultFaultWindow(fault);
+    if (window.target_node >= 1) window.target_node = victim;
+    std::vector<telemetry::RunTrace> runs(
+        static_cast<size_t>(scenario.signature_runs));
+    INVARNETX_RETURN_IF_ERROR(ParallelFor(
+        runs.size(), options.threads, [&](size_t rep) -> Status {
+          telemetry::RunConfig config = BaseRunConfig(scenario);
+          config.seed = scenario.seed + kSignatureStream +
+                        static_cast<uint64_t>(fi) * 1000 +
+                        static_cast<uint64_t>(rep);
+          config.fault = telemetry::FaultRequest{fault, window};
+          Result<telemetry::RunTrace> trace = telemetry::SimulateRun(config);
+          if (!trace.ok()) return trace.status();
+          runs[rep] = std::move(trace.value());
+          return Status::Ok();
+        }));
+    for (const telemetry::RunTrace& run : runs) {
+      INVARNETX_RETURN_IF_ERROR(pipeline.AddSignature(
+          context, faults::FaultName(fault), run, victim));
+    }
+  }
+
+  // 4. Diagnose independently seeded injections of the scenario's fault in
+  // its scheduled window. Diagnose is const and deterministic, and every
+  // outcome lands in its own slot, so the fan-out preserves bit-identical
+  // scoreboards for any thread count.
+  ScenarioScore score;
+  score.name = scenario.name;
+  score.workload = scenario.workload;
+  score.fault = scenario.fault;
+  score.expected_cause = scenario.expected_cause;
+  score.window = scenario.window;
+  score.test_runs = scenario.test_runs;
+  score.runs.resize(static_cast<size_t>(scenario.test_runs));
+  INVARNETX_RETURN_IF_ERROR(ParallelFor(
+      score.runs.size(), options.threads, [&](size_t rep) -> Status {
+        telemetry::RunConfig config = BaseRunConfig(scenario);
+        config.seed = scenario.seed + kTestStream + static_cast<uint64_t>(rep);
+        config.fault =
+            telemetry::FaultRequest{scenario.fault, scenario.window};
+        Result<telemetry::RunTrace> trace = telemetry::SimulateRun(config);
+        if (!trace.ok()) return trace.status();
+        Result<core::DiagnosisReport> report =
+            pipeline.Diagnose(context, trace.value(), victim);
+        if (!report.ok()) return report.status();
+
+        RunOutcome& outcome = score.runs[rep];
+        outcome.rep = static_cast<int>(rep);
+        outcome.detected = report.value().anomaly_detected;
+        outcome.known_problem = report.value().known_problem;
+        outcome.first_alarm_tick = report.value().first_alarm_tick;
+        outcome.num_violations = report.value().num_violations;
+        outcome.causes = report.value().causes;
+        for (size_t i = 0; i < outcome.causes.size(); ++i) {
+          if (outcome.causes[i].problem == scenario.expected_cause) {
+            outcome.expected_rank = static_cast<int>(i) + 1;
+            break;
+          }
+        }
+        return Status::Ok();
+      }));
+
+  // 5. Score.
+  double latency_sum = 0.0;
+  double ap_sum = 0.0;
+  for (const RunOutcome& outcome : score.runs) {
+    if (!outcome.detected) continue;
+    ++score.detected;
+    latency_sum += outcome.first_alarm_tick - scenario.window.start_tick;
+    if (outcome.expected_rank == 0) continue;
+    ++score.found_any;
+    ap_sum += 1.0 / outcome.expected_rank;
+    if (outcome.expected_rank == 1 && outcome.known_problem) {
+      ++score.top1_correct;
+    }
+    if (outcome.expected_rank <= static_cast<int>(options.top_k)) {
+      ++score.topk_correct;
+    }
+  }
+  const double n = score.test_runs;
+  score.precision_at_1 = score.top1_correct / n;
+  score.precision_at_k = score.topk_correct / n;
+  score.recall = score.found_any / n;
+  score.map = ap_sum / n;
+  score.mean_detection_latency_ticks =
+      score.detected == 0 ? 0.0 : latency_sum / score.detected;
+
+  registry.GetCounter("campaign.test_runs")
+      .Increment(static_cast<uint64_t>(score.test_runs));
+  registry.GetCounter("campaign.runs_detected")
+      .Increment(static_cast<uint64_t>(score.detected));
+  registry.GetCounter("campaign.runs_top1_correct")
+      .Increment(static_cast<uint64_t>(score.top1_correct));
+  INVARNETX_OBS_LOG(obs::LogLevel::kInfo, "campaign scenario scored",
+                    {{"scenario", scenario.name},
+                     {"precision_at_1", score.precision_at_1},
+                     {"recall", score.recall},
+                     {"detected", score.detected},
+                     {"test_runs", score.test_runs}});
+  return score;
+}
+
+Result<CampaignResult> RunCampaign(const std::vector<Scenario>& scenarios,
+                                   const CampaignOptions& options) {
+  if (scenarios.empty()) {
+    return Status::InvalidArgument("campaign has no scenarios");
+  }
+  obs::Span span("campaign_run",
+                 {{"scenarios", static_cast<int>(scenarios.size())}});
+  CampaignResult result;
+  int scenarios_with_alarms = 0;
+  for (const Scenario& scenario : scenarios) {
+    Result<ScenarioScore> score = RunScenario(scenario, options);
+    if (!score.ok()) {
+      return Status(score.status().code(),
+                    "scenario '" + scenario.name +
+                        "': " + score.status().message());
+    }
+    result.total_test_runs += score.value().test_runs;
+    result.mean_precision_at_1 += score.value().precision_at_1;
+    result.mean_precision_at_k += score.value().precision_at_k;
+    result.mean_recall += score.value().recall;
+    result.mean_map += score.value().map;
+    if (score.value().detected > 0) {
+      result.mean_detection_latency_ticks +=
+          score.value().mean_detection_latency_ticks;
+      ++scenarios_with_alarms;
+    }
+    result.scores.push_back(std::move(score.value()));
+  }
+  const double n = static_cast<double>(result.scores.size());
+  result.mean_precision_at_1 /= n;
+  result.mean_precision_at_k /= n;
+  result.mean_recall /= n;
+  result.mean_map /= n;
+  if (scenarios_with_alarms > 0) {
+    result.mean_detection_latency_ticks /= scenarios_with_alarms;
+  }
+  return result;
+}
+
+}  // namespace invarnetx::campaign

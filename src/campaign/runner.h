@@ -1,0 +1,87 @@
+#ifndef INVARNETX_CAMPAIGN_RUNNER_H_
+#define INVARNETX_CAMPAIGN_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+
+namespace invarnetx::campaign {
+
+// Execution knobs of a campaign - runtime concerns only, never part of a
+// scenario: results are bit-identical for every setting (the determinism
+// property the tier-2 suite asserts).
+struct CampaignOptions {
+  // Workers for invariant mining and the per-scenario run fan-out
+  // (<= 0: one per hardware thread; 1: serial).
+  int threads = 0;
+  bool use_assoc_cache = true;
+  // Ranked causes retained per diagnosis; precision@k scores against it.
+  size_t top_k = 5;
+};
+
+// Outcome of diagnosing one test run of a scenario.
+struct RunOutcome {
+  int rep = 0;
+  bool detected = false;
+  bool known_problem = false;
+  int first_alarm_tick = -1;
+  int num_violations = 0;
+  // 1-based rank of the expected cause in the ranked list; 0 = absent.
+  int expected_rank = 0;
+  std::vector<core::RankedCause> causes;
+};
+
+// Diagnosis quality of one scenario, over its test runs.
+struct ScenarioScore {
+  std::string name;
+  workload::WorkloadType workload = workload::WorkloadType::kWordCount;
+  faults::FaultType fault = faults::FaultType::kCpuHog;
+  std::string expected_cause;
+  faults::FaultWindow window;
+  int test_runs = 0;
+  int detected = 0;       // anomaly detection fired
+  int top1_correct = 0;   // expected cause ranked first
+  int topk_correct = 0;   // expected cause within top_k
+  int found_any = 0;      // expected cause anywhere in the ranked list
+  double precision_at_1 = 0.0;  // top1_correct / test_runs
+  double precision_at_k = 0.0;  // topk_correct / test_runs
+  double recall = 0.0;          // found_any / test_runs
+  // Mean average precision: with one relevant cause per run, AP reduces to
+  // the reciprocal rank (0 when undetected or absent).
+  double map = 0.0;
+  // Mean (first_alarm_tick - fault start) over detected runs; negative
+  // values mean the alarm pre-dates the injection (a false alarm that the
+  // fault then "confirms").
+  double mean_detection_latency_ticks = 0.0;
+  std::vector<RunOutcome> runs;
+};
+
+// A whole campaign: per-scenario scores plus cross-scenario means.
+struct CampaignResult {
+  std::vector<ScenarioScore> scores;
+  int total_test_runs = 0;
+  double mean_precision_at_1 = 0.0;
+  double mean_precision_at_k = 0.0;
+  double mean_recall = 0.0;
+  double mean_map = 0.0;
+  double mean_detection_latency_ticks = 0.0;  // over scenarios with alarms
+};
+
+// Executes one scenario end to end: simulate fault-free runs, train the
+// victim context, teach the signature database the scenario's problem
+// catalog, then diagnose `test_runs` independently seeded injections and
+// score the ranked causes against the expected root cause. Deterministic
+// for a given scenario regardless of `options.threads`.
+Result<ScenarioScore> RunScenario(const Scenario& scenario,
+                                  const CampaignOptions& options);
+
+// Runs every scenario in order and fills the cross-scenario means.
+Result<CampaignResult> RunCampaign(const std::vector<Scenario>& scenarios,
+                                   const CampaignOptions& options);
+
+}  // namespace invarnetx::campaign
+
+#endif  // INVARNETX_CAMPAIGN_RUNNER_H_

@@ -1,0 +1,267 @@
+#include "campaign/scenario.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "telemetry/runner.h"
+
+namespace invarnetx::campaign {
+namespace {
+
+// Trims leading/trailing spaces and tabs.
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+Result<int> ParseInt(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("scenario key '" + key +
+                                   "' wants an integer, got: " + value);
+  }
+  return static_cast<int>(v);
+}
+
+Result<uint64_t> ParseSeed(const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("scenario key 'seed' wants an integer, "
+                                   "got: " + value);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+// A positive count key (runs, ticks, ...).
+Result<int> ParseCount(const std::string& key, const std::string& value,
+                       int min_value) {
+  Result<int> v = ParseInt(key, value);
+  if (!v.ok()) return v.status();
+  if (v.value() < min_value) {
+    return Status::InvalidArgument("scenario key '" + key + "' must be >= " +
+                                   std::to_string(min_value) + ", got: " +
+                                   value);
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Scenario> ParseScenario(const std::string& text,
+                               const std::string& source_path) {
+  Scenario scenario;
+  scenario.source_path = source_path;
+  const std::string where =
+      source_path.empty() ? std::string("<inline scenario>") : source_path;
+
+  bool have_workload = false, have_fault = false, have_window = false;
+  faults::FaultWindow window;  // overrides collected before defaults apply
+  bool have_start = false, have_duration = false, have_target = false;
+  bool signatures_all = false;
+  std::set<std::string> seen;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(where + ":" +
+                                     std::to_string(line_number) +
+                                     ": expected 'key = value', got: " + line);
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument(where + ":" +
+                                     std::to_string(line_number) +
+                                     ": empty key or value");
+    }
+    if (!seen.insert(key).second) {
+      return Status::InvalidArgument(where + ": duplicate key '" + key + "'");
+    }
+
+    if (key == "name") {
+      scenario.name = value;
+    } else if (key == "workload") {
+      Result<workload::WorkloadType> type = workload::WorkloadFromName(value);
+      if (!type.ok()) {
+        return Status::InvalidArgument(
+            where + ": unknown workload '" + value +
+            "' (known: " + workload::AllWorkloadNames() + ")");
+      }
+      scenario.workload = type.value();
+      have_workload = true;
+    } else if (key == "fault") {
+      Result<faults::FaultType> fault = faults::FaultFromName(value);
+      if (!fault.ok()) return fault.status();
+      scenario.fault = fault.value();
+      have_fault = true;
+    } else if (key == "expected-cause") {
+      scenario.expected_cause = value;
+    } else if (key == "seed") {
+      Result<uint64_t> seed = ParseSeed(value);
+      if (!seed.ok()) return seed.status();
+      scenario.seed = seed.value();
+    } else if (key == "slaves") {
+      Result<int> v = ParseCount(key, value, 1);
+      if (!v.ok()) return v.status();
+      scenario.slaves = v.value();
+    } else if (key == "normal-runs") {
+      Result<int> v = ParseCount(key, value, 2);
+      if (!v.ok()) return v.status();
+      scenario.normal_runs = v.value();
+    } else if (key == "signature-runs") {
+      Result<int> v = ParseCount(key, value, 1);
+      if (!v.ok()) return v.status();
+      scenario.signature_runs = v.value();
+    } else if (key == "test-runs") {
+      Result<int> v = ParseCount(key, value, 1);
+      if (!v.ok()) return v.status();
+      scenario.test_runs = v.value();
+    } else if (key == "ticks") {
+      Result<int> v = ParseCount(key, value, 10);
+      if (!v.ok()) return v.status();
+      scenario.interactive_ticks = v.value();
+    } else if (key == "fault-start") {
+      Result<int> v = ParseCount(key, value, 0);
+      if (!v.ok()) return v.status();
+      window.start_tick = v.value();
+      have_start = true;
+    } else if (key == "fault-duration") {
+      Result<int> v = ParseCount(key, value, 1);
+      if (!v.ok()) return v.status();
+      window.duration_ticks = v.value();
+      have_duration = true;
+    } else if (key == "target-node") {
+      Result<int> v = ParseCount(key, value, 0);
+      if (!v.ok()) return v.status();
+      window.target_node = static_cast<size_t>(v.value());
+      have_target = true;
+    } else if (key == "signatures") {
+      if (value == "all") {
+        signatures_all = true;
+      } else {
+        std::istringstream list(value);
+        std::string token;
+        while (std::getline(list, token, ',')) {
+          Result<faults::FaultType> fault = faults::FaultFromName(Trim(token));
+          if (!fault.ok()) return fault.status();
+          scenario.signature_faults.push_back(fault.value());
+        }
+        if (scenario.signature_faults.empty()) {
+          return Status::InvalidArgument(where +
+                                         ": 'signatures' lists no faults");
+        }
+      }
+    } else {
+      return Status::InvalidArgument(where + ": unknown scenario key '" + key +
+                                     "'");
+    }
+    have_window = have_window || have_start || have_duration || have_target;
+  }
+
+  if (scenario.name.empty()) {
+    return Status::InvalidArgument(where + ": scenario needs 'name'");
+  }
+  if (!have_workload) {
+    return Status::InvalidArgument(where + ": scenario needs 'workload'");
+  }
+  if (!have_fault) {
+    return Status::InvalidArgument(where + ": scenario needs 'fault'");
+  }
+  if (!faults::AppliesTo(scenario.fault, scenario.workload)) {
+    return Status::InvalidArgument(
+        where + ": fault " + faults::FaultName(scenario.fault) +
+        " does not apply to workload " +
+        workload::WorkloadName(scenario.workload));
+  }
+  if (scenario.expected_cause.empty()) {
+    scenario.expected_cause = faults::FaultName(scenario.fault);
+  }
+
+  // Fault schedule: start from the paper's default window for this fault
+  // type and apply any explicit overrides.
+  scenario.window = telemetry::DefaultFaultWindow(scenario.fault);
+  if (have_start) scenario.window.start_tick = window.start_tick;
+  if (have_duration) scenario.window.duration_ticks = window.duration_ticks;
+  if (have_target) scenario.window.target_node = window.target_node;
+  if (scenario.window.target_node > static_cast<size_t>(scenario.slaves)) {
+    return Status::InvalidArgument(
+        where + ": target-node " +
+        std::to_string(scenario.window.target_node) + " outside the 1+" +
+        std::to_string(scenario.slaves) + "-node cluster");
+  }
+
+  // `signatures = all` (also the default): every fault the workload admits.
+  if (signatures_all || scenario.signature_faults.empty()) {
+    scenario.signature_faults.clear();
+    for (faults::FaultType fault : faults::AllFaults()) {
+      if (faults::AppliesTo(fault, scenario.workload)) {
+        scenario.signature_faults.push_back(fault);
+      }
+    }
+  }
+  // The expected cause must be learnable, or every test run scores zero.
+  if (std::find(scenario.signature_faults.begin(),
+                scenario.signature_faults.end(),
+                scenario.fault) == scenario.signature_faults.end()) {
+    return Status::InvalidArgument(where + ": 'signatures' must include the "
+                                   "injected fault " +
+                                   faults::FaultName(scenario.fault));
+  }
+  return scenario;
+}
+
+Result<Scenario> LoadScenarioFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open scenario file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseScenario(buffer.str(), path);
+}
+
+Result<std::vector<Scenario>> LoadScenarioDirectory(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("not a scenario directory: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".scenario") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) return Status::IoError("cannot list " + dir + ": " + ec.message());
+  if (paths.empty()) {
+    return Status::NotFound("no *.scenario files in " + dir);
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<Scenario> scenarios;
+  std::set<std::string> names;
+  for (const std::string& path : paths) {
+    Result<Scenario> scenario = LoadScenarioFile(path);
+    if (!scenario.ok()) return scenario.status();
+    if (!names.insert(scenario.value().name).second) {
+      return Status::InvalidArgument("duplicate scenario name '" +
+                                     scenario.value().name + "' in " + dir);
+    }
+    scenarios.push_back(std::move(scenario.value()));
+  }
+  return scenarios;
+}
+
+}  // namespace invarnetx::campaign

@@ -1,0 +1,81 @@
+#ifndef INVARNETX_CAMPAIGN_SCENARIO_H_
+#define INVARNETX_CAMPAIGN_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "faults/fault.h"
+#include "workload/spec.h"
+
+namespace invarnetx::campaign {
+
+// One fault-injection scenario: the simulated cluster, the workload run on
+// it, the fault schedule, and the expected root cause - the ground truth an
+// evaluation campaign scores diagnosis output against (the paper's Sec. 4.1
+// methodology: inject a known fault, diagnose, compare).
+//
+// Scenarios are written as plain-text `key = value` files (see
+// examples/scenarios/) so new fault studies need no recompilation:
+//
+//   # CPU hog on a wordcount slave.
+//   name = cpu-hog-wordcount
+//   workload = wordcount
+//   fault = cpu-hog
+//   seed = 42
+//   slaves = 4
+//   normal-runs = 5
+//   signature-runs = 2
+//   test-runs = 3
+//   ticks = 60
+//   fault-start = 8
+//   fault-duration = 30
+//   target-node = 1
+//   expected-cause = cpu-hog
+//   signatures = all
+struct Scenario {
+  std::string name;
+  workload::WorkloadType workload = workload::WorkloadType::kWordCount;
+  faults::FaultType fault = faults::FaultType::kCpuHog;
+  // Ground-truth root cause the ranked cause list is scored against;
+  // defaults to the fault's name.
+  std::string expected_cause;
+  uint64_t seed = 42;
+  // Cluster size: 1 master + `slaves` slaves (the paper's testbed is 4).
+  int slaves = 4;
+  // Fault-free runs used to train the context model.
+  int normal_runs = 5;
+  // Runs per problem used to teach the signature database.
+  int signature_runs = 2;
+  // Independently seeded faulty runs that are diagnosed and scored.
+  int test_runs = 3;
+  // Observation window for interactive workloads (batch jobs run to
+  // completion).
+  int interactive_ticks = 60;
+  // Fault schedule. Defaults to telemetry::DefaultFaultWindow(fault).
+  faults::FaultWindow window;
+  // Problems taught to the signature database before diagnosis; empty means
+  // every fault applicable to the workload (`signatures = all`).
+  std::vector<faults::FaultType> signature_faults;
+  // Where the scenario was loaded from (diagnostics only).
+  std::string source_path;
+};
+
+// Parses one scenario from `key = value` text. `#` starts a comment; blank
+// lines are ignored; unknown keys are errors (typos must not silently
+// change a campaign). Required keys: name, workload, fault.
+Result<Scenario> ParseScenario(const std::string& text,
+                               const std::string& source_path = "");
+
+// Reads and parses one `.scenario` file.
+Result<Scenario> LoadScenarioFile(const std::string& path);
+
+// Loads every `*.scenario` file in `dir`, sorted by filename so campaign
+// order (and therefore every scoreboard) is stable across platforms.
+// Fails if the directory has no scenario files or two share a name.
+Result<std::vector<Scenario>> LoadScenarioDirectory(const std::string& dir);
+
+}  // namespace invarnetx::campaign
+
+#endif  // INVARNETX_CAMPAIGN_SCENARIO_H_

@@ -1,0 +1,195 @@
+#include "campaign/scoreboard.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace invarnetx::campaign {
+namespace {
+
+// Fixed-width decimal rendering: the one double format used in every
+// scoreboard, so output is byte-stable across locales and platforms.
+std::string Fixed(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string GoldenPath(const std::string& golden_dir,
+                       const std::string& name) {
+  return (std::filesystem::path(golden_dir) / (name + ".report.txt"))
+      .string();
+}
+
+}  // namespace
+
+std::string RenderCsv(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "scenario,workload,fault,expected_cause,test_runs,detected,"
+         "top1_correct,topk_correct,precision_at_1,precision_at_k,recall,"
+         "map,mean_detection_latency_ticks\n";
+  for (const ScenarioScore& s : result.scores) {
+    out << s.name << ',' << workload::WorkloadName(s.workload) << ','
+        << faults::FaultName(s.fault) << ',' << s.expected_cause << ','
+        << s.test_runs << ',' << s.detected << ',' << s.top1_correct << ','
+        << s.topk_correct << ',' << Fixed(s.precision_at_1) << ','
+        << Fixed(s.precision_at_k) << ',' << Fixed(s.recall) << ','
+        << Fixed(s.map) << ',' << Fixed(s.mean_detection_latency_ticks)
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderJson(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "{\n  \"scenarios\": [";
+  for (size_t i = 0; i < result.scores.size(); ++i) {
+    const ScenarioScore& s = result.scores[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << JsonEscape(s.name) << "\", \"workload\": \""
+        << workload::WorkloadName(s.workload) << "\", \"fault\": \""
+        << faults::FaultName(s.fault) << "\", \"expected_cause\": \""
+        << JsonEscape(s.expected_cause) << "\", \"test_runs\": " << s.test_runs
+        << ", \"detected\": " << s.detected
+        << ", \"top1_correct\": " << s.top1_correct
+        << ", \"topk_correct\": " << s.topk_correct
+        << ", \"precision_at_1\": " << Fixed(s.precision_at_1)
+        << ", \"precision_at_k\": " << Fixed(s.precision_at_k)
+        << ", \"recall\": " << Fixed(s.recall) << ", \"map\": "
+        << Fixed(s.map) << ", \"mean_detection_latency_ticks\": "
+        << Fixed(s.mean_detection_latency_ticks) << ", \"runs\": [";
+    for (size_t r = 0; r < s.runs.size(); ++r) {
+      const RunOutcome& run = s.runs[r];
+      out << (r == 0 ? "" : ", ") << "{\"rep\": " << run.rep
+          << ", \"detected\": " << (run.detected ? "true" : "false")
+          << ", \"first_alarm_tick\": " << run.first_alarm_tick
+          << ", \"num_violations\": " << run.num_violations
+          << ", \"expected_rank\": " << run.expected_rank
+          << ", \"top_cause\": \""
+          << JsonEscape(run.causes.empty() ? "" : run.causes[0].problem)
+          << "\"}";
+    }
+    out << "]}";
+  }
+  out << "\n  ],\n  \"summary\": {\"scenarios\": " << result.scores.size()
+      << ", \"test_runs\": " << result.total_test_runs
+      << ", \"mean_precision_at_1\": " << Fixed(result.mean_precision_at_1)
+      << ", \"mean_precision_at_k\": " << Fixed(result.mean_precision_at_k)
+      << ", \"mean_recall\": " << Fixed(result.mean_recall)
+      << ", \"mean_map\": " << Fixed(result.mean_map)
+      << ", \"mean_detection_latency_ticks\": "
+      << Fixed(result.mean_detection_latency_ticks) << "}\n}\n";
+  return out.str();
+}
+
+std::string RenderText(const CampaignResult& result) {
+  std::ostringstream out;
+  out << "scenario                    p@1      p@k      recall   map      "
+         "latency  detected\n";
+  for (const ScenarioScore& s : result.scores) {
+    std::string name = s.name;
+    if (name.size() < 26) name.resize(26, ' ');
+    out << name << "  " << Fixed(s.precision_at_1) << " "
+        << Fixed(s.precision_at_k) << " " << Fixed(s.recall) << " "
+        << Fixed(s.map) << " " << Fixed(s.mean_detection_latency_ticks)
+        << " " << s.detected << "/" << s.test_runs << "\n";
+  }
+  out << "mean over " << result.scores.size()
+      << " scenarios: p@1=" << Fixed(result.mean_precision_at_1)
+      << " p@k=" << Fixed(result.mean_precision_at_k)
+      << " recall=" << Fixed(result.mean_recall)
+      << " map=" << Fixed(result.mean_map)
+      << " latency_ticks=" << Fixed(result.mean_detection_latency_ticks)
+      << "\n";
+  return out.str();
+}
+
+std::string RenderScenarioReport(const ScenarioScore& score) {
+  std::ostringstream out;
+  out << "# campaign report - " << score.name << "\n"
+      << "workload = " << workload::WorkloadName(score.workload) << "\n"
+      << "fault = " << faults::FaultName(score.fault) << " @ tick "
+      << score.window.start_tick << " for " << score.window.duration_ticks
+      << " ticks on node " << score.window.target_node << "\n"
+      << "mechanism = " << faults::FaultDescription(score.fault) << "\n"
+      << "expected = " << score.expected_cause << "\n";
+  for (const RunOutcome& run : score.runs) {
+    out << "run " << run.rep << ": detected=" << (run.detected ? 1 : 0)
+        << " alarm_tick=" << run.first_alarm_tick
+        << " violations=" << run.num_violations
+        << " expected_rank=" << run.expected_rank << "\n";
+    for (size_t i = 0; i < run.causes.size(); ++i) {
+      out << "  " << (i + 1) << ". " << run.causes[i].problem << " "
+          << Fixed(run.causes[i].score) << "\n";
+    }
+  }
+  out << "score: p@1=" << Fixed(score.precision_at_1)
+      << " p@k=" << Fixed(score.precision_at_k)
+      << " recall=" << Fixed(score.recall) << " map=" << Fixed(score.map)
+      << " latency_ticks=" << Fixed(score.mean_detection_latency_ticks)
+      << "\n";
+  return out.str();
+}
+
+Status CheckOrUpdateGolden(const CampaignResult& result,
+                           const std::string& golden_dir, bool update,
+                           std::string* message) {
+  if (update) {
+    std::error_code ec;
+    std::filesystem::create_directories(golden_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create golden dir " + golden_dir + ": " +
+                             ec.message());
+    }
+    for (const ScenarioScore& score : result.scores) {
+      const std::string path = GoldenPath(golden_dir, score.name);
+      std::ofstream file(path, std::ios::binary);
+      if (!file) return Status::IoError("cannot write " + path);
+      file << RenderScenarioReport(score);
+    }
+    *message += "updated " + std::to_string(result.scores.size()) +
+                " golden report(s) in " + golden_dir + "\n";
+    return Status::Ok();
+  }
+
+  std::string drifted;
+  for (const ScenarioScore& score : result.scores) {
+    const std::string path = GoldenPath(golden_dir, score.name);
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      drifted += "  " + score.name + ": golden file missing (" + path + ")\n";
+      continue;
+    }
+    std::ostringstream stored;
+    stored << file.rdbuf();
+    if (stored.str() != RenderScenarioReport(score)) {
+      drifted += "  " + score.name + ": report drifted from " + path + "\n";
+    }
+  }
+  if (!drifted.empty()) {
+    *message += "golden-report mismatches (re-run with --update-golden after "
+                "verifying the change is intended):\n" + drifted;
+    return Status::FailedPrecondition("diagnosis reports drifted from golden");
+  }
+  *message += "golden reports match (" + std::to_string(result.scores.size()) +
+              " scenario(s))\n";
+  return Status::Ok();
+}
+
+}  // namespace invarnetx::campaign

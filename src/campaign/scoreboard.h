@@ -1,0 +1,40 @@
+#ifndef INVARNETX_CAMPAIGN_SCOREBOARD_H_
+#define INVARNETX_CAMPAIGN_SCOREBOARD_H_
+
+#include <string>
+
+#include "campaign/runner.h"
+#include "common/status.h"
+
+namespace invarnetx::campaign {
+
+// Scoreboard renderings. All three are deterministic functions of the
+// CampaignResult - no wall-clock, hostnames, or paths - so byte-comparing
+// two renderings is a valid equality check on the campaigns themselves
+// (the property the determinism suite and the golden-report gate rely on).
+
+// One CSV row per scenario, with a header line.
+std::string RenderCsv(const CampaignResult& result);
+
+// {"scenarios": [...], "summary": {...}} with per-run outcomes inlined.
+std::string RenderJson(const CampaignResult& result);
+
+// Human-readable console table plus the cross-scenario means.
+std::string RenderText(const CampaignResult& result);
+
+// The per-scenario golden report: fault schedule, per-run ranked causes,
+// and the score line. Stable formatting (fixed 6-decimal doubles).
+std::string RenderScenarioReport(const ScenarioScore& score);
+
+// Golden-report regression gate. In update mode, writes one
+// `<name>.report.txt` per scenario into `golden_dir` (creating it).
+// Otherwise byte-compares each rendered report against the stored file and
+// fails with a kFailedPrecondition naming every drifted or missing
+// scenario. `*message` receives a human-readable summary either way.
+Status CheckOrUpdateGolden(const CampaignResult& result,
+                           const std::string& golden_dir, bool update,
+                           std::string* message);
+
+}  // namespace invarnetx::campaign
+
+#endif  // INVARNETX_CAMPAIGN_SCOREBOARD_H_

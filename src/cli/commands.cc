@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "campaign/scenario.h"
+#include "campaign/scoreboard.h"
 #include "core/cluster_diagnosis.h"
 #include "core/evaluate.h"
 #include "core/pipeline.h"
@@ -72,14 +74,17 @@ Result<CommandLine> ParseArgs(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
-      // Both spellings work: `--key value` and `--key=value`.
+      // Both spellings work: `--key value` and `--key=value`. A bare
+      // option with no value (next token is another option, or end of the
+      // line) is a boolean flag and parses as "1", e.g. `--update-golden`.
       const size_t eq = arg.find('=');
       if (eq != std::string::npos) {
         out.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
         continue;
       }
-      if (i + 1 >= argc) {
-        return Status::InvalidArgument("missing value for " + arg);
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+        out.options[arg.substr(2)] = "1";
+        continue;
       }
       out.options[arg.substr(2)] = argv[++i];
     } else {
@@ -506,6 +511,82 @@ Status RunStats(const CommandLine& args, std::string* out) {
   return Status::Ok();
 }
 
+Status RunCampaign(const CommandLine& args, std::string* out) {
+  if (args.positional.size() < 2 || args.positional[0] != "run") {
+    return Status::InvalidArgument(
+        "usage: campaign run SCENARIO_DIR|SCENARIO_FILE [options]");
+  }
+  const std::string target = args.positional[1];
+
+  // Accept a directory of *.scenario files or one scenario file.
+  std::vector<campaign::Scenario> scenarios;
+  std::string default_golden_dir;
+  if (std::filesystem::is_directory(target)) {
+    Result<std::vector<campaign::Scenario>> loaded =
+        campaign::LoadScenarioDirectory(target);
+    if (!loaded.ok()) return loaded.status();
+    scenarios = std::move(loaded.value());
+    default_golden_dir =
+        (std::filesystem::path(target) / "golden").string();
+  } else {
+    Result<campaign::Scenario> scenario =
+        campaign::LoadScenarioFile(target);
+    if (!scenario.ok()) return scenario.status();
+    default_golden_dir =
+        (std::filesystem::path(target).parent_path() / "golden").string();
+    scenarios.push_back(std::move(scenario.value()));
+  }
+
+  campaign::CampaignOptions options;
+  options.threads = std::atoi(args.Get("threads", "0").c_str());
+  options.use_assoc_cache = args.Get("assoc-cache", "1") != "0";
+  const int top_k = std::atoi(args.Get("top-k", "5").c_str());
+  if (top_k < 1) return Status::InvalidArgument("bad --top-k");
+  options.top_k = static_cast<size_t>(top_k);
+
+  Result<campaign::CampaignResult> result =
+      campaign::RunCampaign(scenarios, options);
+  if (!result.ok()) return result.status();
+  *out += campaign::RenderText(result.value());
+
+  if (args.Has("csv")) {
+    std::ofstream file(args.Get("csv", ""), std::ios::binary);
+    if (!file) return Status::IoError("cannot open --csv file");
+    file << campaign::RenderCsv(result.value());
+    *out += "wrote " + args.Get("csv", "") + "\n";
+  }
+  if (args.Has("json")) {
+    std::ofstream file(args.Get("json", ""), std::ios::binary);
+    if (!file) return Status::IoError("cannot open --json file");
+    file << campaign::RenderJson(result.value());
+    *out += "wrote " + args.Get("json", "") + "\n";
+  }
+
+  // Golden-report regression gate: update on request; otherwise compare
+  // when golden reports exist (their absence is not an error, so fresh
+  // scenario directories can be scored before goldens are recorded).
+  const std::string golden_dir = args.Get("golden-dir", default_golden_dir);
+  const bool update_golden = args.Has("update-golden");
+  if (update_golden || std::filesystem::is_directory(golden_dir)) {
+    INVARNETX_RETURN_IF_ERROR(campaign::CheckOrUpdateGolden(
+        result.value(), golden_dir, update_golden, out));
+  } else {
+    *out += "no golden reports in " + golden_dir +
+            " (record them with --update-golden)\n";
+  }
+
+  if (args.Has("min-precision")) {
+    const double floor = std::atof(args.Get("min-precision", "0").c_str());
+    if (result.value().mean_precision_at_1 < floor) {
+      return Status::FailedPrecondition(
+          "mean precision@1 " +
+          std::to_string(result.value().mean_precision_at_1) +
+          " below the --min-precision floor " + args.Get("min-precision", ""));
+    }
+  }
+  return Status::Ok();
+}
+
 std::string Usage() {
   return
       "invarnetx <command> [options] [trace files]\n"
@@ -529,6 +610,13 @@ std::string Usage() {
       "  stats     [--workload W] [--runs N] [--format text|json]\n"
       "            run a built-in end-to-end self-exercise and dump the\n"
       "            process metrics registry (counters/gauges/histograms)\n"
+      "  campaign  run SCENARIO_DIR|SCENARIO_FILE [--csv FILE]\n"
+      "            [--json FILE] [--golden-dir DIR] [--update-golden]\n"
+      "            [--top-k K] [--min-precision X]\n"
+      "            execute a deterministic fault-injection campaign:\n"
+      "            train, inject, diagnose, and score ranked causes\n"
+      "            against each scenario's expected root cause; compares\n"
+      "            diagnosis reports against golden files when present\n"
       "\n"
       "global options (every command):\n"
       "  --log-level L     debug|info|warn|error|off (default info);\n"
@@ -536,7 +624,8 @@ std::string Usage() {
       "  --trace-out FILE  record Chrome trace-event JSON for the whole\n"
       "                    invocation (open in chrome://tracing / Perfetto)\n"
       "\n"
-      "mining options (train / add-signature / diagnose / stats):\n"
+      "mining options (train / add-signature / diagnose / stats /\n"
+      "campaign):\n"
       "  --threads N       worker threads for invariant mining\n"
       "                    (0 = one per hardware thread; 1 = serial)\n"
       "  --assoc-cache 0|1 per-pair score memoization (default 1)\n";
@@ -559,6 +648,7 @@ Status RunCommand(const CommandLine& args, std::string* out) {
     if (args.command == "conflicts") return RunConflicts(args, out);
     if (args.command == "info") return RunInfo(args, out);
     if (args.command == "stats") return RunStats(args, out);
+    if (args.command == "campaign") return RunCampaign(args, out);
     *out += Usage();
     return Status::InvalidArgument("unknown command: " + args.command);
   }();

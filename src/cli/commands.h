@@ -36,6 +36,8 @@ Result<CommandLine> ParseArgs(int argc, const char* const* argv);
 //   conflicts --store DIR --workload W --node IP [--threshold X]
 //   info      TRACE
 //   stats     [--workload W] [--runs N] [--format text|json]
+//   campaign  run DIR|FILE [--csv F] [--json F] [--golden-dir D]
+//             [--update-golden] [--min-precision X]
 Status RunSimulate(const CommandLine& args, std::string* out);
 Status RunTrain(const CommandLine& args, std::string* out);
 Status RunAddSignature(const CommandLine& args, std::string* out);
@@ -43,6 +45,7 @@ Status RunDiagnose(const CommandLine& args, std::string* out);
 Status RunConflicts(const CommandLine& args, std::string* out);
 Status RunInfo(const CommandLine& args, std::string* out);
 Status RunStats(const CommandLine& args, std::string* out);
+Status RunCampaign(const CommandLine& args, std::string* out);
 
 // Dispatches to the command; unknown commands return kInvalidArgument with
 // the usage text in *out. Also applies the global observability options

@@ -119,6 +119,12 @@ std::string RenderIncidentReport(const OperationContext& context,
     }
   }
 
+  // Self-measured diagnosis cost (the Table 1 counterpart): rendered only
+  // when the report carries timings, so synthetic reports stay clean.
+  if (report.cost.total_seconds > 0.0) {
+    out << "\n## Diagnosis cost\n\n" << report.cost.Summary() << "\n";
+  }
+
   // Conflict warnings for the top cause.
   if (!report.causes.empty()) {
     Result<std::vector<SignatureConflict>> conflicts =

@@ -44,6 +44,10 @@ const std::vector<FaultType>& AllFaults();
 std::string FaultName(FaultType type);
 Result<FaultType> FaultFromName(const std::string& name);
 
+// One-line human description of the fault's mechanism, for campaign
+// reports and fault-catalog listings.
+std::string FaultDescription(FaultType type);
+
 // Whether the fault is applicable under the given workload (Overload only
 // exists for interactive mixes: under FIFO a batch job owns the cluster).
 bool AppliesTo(FaultType fault, workload::WorkloadType type);

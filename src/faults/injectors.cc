@@ -378,6 +378,45 @@ std::string FaultName(FaultType type) {
   return "unknown";
 }
 
+std::string FaultDescription(FaultType type) {
+  switch (type) {
+    case FaultType::kCpuHog:
+      return "co-located CPU-bound process competing for cores and cache";
+    case FaultType::kMemHog:
+      return "co-located process pinning memory past the swap threshold";
+    case FaultType::kDiskHog:
+      return "mass of reads+writes saturating the data disk";
+    case FaultType::kNetDrop:
+      return "packet loss at the name node, echoed across the switch";
+    case FaultType::kNetDelay:
+      return "800 ms added latency at the name node";
+    case FaultType::kBlockCorruption:
+      return "corrupted HDFS blocks forcing checksum re-reads";
+    case FaultType::kMisconfig:
+      return "mapred.max.split.size=1MB flooding the cluster with tiny tasks";
+    case FaultType::kOverload:
+      return "extra concurrent interactive queries on every slave";
+    case FaultType::kSuspend:
+      return "SIGSTOP on the datanode/tasktracker process";
+    case FaultType::kRpcHang:
+      return "RPC path stall backing up task heartbeats (HADOOP-6498)";
+    case FaultType::kThreadLeak:
+      return "thread leaked per Client.stop() call (HADOOP-9703)";
+    case FaultType::kNpeRestart:
+      return "task child dying on NPE and relaunching (HADOOP-1036)";
+    case FaultType::kLockRace:
+      return "removed synchronized causing flickering races (Lock-R)";
+    case FaultType::kCommInterference:
+      return "task umbilical thread stutter jittering throughput "
+             "(HADOOP-1970)";
+    case FaultType::kBlockReceiverException:
+      return "BlockReceiver.receivePacket failures in the write pipeline";
+    case FaultType::kCpuUtilNoise:
+      return "background CPU utilization inside the node's headroom";
+  }
+  return "unknown";
+}
+
 Result<FaultType> FaultFromName(const std::string& name) {
   for (FaultType t : AllFaults()) {
     if (FaultName(t) == name) return t;

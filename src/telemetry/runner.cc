@@ -24,8 +24,11 @@ faults::FaultWindow DefaultFaultWindow(faults::FaultType type) {
 }
 
 Result<RunTrace> SimulateRun(const RunConfig& config) {
+  if (config.num_slaves < 1) {
+    return Status::InvalidArgument("SimulateRun: num_slaves must be >= 1");
+  }
   Rng rng(config.seed);
-  cluster::Cluster testbed = cluster::Cluster::MakeTestbed();
+  cluster::Cluster testbed = cluster::Cluster::MakeTestbed(config.num_slaves);
 
   Result<std::unique_ptr<cluster::WorkloadModel>> workload =
       workload::MakeWorkload(config.workload, testbed, &rng,

@@ -22,6 +22,9 @@ struct FaultRequest {
 struct RunConfig {
   workload::WorkloadType workload = workload::WorkloadType::kWordCount;
   uint64_t seed = 1;
+  // Cluster size: 1 master + `num_slaves` slaves (the paper's testbed has
+  // 4; campaign scenarios may scale it).
+  int num_slaves = 4;
   // Batch jobs run to completion (capped here); interactive mixes are
   // observed for exactly this many ticks.
   int max_ticks = 400;

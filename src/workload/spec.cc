@@ -121,6 +121,15 @@ Result<WorkloadType> WorkloadFromName(const std::string& name) {
 
 bool IsBatch(WorkloadType type) { return type != WorkloadType::kTpcDs; }
 
+std::string AllWorkloadNames() {
+  std::string names;
+  for (WorkloadType t : kAllWorkloads) {
+    if (!names.empty()) names += ", ";
+    names += WorkloadName(t);
+  }
+  return names;
+}
+
 Result<BatchSpec> GetBatchSpec(WorkloadType type) {
   switch (type) {
     case WorkloadType::kWordCount: return WordCountSpec();

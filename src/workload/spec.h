@@ -31,6 +31,10 @@ std::string WorkloadName(WorkloadType type);
 Result<WorkloadType> WorkloadFromName(const std::string& name);
 bool IsBatch(WorkloadType type);
 
+// Comma-separated list of every workload name, for "unknown workload"
+// diagnostics (CLI, scenario files).
+std::string AllWorkloadNames();
+
 // Per-slave demand levels during one execution phase (normalized so 1.0
 // saturates the node resource; mem in MB).
 struct PhaseProfile {

@@ -32,9 +32,15 @@ TEST(ParseArgsTest, SplitsOptionsAndPositionals) {
   EXPECT_EQ(args.positional[0], "trace.csv");
 }
 
-TEST(ParseArgsTest, RejectsDanglingOption) {
-  const char* argv[] = {"train", "--node"};
-  EXPECT_FALSE(ParseArgs(2, argv).ok());
+TEST(ParseArgsTest, BareOptionsParseAsBooleanFlags) {
+  // Trailing `--flag`, and `--flag` followed by another option, both read
+  // as "1" so commands can test them with Has().
+  const CommandLine args =
+      Parse({"campaign", "--update-golden", "--threads", "2", "--verbose"});
+  EXPECT_EQ(args.Get("update-golden", ""), "1");
+  EXPECT_EQ(args.Get("threads", ""), "2");
+  EXPECT_TRUE(args.Has("verbose"));
+  EXPECT_TRUE(args.positional.empty());
 }
 
 TEST(ParseArgsTest, RejectsEmpty) {

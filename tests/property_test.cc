@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "campaign/runner.h"
+#include "campaign/scenario.h"
+#include "campaign/scoreboard.h"
 #include "common/matrix.h"
 #include "common/random.h"
 #include "common/stats.h"
@@ -369,6 +372,51 @@ TEST(PairIndexPropertyTest, DenseAndInvertible) {
   }
   for (bool s : seen) EXPECT_TRUE(s);  // surjective
 }
+
+// -------------------------------------------- campaign thread invariance --
+
+// A whole campaign - simulation fan-out, invariant mining, signature
+// queries, scoring - is one deterministic function of the scenario. The
+// rendered scoreboard must not depend on the worker count, and a repeated
+// run must reproduce it byte for byte.
+class CampaignThreadsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CampaignThreadsPropertyTest, ScoreboardBytesMatchSerialRun) {
+  const Result<campaign::Scenario> scenario = campaign::ParseScenario(R"(
+name = threads-property
+workload = sort
+fault = mem-hog
+seed = 17
+slaves = 2
+normal-runs = 3
+signature-runs = 1
+test-runs = 2
+signatures = mem-hog,cpu-hog,suspend
+)");
+  ASSERT_TRUE(scenario.ok()) << scenario.status().message();
+
+  campaign::CampaignOptions serial;
+  serial.threads = 1;
+  const Result<campaign::CampaignResult> baseline =
+      campaign::RunCampaign({scenario.value()}, serial);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().message();
+
+  campaign::CampaignOptions options;
+  options.threads = GetParam();
+  const Result<campaign::CampaignResult> run =
+      campaign::RunCampaign({scenario.value()}, options);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+
+  EXPECT_EQ(campaign::RenderJson(baseline.value()),
+            campaign::RenderJson(run.value()));
+  EXPECT_EQ(campaign::RenderCsv(baseline.value()),
+            campaign::RenderCsv(run.value()));
+  EXPECT_EQ(campaign::RenderScenarioReport(baseline.value().scores[0]),
+            campaign::RenderScenarioReport(run.value().scores[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadSweep, CampaignThreadsPropertyTest,
+                         ::testing::Values(1, 2, 8));
 
 }  // namespace
 }  // namespace invarnetx

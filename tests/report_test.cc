@@ -1,3 +1,7 @@
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -113,6 +117,72 @@ TEST_F(ReportTest, ClusterReportNamesCulprit) {
   EXPECT_NE(markdown.find("Culprit: **10.0.0.2**"), std::string::npos);
   EXPECT_NE(markdown.find("healthy"), std::string::npos);
   EXPECT_NE(markdown.find("# Incident report"), std::string::npos);
+}
+
+// The cost block renders only when the diagnosis actually carried timings,
+// so the synthetic reports elsewhere in this suite stay clean.
+TEST_F(ReportTest, CostBlockRenderedOnlyWhenMeasured) {
+  const OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kMemHog, 999);
+  const DiagnosisReport report =
+      pipeline_->Diagnose(context, run.value(), 1).value();
+  ASSERT_GT(report.cost.total_seconds, 0.0);
+  const std::string markdown = RenderIncidentReport(
+      context, report, *pipeline_->GetContext(context).value(),
+      run.value().ticks);
+  EXPECT_NE(markdown.find("## Diagnosis cost"), std::string::npos);
+  EXPECT_NE(markdown.find("total_s="), std::string::npos);
+
+  DiagnosisReport unmeasured = report;
+  unmeasured.cost = DiagnosisCost();
+  const std::string quiet = RenderIncidentReport(
+      context, unmeasured, *pipeline_->GetContext(context).value(),
+      run.value().ticks);
+  EXPECT_EQ(quiet.find("## Diagnosis cost"), std::string::npos);
+}
+
+// Byte-for-byte golden of the incident-report rendering, fed a fully
+// synthetic diagnosis so the bytes depend only on the renderer. Regenerate
+// with INVARNETX_UPDATE_GOLDEN=1 after an intentional format change.
+TEST(ReportGoldenTest, IncidentReportMatchesGoldenBytes) {
+  const OperationContext context{WorkloadType::kGrep, "10.0.0.4"};
+  DiagnosisReport report;
+  report.anomaly_detected = true;
+  report.first_alarm_tick = 12;
+  report.num_violations = 7;
+  report.causes.push_back(RankedCause{"disk-hog", 0.625});
+  report.causes.push_back(RankedCause{"suspend", 0.25});
+  report.known_problem = false;
+  report.hints = {"disk_util_pct ~ cpu_iowait_pct",
+                  "disk_read_kbps ~ load_avg_1m"};
+  report.cost.detect_seconds = 0.001;
+  report.cost.matrix_seconds = 0.0625;
+  report.cost.infer_seconds = 0.0005;
+  report.cost.total_seconds = 0.064;
+  report.cost.cache_hits = 300;
+  report.cost.cache_misses = 25;
+  const ContextModel model;  // empty: no mined state leaks into the bytes
+  const std::string markdown =
+      RenderIncidentReport(context, report, model, 50);
+
+  const std::string golden_path =
+      (std::filesystem::path(INVARNETX_SOURCE_DIR) / "tests" / "golden" /
+       "incident_report.md")
+          .string();
+  const char* update = std::getenv("INVARNETX_UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) != "0") {
+    std::ofstream(golden_path, std::ios::binary) << markdown;
+    GTEST_SKIP() << "updated " << golden_path;
+  }
+  std::ifstream file(golden_path, std::ios::binary);
+  ASSERT_TRUE(file.good())
+      << golden_path << " missing; regenerate with INVARNETX_UPDATE_GOLDEN=1";
+  std::ostringstream stored;
+  stored << file.rdbuf();
+  EXPECT_EQ(markdown, stored.str())
+      << "incident report rendering drifted; regenerate the golden with "
+         "INVARNETX_UPDATE_GOLDEN=1 if the change is intended";
 }
 
 TEST_F(ReportTest, ClusterReportQuietWhenHealthy) {

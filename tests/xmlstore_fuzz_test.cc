@@ -1,0 +1,266 @@
+// Fuzz-style robustness suite for the XML persistence codecs: every
+// truncation and byte-level mutation of a valid store document must come
+// back as a Status error or a clean parse - never a crash, and never a
+// partially-loaded record set. A golden file per store pins the on-disk
+// format so accidental serialization drift fails loudly.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "xmlstore/stores.h"
+#include "xmlstore/xml.h"
+
+namespace invarnetx::xmlstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+void WriteFileRaw(const std::string& path, const std::string& text) {
+  std::ofstream file(path, std::ios::binary);
+  file << text;
+}
+
+// Fixture records exercising the quirky corners of each codec: empty and
+// non-empty coefficient vectors, negative and sub-normal-ish doubles, and
+// names that need XML escaping.
+std::vector<ArimaModelRecord> FixtureModels() {
+  ArimaModelRecord a;
+  a.p = 2;
+  a.d = 1;
+  a.q = 1;
+  a.ip = "10.0.0.2";
+  a.workload = "wordcount";
+  a.ar = {0.5, -0.25};
+  a.ma = {0.125};
+  a.intercept = 1.5;
+  a.sigma2 = 0.0625;
+  a.residual_min = -3.5;
+  a.residual_max = 4.25;
+  a.residual_p95 = 2.75;
+  ArimaModelRecord b;
+  b.ip = "10.0.0.3";
+  b.workload = "sort";
+  b.intercept = -0.001953125;
+  return {a, b};
+}
+
+std::vector<InvariantSetRecord> FixtureInvariants() {
+  InvariantSetRecord rec;
+  rec.ip = "10.0.0.2";
+  rec.workload = "grep";
+  rec.num_metrics = 4;
+  rec.entries = {{0, 1, 0.9375}, {1, 3, 0.5}, {2, 3, 0.75}};
+  return {rec};
+}
+
+std::vector<SignatureRecord> FixtureSignatures() {
+  SignatureRecord rec;
+  rec.problem = "net<&>\"drop\"";  // must survive XML escaping
+  rec.ip = "10.0.0.1";
+  rec.workload = "kmeans";
+  rec.bits = {1, 0, 0, 1, 1};
+  return {rec};
+}
+
+// Loads `path` with each codec and asserts the Result is either ok or a
+// clean error - the call itself must not crash, throw, or abort.
+void LoadWithEveryCodec(const std::string& path, int* ok_loads) {
+  const Result<std::vector<ArimaModelRecord>> models = LoadArimaModels(path);
+  const Result<std::vector<InvariantSetRecord>> invariants =
+      LoadInvariantSets(path);
+  const Result<std::vector<SignatureRecord>> signatures =
+      LoadSignatures(path);
+  *ok_loads += models.ok() + invariants.ok() + signatures.ok();
+}
+
+// ------------------------------------------------------------ truncation --
+
+// Every prefix of a valid document either fails cleanly or (only at full
+// length) round-trips completely. There is no in-between: a Load that
+// reports ok after truncation would have silently dropped records.
+TEST(XmlStoreFuzzTest, TruncatedDocumentsNeverPartiallyLoad) {
+  const std::string path = TempPath("invarnetx_fuzz_trunc.xml");
+  ASSERT_TRUE(SaveArimaModels(path, FixtureModels()).ok());
+  const std::string full = ReadFile(path);
+  ASSERT_GT(full.size(), 100u);
+
+  for (size_t len = 0; len < full.size(); ++len) {
+    WriteFileRaw(path, full.substr(0, len));
+    const Result<std::vector<ArimaModelRecord>> loaded =
+        LoadArimaModels(path);
+    if (loaded.ok()) {
+      // A truncated store must never parse as a smaller-but-valid store.
+      ASSERT_EQ(loaded.value().size(), FixtureModels().size())
+          << "partial load at prefix length " << len;
+    }
+  }
+  // The untruncated document still loads.
+  WriteFileRaw(path, full);
+  EXPECT_TRUE(LoadArimaModels(path).ok());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- byte mutation --
+
+TEST(XmlStoreFuzzTest, MutatedDocumentsFailCleanly) {
+  const std::string path = TempPath("invarnetx_fuzz_mut.xml");
+  ASSERT_TRUE(SaveSignatures(path, FixtureSignatures()).ok());
+  const std::string full = ReadFile(path);
+  ASSERT_FALSE(full.empty());
+
+  Rng rng(2026);
+  int ok_loads = 0;
+  for (int round = 0; round < 400; ++round) {
+    std::string mutated = full;
+    // One to three byte edits per round: overwrite, delete, or duplicate.
+    const int edits = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.UniformInt(mutated.size());
+      switch (rng.UniformInt(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.UniformInt(256));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    WriteFileRaw(path, mutated);
+    LoadWithEveryCodec(path, &ok_loads);
+  }
+  // Some mutations (comments, text nodes, unused attributes) legitimately
+  // still parse; the point of the sweep is that all 1200 loads returned.
+  SUCCEED() << ok_loads << " mutated documents still parsed";
+  std::remove(path.c_str());
+}
+
+TEST(XmlStoreFuzzTest, GarbageAndWrongSchemaAreErrors) {
+  const std::string path = TempPath("invarnetx_fuzz_garbage.xml");
+  const char* cases[] = {
+      "",
+      "not xml at all",
+      "<unclosed",
+      "<a><b></a></b>",
+      "<?xml version=\"1.0\"?>",
+      "<models><model p=\"NaNsense\"/></models>",
+      "<signatures><signature>01x</signature></signatures>",
+  };
+  for (const char* text : cases) {
+    WriteFileRaw(path, text);
+    EXPECT_FALSE(LoadArimaModels(path).ok()) << "case: " << text;
+    EXPECT_FALSE(LoadInvariantSets(path).ok()) << "case: " << text;
+    EXPECT_FALSE(LoadSignatures(path).ok()) << "case: " << text;
+  }
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- golden pins --
+
+// One golden file per store. `INVARNETX_UPDATE_GOLDEN=1 ./xmlstore_fuzz_test`
+// regenerates them after an intentional format change.
+class StoreGoldenTest : public ::testing::Test {
+ protected:
+  static std::string GoldenPath(const std::string& name) {
+    return (fs::path(INVARNETX_SOURCE_DIR) / "tests" / "golden" / name)
+        .string();
+  }
+
+  static bool UpdateMode() {
+    const char* env = std::getenv("INVARNETX_UPDATE_GOLDEN");
+    return env != nullptr && std::string(env) != "0";
+  }
+
+  void CheckOrUpdate(const std::string& name, const std::string& rendered) {
+    const std::string golden = GoldenPath(name);
+    if (UpdateMode()) {
+      fs::create_directories(fs::path(golden).parent_path());
+      WriteFileRaw(golden, rendered);
+      GTEST_SKIP() << "updated " << golden;
+    }
+    ASSERT_TRUE(fs::exists(golden))
+        << golden << " missing; regenerate with INVARNETX_UPDATE_GOLDEN=1";
+    EXPECT_EQ(rendered, ReadFile(golden))
+        << name << " drifted from its golden copy; if the format change is "
+        << "intended, regenerate with INVARNETX_UPDATE_GOLDEN=1";
+  }
+};
+
+TEST_F(StoreGoldenTest, ArimaModels) {
+  const std::string path = TempPath("invarnetx_golden_models.xml");
+  ASSERT_TRUE(SaveArimaModels(path, FixtureModels()).ok());
+  const std::string rendered = ReadFile(path);
+  std::remove(path.c_str());
+
+  // The golden bytes also load back to the fixture.
+  const Result<std::vector<ArimaModelRecord>> loaded =
+      LoadArimaModels(GoldenPath("models.xml"));
+  if (!UpdateMode()) {
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    ASSERT_EQ(loaded.value().size(), 2u);
+    EXPECT_EQ(loaded.value()[0].ip, "10.0.0.2");
+    EXPECT_EQ(loaded.value()[0].ar.size(), 2u);
+    EXPECT_DOUBLE_EQ(loaded.value()[0].ar[1], -0.25);
+    EXPECT_DOUBLE_EQ(loaded.value()[1].intercept, -0.001953125);
+  }
+  CheckOrUpdate("models.xml", rendered);
+}
+
+TEST_F(StoreGoldenTest, InvariantSets) {
+  const std::string path = TempPath("invarnetx_golden_invariants.xml");
+  ASSERT_TRUE(SaveInvariantSets(path, FixtureInvariants()).ok());
+  const std::string rendered = ReadFile(path);
+  std::remove(path.c_str());
+
+  const Result<std::vector<InvariantSetRecord>> loaded =
+      LoadInvariantSets(GoldenPath("invariants.xml"));
+  if (!UpdateMode()) {
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    ASSERT_EQ(loaded.value().size(), 1u);
+    ASSERT_EQ(loaded.value()[0].entries.size(), 3u);
+    EXPECT_DOUBLE_EQ(loaded.value()[0].entries[0].value, 0.9375);
+  }
+  CheckOrUpdate("invariants.xml", rendered);
+}
+
+TEST_F(StoreGoldenTest, Signatures) {
+  const std::string path = TempPath("invarnetx_golden_signatures.xml");
+  ASSERT_TRUE(SaveSignatures(path, FixtureSignatures()).ok());
+  const std::string rendered = ReadFile(path);
+  std::remove(path.c_str());
+
+  const Result<std::vector<SignatureRecord>> loaded =
+      LoadSignatures(GoldenPath("signatures.xml"));
+  if (!UpdateMode()) {
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    ASSERT_EQ(loaded.value().size(), 1u);
+    EXPECT_EQ(loaded.value()[0].problem, "net<&>\"drop\"");
+    EXPECT_EQ(loaded.value()[0].bits,
+              (std::vector<uint8_t>{1, 0, 0, 1, 1}));
+  }
+  CheckOrUpdate("signatures.xml", rendered);
+}
+
+}  // namespace
+}  // namespace invarnetx::xmlstore
