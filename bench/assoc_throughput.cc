@@ -1,10 +1,13 @@
 // Invariant-mining throughput: pair scores per second for the serial loop,
 // the parallel fan-out at several worker counts, and a warm-cache rerun.
 // Also asserts the tentpole guarantee that the parallel matrix is
-// bit-identical to the serial one before reporting any numbers.
+// bit-identical to the serial one before reporting any numbers, and emits a
+// machine-readable BENCH_mic.json (pairs/sec single- and multi-thread) so
+// CI can track the MIC kernel's perf trajectory across PRs.
 //
-// Overrides: INVARNETX_TICKS (series length, default 256) and
-// INVARNETX_REPS (matrices per timed measurement, default 3).
+// Overrides: INVARNETX_TICKS (series length, default 256), INVARNETX_REPS
+// (matrices per timed measurement, default 3), INVARNETX_NODES, and
+// INVARNETX_BENCH_JSON (output path, default ./BENCH_mic.json).
 
 #include <cstdio>
 #include <cstring>
@@ -97,6 +100,10 @@ int Main() {
   TextTable table({"configuration", "threads", "cache", "matrices/s",
                    "pairs/s", "speedup"});
   double base_rate = 0.0;
+  double single_thread_pairs = 0.0;
+  double multi_thread_pairs = 0.0;
+  int multi_thread_workers = 0;
+  double warm_cache_pairs = 0.0;
   struct Config {
     const char* label;
     int threads;
@@ -124,9 +131,18 @@ int Main() {
     const double rate =
         MatricesPerSecond(nodes, *engine, options, reps, &seconds);
     if (base_rate == 0.0) base_rate = rate;
+    const double pairs_rate = rate * telemetry::kNumMetricPairs;
+    if (config.cache) {
+      warm_cache_pairs = pairs_rate;
+    } else if (config.threads == 1) {
+      single_thread_pairs = pairs_rate;
+    } else if (pairs_rate > multi_thread_pairs) {
+      multi_thread_pairs = pairs_rate;
+      multi_thread_workers = config.threads;
+    }
     table.AddRow({config.label, std::to_string(config.threads),
                   config.cache ? "warm" : "off", FormatDouble(rate, 2),
-                  FormatDouble(rate * telemetry::kNumMetricPairs, 0),
+                  FormatDouble(pairs_rate, 0),
                   FormatDouble(rate / base_rate, 2) + "x"});
   }
   std::printf("%s\n", table.Render().c_str());
@@ -140,6 +156,36 @@ int Main() {
               100.0 * cache.HitRate());
   std::printf("series length %d ticks, %d reps, %d nodes, engine %s\n", ticks,
               reps, num_nodes, engine->name().c_str());
+
+  // Machine-readable perf record for the CI trajectory gate.
+  const char* json_path = std::getenv("INVARNETX_BENCH_JSON");
+  if (json_path == nullptr || *json_path == '\0') {
+    json_path = "BENCH_mic.json";
+  }
+  if (std::FILE* out = std::fopen(json_path, "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"assoc_throughput\",\n"
+                 "  \"engine\": \"%s\",\n"
+                 "  \"ticks\": %d,\n"
+                 "  \"reps\": %d,\n"
+                 "  \"nodes\": %d,\n"
+                 "  \"pairs_per_matrix\": %d,\n"
+                 "  \"single_thread_pairs_per_sec\": %.3f,\n"
+                 "  \"multi_thread_pairs_per_sec\": %.3f,\n"
+                 "  \"multi_thread_workers\": %d,\n"
+                 "  \"warm_cache_pairs_per_sec\": %.3f,\n"
+                 "  \"cache_hit_rate\": %.6f\n"
+                 "}\n",
+                 engine->name().c_str(), ticks, reps, num_nodes,
+                 telemetry::kNumMetricPairs, single_thread_pairs,
+                 multi_thread_pairs, multi_thread_workers, warm_cache_pairs,
+                 cache.HitRate());
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "WARNING: could not write %s\n", json_path);
+  }
   return 0;
 }
 

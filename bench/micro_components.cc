@@ -5,6 +5,9 @@
 // costs behind Table 1 and back the paper's scalability claim (local,
 // per-context modeling keeps each unit of work small).
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -18,9 +21,66 @@
 #include "telemetry/trace.h"
 #include "timeseries/arima.h"
 
+// Allocation counting: this binary replaces the global allocation functions
+// with counting delegates to malloc/free so the MIC benchmarks can report
+// allocations per call alongside latency (the zero-allocation claim of the
+// workspace kernel is a perf property worth tracking, not just a test).
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+
+uint64_t HeapAllocations() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+void* CountedAlloc(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size ? size : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
 namespace {
 
 using invarnetx::Rng;
+
+// Attaches "allocs_per_call" from a counter snapshot taken around the
+// benchmark loop.
+void ReportAllocsPerCall(benchmark::State& state, uint64_t allocs_before) {
+  const uint64_t total = HeapAllocations() - allocs_before;
+  state.counters["allocs_per_call"] =
+      state.iterations() > 0
+          ? static_cast<double>(total) / static_cast<double>(state.iterations())
+          : 0.0;
+}
 
 std::vector<double> NoisyLine(int n, uint64_t seed) {
   Rng rng(seed);
@@ -32,15 +92,53 @@ std::vector<double> NoisyLine(int n, uint64_t seed) {
   return out;
 }
 
+// Cold path: a call-local workspace, so every call grows its buffers from
+// scratch (upper bound on per-call allocation cost).
 void BM_MicScore(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const std::vector<double> x = NoisyLine(n, 1);
   const std::vector<double> y = NoisyLine(n, 2);
+  const uint64_t allocs_before = HeapAllocations();
   for (auto _ : state) {
     benchmark::DoNotOptimize(invarnetx::mic::MicScore(x, y));
   }
+  ReportAllocsPerCall(state, allocs_before);
 }
 BENCHMARK(BM_MicScore)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
+
+// Steady-state path of the mining fan-out: one warm reusable workspace.
+// allocs_per_call must read 0 - the kernel's zero-allocation guarantee.
+void BM_MicScoreWorkspace(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> x = NoisyLine(n, 1);
+  const std::vector<double> y = NoisyLine(n, 2);
+  invarnetx::mic::MicWorkspace workspace;
+  benchmark::DoNotOptimize(
+      invarnetx::mic::MicScore(x, y, invarnetx::mic::MicOptions(),
+                               &workspace));  // warm the buffers
+  const uint64_t allocs_before = HeapAllocations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invarnetx::mic::MicScore(
+        x, y, invarnetx::mic::MicOptions(), &workspace));
+  }
+  ReportAllocsPerCall(state, allocs_before);
+}
+BENCHMARK(BM_MicScoreWorkspace)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
+
+// Pre-workspace kernel (per-call sorts, map-backed characteristic matrix,
+// nested DP tables), kept as the exactness oracle: the before/after of the
+// zero-allocation rewrite in one table.
+void BM_MicReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> x = NoisyLine(n, 1);
+  const std::vector<double> y = NoisyLine(n, 2);
+  const uint64_t allocs_before = HeapAllocations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invarnetx::mic::MicReference(x, y));
+  }
+  ReportAllocsPerCall(state, allocs_before);
+}
+BENCHMARK(BM_MicReference)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
 
 void BM_ArxAssociation(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -106,6 +106,25 @@ class ThreadPool {
 Status ParallelFor(size_t n, int num_threads,
                    const std::function<Status(size_t)>& fn);
 
+// Per-thread scratch-state plumbing for ParallelFor bodies.
+//
+// Returns a reference to a lazily default-constructed instance of T owned
+// by the calling thread. Because pool workers are long-lived (the shared
+// pool never shrinks; see ThreadPool), an instance obtained inside a
+// ParallelFor body survives the loop and is handed back to the same worker
+// on every later fan-out - which is what lets reusable workspaces (e.g.
+// mic::MicWorkspace in the invariant-mining fan-out) reach allocation-free
+// steady state across association matrices instead of re-growing per task.
+//
+// The caller participating in ParallelFor gets its own instance, distinct
+// from every worker's. T must be default-constructible; instances are
+// destroyed at thread exit.
+template <typename T>
+T& ThreadLocalInstance() {
+  thread_local T instance;
+  return instance;
+}
+
 }  // namespace invarnetx
 
 #endif  // INVARNETX_COMMON_PARALLEL_H_

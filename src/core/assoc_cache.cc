@@ -75,6 +75,29 @@ PairScoreKey HashSeriesPair(std::string_view engine,
   return hash.Finish();
 }
 
+SeriesDigest HashSeries(const std::vector<double>& v) {
+  Hash128 hash;
+  hash.U64(v.size());
+  if (!v.empty()) hash.Bytes(v.data(), v.size() * sizeof(double));
+  const PairScoreKey key = hash.Finish();
+  return SeriesDigest{key.lo, key.hi};
+}
+
+PairScoreKey CombinePairKey(std::string_view engine, const SeriesDigest& x,
+                            const SeriesDigest& y) {
+  Hash128 hash;
+  hash.U64(engine.size());
+  hash.Bytes(engine.data(), engine.size());
+  // The digests are avalanched and fixed-width, so feeding them in order
+  // keeps the combined key order-sensitive and collision-resistant without
+  // extra delimiters.
+  hash.U64(x.lo);
+  hash.U64(x.hi);
+  hash.U64(y.lo);
+  hash.U64(y.hi);
+  return hash.Finish();
+}
+
 std::optional<double> AssociationScoreCache::Lookup(
     const PairScoreKey& key) const {
   Shard& shard = ShardFor(key);

@@ -32,9 +32,37 @@ struct PairScoreKey {
 // score the same series differently. Engines currently run with their
 // default options; an engine that grows tunable options must fold them into
 // its name() for the key to stay sound.
+//
+// This is the single-shot reference path: it rereads both full series per
+// call. The mining fan-out instead hashes each metric once with HashSeries
+// and derives all C(26,2) pair keys from the digests via CombinePairKey,
+// turning 2 * O(ticks) of per-pair hashing into O(1).
 PairScoreKey HashSeriesPair(std::string_view engine,
                             const std::vector<double>& x,
                             const std::vector<double>& y);
+
+// 128-bit content digest of one metric series, precomputable once per
+// metric and combinable into pair keys without rereading the series.
+struct SeriesDigest {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const SeriesDigest& a, const SeriesDigest& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+// Digest of a series' length and raw bytes (same double-FNV construction as
+// HashSeriesPair, so distinct series collide with ~2^-128 probability).
+SeriesDigest HashSeries(const std::vector<double>& v);
+
+// Derives the cache key of an ordered (x, y) pair under `engine` from the
+// two precomputed digests. Deterministic and order-sensitive like
+// HashSeriesPair; the key space is distinct from HashSeriesPair's (the two
+// derivations must not be mixed for the same logical entry - each caller
+// keys consistently with one scheme, and the cache is in-memory only).
+PairScoreKey CombinePairKey(std::string_view engine, const SeriesDigest& x,
+                            const SeriesDigest& y);
 
 // Process-wide memoization of pairwise association scores, shared by every
 // ComputeAssociationMatrix call. Invariant mining re-scores identical

@@ -1,6 +1,7 @@
 #include "core/association.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "arx/arx.h"
@@ -20,15 +21,24 @@ namespace {
 // this even at small amplitudes.
 constexpr double kDegenerateRelativeVariance = 1e-18;
 
+// Shared per-thread MIC scratch memory: each mining worker reuses one
+// workspace across every pair it scores (pool workers are long-lived, see
+// ThreadLocalInstance), so the kernel is allocation-free in steady state.
+// The workspace never changes results - only where the scratch bytes live.
+mic::MicWorkspace& WorkerMicWorkspace() {
+  return ThreadLocalInstance<mic::MicWorkspace>();
+}
+
 class MicEngine : public AssociationEngine {
  public:
   std::string name() const override { return "mic"; }
 
-  Result<double> Score(const std::vector<double>& x,
-                       const std::vector<double>& y) const override {
+  Result<double> ScoreHinted(const std::vector<double>& x,
+                             const std::vector<double>& y, bool x_degenerate,
+                             bool y_degenerate) const override {
     // Degenerate (constant) series carry no association information.
-    if (IsDegenerateSeries(x) || IsDegenerateSeries(y)) return 0.0;
-    return mic::MicScore(x, y);
+    if (x_degenerate || y_degenerate) return 0.0;
+    return mic::MicScore(x, y, mic::MicOptions(), &WorkerMicWorkspace());
   }
 };
 
@@ -39,10 +49,12 @@ class EnsembleEngine : public AssociationEngine {
  public:
   std::string name() const override { return "ensemble"; }
 
-  Result<double> Score(const std::vector<double>& x,
-                       const std::vector<double>& y) const override {
-    if (IsDegenerateSeries(x) || IsDegenerateSeries(y)) return 0.0;
-    Result<double> mic_score = mic::MicScore(x, y);
+  Result<double> ScoreHinted(const std::vector<double>& x,
+                             const std::vector<double>& y, bool x_degenerate,
+                             bool y_degenerate) const override {
+    if (x_degenerate || y_degenerate) return 0.0;
+    Result<double> mic_score =
+        mic::MicScore(x, y, mic::MicOptions(), &WorkerMicWorkspace());
     if (!mic_score.ok()) return mic_score.status();
     Result<double> rank = SpearmanCorrelation(x, y);
     if (!rank.ok()) return rank.status();
@@ -54,12 +66,13 @@ class ArxEngine : public AssociationEngine {
  public:
   std::string name() const override { return "arx"; }
 
-  Result<double> Score(const std::vector<double>& x,
-                       const std::vector<double>& y) const override {
+  Result<double> ScoreHinted(const std::vector<double>& x,
+                             const std::vector<double>& y, bool x_degenerate,
+                             bool y_degenerate) const override {
     if (x.size() != y.size()) {
       return Status::InvalidArgument("ArxEngine: length mismatch");
     }
-    if (IsDegenerateSeries(x) || IsDegenerateSeries(y)) return 0.0;
+    if (x_degenerate || y_degenerate) return 0.0;
     Result<double> score = arx::ArxAssociationScore(x, y);
     // An unfittable pair is "no association", not an error (the paper
     // assigns 0 to pairs absent from a run).
@@ -68,6 +81,17 @@ class ArxEngine : public AssociationEngine {
   }
 };
 
+// Span tick count of one node trace: the CPI series length when present,
+// otherwise the first non-empty metric series (a partially collected trace
+// may leave leading series empty); 0 for a fully empty trace.
+size_t TraceTicks(const telemetry::NodeTrace& node) {
+  if (!node.cpi.empty()) return node.cpi.size();
+  for (const std::vector<double>& series : node.metrics) {
+    if (!series.empty()) return series.size();
+  }
+  return 0;
+}
+
 }  // namespace
 
 bool IsDegenerateSeries(const std::vector<double>& v) {
@@ -75,6 +99,11 @@ bool IsDegenerateSeries(const std::vector<double>& v) {
   if (variance <= 0.0) return true;
   const double mean = Mean(v);
   return variance <= kDegenerateRelativeVariance * std::max(1.0, mean * mean);
+}
+
+Result<double> AssociationEngine::Score(const std::vector<double>& x,
+                                        const std::vector<double>& y) const {
+  return ScoreHinted(x, y, IsDegenerateSeries(x), IsDegenerateSeries(y));
 }
 
 std::string AssociationEngineName(AssociationEngineType type) {
@@ -112,10 +141,23 @@ Result<AssociationMatrix> ComputeAssociationMatrix(
   obs::Counter& pairs_scored = registry.GetCounter("assoc.pairs_scored");
   obs::Histogram& pair_seconds = registry.GetHistogram("assoc.pair_score");
   obs::Span span("assoc_matrix",
-                 {{"engine", engine_name},
-                  {"ticks", node.cpi.empty() ? node.metrics[0].size()
-                                             : node.cpi.size()}});
+                 {{"engine", engine_name}, {"ticks", TraceTicks(node)}});
   registry.GetCounter("assoc.matrices").Increment();
+
+  // Per-metric state, computed once per matrix instead of once per pair:
+  // every metric participates in 25 pairs, so without hoisting the
+  // degeneracy scan runs up to 25x per series and the cache key rehashes
+  // each full series on every lookup.
+  std::array<bool, telemetry::kNumMetrics> degenerate;
+  std::array<SeriesDigest, telemetry::kNumMetrics> digest;
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    const std::vector<double>& series = node.metrics[static_cast<size_t>(m)];
+    degenerate[static_cast<size_t>(m)] = IsDegenerateSeries(series);
+    if (options.use_cache) {
+      digest[static_cast<size_t>(m)] = HashSeries(series);
+    }
+  }
+
   // Each worker writes only its own preallocated slot, so the result is
   // identical for any thread count; the pair index doubles as the task
   // index, so error propagation follows the serial visitation order.
@@ -128,14 +170,19 @@ Result<AssociationMatrix> ComputeAssociationMatrix(
         const std::vector<double>& y = node.metrics[static_cast<size_t>(b)];
         PairScoreKey key;
         if (options.use_cache) {
-          key = HashSeriesPair(engine_name, x, y);
+          key = CombinePairKey(engine_name, digest[static_cast<size_t>(a)],
+                               digest[static_cast<size_t>(b)]);
           if (std::optional<double> hit = cache.Lookup(key)) {
             matrix[pair] = *hit;
             return Status::Ok();
           }
         }
         const uint64_t start_us = obs::UptimeMicros();
-        Result<double> score = engine.Score(x, y);
+        Result<double> score = engine.ScoreHinted(
+            x, y, degenerate[static_cast<size_t>(a)],
+            degenerate[static_cast<size_t>(b)]);
+        // Failed pairs record nothing: assoc.pair_score and
+        // assoc.pairs_scored count successfully scored pairs only.
         if (!score.ok()) return score.status();
         pair_seconds.Record(
             static_cast<double>(obs::UptimeMicros() - start_us) / 1e6);

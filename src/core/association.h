@@ -34,10 +34,23 @@ class AssociationEngine {
   virtual std::string name() const = 0;
   // Score in [0, 1]. Implementations return errors only for structurally
   // invalid input (length mismatch / too short); statistical degeneracies
-  // score 0. Implementations are stateless: Score must be safe to call
-  // concurrently from parallel mining workers.
-  virtual Result<double> Score(const std::vector<double>& x,
-                               const std::vector<double>& y) const = 0;
+  // score 0. Engines hold no per-call mutable state visible across threads:
+  // Score must be safe to call concurrently from parallel mining workers
+  // (scratch memory, if any, is per-thread).
+  //
+  // Computes the degeneracy of both inputs, then defers to ScoreHinted.
+  Result<double> Score(const std::vector<double>& x,
+                       const std::vector<double>& y) const;
+
+  // Score with caller-precomputed degeneracy flags. `x_degenerate` /
+  // `y_degenerate` MUST equal IsDegenerateSeries(x) / IsDegenerateSeries(y);
+  // ComputeAssociationMatrix computes them once per metric instead of once
+  // per pair (each metric participates in 25 pairs), then fans out through
+  // this entry point. Results are identical to Score().
+  virtual Result<double> ScoreHinted(const std::vector<double>& x,
+                                     const std::vector<double>& y,
+                                     bool x_degenerate,
+                                     bool y_degenerate) const = 0;
 
   static std::unique_ptr<AssociationEngine> Make(AssociationEngineType type);
 };

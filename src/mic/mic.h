@@ -34,23 +34,6 @@ struct MicResult {
   double mas = 0.0;
 };
 
-// Computes MIC(x, y) in [0, 1]. Requires x.size() == y.size() >= 4.
-// Deterministic: no randomness is involved.
-//
-// Implementation: for every grid shape (nx, ny) with nx * ny <= B(n), the
-// y-axis is equipartitioned into ny rows and the x-axis partition into at
-// most nx columns is optimized by dynamic programming over clump edges
-// (ApproxMaxMI); the characteristic matrix entry is the normalized maximum
-// over both axis orientations, and MIC is the matrix maximum.
-Result<MicResult> Mic(const std::vector<double>& x,
-                      const std::vector<double>& y,
-                      const MicOptions& options = MicOptions());
-
-// Convenience wrapper returning only the score.
-Result<double> MicScore(const std::vector<double>& x,
-                        const std::vector<double>& y,
-                        const MicOptions& options = MicOptions());
-
 namespace internal {
 
 // Equipartitions the values into at most `rows` groups of near-equal size,
@@ -60,7 +43,6 @@ struct YPartition {
   std::vector<int> row_of_point;  // indexed by original point index
   int num_rows = 0;
 };
-YPartition EquipartitionY(const std::vector<double>& y, int rows);
 
 // Clump edges for the x-axis given a row assignment: maximal runs of
 // x-ordered points that share a Q row form one clump; points with equal x
@@ -70,23 +52,117 @@ struct ClumpPartition {
   std::vector<int> boundaries;      // cumulative counts, boundaries[0] == 0
   std::vector<int> row_in_x_order;  // Q row of the t-th point in x order
 };
+
+}  // namespace internal
+
+// Reusable scratch memory for the MIC kernel. Every buffer the grid search
+// needs - axis sort orders, the y-partition, clump edges, the flat DP
+// tables, and the dense characteristic matrix - lives here and is resized
+// (never shrunk) per call, so a warm workspace makes Mic() perform zero
+// heap allocations in steady state. Buffers grow to the high-water mark of
+// the series lengths seen; for B = grid_bound(n) the dense characteristic
+// matrix costs (B/2 + 1)^2 doubles (~43 KB at n = 4096), the column-score
+// table (c * B/2 + 1)^2 doubles.
+//
+// A workspace is NOT thread-safe: use one instance per thread. The mining
+// fan-out keeps one per pool worker via ThreadLocalInstance<MicWorkspace>()
+// (see common/parallel.h); pool workers are long-lived, so the buffers
+// amortize across every subsequent association matrix.
+struct MicWorkspace {
+  // Per-axis stable sort orders, computed once per Mic() call and shared by
+  // every grid row count in both orientations.
+  std::vector<int> order_x;
+  std::vector<int> order_y;
+  internal::YPartition q;            // y-axis equipartition of the
+                                     // current orientation
+  internal::ClumpPartition clumps;   // x-axis clumps of the current
+                                     // orientation
+  std::vector<int> superclumps;      // coarsened clump boundaries
+  std::vector<int> row_counts;       // RowEntropy histogram scratch
+  std::vector<int> cum;              // (k+1) x num_rows row-major cumulative
+                                     // per-row counts
+  std::vector<double> col_score;     // (k+1)^2 memoized column scores
+  std::vector<double> dp;            // DP tables of OptimizeXAxis
+  std::vector<double> next;
+  std::vector<double> best;
+  std::vector<double> char_matrix;   // dense char_dim x char_dim grid of
+                                     // characteristic-matrix entries,
+                                     // -1.0 == no entry
+  int char_dim = 0;
+};
+
+// Computes MIC(x, y) in [0, 1]. Requires x.size() == y.size() >= 4.
+// Deterministic: no randomness is involved.
+//
+// Implementation: for every grid shape (nx, ny) with nx * ny <= B(n), the
+// y-axis is equipartitioned into ny rows and the x-axis partition into at
+// most nx columns is optimized by dynamic programming over clump edges
+// (ApproxMaxMI); the characteristic matrix entry is the normalized maximum
+// over both axis orientations, and MIC is the matrix maximum.
+//
+// `workspace` provides the kernel's scratch memory; a warm workspace makes
+// the call allocation-free. Results are bit-identical for any workspace
+// state (cold, warm, or warmed by different inputs) and to MicReference().
+Result<MicResult> Mic(const std::vector<double>& x,
+                      const std::vector<double>& y, const MicOptions& options,
+                      MicWorkspace* workspace);
+
+// Convenience overload with a private, call-local workspace.
+Result<MicResult> Mic(const std::vector<double>& x,
+                      const std::vector<double>& y,
+                      const MicOptions& options = MicOptions());
+
+// Convenience wrappers returning only the score.
+Result<double> MicScore(const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const MicOptions& options, MicWorkspace* workspace);
+Result<double> MicScore(const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const MicOptions& options = MicOptions());
+
+// Reference implementation: the original allocating kernel (per-call sorts,
+// map-backed characteristic matrix, vector-of-vector DP tables). Kept as
+// the exactness oracle - tests assert the workspace kernel above returns
+// bit-identical MicResults - and as readable documentation of the
+// algorithm. Not for production use: several times slower than Mic().
+Result<MicResult> MicReference(const std::vector<double>& x,
+                               const std::vector<double>& y,
+                               const MicOptions& options = MicOptions());
+
+namespace internal {
+
+// Fills `order` with the indices of `v` sorted ascending by value, ties by
+// index - the exact permutation std::stable_sort produces from an iota
+// order, computed with std::sort (no temporary-buffer allocation).
+void StableOrder(const std::vector<double>& v, std::vector<int>* order);
+
+// Workspace forms of the kernel stages. Each writes its result into an
+// out-parameter whose capacity is reused across calls; `order` is the
+// StableOrder permutation of the partitioned axis, hoisted out so the
+// per-row-count loop in the grid scan never re-sorts.
+void EquipartitionY(const std::vector<double>& y,
+                    const std::vector<int>& order, int rows, YPartition* out);
+void BuildClumps(const std::vector<double>& x, const std::vector<int>& order,
+                 const std::vector<int>& row_of_point, ClumpPartition* out);
+void BuildSuperclumps(const std::vector<int>& boundaries, int max_clumps,
+                      std::vector<int>* out);
+void OptimizeXAxis(const std::vector<int>& boundaries,
+                   const std::vector<int>& row_in_x_order, int num_rows,
+                   int max_cols, MicWorkspace* workspace,
+                   std::vector<double>* best);
+double RowEntropy(const std::vector<int>& row_of_point, int num_rows,
+                  std::vector<int>* counts_scratch);
+
+// Allocating convenience forms (sort internally / return by value), used by
+// unit tests and MicReference; results are identical to the workspace forms.
+YPartition EquipartitionY(const std::vector<double>& y, int rows);
 ClumpPartition BuildClumps(const std::vector<double>& x,
                            const std::vector<int>& row_of_point);
-
-// Coarsens a clump partition to at most `max_clumps` superclumps of
-// near-equal point mass (clump edges are preserved).
 std::vector<int> BuildSuperclumps(const std::vector<int>& boundaries,
                                   int max_clumps);
-
-// For each column budget l in [1, max_cols], the maximum over partitions of
-// the clumps into exactly l columns of sum over columns of
-// sum_q n_pq * log(n_pq / n_p)   (natural log; n_p = column size).
-// Index 0 of the returned vector corresponds to l = 1.
 std::vector<double> OptimizeXAxis(const std::vector<int>& boundaries,
                                   const std::vector<int>& row_in_x_order,
                                   int num_rows, int max_cols);
-
-// Entropy (natural log) of the row distribution.
 double RowEntropy(const std::vector<int>& row_of_point, int num_rows);
 
 }  // namespace internal

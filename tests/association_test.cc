@@ -1,5 +1,6 @@
 #include "core/association.h"
 
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -7,6 +8,7 @@
 
 #include "common/random.h"
 #include "core/assoc_cache.h"
+#include "mic/mic.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -131,6 +133,73 @@ TEST(AssociationCacheTest, InsertLookupClear) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Lookup(key).has_value());
+}
+
+TEST(AssociationCacheTest, SeriesDigestKeysAreOrderAndEngineSensitive) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {4.0, 3.0, 2.0, 1.0};
+  const SeriesDigest dx = HashSeries(x);
+  const SeriesDigest dy = HashSeries(y);
+  EXPECT_TRUE(HashSeries(x) == dx);   // deterministic
+  EXPECT_FALSE(dx == dy);             // content keyed
+  std::vector<double> x2 = x;
+  x2[3] = 4.0000001;
+  EXPECT_FALSE(HashSeries(x2) == dx);  // one-ulp-scale change separates
+
+  const PairScoreKey base = CombinePairKey("mic", dx, dy);
+  EXPECT_EQ(CombinePairKey("mic", dx, dy), base);          // deterministic
+  EXPECT_FALSE(CombinePairKey("mic", dy, dx) == base);     // order matters
+  EXPECT_FALSE(CombinePairKey("ensemble", dx, dy) == base);  // engine keyed
+  EXPECT_FALSE(CombinePairKey("mic", HashSeries(x2), dy) == base);
+}
+
+// ------------------------------------------ workspace kernel exactness --
+
+// The tentpole guarantee: the workspace kernel, hinted degeneracy
+// short-circuit, and digest-derived cache keys must leave every
+// association matrix byte-identical to the pre-workspace path - modeled
+// here by mic::MicReference plus the per-pair degeneracy rule - across
+// random seeds, thread counts, and cache state.
+TEST(AssociationExactnessTest, MatrixMatchesReferenceKernel) {
+  std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(AssociationEngineType::kMic);
+  for (uint64_t seed : {97u, 403u}) {
+    telemetry::NodeTrace node = RandomNode(seed);
+    // Stress degenerate and heavily tied metrics too.
+    node.metrics[3].assign(node.metrics[3].size(), 7.25);
+    for (double& v : node.metrics[5]) v = std::floor(v / 5.0) * 5.0;
+
+    AssociationMatrix reference(telemetry::kNumMetricPairs, 0.0);
+    for (int pair = 0; pair < telemetry::kNumMetricPairs; ++pair) {
+      int a = 0, b = 0;
+      telemetry::PairFromIndex(pair, &a, &b);
+      const std::vector<double>& x = node.metrics[static_cast<size_t>(a)];
+      const std::vector<double>& y = node.metrics[static_cast<size_t>(b)];
+      if (IsDegenerateSeries(x) || IsDegenerateSeries(y)) continue;
+      reference[static_cast<size_t>(pair)] =
+          mic::MicReference(x, y).value().mic;
+    }
+
+    AssociationScoreCache::Shared().Clear();
+    for (int threads : {1, 2, 8}) {
+      for (bool use_cache : {false, true}) {
+        AssociationOptions options{.num_threads = threads,
+                                   .use_cache = use_cache};
+        Result<AssociationMatrix> matrix =
+            ComputeAssociationMatrix(node, *engine, options);
+        ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+        EXPECT_TRUE(SameBytes(reference, matrix.value()))
+            << "seed " << seed << ", " << threads << " threads, cache "
+            << (use_cache ? "on" : "off");
+      }
+    }
+    // Warm-cache rerun (every pair hits) must still be byte-identical.
+    AssociationOptions warm{.num_threads = 4, .use_cache = true};
+    Result<AssociationMatrix> warm_matrix =
+        ComputeAssociationMatrix(node, *engine, warm);
+    ASSERT_TRUE(warm_matrix.ok());
+    EXPECT_TRUE(SameBytes(reference, warm_matrix.value())) << "warm cache";
+  }
 }
 
 // ------------------------------------------------- degenerate shortcut --

@@ -1,11 +1,63 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/random.h"
 #include "mic/mic.h"
+
+// ----------------------------------------------- allocation counting hook --
+// This binary replaces the global allocation functions with counting
+// delegates to malloc/free, so tests can assert that a warm MicWorkspace
+// makes the kernel allocation-free in steady state. Only operator new is
+// counted; deallocation stays untracked (frees need no counting).
+
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+
+uint64_t HeapAllocations() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
+}
+
+void* CountedAlloc(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size ? size : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace invarnetx::mic {
 namespace {
@@ -324,6 +376,158 @@ TEST(OptimizeXAxisTest, PerfectSeparationRecoversFullMi) {
   EXPECT_NEAR(best[1], 0.0, 1e-12);
   // With one column the objective is -n H(Q) = -10 ln 2.
   EXPECT_NEAR(best[0], -10.0 * std::log(2.0), 1e-9);
+}
+
+// -------------------------------------------- workspace kernel exactness --
+
+// Field-by-field exact comparison: the workspace kernel must reproduce the
+// reference (allocating, map-backed) kernel bit for bit, not approximately.
+void ExpectExactlyEqual(const MicResult& got, const MicResult& want,
+                        const std::string& label) {
+  EXPECT_DOUBLE_EQ(got.mic, want.mic) << label;
+  EXPECT_EQ(got.best_x, want.best_x) << label;
+  EXPECT_EQ(got.best_y, want.best_y) << label;
+  EXPECT_DOUBLE_EQ(got.mev, want.mev) << label;
+  EXPECT_DOUBLE_EQ(got.mcn, want.mcn) << label;
+  EXPECT_DOUBLE_EQ(got.mas, want.mas) << label;
+}
+
+TEST(MicWorkspaceTest, BitIdenticalToReferenceAcrossRandomSeries) {
+  // One workspace reused across every call: later inputs see buffers dirtied
+  // by earlier ones, which must never leak into results. Covers smooth,
+  // heavily tied (quantized), and mixed-length series.
+  MicWorkspace workspace;
+  Rng rng(0xE4AC7);
+  for (int n : {30, 64, 100, 257}) {
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<double> x, y;
+      for (int i = 0; i < n; ++i) {
+        const double vx = rng.Gaussian(0, 1);
+        x.push_back(trial % 3 == 1 ? std::floor(4.0 * vx) / 4.0 : vx);
+        const double vy = 0.5 * vx * vx + rng.Gaussian(0, 0.4);
+        y.push_back(trial % 3 == 2 ? std::floor(3.0 * vy) / 3.0 : vy);
+      }
+      const Result<MicResult> fast = Mic(x, y, MicOptions(), &workspace);
+      const Result<MicResult> reference = MicReference(x, y);
+      ASSERT_TRUE(fast.ok());
+      ASSERT_TRUE(reference.ok());
+      ExpectExactlyEqual(fast.value(), reference.value(),
+                         "n=" + std::to_string(n) + " trial " +
+                             std::to_string(trial));
+    }
+  }
+}
+
+TEST(MicWorkspaceTest, DirtyWorkspaceMatchesColdWorkspace) {
+  std::vector<double> xa = Linspace(150), ya, xb, yb;
+  Rng rng(0xD1127);
+  for (double v : xa) ya.push_back(std::sin(6.0 * v));
+  for (int i = 0; i < 41; ++i) {
+    xb.push_back(rng.Gaussian(0, 1));
+    yb.push_back(rng.Uniform());
+  }
+  MicWorkspace cold;
+  const MicResult first = Mic(xa, ya, MicOptions(), &cold).value();
+  MicWorkspace dirty;
+  ASSERT_TRUE(Mic(xb, yb, MicOptions(), &dirty).ok());  // different shapes
+  const MicResult again = Mic(xa, ya, MicOptions(), &dirty).value();
+  ExpectExactlyEqual(again, first, "dirty workspace");
+}
+
+TEST(MicWorkspaceTest, ZeroSteadyStateAllocations) {
+  Rng rng(0x0A110C);
+  std::vector<double> x, y, xs, ys;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(rng.Gaussian(0, 1));
+    y.push_back(0.7 * x.back() + rng.Gaussian(0, 0.5));
+  }
+  for (int i = 0; i < 120; ++i) {  // shorter series with ties
+    xs.push_back(i % 7);
+    ys.push_back(rng.Gaussian(0, 1));
+  }
+  MicWorkspace workspace;
+  const Result<MicResult> warm = Mic(x, y, MicOptions(), &workspace);
+  ASSERT_TRUE(warm.ok());
+
+  // Warm buffers at the high-water mark: the same call must not touch the
+  // heap at all.
+  uint64_t before = HeapAllocations();
+  const Result<MicResult> repeat = Mic(x, y, MicOptions(), &workspace);
+  uint64_t after = HeapAllocations();
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(after - before, 0u) << "warm Mic() allocated";
+  ExpectExactlyEqual(repeat.value(), warm.value(), "warm repeat");
+
+  // A shorter series after a longer one fits in the grown buffers.
+  ASSERT_TRUE(Mic(xs, ys, MicOptions(), &workspace).ok());  // settle ties path
+  before = HeapAllocations();
+  const Result<MicResult> shorter = Mic(xs, ys, MicOptions(), &workspace);
+  after = HeapAllocations();
+  ASSERT_TRUE(shorter.ok());
+  EXPECT_EQ(after - before, 0u) << "shorter warm Mic() allocated";
+}
+
+// ------------------------------------------- pinned MINE stats regression --
+// Golden values captured from the pre-workspace kernel (the PR 4 seed) on
+// fixed series; the rewrite must keep reproducing them. The 1e-9 tolerance
+// absorbs libm differences across toolchains; in-process bit-exactness is
+// separately enforced against MicReference above.
+
+TEST(MineStatsRegressionTest, PinnedKnownSeries) {
+  const int n = 200;
+  std::vector<double> x, lin, par, sine, cst;
+  for (int i = 0; i < n; ++i) {
+    const double v = static_cast<double>(i) / n;
+    x.push_back(v);
+    lin.push_back(3.0 * v + 1.0);
+    par.push_back((v - 0.5) * (v - 0.5));
+    sine.push_back(std::sin(8.0 * v));
+    cst.push_back(2.0);
+  }
+  std::vector<double> checker_x, checker_y;  // 2x2 alternating lattice
+  for (int i = 0; i < 128; ++i) {
+    checker_x.push_back((i % 2) + 0.1 * ((i / 2) % 2));
+    checker_y.push_back(((i / 2) % 2) + 0.1 * (i % 2));
+  }
+
+  struct Golden {
+    const char* name;
+    const std::vector<double>* a;
+    const std::vector<double>* b;
+    double mic, mev, mcn, mas;
+    int best_x, best_y;
+  };
+  const Golden goldens[] = {
+      {"linear", &x, &lin, 1.0, 1.0, 2.0, 0.0, 2, 2},
+      {"parabola", &x, &par, 0.99997720580681748, 0.99992786404566159,
+       3.9068905956085187, 0.68357612758637565, 5, 3},
+      {"sine", &x, &sine, 1.0, 1.0, 3.0, 0.66898238364292006, 4, 2},
+      {"checkerboard", &checker_x, &checker_y, 1.0, 1.0, 3.0, 0.0, 2, 4},
+  };
+  for (const Golden& g : goldens) {
+    const Result<MicResult> r = Mic(*g.a, *g.b);
+    ASSERT_TRUE(r.ok()) << g.name;
+    EXPECT_NEAR(r.value().mic, g.mic, 1e-9) << g.name;
+    EXPECT_NEAR(r.value().mev, g.mev, 1e-9) << g.name;
+    EXPECT_NEAR(r.value().mcn, g.mcn, 1e-9) << g.name;
+    EXPECT_NEAR(r.value().mas, g.mas, 1e-9) << g.name;
+    EXPECT_EQ(r.value().best_x, g.best_x) << g.name;
+    EXPECT_EQ(r.value().best_y, g.best_y) << g.name;
+    // And every pinned series must match the reference kernel bit for bit.
+    const Result<MicResult> ref = MicReference(*g.a, *g.b);
+    ASSERT_TRUE(ref.ok()) << g.name;
+    ExpectExactlyEqual(r.value(), ref.value(), g.name);
+  }
+
+  // Constant y: every statistic collapses to float residue of the empty /
+  // single-row grids (the best grid is residue-dependent, so only the
+  // magnitude is pinned).
+  const Result<MicResult> flat = Mic(x, cst);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_LT(flat.value().mic, 1e-12);
+  EXPECT_LT(flat.value().mev, 1e-12);
+  EXPECT_LT(flat.value().mas, 1e-12);
+  EXPECT_NEAR(flat.value().mcn, 2.0, 1e-9);
 }
 
 TEST(OptimizeXAxisTest, MonotoneInColumnBudget) {
