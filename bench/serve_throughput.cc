@@ -1,0 +1,170 @@
+// MonitorFleet ingestion throughput: ticks/s and per-tick ingest latency
+// (p50/p99) for a fleet of M concurrent monitors at several worker counts,
+// on the clean steady-state path (no alarms, so the numbers measure pure
+// detection fan-out + ring-buffer retention). Trains one global model (the
+// no-operation-context collapse) so fleet size is decoupled from training
+// cost, and emits a machine-readable BENCH_serve.json for the CI perf
+// trajectory.
+//
+// Overrides: INVARNETX_MONITORS (fleet size, default 64), INVARNETX_TICKS
+// (ticks streamed, default 400), INVARNETX_WINDOW (ring capacity, default
+// 256), and INVARNETX_BENCH_JSON (output path, default ./BENCH_serve.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "serve/fleet.h"
+
+namespace invarnetx::bench {
+namespace {
+
+using workload::WorkloadType;
+
+core::OperationContext MonitorContext(int i) {
+  return core::OperationContext{WorkloadType::kWordCount,
+                                "10.1." + std::to_string(i / 250) + "." +
+                                    std::to_string(i % 250 + 1)};
+}
+
+struct FleetRates {
+  double ticks_per_sec = 0.0;
+  double samples_per_sec = 0.0;
+  double p50_ingest_sec = 0.0;
+  double p99_ingest_sec = 0.0;
+};
+
+FleetRates StreamFleet(const core::InvarNetX& pipeline, int monitors,
+                       int ticks, size_t window, int threads,
+                       const telemetry::NodeTrace& source) {
+  serve::FleetConfig config;
+  config.window_capacity = window;
+  config.threads = threads;
+  serve::MonitorFleet fleet(&pipeline, config);
+  for (int i = 0; i < monitors; ++i) {
+    CheckOk(fleet.StartJob(MonitorContext(i)), "StartJob");
+  }
+
+  const int source_ticks = static_cast<int>(source.cpi.size());
+  std::vector<serve::TickSample> batch(static_cast<size_t>(monitors));
+  for (int i = 0; i < monitors; ++i) {
+    batch[static_cast<size_t>(i)].context = MonitorContext(i);
+  }
+  std::vector<double> ingest_seconds;
+  ingest_seconds.reserve(static_cast<size_t>(ticks));
+  double total = 0.0;
+  for (int t = 0; t < ticks; ++t) {
+    const int src = t % source_ticks;
+    for (int i = 0; i < monitors; ++i) {
+      serve::TickSample& sample = batch[static_cast<size_t>(i)];
+      sample.cpi = source.cpi[static_cast<size_t>(src)];
+      for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+        sample.metrics[static_cast<size_t>(m)] =
+            source.metrics[static_cast<size_t>(m)][static_cast<size_t>(src)];
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    Result<serve::TickSummary> summary = fleet.IngestTick(batch);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    CheckOk(summary.status(), "IngestTick");
+    ingest_seconds.push_back(elapsed.count());
+    total += elapsed.count();
+  }
+  fleet.WaitForDiagnoses();
+
+  std::sort(ingest_seconds.begin(), ingest_seconds.end());
+  auto percentile = [&](double p) {
+    const size_t idx = std::min(
+        ingest_seconds.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(ingest_seconds.size())));
+    return ingest_seconds[idx];
+  };
+  FleetRates rates;
+  rates.ticks_per_sec = static_cast<double>(ticks) / total;
+  rates.samples_per_sec = rates.ticks_per_sec * monitors;
+  rates.p50_ingest_sec = percentile(0.50);
+  rates.p99_ingest_sec = percentile(0.99);
+  return rates;
+}
+
+int Main() {
+  const int monitors = EnvInt("INVARNETX_MONITORS", 64);
+  const int ticks = EnvInt("INVARNETX_TICKS", 400);
+  const size_t window =
+      static_cast<size_t>(EnvInt("INVARNETX_WINDOW", 256));
+
+  // One global model for every monitor: fleet size is a serving-layer knob,
+  // not a training-cost multiplier.
+  core::InvarNetXConfig config;
+  config.use_operation_context = false;
+  config.num_threads = 0;
+  core::InvarNetX pipeline(config);
+  auto normal = core::SimulateNormalRuns(WorkloadType::kWordCount, 4, 42);
+  CheckOk(normal.status(), "SimulateNormalRuns");
+  CheckOk(pipeline.TrainContext(MonitorContext(0), normal.value(), 1),
+          "TrainContext");
+  const telemetry::NodeTrace& source = normal.value()[0].nodes[1];
+
+  TextTable table({"threads", "ticks/s", "samples/s", "p50 ingest", "p99 "
+                   "ingest"});
+  FleetRates serial;
+  FleetRates parallel;
+  for (int threads : {1, 0}) {
+    const FleetRates rates =
+        StreamFleet(pipeline, monitors, ticks, window, threads, source);
+    if (threads == 1) {
+      serial = rates;
+    } else {
+      parallel = rates;
+    }
+    table.AddRow({threads == 1 ? "1 (serial)" : "0 (hardware)",
+                  FormatDouble(rates.ticks_per_sec, 1),
+                  FormatDouble(rates.samples_per_sec, 0),
+                  FormatDouble(rates.p50_ingest_sec * 1e6, 1) + " us",
+                  FormatDouble(rates.p99_ingest_sec * 1e6, 1) + " us"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("%d monitors, %d ticks, window %zu ticks\n", monitors, ticks,
+              window);
+
+  const char* json_path = std::getenv("INVARNETX_BENCH_JSON");
+  if (json_path == nullptr || *json_path == '\0') {
+    json_path = "BENCH_serve.json";
+  }
+  if (std::FILE* out = std::fopen(json_path, "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"serve_throughput\",\n"
+                 "  \"monitors\": %d,\n"
+                 "  \"ticks\": %d,\n"
+                 "  \"window_ticks\": %zu,\n"
+                 "  \"serial_ticks_per_sec\": %.3f,\n"
+                 "  \"serial_p99_ingest_sec\": %.9f,\n"
+                 "  \"ticks_per_sec\": %.3f,\n"
+                 "  \"samples_per_sec\": %.3f,\n"
+                 "  \"p50_ingest_sec\": %.9f,\n"
+                 "  \"p99_ingest_sec\": %.9f\n"
+                 "}\n",
+                 monitors, ticks, window, serial.ticks_per_sec,
+                 serial.p99_ingest_sec, parallel.ticks_per_sec,
+                 parallel.samples_per_sec, parallel.p50_ingest_sec,
+                 parallel.p99_ingest_sec);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "WARNING: could not write %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace invarnetx::bench
+
+int main() { return invarnetx::bench::Main(); }

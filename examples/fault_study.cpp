@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   if (!trained.ok()) return Fail(trained);
 
   const core::OperationContext context = core::VictimContext(config);
-  invarnetx::Result<const core::ContextModel*> model =
+  invarnetx::Result<std::shared_ptr<const core::ContextModel>> model =
       pipeline.GetContext(context);
   if (!model.ok()) return Fail(model.status());
   std::printf("likely invariants: %d of %d metric pairs\n\n",

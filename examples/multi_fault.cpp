@@ -83,8 +83,8 @@ int main(int argc, char** argv) {
 
   // Also report the database's known signature conflicts - ambiguity the
   // operator should expect in ranked lists.
-  const auto& model = *invarnet.GetContext(context).value();
-  auto conflicts = model.sigdb.FindConflicts(0.55);
+  const auto model = invarnet.GetContext(context).value();
+  auto conflicts = model->sigdb.FindConflicts(0.55);
   if (conflicts.ok() && !conflicts.value().empty()) {
     std::printf("\nknown signature conflicts (similarity >= 0.55):\n");
     for (const auto& c : conflicts.value()) {

@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const core::ContextModel& model = *invarnet.GetContext(context).value();
+  const auto model_ptr = invarnet.GetContext(context).value();
+  const core::ContextModel& model = *model_ptr;
   core::AnomalyDetector detector(model.perf, core::ThresholdRule::kBetaMax);
   const double threshold = model.perf.Threshold(core::ThresholdRule::kBetaMax);
   std::printf("monitoring %s on %s (threshold %.4f, 3-in-a-row debounce)\n\n",

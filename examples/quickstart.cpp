@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "training failed: %s\n", trained.ToString().c_str());
     return 1;
   }
-  const core::ContextModel& model = *invarnet.GetContext(context).value();
+  const auto model_ptr = invarnet.GetContext(context).value();
+  const core::ContextModel& model = *model_ptr;
   std::printf("trained %s: ARIMA %s on CPI, %d likely invariants\n",
               context.ToString().c_str(),
               model.perf.arima().order().ToString().c_str(),

@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
               "(models.xml, invariants.xml, signatures.xml)\n\n",
               dir.c_str());
 
-  const core::ContextModel& model = *reloaded.GetContext(context).value();
+  const auto model_ptr = reloaded.GetContext(context).value();
+  const core::ContextModel& model = *model_ptr;
   const std::vector<int> pairs = model.invariants.PairIndices();
   std::printf("context %s: %zu invariants, %zu signatures\n\n",
               context.ToString().c_str(), pairs.size(),

@@ -25,19 +25,56 @@ telemetry::RunConfig BaseRunConfig(const Scenario& scenario) {
   return config;
 }
 
+}  // namespace
+
 // The node whose operation context the campaign diagnoses: the fault's
 // target when it is a slave; otherwise (name-node faults, whose effects
 // leak onto every node) slave 1, as in the paper's evaluation.
-size_t VictimNode(const Scenario& scenario) {
-  return scenario.window.target_node >= 1 ? scenario.window.target_node : 1;
+size_t ScenarioVictimNode(const Scenario& scenario) {
+  return scenario.window.target_node >= 1
+             ? static_cast<size_t>(scenario.window.target_node)
+             : 1;
 }
 
-core::OperationContext VictimContext(const Scenario& scenario) {
+core::OperationContext ScenarioVictimContext(const Scenario& scenario) {
   return core::OperationContext{
-      scenario.workload, "10.0.0." + std::to_string(VictimNode(scenario) + 1)};
+      scenario.workload,
+      "10.0.0." + std::to_string(ScenarioVictimNode(scenario) + 1)};
 }
 
-}  // namespace
+Result<telemetry::RunTrace> SimulateScenarioNormalRun(const Scenario& scenario,
+                                                      int rep) {
+  telemetry::RunConfig config = BaseRunConfig(scenario);
+  config.seed = scenario.seed + static_cast<uint64_t>(rep);
+  return telemetry::SimulateRun(config);
+}
+
+Result<telemetry::RunTrace> SimulateScenarioTestRun(const Scenario& scenario,
+                                                    int rep) {
+  telemetry::RunConfig config = BaseRunConfig(scenario);
+  config.seed = scenario.seed + kTestStream + static_cast<uint64_t>(rep);
+  config.fault = telemetry::FaultRequest{scenario.fault, scenario.window};
+  return telemetry::SimulateRun(config);
+}
+
+Result<telemetry::RunTrace> SimulateScenarioSignatureRun(
+    const Scenario& scenario, size_t fault_index, int rep) {
+  if (fault_index >= scenario.signature_faults.size()) {
+    return Status::InvalidArgument(
+        "SimulateScenarioSignatureRun: fault index out of range");
+  }
+  const faults::FaultType fault = scenario.signature_faults[fault_index];
+  faults::FaultWindow window = telemetry::DefaultFaultWindow(fault);
+  if (window.target_node >= 1) {
+    window.target_node = static_cast<int>(ScenarioVictimNode(scenario));
+  }
+  telemetry::RunConfig config = BaseRunConfig(scenario);
+  config.seed = scenario.seed + kSignatureStream +
+                static_cast<uint64_t>(fault_index) * 1000 +
+                static_cast<uint64_t>(rep);
+  config.fault = telemetry::FaultRequest{fault, window};
+  return telemetry::SimulateRun(config);
+}
 
 Result<ScenarioScore> RunScenario(const Scenario& scenario,
                                   const CampaignOptions& options) {
@@ -52,9 +89,8 @@ Result<ScenarioScore> RunScenario(const Scenario& scenario,
       static_cast<size_t>(scenario.normal_runs));
   INVARNETX_RETURN_IF_ERROR(ParallelFor(
       normal.size(), options.threads, [&](size_t i) -> Status {
-        telemetry::RunConfig config = BaseRunConfig(scenario);
-        config.seed = scenario.seed + static_cast<uint64_t>(i);
-        Result<telemetry::RunTrace> trace = telemetry::SimulateRun(config);
+        Result<telemetry::RunTrace> trace =
+            SimulateScenarioNormalRun(scenario, static_cast<int>(i));
         if (!trace.ok()) return trace.status();
         normal[i] = std::move(trace.value());
         return Status::Ok();
@@ -66,8 +102,8 @@ Result<ScenarioScore> RunScenario(const Scenario& scenario,
   pipeline_config.use_association_cache = options.use_assoc_cache;
   pipeline_config.top_k = options.top_k;
   core::InvarNetX pipeline(pipeline_config);
-  const size_t victim = VictimNode(scenario);
-  const core::OperationContext context = VictimContext(scenario);
+  const size_t victim = ScenarioVictimNode(scenario);
+  const core::OperationContext context = ScenarioVictimContext(scenario);
   INVARNETX_RETURN_IF_ERROR(pipeline.TrainContext(context, normal, victim));
 
   // 3. Teach the signature database the scenario's problem catalog. Each
@@ -79,18 +115,12 @@ Result<ScenarioScore> RunScenario(const Scenario& scenario,
   // slave would barely touch the victim's invariants.
   for (size_t fi = 0; fi < scenario.signature_faults.size(); ++fi) {
     const faults::FaultType fault = scenario.signature_faults[fi];
-    faults::FaultWindow window = telemetry::DefaultFaultWindow(fault);
-    if (window.target_node >= 1) window.target_node = victim;
     std::vector<telemetry::RunTrace> runs(
         static_cast<size_t>(scenario.signature_runs));
     INVARNETX_RETURN_IF_ERROR(ParallelFor(
         runs.size(), options.threads, [&](size_t rep) -> Status {
-          telemetry::RunConfig config = BaseRunConfig(scenario);
-          config.seed = scenario.seed + kSignatureStream +
-                        static_cast<uint64_t>(fi) * 1000 +
-                        static_cast<uint64_t>(rep);
-          config.fault = telemetry::FaultRequest{fault, window};
-          Result<telemetry::RunTrace> trace = telemetry::SimulateRun(config);
+          Result<telemetry::RunTrace> trace = SimulateScenarioSignatureRun(
+              scenario, fi, static_cast<int>(rep));
           if (!trace.ok()) return trace.status();
           runs[rep] = std::move(trace.value());
           return Status::Ok();
@@ -115,11 +145,8 @@ Result<ScenarioScore> RunScenario(const Scenario& scenario,
   score.runs.resize(static_cast<size_t>(scenario.test_runs));
   INVARNETX_RETURN_IF_ERROR(ParallelFor(
       score.runs.size(), options.threads, [&](size_t rep) -> Status {
-        telemetry::RunConfig config = BaseRunConfig(scenario);
-        config.seed = scenario.seed + kTestStream + static_cast<uint64_t>(rep);
-        config.fault =
-            telemetry::FaultRequest{scenario.fault, scenario.window};
-        Result<telemetry::RunTrace> trace = telemetry::SimulateRun(config);
+        Result<telemetry::RunTrace> trace =
+            SimulateScenarioTestRun(scenario, static_cast<int>(rep));
         if (!trace.ok()) return trace.status();
         Result<core::DiagnosisReport> report =
             pipeline.Diagnose(context, trace.value(), victim);

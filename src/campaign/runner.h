@@ -78,6 +78,25 @@ struct CampaignResult {
 Result<ScenarioScore> RunScenario(const Scenario& scenario,
                                   const CampaignOptions& options);
 
+// Seed-stream helpers shared with the serve replay layer: rep `i` of the
+// scenario's fault-free and faulty test populations, on exactly the seed
+// streams RunScenario uses - a fleet replay therefore streams byte-identical
+// traces to the ones the campaign diagnosed offline.
+Result<telemetry::RunTrace> SimulateScenarioNormalRun(const Scenario& scenario,
+                                                      int rep);
+Result<telemetry::RunTrace> SimulateScenarioTestRun(const Scenario& scenario,
+                                                    int rep);
+// Rep `rep` of the signature-teaching population for
+// scenario.signature_faults[fault_index] (the fault injected in its default
+// window, retargeted at the victim node - see RunScenario step 3).
+Result<telemetry::RunTrace> SimulateScenarioSignatureRun(
+    const Scenario& scenario, size_t fault_index, int rep);
+
+// The node whose operation context the campaign diagnoses, and that
+// context itself (victim slave for slave faults; slave 1 for master faults).
+size_t ScenarioVictimNode(const Scenario& scenario);
+core::OperationContext ScenarioVictimContext(const Scenario& scenario);
+
 // Runs every scenario in order and fills the cross-scenario means.
 Result<CampaignResult> RunCampaign(const std::vector<Scenario>& scenarios,
                                    const CampaignOptions& options);

@@ -3,10 +3,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "campaign/scenario.h"
 #include "campaign/scoreboard.h"
+#include "serve/replay.h"
 #include "core/cluster_diagnosis.h"
 #include "core/evaluate.h"
 #include "core/pipeline.h"
@@ -190,12 +192,15 @@ Status RunTrain(const CommandLine& args, std::string* out) {
   const std::string dir = args.Get("out", "");
   std::filesystem::create_directories(dir);
   INVARNETX_RETURN_IF_ERROR(pipeline.SaveToDirectory(dir));
-  const core::ContextModel& model = *pipeline.GetContext(context).value();
+  // Hold the snapshot: GetContext returns a shared_ptr whose Result wrapper
+  // is a temporary.
+  const std::shared_ptr<const core::ContextModel> model =
+      pipeline.GetContext(context).value();
   std::ostringstream message;
   message << "trained " << context.ToString() << " from "
           << traces.value().size() << " runs: ARIMA "
-          << model.perf.arima().order().ToString() << ", "
-          << model.invariants.NumInvariants() << " invariants -> " << dir
+          << model->perf.arima().order().ToString() << ", "
+          << model->invariants.NumInvariants() << " invariants -> " << dir
           << "/\n";
   *out += message.str();
   return Status::Ok();
@@ -357,7 +362,8 @@ Status RunDiagnose(const CommandLine& args, std::string* out) {
     if (!report.ok()) return report.status();
     render(ip, report.value());
     if (args.Has("report")) {
-      Result<const core::ContextModel*> model = pipeline.GetContext(context);
+      Result<std::shared_ptr<const core::ContextModel>> model =
+          pipeline.GetContext(context);
       if (!model.ok()) return model.status();
       markdown = core::RenderIncidentReport(context, report.value(),
                                             *model.value(), trace.ticks,
@@ -406,8 +412,9 @@ Status RunConflicts(const CommandLine& args, std::string* out) {
   Result<workload::WorkloadType> type =
       workload::WorkloadFromName(args.Get("workload", ""));
   if (!type.ok()) return type.status();
-  Result<const core::ContextModel*> model = pipeline.GetContext(
-      core::OperationContext{type.value(), args.Get("node", "")});
+  Result<std::shared_ptr<const core::ContextModel>> model =
+      pipeline.GetContext(
+          core::OperationContext{type.value(), args.Get("node", "")});
   if (!model.ok()) return model.status();
   const double threshold = std::atof(args.Get("threshold", "0.6").c_str());
   Result<std::vector<core::SignatureConflict>> conflicts =
@@ -587,6 +594,50 @@ Status RunCampaign(const CommandLine& args, std::string* out) {
   return Status::Ok();
 }
 
+Status RunServe(const CommandLine& args, std::string* out) {
+  if (!args.Has("replay")) {
+    return Status::InvalidArgument(
+        "serve needs --replay FILE (a .scenario file, or a trace with "
+        "--store DIR)");
+  }
+  const std::string target = args.Get("replay", "");
+  serve::ReplayOptions options;
+  options.threads = std::atoi(args.Get("threads", "0").c_str());
+  options.window_capacity =
+      static_cast<size_t>(std::atoi(args.Get("window", "256").c_str()));
+  if (options.window_capacity == 0) {
+    return Status::InvalidArgument("bad --window (want >= 1)");
+  }
+  options.max_runs = std::atoi(args.Get("runs", "0").c_str());
+
+  // A scenario file carries its own training data (seeded simulation); a
+  // recorded trace needs the offline store that trained its contexts.
+  if (std::filesystem::path(target).extension() == ".scenario") {
+    Result<campaign::Scenario> scenario = campaign::LoadScenarioFile(target);
+    if (!scenario.ok()) return scenario.status();
+    Result<std::string> rendered =
+        serve::ReplayScenario(scenario.value(), options);
+    if (!rendered.ok()) return rendered.status();
+    *out += rendered.value();
+    return Status::Ok();
+  }
+  if (!args.Has("store")) {
+    return Status::InvalidArgument(
+        "serve --replay TRACE needs --store DIR (trained offline state)");
+  }
+  Result<telemetry::RunTrace> trace = telemetry::ReadTraceFile(target);
+  if (!trace.ok()) return trace.status();
+  core::InvarNetXConfig pipeline_config;
+  ApplyMiningOptions(args, &pipeline_config);
+  core::InvarNetX pipeline(pipeline_config);
+  INVARNETX_RETURN_IF_ERROR(pipeline.LoadFromDirectory(args.Get("store", "")));
+  Result<std::string> rendered =
+      serve::ReplayTrace(pipeline, trace.value(), options);
+  if (!rendered.ok()) return rendered.status();
+  *out += rendered.value();
+  return Status::Ok();
+}
+
 std::string Usage() {
   return
       "invarnetx <command> [options] [trace files]\n"
@@ -617,6 +668,13 @@ std::string Usage() {
       "            train, inject, diagnose, and score ranked causes\n"
       "            against each scenario's expected root cause; compares\n"
       "            diagnosis reports against golden files when present\n"
+      "  serve     --replay FILE [--store DIR] [--window W] [--runs N]\n"
+      "            stream a scenario's test runs (or a recorded trace,\n"
+      "            with --store) tick by tick through a MonitorFleet -\n"
+      "            one monitor per node, batched ingestion, bounded\n"
+      "            windows, alarm-triggered asynchronous diagnosis -\n"
+      "            and print the per-job verdicts (byte-identical for\n"
+      "            every --threads value)\n"
       "\n"
       "global options (every command):\n"
       "  --log-level L     debug|info|warn|error|off (default info);\n"
@@ -649,6 +707,7 @@ Status RunCommand(const CommandLine& args, std::string* out) {
     if (args.command == "info") return RunInfo(args, out);
     if (args.command == "stats") return RunStats(args, out);
     if (args.command == "campaign") return RunCampaign(args, out);
+    if (args.command == "serve") return RunServe(args, out);
     *out += Usage();
     return Status::InvalidArgument("unknown command: " + args.command);
   }();

@@ -38,6 +38,7 @@ Result<CommandLine> ParseArgs(int argc, const char* const* argv);
 //   stats     [--workload W] [--runs N] [--format text|json]
 //   campaign  run DIR|FILE [--csv F] [--json F] [--golden-dir D]
 //             [--update-golden] [--min-precision X]
+//   serve     --replay FILE [--store DIR] [--window W] [--runs N]
 Status RunSimulate(const CommandLine& args, std::string* out);
 Status RunTrain(const CommandLine& args, std::string* out);
 Status RunAddSignature(const CommandLine& args, std::string* out);
@@ -46,6 +47,7 @@ Status RunConflicts(const CommandLine& args, std::string* out);
 Status RunInfo(const CommandLine& args, std::string* out);
 Status RunStats(const CommandLine& args, std::string* out);
 Status RunCampaign(const CommandLine& args, std::string* out);
+Status RunServe(const CommandLine& args, std::string* out);
 
 // Dispatches to the command; unknown commands return kInvalidArgument with
 // the usage text in *out. Also applies the global observability options

@@ -11,9 +11,13 @@ AnomalyDetector::AnomalyDetector(const PerformanceModel& model,
 
 bool AnomalyDetector::Exceeds(double residual) const {
   if (rule_ == ThresholdRule::kMaxMin) {
-    // The paper's max-min rule flags residuals outside [min(R), max(R)].
-    return residual > model_.residual_max() ||
-           residual < model_.residual_min();
+    // The paper's max-min rule brackets the training-time residual band
+    // [min(R), max(R)]. Our residuals are absolute prediction errors, so a
+    // value below min(R) means the one-step forecast fits *better* than it
+    // ever did during calibration - not a performance degradation. Only the
+    // upper bar raises the alarm (decision documented in DESIGN.md and
+    // pinned by core_test MaxMinRuleIgnoresBetterThanTrainedResiduals).
+    return residual > model_.residual_max();
   }
   return residual > model_.Threshold(rule_);
 }

@@ -29,6 +29,11 @@ mic::MicWorkspace& WorkerMicWorkspace() {
   return ThreadLocalInstance<mic::MicWorkspace>();
 }
 
+// MIC needs at least 4 points to place a 2x2 grid. Shorter series (tiny
+// analysis windows) carry no mineable association - "no association", not
+// an error, matching how degenerate series and unfittable ARX pairs score.
+constexpr size_t kMinScoreableTicks = 4;
+
 class MicEngine : public AssociationEngine {
  public:
   std::string name() const override { return "mic"; }
@@ -38,6 +43,9 @@ class MicEngine : public AssociationEngine {
                              bool y_degenerate) const override {
     // Degenerate (constant) series carry no association information.
     if (x_degenerate || y_degenerate) return 0.0;
+    if (x.size() < kMinScoreableTicks || y.size() < kMinScoreableTicks) {
+      return 0.0;
+    }
     return mic::MicScore(x, y, mic::MicOptions(), &WorkerMicWorkspace());
   }
 };
@@ -53,6 +61,9 @@ class EnsembleEngine : public AssociationEngine {
                              const std::vector<double>& y, bool x_degenerate,
                              bool y_degenerate) const override {
     if (x_degenerate || y_degenerate) return 0.0;
+    if (x.size() < kMinScoreableTicks || y.size() < kMinScoreableTicks) {
+      return 0.0;
+    }
     Result<double> mic_score =
         mic::MicScore(x, y, mic::MicOptions(), &WorkerMicWorkspace());
     if (!mic_score.ok()) return mic_score.status();

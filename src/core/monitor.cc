@@ -3,14 +3,17 @@
 namespace invarnetx::core {
 
 Status OnlineMonitor::StartJob(const OperationContext& context) {
-  Result<const ContextModel*> model = pipeline_->GetContext(context);
+  Result<std::shared_ptr<const ContextModel>> model =
+      pipeline_->GetContext(context);
   if (!model.ok()) return model.status();
   context_ = context;
-  detector_.emplace(model.value()->perf,
+  // Pin the epoch snapshot first; the detector references the snapshot's
+  // performance model, which the shared_ptr keeps alive across retrains.
+  model_ = std::move(model.value());
+  detector_.emplace(model_->perf,
                     pipeline_->config().threshold_rule,
                     pipeline_->config().consecutive_required);
-  buffer_ = telemetry::NodeTrace{};
-  buffer_.ip = context.node_ip;
+  window_.Clear();
   alarm_ = false;
   first_alarm_tick_ = -1;
   return Status::Ok();
@@ -21,16 +24,14 @@ Result<OnlineMonitor::TickVerdict> OnlineMonitor::Observe(
   if (!detector_.has_value()) {
     return Status::FailedPrecondition("Observe: no active job");
   }
-  buffer_.cpi.push_back(cpi);
-  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
-    buffer_.metrics[static_cast<size_t>(m)].push_back(
-        metrics[static_cast<size_t>(m)]);
-  }
+  window_.Push(cpi, metrics);
   TickVerdict verdict;
   verdict.alarm = detector_->Observe(cpi);
   verdict.residual = detector_->last_residual();
   if (verdict.alarm && !alarm_) {
-    first_alarm_tick_ = static_cast<int>(buffer_.cpi.size()) - 1;
+    // Latched in absolute job ticks, so the report still names the right
+    // tick after the window has evicted it.
+    first_alarm_tick_ = static_cast<int>(window_.total_pushed()) - 1;
   }
   alarm_ = alarm_ || verdict.alarm;
   return verdict;
@@ -40,11 +41,11 @@ Result<DiagnosisReport> OnlineMonitor::Diagnose() const {
   if (!detector_.has_value()) {
     return Status::FailedPrecondition("Diagnose: no active job");
   }
-  if (buffer_.cpi.empty()) {
+  if (window_.empty()) {
     return Status::FailedPrecondition("Diagnose: nothing observed yet");
   }
-  Result<DiagnosisReport> report =
-      pipeline_->InferCauseForNode(context_, buffer_);
+  Result<DiagnosisReport> report = pipeline_->InferCauseForModel(
+      *model_, window_.Materialize(context_.node_ip));
   if (!report.ok()) return report.status();
   report.value().anomaly_detected = alarm_;
   report.value().first_alarm_tick = first_alarm_tick_;

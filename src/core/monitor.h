@@ -2,10 +2,12 @@
 #define INVARNETX_CORE_MONITOR_H_
 
 #include <array>
+#include <memory>
 #include <optional>
 
 #include "core/anomaly.h"
 #include "core/pipeline.h"
+#include "core/ring_window.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -16,25 +18,41 @@ namespace invarnetx::core {
 // model from the archived models instantly" (Sec. 3.2) by switching to the
 // job's operation context; each tick it feeds the CPI sample through the
 // one-step ARIMA detector; when the debounced alarm fires, cause inference
-// runs over the observations buffered since the job started.
+// runs over the bounded window of recent observations.
 //
-// The referenced InvarNetX must outlive the monitor and must not be
-// retrained while a job is active (the detector holds the context's
-// performance model by reference).
+// Retrain safety: StartJob pins the context's current epoch snapshot
+// (shared_ptr), so the referenced InvarNetX may be retrained freely while a
+// job is active - this monitor keeps detecting and diagnosing against the
+// epoch it selected at job start. Only the InvarNetX object itself must
+// outlive the monitor.
+//
+// Memory safety at scale: observations live in a fixed-capacity RingWindow
+// (Options::window_capacity ticks, oldest-tick eviction), so steady-state
+// memory per monitor is bounded no matter how long the job runs, and every
+// Diagnose call is O(window) instead of O(job length).
 class OnlineMonitor {
  public:
+  struct Options {
+    // Observation retention in ticks. Diagnosis sees at most this many of
+    // the most recent ticks; 256 comfortably covers the paper's 60-tick
+    // runs plus the 5-minute fault windows.
+    size_t window_capacity = 256;
+  };
+
   struct TickVerdict {
     bool alarm = false;      // debounced alarm raised at this tick
     double residual = 0.0;   // |observed - predicted| CPI
   };
 
-  // `node_ip` names the node this monitor watches (used for reporting;
-  // the context passed to StartJob decides which models apply).
-  explicit OnlineMonitor(const InvarNetX* pipeline) : pipeline_(pipeline) {}
+  explicit OnlineMonitor(const InvarNetX* pipeline)
+      : OnlineMonitor(pipeline, Options()) {}
+  OnlineMonitor(const InvarNetX* pipeline, Options options)
+      : pipeline_(pipeline), window_(options.window_capacity) {}
 
-  // Switches to the context of the newly arrived job: selects its archived
-  // performance model, clears the observation buffer and the alarm latch.
-  // Fails if the context has not been trained.
+  // Switches to the context of the newly arrived job: pins its archived
+  // performance model's current epoch, clears the observation window and
+  // the alarm latch. Fails if the context has not been trained. Callable
+  // mid-job to re-arm the monitor for the next job.
   Status StartJob(const OperationContext& context);
 
   // Feeds one tick of observations (CPI + the 26 metrics). Requires an
@@ -43,24 +61,42 @@ class OnlineMonitor {
   Result<TickVerdict> Observe(
       double cpi, const std::array<double, telemetry::kNumMetrics>& metrics);
 
-  // Cause inference over everything observed since StartJob. Usually
-  // called once alarm_active(); callable any time >= 1 tick was observed.
+  // Cause inference over the retained observation window, against the model
+  // epoch pinned at StartJob. Usually called once alarm_active(); callable
+  // any time >= 1 tick was observed. O(window), so repeated mid-job
+  // diagnoses stay cheap.
   Result<DiagnosisReport> Diagnose() const;
+
+  // Snapshot of the observation window (for consumers that diagnose
+  // asynchronously on a copy while ticks keep streaming in).
+  telemetry::NodeTrace WindowTrace() const {
+    return window_.Materialize(context_.node_ip);
+  }
 
   bool job_active() const { return detector_.has_value(); }
   bool alarm_active() const { return alarm_; }
-  // Tick (within the current job) of the first debounced alarm; -1 if none.
+  // Tick (within the current job, in absolute job ticks - stable even after
+  // the window evicted the tick itself) of the first debounced alarm; -1 if
+  // none.
   int first_alarm_tick() const { return first_alarm_tick_; }
-  int ticks_observed() const {
-    return static_cast<int>(buffer_.cpi.size());
-  }
+  // Absolute ticks observed since StartJob (including evicted ones).
+  int ticks_observed() const { return static_cast<int>(window_.total_pushed()); }
+  // Ticks currently retained in the bounded window (<= window capacity).
+  int window_ticks() const { return static_cast<int>(window_.size()); }
+  const RingWindow& window() const { return window_; }
   const OperationContext& context() const { return context_; }
+  // The pinned model snapshot (nullptr before the first StartJob) and its
+  // epoch (0 before the first StartJob).
+  std::shared_ptr<const ContextModel> model() const { return model_; }
+  uint64_t model_epoch() const { return model_ == nullptr ? 0 : model_->epoch; }
+  const InvarNetX* pipeline() const { return pipeline_; }
 
  private:
   const InvarNetX* pipeline_;
   OperationContext context_;
+  std::shared_ptr<const ContextModel> model_;
   std::optional<AnomalyDetector> detector_;
-  telemetry::NodeTrace buffer_;
+  RingWindow window_;
   bool alarm_ = false;
   int first_alarm_tick_ = -1;
 };

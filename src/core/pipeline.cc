@@ -157,8 +157,11 @@ Status InvarNetX::TrainContextFromExamples(
     if (window >= n) {
       slices.push_back(SliceTask{&node, 0, window});
     } else {
+      // The stride must never be 0 (window == 1 would otherwise loop on
+      // s = 0 forever).
+      const size_t stride = std::max<size_t>(1, window / 2);
       size_t last = 0;
-      for (size_t s = 0; s + window <= n; s += window / 2) {
+      for (size_t s = 0; s + window <= n; s += stride) {
         slices.push_back(SliceTask{&node, s, window});
         last = s;
       }
@@ -190,15 +193,23 @@ Status InvarNetX::TrainContextFromExamples(
   Result<InvariantSet> invariants = BuildInvariants(matrices, config_.tau);
   if (!invariants.ok()) return invariants.status();
 
-  ContextModel& model = contexts_[Key(context)];
-  model.perf = std::move(perf.value());
-  model.invariants = std::move(invariants.value());
+  // Publish a fresh epoch: signatures taught to the previous epoch carry
+  // over (retraining refreshes the model and invariants, not the operator's
+  // investigated-problem knowledge).
+  auto fresh = std::make_shared<ContextModel>();
+  fresh->perf = std::move(perf.value());
+  fresh->invariants = std::move(invariants.value());
+  if (std::shared_ptr<const ContextModel> previous = Snapshot(Key(context))) {
+    fresh->sigdb = previous->sigdb;
+  }
+  const size_t num_invariants = fresh->invariants.NumInvariants();
+  Publish(Key(context), std::move(fresh));
   INVARNETX_OBS_LOG(
       obs::LogLevel::kInfo, "trained context",
       {{"context", Key(context).ToString()},
        {"examples", examples.size()},
        {"slices", slices.size()},
-       {"invariants", model.invariants.NumInvariants()},
+       {"invariants", num_invariants},
        {"mine_s", mine_span.Seconds()},
        {"perf_model_s", perf_span.Seconds()}});
   return Status::Ok();
@@ -208,8 +219,8 @@ Status InvarNetX::AddSignature(const OperationContext& context,
                                const std::string& problem,
                                const telemetry::RunTrace& abnormal_run,
                                size_t node_index) {
-  auto it = contexts_.find(Key(context));
-  if (it == contexts_.end()) {
+  std::shared_ptr<const ContextModel> current = Snapshot(Key(context));
+  if (current == nullptr) {
     return Status::FailedPrecondition("AddSignature: context not trained: " +
                                       context.ToString());
   }
@@ -219,24 +230,30 @@ Status InvarNetX::AddSignature(const OperationContext& context,
   INVARNETX_RETURN_IF_ERROR(
       ValidateNode(abnormal_run.nodes[node_index], "AddSignature"));
   Result<AssociationMatrix> matrix =
-      AbnormalMatrix(it->second, abnormal_run.nodes[node_index]);
+      AbnormalMatrix(*current, abnormal_run.nodes[node_index]);
   if (!matrix.ok()) return matrix.status();
   Result<std::vector<uint8_t>> tuple = ComputeViolationTuple(
-      it->second.invariants, matrix.value(), config_.epsilon);
+      current->invariants, matrix.value(), config_.epsilon);
   if (!tuple.ok()) return tuple.status();
   obs::MetricsRegistry::Shared().GetCounter("pipeline.signatures_added")
       .Increment();
   INVARNETX_OBS_LOG(obs::LogLevel::kInfo, "added signature",
                     {{"context", Key(context).ToString()},
                      {"problem", problem}});
-  return it->second.sigdb.Add(Signature{problem, std::move(tuple.value())});
+  // Copy-on-write: the signature lands in a fresh epoch so readers holding
+  // the current snapshot never observe a mutating SignatureDatabase.
+  auto fresh = std::make_shared<ContextModel>(*current);
+  INVARNETX_RETURN_IF_ERROR(
+      fresh->sigdb.Add(Signature{problem, std::move(tuple.value())}));
+  Publish(Key(context), std::move(fresh));
+  return Status::Ok();
 }
 
 Result<DiagnosisReport> InvarNetX::Diagnose(const OperationContext& context,
                                             const telemetry::RunTrace& run,
                                             size_t node_index) const {
-  auto it = contexts_.find(Key(context));
-  if (it == contexts_.end()) {
+  std::shared_ptr<const ContextModel> model = Snapshot(Key(context));
+  if (model == nullptr) {
     return Status::FailedPrecondition("Diagnose: context not trained: " +
                                       context.ToString());
   }
@@ -247,7 +264,7 @@ Result<DiagnosisReport> InvarNetX::Diagnose(const OperationContext& context,
   obs::Span diagnose_span("diagnose", {{"context", Key(context).ToString()}});
   obs::MetricsRegistry::Shared().GetCounter("pipeline.diagnose_calls")
       .Increment();
-  AnomalyDetector detector(it->second.perf, config_.threshold_rule,
+  AnomalyDetector detector(model->perf, config_.threshold_rule,
                            config_.consecutive_required);
   obs::Span detect_span("detect");
   const AnomalyScan scan = detector.Scan(run.nodes[node_index].cpi);
@@ -264,7 +281,10 @@ Result<DiagnosisReport> InvarNetX::Diagnose(const OperationContext& context,
     return report;
   }
   obs::MetricsRegistry::Shared().GetCounter("pipeline.anomalies").Increment();
-  Result<DiagnosisReport> report = InferCause(context, run, node_index);
+  // Infer against the same epoch detection ran on, so a concurrent retrain
+  // cannot split one diagnosis across two model generations.
+  Result<DiagnosisReport> report =
+      InferCauseForModel(*model, run.nodes[node_index]);
   if (!report.ok()) return report.status();
   report.value().anomaly_detected = true;
   report.value().first_alarm_tick = scan.first_alarm_tick;
@@ -292,13 +312,17 @@ Result<DiagnosisReport> InvarNetX::InferCause(const OperationContext& context,
 
 Result<DiagnosisReport> InvarNetX::InferCauseForNode(
     const OperationContext& context, const telemetry::NodeTrace& node) const {
-  auto it = contexts_.find(Key(context));
-  if (it == contexts_.end()) {
+  std::shared_ptr<const ContextModel> model = Snapshot(Key(context));
+  if (model == nullptr) {
     return Status::FailedPrecondition("InferCause: context not trained: " +
                                       context.ToString());
   }
-  const ContextModel& model = it->second;
-  obs::Span infer_span("infer_cause", {{"context", Key(context).ToString()}});
+  return InferCauseForModel(*model, node);
+}
+
+Result<DiagnosisReport> InvarNetX::InferCauseForModel(
+    const ContextModel& model, const telemetry::NodeTrace& node) const {
+  obs::Span infer_span("infer_cause");
   const AssociationScoreCache& cache = AssociationScoreCache::Shared();
   const uint64_t hits_before = cache.hits();
   const uint64_t misses_before = cache.misses();
@@ -378,16 +402,31 @@ Result<AssociationMatrix> InvarNetX::AbnormalMatrix(
 }
 
 bool InvarNetX::HasContext(const OperationContext& context) const {
-  return contexts_.find(Key(context)) != contexts_.end();
+  return Snapshot(Key(context)) != nullptr;
 }
 
-Result<const ContextModel*> InvarNetX::GetContext(
+Result<std::shared_ptr<const ContextModel>> InvarNetX::GetContext(
     const OperationContext& context) const {
-  auto it = contexts_.find(Key(context));
-  if (it == contexts_.end()) {
+  std::shared_ptr<const ContextModel> model = Snapshot(Key(context));
+  if (model == nullptr) {
     return Status::NotFound("context not trained: " + context.ToString());
   }
-  return &it->second;
+  return model;
+}
+
+std::shared_ptr<const ContextModel> InvarNetX::Snapshot(
+    const OperationContext& key) const {
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  auto it = contexts_.find(key);
+  return it == contexts_.end() ? nullptr : it->second;
+}
+
+void InvarNetX::Publish(const OperationContext& key,
+                        std::shared_ptr<ContextModel> fresh) {
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  std::shared_ptr<const ContextModel>& slot = contexts_[key];
+  fresh->epoch = (slot == nullptr ? 0 : slot->epoch) + 1;
+  slot = std::move(fresh);
 }
 
 Status InvarNetX::SaveToDirectory(const std::string& directory) const {
@@ -412,10 +451,18 @@ Status InvarNetX::SaveToDirectory(const std::string& directory) const {
   INVARNETX_RETURN_IF_ERROR(
       xmlstore::WriteXmlFile(directory + "/config.xml", config_node));
 
+  // Iterate a point-in-time copy of the map so saving is safe against
+  // concurrent training (each snapshot itself is immutable).
+  std::map<OperationContext, std::shared_ptr<const ContextModel>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    snapshot = contexts_;
+  }
   std::vector<xmlstore::ArimaModelRecord> models;
   std::vector<xmlstore::InvariantSetRecord> invariant_sets;
   std::vector<xmlstore::SignatureRecord> signatures;
-  for (const auto& [context, model] : contexts_) {
+  for (const auto& [context, model_ptr] : snapshot) {
+    const ContextModel& model = *model_ptr;
     xmlstore::ArimaModelRecord rec;
     const ts::ArimaModel& arima = model.perf.arima();
     rec.p = arima.order().p;
@@ -521,7 +568,10 @@ Status InvarNetX::LoadFromDirectory(const std::string& directory) {
       xmlstore::LoadSignatures(directory + "/signatures.xml");
   if (!signatures.ok()) return signatures.status();
 
-  contexts_.clear();
+  // Assemble the restored state off to the side, then publish every context
+  // as a fresh epoch in one pass: readers either see the old store or the
+  // new one per context, never a half-restored model.
+  std::map<OperationContext, ContextModel> staging;
   for (const xmlstore::ArimaModelRecord& rec : models.value()) {
     Result<workload::WorkloadType> type =
         workload::WorkloadFromName(rec.workload);
@@ -531,7 +581,7 @@ Status InvarNetX::LoadFromDirectory(const std::string& directory) {
         rec.sigma2);
     if (!arima.ok()) return arima.status();
     const OperationContext context{type.value(), rec.ip};
-    contexts_[context].perf = PerformanceModel::FromParts(
+    staging[context].perf = PerformanceModel::FromParts(
         std::move(arima.value()), rec.residual_min, rec.residual_max,
         rec.residual_p95, config_.beta);
   }
@@ -555,7 +605,7 @@ Status InvarNetX::LoadFromDirectory(const std::string& directory) {
       set.present[index] = 1;
       set.values[index] = entry.value;
     }
-    contexts_[OperationContext{type.value(), rec.ip}].invariants =
+    staging[OperationContext{type.value(), rec.ip}].invariants =
         std::move(set);
   }
   for (const xmlstore::SignatureRecord& rec : signatures.value()) {
@@ -563,9 +613,18 @@ Status InvarNetX::LoadFromDirectory(const std::string& directory) {
         workload::WorkloadFromName(rec.workload);
     if (!type.ok()) return type.status();
     const Status added =
-        contexts_[OperationContext{type.value(), rec.ip}].sigdb.Add(
+        staging[OperationContext{type.value(), rec.ip}].sigdb.Add(
             Signature{rec.problem, rec.bits});
     if (!added.ok()) return added;
+  }
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    contexts_.clear();
+    for (auto& [context, model] : staging) {
+      auto fresh = std::make_shared<ContextModel>(std::move(model));
+      fresh->epoch = 1;
+      contexts_[context] = std::move(fresh);
+    }
   }
   return Status::Ok();
 }

@@ -2,6 +2,8 @@
 #define INVARNETX_CORE_PIPELINE_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,11 +55,20 @@ struct InvarNetXConfig {
   bool use_association_cache = true;
 };
 
-// Everything InvarNet-X learned about one operation context.
+// Everything InvarNet-X learned about one operation context. Context models
+// are published as immutable epochized snapshots: every TrainContext* /
+// AddSignature / LoadFromDirectory builds a fresh ContextModel and swaps it
+// in under the pipeline's lock, bumping `epoch`. Consumers that hold a
+// snapshot (GetContext returns a shared_ptr) keep diagnosing against the
+// epoch they started with even while the context is retrained - the online
+// monitors' retrain-safety guarantee.
 struct ContextModel {
   PerformanceModel perf;
   InvariantSet invariants;
   SignatureDatabase sigdb;
+  // Publication sequence number of this snapshot within its context;
+  // starts at 1 for the first trained/loaded model.
+  uint64_t epoch = 0;
 };
 
 // What one diagnosis cost the analysis engine itself - the self-measured
@@ -146,10 +157,21 @@ class InvarNetX {
       const OperationContext& context,
       const telemetry::NodeTrace& node) const;
 
+  // Cause inference against an explicit model snapshot. This is the
+  // retrain-safe entry point the online monitors use: the caller pins the
+  // epoch it selected at job start and keeps diagnosing against it even if
+  // the context has been retrained since.
+  Result<DiagnosisReport> InferCauseForModel(
+      const ContextModel& model, const telemetry::NodeTrace& node) const;
+
   // ---- introspection / persistence ---------------------------------------
 
   bool HasContext(const OperationContext& context) const;
-  Result<const ContextModel*> GetContext(const OperationContext& context) const;
+  // Returns the current epoch snapshot of the context's model. The snapshot
+  // is immutable and stays valid (and internally consistent) for as long as
+  // the caller holds it, regardless of concurrent retraining.
+  Result<std::shared_ptr<const ContextModel>> GetContext(
+      const OperationContext& context) const;
 
   // Writes models.xml / invariants.xml / signatures.xml into `directory`
   // (which must exist), in the paper's tuple formats.
@@ -172,8 +194,18 @@ class InvarNetX {
   Result<AssociationMatrix> AbnormalMatrix(
       const ContextModel& model, const telemetry::NodeTrace& node) const;
 
+  // Current snapshot for an already-collapsed key; nullptr when untrained.
+  std::shared_ptr<const ContextModel> Snapshot(
+      const OperationContext& key) const;
+  // Swaps `fresh` in as the key's new snapshot, assigning it the next epoch.
+  void Publish(const OperationContext& key,
+               std::shared_ptr<ContextModel> fresh);
+
   InvarNetXConfig config_;
-  std::map<OperationContext, ContextModel> contexts_;
+  // Guards contexts_ (the map itself and slot pointer swaps); the pointed-to
+  // ContextModels are immutable after publication and need no lock.
+  mutable std::mutex contexts_mu_;
+  std::map<OperationContext, std::shared_ptr<const ContextModel>> contexts_;
 };
 
 }  // namespace invarnetx::core

@@ -174,7 +174,8 @@ std::string RenderClusterReport(const InvarNetX& pipeline,
       scan.nodes[static_cast<size_t>(scan.culprit)];
   out << "\nCulprit: **" << culprit.node_ip << "**\n\n---\n\n";
   const OperationContext context{workload, culprit.node_ip};
-  Result<const ContextModel*> model = pipeline.GetContext(context);
+  Result<std::shared_ptr<const ContextModel>> model =
+      pipeline.GetContext(context);
   if (model.ok()) {
     out << RenderIncidentReport(context, culprit.report, *model.value(),
                                 run_ticks, nullptr);

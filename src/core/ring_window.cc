@@ -1,0 +1,48 @@
+#include "core/ring_window.h"
+
+#include <algorithm>
+
+namespace invarnetx::core {
+
+RingWindow::RingWindow(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      slots_(capacity_ * (telemetry::kNumMetrics + 1), 0.0) {}
+
+void RingWindow::Push(
+    double cpi, const std::array<double, telemetry::kNumMetrics>& metrics) {
+  double* row = Row(static_cast<size_t>(total_ % static_cast<int64_t>(
+      capacity_)));
+  row[0] = cpi;
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    row[m + 1] = metrics[static_cast<size_t>(m)];
+  }
+  ++total_;
+  if (size_ < capacity_) ++size_;
+}
+
+void RingWindow::Clear() {
+  size_ = 0;
+  total_ = 0;
+}
+
+telemetry::NodeTrace RingWindow::Materialize(const std::string& ip) const {
+  telemetry::NodeTrace out;
+  out.ip = ip;
+  out.cpi.reserve(size_);
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    out.metrics[static_cast<size_t>(m)].reserve(size_);
+  }
+  for (size_t i = 0; i < size_; ++i) {
+    const size_t slot = static_cast<size_t>(
+        (start_tick() + static_cast<int64_t>(i)) %
+        static_cast<int64_t>(capacity_));
+    const double* row = Row(slot);
+    out.cpi.push_back(row[0]);
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      out.metrics[static_cast<size_t>(m)].push_back(row[m + 1]);
+    }
+  }
+  return out;
+}
+
+}  // namespace invarnetx::core

@@ -1,0 +1,72 @@
+#ifndef INVARNETX_CORE_RING_WINDOW_H_
+#define INVARNETX_CORE_RING_WINDOW_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::core {
+
+// Bounded observation window for streaming monitors: a fixed-capacity ring
+// of per-tick samples (CPI + the 26 metrics) with oldest-tick eviction.
+// This replaces the unbounded NodeTrace buffer on the online path, so a
+// monitor's steady-state memory is exactly `capacity` ticks no matter how
+// long the job runs. All storage is allocated once at construction; Push
+// never allocates, which keeps per-tick ingestion latency flat.
+class RingWindow {
+ public:
+  // `capacity` is the retention in ticks; it must be >= 1.
+  explicit RingWindow(size_t capacity);
+
+  // Appends one tick, evicting the oldest retained tick when full.
+  void Push(double cpi,
+            const std::array<double, telemetry::kNumMetrics>& metrics);
+
+  // Drops every retained tick and resets the absolute tick counter.
+  void Clear();
+
+  // Retained ticks, <= capacity().
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  // Absolute ticks fed since construction/Clear (evicted ticks included).
+  int64_t total_pushed() const { return total_; }
+  // Absolute tick index of the oldest retained sample.
+  int64_t start_tick() const {
+    return total_ - static_cast<int64_t>(size_);
+  }
+
+  // Storage footprint in ticks - fixed at capacity() for the window's
+  // lifetime (asserted by tests: fleet memory is monitors x window).
+  size_t allocated_ticks() const {
+    return slots_.size() / (telemetry::kNumMetrics + 1);
+  }
+
+  // Copies the retained ticks, oldest first, into a NodeTrace for the
+  // association-matrix path. O(size()) - independent of job length.
+  telemetry::NodeTrace Materialize(const std::string& ip) const;
+
+ private:
+  // Row-major storage: slot r holds [cpi, metric 0, ..., metric 25].
+  double* Row(size_t slot) {
+    return slots_.data() + slot * (telemetry::kNumMetrics + 1);
+  }
+  const double* Row(size_t slot) const {
+    return slots_.data() + slot * (telemetry::kNumMetrics + 1);
+  }
+
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+  int64_t total_ = 0;
+  std::vector<double> slots_;
+};
+
+}  // namespace invarnetx::core
+
+#endif  // INVARNETX_CORE_RING_WINDOW_H_

@@ -1,0 +1,207 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/parallel.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace invarnetx::serve {
+
+MonitorFleet::MonitorFleet(const core::InvarNetX* pipeline, FleetConfig config)
+    : pipeline_(pipeline), config_(config) {
+  if (config_.window_capacity == 0) config_.window_capacity = 1;
+}
+
+MonitorFleet::~MonitorFleet() {
+  // Pool workers capture `this` (results_mu_/results_cv_); never let the
+  // fleet die with diagnoses in flight.
+  WaitForDiagnoses();
+}
+
+Status MonitorFleet::StartJob(const core::OperationContext& context) {
+  auto it = monitors_.find(context);
+  if (it == monitors_.end()) {
+    core::OnlineMonitor::Options options;
+    options.window_capacity = config_.window_capacity;
+    Slot slot;
+    slot.monitor =
+        std::make_unique<core::OnlineMonitor>(pipeline_, options);
+    it = monitors_.emplace(context, std::move(slot)).first;
+  }
+  INVARNETX_RETURN_IF_ERROR(it->second.monitor->StartJob(context));
+  it->second.diagnosis_dispatched = false;
+  PublishGauges();
+  return Status::Ok();
+}
+
+Result<TickSummary> MonitorFleet::IngestTick(
+    const std::vector<TickSample>& samples) {
+  obs::Span ingest_span("serve_ingest_tick",
+                        {{"samples", samples.size()}});
+  // Resolve every sample to its monitor up front: errors surface before any
+  // observation lands, so a rejected batch leaves the fleet untouched.
+  std::vector<Slot*> targets(samples.size(), nullptr);
+  std::set<const Slot*> seen;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    auto it = monitors_.find(samples[i].context);
+    if (it == monitors_.end() || !it->second.monitor->job_active()) {
+      return Status::FailedPrecondition(
+          "IngestTick: no active monitor for " +
+          samples[i].context.ToString());
+    }
+    if (!seen.insert(&it->second).second) {
+      return Status::InvalidArgument(
+          "IngestTick: duplicate sample for " + samples[i].context.ToString());
+    }
+    targets[i] = &it->second;
+  }
+
+  // Detection fan-out. Each index touches only its own monitor (duplicates
+  // were rejected above), so the fan-out is race-free and the per-monitor
+  // stream stays serial - verdicts are bit-identical for any thread count.
+  std::vector<core::OnlineMonitor::TickVerdict> verdicts(samples.size());
+  INVARNETX_RETURN_IF_ERROR(ParallelFor(
+      samples.size(), config_.threads, [&](size_t i) -> Status {
+        Result<core::OnlineMonitor::TickVerdict> verdict =
+            targets[i]->monitor->Observe(samples[i].cpi, samples[i].metrics);
+        if (!verdict.ok()) return verdict.status();
+        verdicts[i] = verdict.value();
+        return Status::Ok();
+      }));
+
+  // Alarm handling runs serially in sample order, so diagnosis dispatch
+  // order is deterministic too.
+  TickSummary summary;
+  summary.samples = static_cast<int>(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    Slot* slot = targets[i];
+    if (!slot->monitor->alarm_active() || slot->diagnosis_dispatched) {
+      continue;
+    }
+    ++summary.new_alarms;
+    slot->diagnosis_dispatched = true;
+    obs::MetricsRegistry::Shared().GetCounter("serve.alarms_raised")
+        .Increment();
+    if (config_.diagnose_on_alarm) DispatchDiagnosis(slot);
+  }
+  summary.alarms_active = static_cast<int>(alarms_active());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  registry.GetCounter("serve.ticks_ingested").Increment();
+  registry.GetCounter("serve.samples_ingested")
+      .Increment(static_cast<uint64_t>(samples.size()));
+  PublishGauges();
+  ingest_span.End();
+  registry.GetHistogram("serve.ingest_seconds").Record(ingest_span.Seconds());
+  return summary;
+}
+
+void MonitorFleet::DispatchDiagnosis(Slot* slot) {
+  // Snapshot everything the diagnosis needs now: later ticks keep mutating
+  // the live window while the MIC matrix grinds on the copy, and a StartJob
+  // re-arm can swap the monitor's model epoch underneath us.
+  FleetDiagnosis pending;
+  pending.context = slot->monitor->context();
+  pending.epoch = slot->monitor->model_epoch();
+  pending.first_alarm_tick = slot->monitor->first_alarm_tick();
+  std::shared_ptr<const core::ContextModel> model = slot->monitor->model();
+  telemetry::NodeTrace window = slot->monitor->WindowTrace();
+
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    depth = ++pending_;
+  }
+  obs::MetricsRegistry::Shared().GetHistogram("serve.diagnosis_queue_depth")
+      .Record(static_cast<double>(depth));
+
+  auto task = [this, pending = std::move(pending), model = std::move(model),
+               window = std::move(window)]() mutable {
+    Result<core::DiagnosisReport> report =
+        pipeline_->InferCauseForModel(*model, window);
+    if (report.ok()) {
+      pending.report = std::move(report.value());
+      pending.report.anomaly_detected = true;
+      pending.report.first_alarm_tick = pending.first_alarm_tick;
+    } else {
+      pending.status = report.status();
+    }
+    obs::MetricsRegistry::Shared().GetCounter("serve.diagnoses_completed")
+        .Increment();
+    {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      results_.push_back(std::move(pending));
+      --pending_;
+      // Notify under the lock: a WaitForDiagnoses caller may destroy the
+      // fleet the moment it sees pending_ == 0, and it cannot leave wait()
+      // until this mutex is released - keeping the cv alive for the
+      // broadcast.
+      results_cv_.notify_all();
+    }
+  };
+  if (config_.threads == 1) {
+    task();
+  } else {
+    ThreadPool::Shared().Submit(std::move(task));
+  }
+}
+
+void MonitorFleet::WaitForDiagnoses() {
+  std::unique_lock<std::mutex> lock(results_mu_);
+  results_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::vector<FleetDiagnosis> MonitorFleet::TakeDiagnoses() {
+  std::vector<FleetDiagnosis> out;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    out.swap(results_);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FleetDiagnosis& a, const FleetDiagnosis& b) {
+              if (!(a.context == b.context)) return a.context < b.context;
+              return a.first_alarm_tick < b.first_alarm_tick;
+            });
+  return out;
+}
+
+size_t MonitorFleet::active_monitors() const {
+  size_t active = 0;
+  for (const auto& [context, slot] : monitors_) {
+    if (slot.monitor->job_active()) ++active;
+  }
+  return active;
+}
+
+size_t MonitorFleet::alarms_active() const {
+  size_t alarms = 0;
+  for (const auto& [context, slot] : monitors_) {
+    if (slot.monitor->alarm_active()) ++alarms;
+  }
+  return alarms;
+}
+
+size_t MonitorFleet::pending_diagnoses() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  return pending_;
+}
+
+const core::OnlineMonitor* MonitorFleet::Find(
+    const core::OperationContext& context) const {
+  auto it = monitors_.find(context);
+  return it == monitors_.end() ? nullptr : it->second.monitor.get();
+}
+
+void MonitorFleet::PublishGauges() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  registry.GetGauge("serve.active_monitors")
+      .Set(static_cast<double>(active_monitors()));
+  registry.GetGauge("serve.alarms_active")
+      .Set(static_cast<double>(alarms_active()));
+}
+
+}  // namespace invarnetx::serve

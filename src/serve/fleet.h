@@ -1,0 +1,143 @@
+#ifndef INVARNETX_SERVE_FLEET_H_
+#define INVARNETX_SERVE_FLEET_H_
+
+#include <array>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/monitor.h"
+#include "core/pipeline.h"
+#include "telemetry/metrics.h"
+
+namespace invarnetx::serve {
+
+// Execution knobs of a MonitorFleet - runtime concerns only: fleet verdicts
+// and drained diagnoses are bit-identical for every `threads` value.
+struct FleetConfig {
+  // Observation retention per monitor, in ticks (RingWindow capacity). The
+  // fleet's steady-state memory is monitors x window_capacity ticks.
+  size_t window_capacity = 256;
+  // Workers for the per-tick ingest fan-out (<= 0: one per hardware
+  // thread; 1: serial). Asynchronous diagnoses additionally use the shared
+  // ThreadPool unless this is 1, in which case they run inline.
+  int threads = 0;
+  // When true (the default), a monitor's first debounced alarm of a job
+  // triggers one asynchronous diagnosis on a snapshot of its window, so
+  // detection never blocks on the MIC matrix.
+  bool diagnose_on_alarm = true;
+};
+
+// One monitor's observations for one cluster tick.
+struct TickSample {
+  core::OperationContext context;  // names the (operation-context x node) monitor
+  double cpi = 0.0;
+  std::array<double, telemetry::kNumMetrics> metrics{};
+};
+
+// What one batched ingest tick did to the fleet.
+struct TickSummary {
+  int samples = 0;
+  int new_alarms = 0;     // monitors whose debounced alarm first fired now
+  int alarms_active = 0;  // latched alarms across the fleet after this tick
+};
+
+// A completed alarm-triggered diagnosis.
+struct FleetDiagnosis {
+  core::OperationContext context;
+  uint64_t epoch = 0;         // model epoch the diagnosis ran against
+  int first_alarm_tick = -1;  // absolute job tick (eviction-stable)
+  Status status;              // cause inference itself can fail
+  core::DiagnosisReport report;  // meaningful when status.ok()
+};
+
+// Many concurrent (operation-context x node) monitors behind one ingestion
+// API - the paper's "monitor per node" (Sec. 3.2) scaled to a cluster. Each
+// tick the caller hands the fleet one sample per active monitor; detection
+// fans out over the shared ThreadPool with deterministic per-monitor
+// ordering (each monitor's stream is serial; distinct monitors never share
+// state), observations live in bounded ring windows, and the first alarm of
+// a job enqueues an asynchronous diagnosis over a window snapshot so the
+// ingest path never waits on the association matrix.
+//
+// Threading contract: StartJob / IngestTick / TakeDiagnoses are driven from
+// one ingestion thread (the fleet parallelizes internally); completed
+// diagnoses are handed back in deterministic (context, alarm tick) order.
+// Retraining the pipeline while the fleet is live is safe: every monitor
+// pins its model epoch at StartJob.
+//
+// Self-observability (obs::MetricsRegistry::Shared()):
+//   gauge     serve.active_monitors       monitors with an active job
+//   gauge     serve.alarms_active         latched alarms across the fleet
+//   histogram serve.ingest_seconds        per-tick batched ingest latency
+//   histogram serve.diagnosis_queue_depth pending diagnoses at enqueue time
+//   counter   serve.ticks_ingested / serve.samples_ingested
+//   counter   serve.alarms_raised / serve.diagnoses_completed
+class MonitorFleet {
+ public:
+  explicit MonitorFleet(const core::InvarNetX* pipeline,
+                        FleetConfig config = {});
+  ~MonitorFleet();
+
+  MonitorFleet(const MonitorFleet&) = delete;
+  MonitorFleet& operator=(const MonitorFleet&) = delete;
+
+  // Arms (or re-arms, mid-job) the monitor for this context, creating it on
+  // first use. Fails if the context has not been trained. Re-arming clears
+  // the monitor's window and alarm latch; an in-flight diagnosis of the
+  // previous job keeps running on its snapshot and is still delivered.
+  Status StartJob(const core::OperationContext& context);
+
+  // Batched per-tick cluster ingestion: one sample per monitor, every
+  // sample's monitor must have an active job, and a monitor may appear at
+  // most once per tick. Detection runs fanned out across workers; verdicts
+  // and alarm latching are identical for every thread count.
+  Result<TickSummary> IngestTick(const std::vector<TickSample>& samples);
+
+  // Blocks until every enqueued asynchronous diagnosis completed.
+  void WaitForDiagnoses();
+
+  // Drains completed diagnoses, sorted by (context, first alarm tick) so
+  // replay output is deterministic. Call WaitForDiagnoses first when the
+  // full set is wanted.
+  std::vector<FleetDiagnosis> TakeDiagnoses();
+
+  size_t active_monitors() const;
+  size_t alarms_active() const;
+  size_t pending_diagnoses() const;
+  // The monitor serving `context`, or nullptr (introspection/tests).
+  const core::OnlineMonitor* Find(const core::OperationContext& context) const;
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<core::OnlineMonitor> monitor;
+    // One asynchronous diagnosis per job: set when the alarm's diagnosis
+    // was enqueued, cleared by StartJob.
+    bool diagnosis_dispatched = false;
+  };
+
+  // Snapshots the monitor's window + pinned model and enqueues the cause
+  // inference (inline when config_.threads == 1).
+  void DispatchDiagnosis(Slot* slot);
+  void PublishGauges();
+
+  const core::InvarNetX* pipeline_;
+  FleetConfig config_;
+  std::map<core::OperationContext, Slot> monitors_;
+
+  // Completed-diagnosis hand-off between pool workers and the ingestion
+  // thread.
+  mutable std::mutex results_mu_;
+  std::condition_variable results_cv_;
+  std::vector<FleetDiagnosis> results_;
+  size_t pending_ = 0;
+};
+
+}  // namespace invarnetx::serve
+
+#endif  // INVARNETX_SERVE_FLEET_H_

@@ -1,0 +1,219 @@
+#include "serve/replay.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "common/parallel.h"
+#include "faults/fault.h"
+#include "obs/log.h"
+#include "serve/fleet.h"
+
+namespace invarnetx::serve {
+namespace {
+
+std::string FormatScore(double score) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", score);
+  return buf;
+}
+
+// One sample per armed node at tick `t` of the trace.
+std::vector<TickSample> SamplesAt(
+    const telemetry::RunTrace& trace,
+    const std::vector<std::pair<size_t, core::OperationContext>>& armed,
+    size_t t) {
+  std::vector<TickSample> samples;
+  samples.reserve(armed.size());
+  for (const auto& [node_index, context] : armed) {
+    const telemetry::NodeTrace& node = trace.nodes[node_index];
+    TickSample sample;
+    sample.context = context;
+    sample.cpi = node.cpi[t];
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      sample.metrics[static_cast<size_t>(m)] =
+          node.metrics[static_cast<size_t>(m)][t];
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+// Renders every armed node's verdict after one replayed job, in node order.
+void RenderVerdicts(
+    const MonitorFleet& fleet,
+    const std::vector<std::pair<size_t, core::OperationContext>>& armed,
+    const std::vector<FleetDiagnosis>& diagnoses, std::ostringstream* out) {
+  for (const auto& [node_index, context] : armed) {
+    const core::OnlineMonitor* monitor = fleet.Find(context);
+    if (monitor == nullptr || !monitor->alarm_active()) {
+      *out << context.node_ip << ": healthy\n";
+      continue;
+    }
+    *out << context.node_ip << ": ALARM tick " << monitor->first_alarm_tick();
+    const FleetDiagnosis* diagnosis = nullptr;
+    for (const FleetDiagnosis& d : diagnoses) {
+      if (d.context == context) {
+        diagnosis = &d;
+        break;
+      }
+    }
+    if (diagnosis == nullptr) {
+      *out << " (diagnosis pending)\n";
+      continue;
+    }
+    if (!diagnosis->status.ok()) {
+      *out << " (diagnosis failed: " << diagnosis->status.ToString() << ")\n";
+      continue;
+    }
+    *out << ", " << diagnosis->report.num_violations << " violations";
+    if (!diagnosis->report.causes.empty()) {
+      *out << " -> " << diagnosis->report.causes[0].problem << " "
+           << FormatScore(diagnosis->report.causes[0].score);
+      if (!diagnosis->report.known_problem) *out << " (below threshold)";
+    } else {
+      *out << " -> unknown problem";
+    }
+    *out << " [epoch " << diagnosis->epoch << "]\n";
+  }
+}
+
+}  // namespace
+
+Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
+                                   const ReplayOptions& options) {
+  // 1. Fault-free runs on the campaign's normal seed stream.
+  std::vector<telemetry::RunTrace> normal(
+      static_cast<size_t>(scenario.normal_runs));
+  INVARNETX_RETURN_IF_ERROR(ParallelFor(
+      normal.size(), options.threads, [&](size_t i) -> Status {
+        Result<telemetry::RunTrace> trace =
+            campaign::SimulateScenarioNormalRun(scenario,
+                                                static_cast<int>(i));
+        if (!trace.ok()) return trace.status();
+        normal[i] = std::move(trace.value());
+        return Status::Ok();
+      }));
+
+  // 2. Train every slave's operation context - a fleet watches the whole
+  // cluster, not just the campaign's victim.
+  core::InvarNetXConfig pipeline_config;
+  pipeline_config.num_threads = options.threads;
+  core::InvarNetX pipeline(pipeline_config);
+  std::vector<std::pair<size_t, core::OperationContext>> armed;
+  for (int node = 1; node <= scenario.slaves; ++node) {
+    const core::OperationContext context{
+        scenario.workload, "10.0.0." + std::to_string(node + 1)};
+    INVARNETX_RETURN_IF_ERROR(pipeline.TrainContext(
+        context, normal, static_cast<size_t>(node)));
+    armed.emplace_back(static_cast<size_t>(node), context);
+  }
+
+  // 3. Teach the victim context the scenario's signature catalog, on the
+  // campaign's signature seed streams.
+  const core::OperationContext victim =
+      campaign::ScenarioVictimContext(scenario);
+  for (size_t fi = 0; fi < scenario.signature_faults.size(); ++fi) {
+    for (int rep = 0; rep < scenario.signature_runs; ++rep) {
+      Result<telemetry::RunTrace> run =
+          campaign::SimulateScenarioSignatureRun(scenario, fi, rep);
+      if (!run.ok()) return run.status();
+      INVARNETX_RETURN_IF_ERROR(pipeline.AddSignature(
+          victim, faults::FaultName(scenario.signature_faults[fi]),
+          run.value(), campaign::ScenarioVictimNode(scenario)));
+    }
+  }
+
+  // 4. Stream each test run through the fleet, one job per run.
+  FleetConfig fleet_config;
+  fleet_config.window_capacity = options.window_capacity;
+  fleet_config.threads = options.threads;
+  MonitorFleet fleet(&pipeline, fleet_config);
+
+  int runs = scenario.test_runs;
+  if (options.max_runs > 0) runs = std::min(runs, options.max_runs);
+  std::ostringstream out;
+  out << "replay " << scenario.name << ": " << armed.size() << " monitors, "
+      << runs << " run(s), window " << fleet_config.window_capacity
+      << " ticks, fault " << faults::FaultName(scenario.fault) << "\n";
+
+  int total_alarms = 0;
+  for (int rep = 0; rep < runs; ++rep) {
+    Result<telemetry::RunTrace> trace =
+        campaign::SimulateScenarioTestRun(scenario, rep);
+    if (!trace.ok()) return trace.status();
+    for (const auto& [node_index, context] : armed) {
+      INVARNETX_RETURN_IF_ERROR(fleet.StartJob(context));
+    }
+    const size_t ticks = trace.value().nodes[1].cpi.size();
+    for (size_t t = 0; t < ticks; ++t) {
+      Result<TickSummary> summary =
+          fleet.IngestTick(SamplesAt(trace.value(), armed, t));
+      if (!summary.ok()) return summary.status();
+    }
+    fleet.WaitForDiagnoses();
+    const std::vector<FleetDiagnosis> diagnoses = fleet.TakeDiagnoses();
+    out << "== run " << rep << " ==\n";
+    RenderVerdicts(fleet, armed, diagnoses, &out);
+    total_alarms += static_cast<int>(fleet.alarms_active());
+  }
+  out << "summary: " << total_alarms << " alarm(s) over " << runs
+      << " run(s) x " << armed.size() << " monitor(s)\n";
+  return out.str();
+}
+
+Result<std::string> ReplayTrace(const core::InvarNetX& pipeline,
+                                const telemetry::RunTrace& trace,
+                                const ReplayOptions& options) {
+  if (trace.nodes.empty() || trace.ticks <= 0) {
+    return Status::InvalidArgument("ReplayTrace: empty trace");
+  }
+  // A plain trace is one job spanning the whole observation; FIFO-sequence
+  // traces carry their own span list and re-arm monitors per job.
+  std::vector<telemetry::JobSpanInfo> spans = trace.job_spans;
+  if (spans.empty()) {
+    spans.push_back(
+        telemetry::JobSpanInfo{trace.workload, 0, trace.ticks});
+  }
+
+  FleetConfig fleet_config;
+  fleet_config.window_capacity = options.window_capacity;
+  fleet_config.threads = options.threads;
+  MonitorFleet fleet(&pipeline, fleet_config);
+
+  std::ostringstream out;
+  for (size_t j = 0; j < spans.size(); ++j) {
+    telemetry::JobSpanInfo span = spans[j];
+    if (span.end_tick < 0) span.end_tick = trace.ticks;
+    if (span.end_tick <= span.start_tick) continue;
+
+    // Arm a monitor for every node whose operation context is archived.
+    std::vector<std::pair<size_t, core::OperationContext>> armed;
+    for (size_t n = 0; n < trace.nodes.size(); ++n) {
+      const core::OperationContext context{span.type, trace.nodes[n].ip};
+      if (!pipeline.HasContext(context)) continue;
+      INVARNETX_RETURN_IF_ERROR(fleet.StartJob(context));
+      armed.emplace_back(n, context);
+    }
+    out << "== job " << j << " (" << workload::WorkloadName(span.type)
+        << ", ticks " << span.start_tick << ".." << span.end_tick << ", "
+        << armed.size() << " monitor(s)) ==\n";
+    if (armed.empty()) {
+      out << "(no trained contexts for this job)\n";
+      continue;
+    }
+    for (int t = span.start_tick; t < span.end_tick; ++t) {
+      Result<TickSummary> summary = fleet.IngestTick(
+          SamplesAt(trace, armed, static_cast<size_t>(t)));
+      if (!summary.ok()) return summary.status();
+    }
+    fleet.WaitForDiagnoses();
+    const std::vector<FleetDiagnosis> diagnoses = fleet.TakeDiagnoses();
+    RenderVerdicts(fleet, armed, diagnoses, &out);
+  }
+  return out.str();
+}
+
+}  // namespace invarnetx::serve

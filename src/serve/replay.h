@@ -1,0 +1,42 @@
+#ifndef INVARNETX_SERVE_REPLAY_H_
+#define INVARNETX_SERVE_REPLAY_H_
+
+#include <string>
+
+#include "campaign/scenario.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::serve {
+
+// Knobs of a fleet replay. Like CampaignOptions, these are runtime concerns
+// only: the rendered report is byte-identical for every `threads` value.
+struct ReplayOptions {
+  int threads = 0;
+  size_t window_capacity = 256;
+  // Caps the scenario test runs replayed (0 = all).
+  int max_runs = 0;
+};
+
+// Replays a fault-injection scenario through a MonitorFleet: simulates the
+// scenario's fault-free runs, trains every slave's operation context,
+// teaches the victim context the scenario's signature catalog, then streams
+// each test run tick by tick through one monitor per slave - batched
+// ingestion, alarm-triggered asynchronous diagnosis - and renders the
+// per-run, per-node verdicts. The test runs replay the exact seed streams
+// the offline campaign diagnoses, so fleet and campaign see the same data.
+Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
+                                   const ReplayOptions& options);
+
+// Replays one recorded trace against an already-trained pipeline. FIFO
+// job-sequence traces re-arm every monitor at each job boundary (the
+// paper's "selects a performance model from the archived models instantly");
+// nodes whose operation context is untrained are skipped.
+Result<std::string> ReplayTrace(const core::InvarNetX& pipeline,
+                                const telemetry::RunTrace& trace,
+                                const ReplayOptions& options);
+
+}  // namespace invarnetx::serve
+
+#endif  // INVARNETX_SERVE_REPLAY_H_

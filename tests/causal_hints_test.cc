@@ -164,7 +164,8 @@ TEST(CausalHintsTest, WorksOnAPipelineDiagnosisEndToEnd) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   ASSERT_TRUE(report.value().anomaly_detected);
 
-  Result<const ContextModel*> model = pipeline.GetContext(context);
+  Result<std::shared_ptr<const ContextModel>> model =
+      pipeline.GetContext(context);
   ASSERT_TRUE(model.ok());
   Result<std::vector<CausalHint>> hints = RankRootMetrics(
       report.value(), *model.value(), faulty.value().nodes[1]);

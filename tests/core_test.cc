@@ -95,6 +95,32 @@ TEST(AnomalyTest, FiresOnSustainedDisturbance) {
   EXPECT_LE(scan.first_alarm_tick, 50);
 }
 
+TEST(AnomalyTest, MaxMinRuleIgnoresBetterThanTrainedResiduals) {
+  // Pins the kMaxMin decision (see DESIGN.md): residuals are absolute
+  // prediction errors, so a residual *below* the training-time min(R)
+  // means the forecast fits better than it ever did during calibration -
+  // not an anomaly. Only the upper bar of the [min(R), max(R)] band may
+  // raise the alarm.
+  const PerformanceModel model = TrainedModel();
+  ASSERT_GT(model.residual_min(), 0.0);
+
+  // A perfectly flat series: after the predictor converges its residuals
+  // drop below min(R) and stay there, which a symmetric band rule would
+  // flag as a sustained "anomaly".
+  AnomalyDetector detector(model, ThresholdRule::kMaxMin);
+  const std::vector<double> flat(80, 1.0);
+  EXPECT_FALSE(detector.Scan(flat).triggered());
+
+  // The upper bar still works: sustained inflation must alarm.
+  std::vector<double> series = StableCpiTrace(80, 999);
+  Rng rng(5);
+  for (size_t t = 40; t < series.size(); ++t) {
+    series[t] *= 1.4 + 0.4 * rng.Uniform();
+  }
+  AnomalyDetector upper(model, ThresholdRule::kMaxMin);
+  EXPECT_TRUE(upper.Scan(series).triggered());
+}
+
 TEST(AnomalyTest, DebounceRequiresConsecutiveExceedances) {
   const PerformanceModel model = TrainedModel();
   std::vector<double> series = StableCpiTrace(80, 999);

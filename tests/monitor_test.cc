@@ -192,6 +192,106 @@ TEST_F(OnlineMonitorTest, StartJobClearsAlarmLatch) {
   EXPECT_EQ(monitor.first_alarm_tick(), -1);
 }
 
+TEST_F(OnlineMonitorTest, DiagnoseBeforeAnyTickFails) {
+  core::OnlineMonitor monitor(pipeline_);
+  ASSERT_TRUE(
+      monitor
+          .StartJob(OperationContext{WorkloadType::kWordCount, "10.0.0.2"})
+          .ok());
+  // Job armed but nothing observed yet: no window to infer from.
+  EXPECT_FALSE(monitor.Diagnose().ok());
+  std::array<double, telemetry::kNumMetrics> metrics{};
+  ASSERT_TRUE(monitor.Observe(1.0, metrics).ok());
+  EXPECT_TRUE(monitor.Diagnose().ok());
+}
+
+TEST_F(OnlineMonitorTest, ReArmMidJobResetsWindowAndStaysActive) {
+  core::OnlineMonitor monitor(pipeline_);
+  const OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  ASSERT_TRUE(monitor.StartJob(context).ok());
+  auto clean = core::SimulateNormalRuns(WorkloadType::kWordCount, 1, 779);
+  Stream(&monitor, clean.value()[0]);
+  ASSERT_GT(monitor.ticks_observed(), 0);
+  // The next job arrives before the previous one "finished": re-arming
+  // mid-job is the FIFO deployment loop's normal case.
+  ASSERT_TRUE(monitor.StartJob(context).ok());
+  EXPECT_TRUE(monitor.job_active());
+  EXPECT_EQ(monitor.ticks_observed(), 0);
+  EXPECT_EQ(monitor.window_ticks(), 0);
+  EXPECT_FALSE(monitor.alarm_active());
+}
+
+TEST_F(OnlineMonitorTest, AlarmDoesNotLeakAcrossJobs) {
+  core::OnlineMonitor monitor(pipeline_);
+  const OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  ASSERT_TRUE(monitor.StartJob(context).ok());
+  auto faulty = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                       faults::FaultType::kCpuHog, 890);
+  Stream(&monitor, faulty.value());
+  ASSERT_TRUE(monitor.alarm_active());
+  // Next job: a clean stream must not inherit the previous job's alarm.
+  ASSERT_TRUE(monitor.StartJob(context).ok());
+  auto clean = core::SimulateNormalRuns(WorkloadType::kWordCount, 1, 780);
+  Stream(&monitor, clean.value()[0]);
+  EXPECT_FALSE(monitor.alarm_active());
+  EXPECT_EQ(monitor.first_alarm_tick(), -1);
+}
+
+TEST_F(OnlineMonitorTest, RetrainWhileActiveKeepsThePinnedEpoch) {
+  // Private pipeline: this test retrains it while a job is active.
+  InvarNetX pipeline;
+  const OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  auto normal = core::SimulateNormalRuns(WorkloadType::kWordCount, 6, 45);
+  ASSERT_TRUE(pipeline.TrainContext(context, normal.value(), 1).ok());
+
+  core::OnlineMonitor monitor(&pipeline);
+  ASSERT_TRUE(monitor.StartJob(context).ok());
+  ASSERT_EQ(monitor.model_epoch(), 1u);
+  auto faulty = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                       faults::FaultType::kCpuHog, 891);
+  Stream(&monitor, faulty.value());
+
+  // Retrain mid-job: the pipeline publishes epoch 2, the armed monitor
+  // keeps detecting and diagnosing against its pinned epoch-1 snapshot.
+  ASSERT_TRUE(pipeline.TrainContext(context, normal.value(), 1).ok());
+  EXPECT_EQ(pipeline.GetContext(context).value()->epoch, 2u);
+  EXPECT_EQ(monitor.model_epoch(), 1u);
+  Result<core::DiagnosisReport> report = monitor.Diagnose();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().anomaly_detected);
+  // Only the next StartJob adopts the new epoch.
+  ASSERT_TRUE(monitor.StartJob(context).ok());
+  EXPECT_EQ(monitor.model_epoch(), 2u);
+}
+
+TEST_F(OnlineMonitorTest, BoundedWindowKeepsAbsoluteAlarmTick) {
+  core::OnlineMonitor::Options options;
+  options.window_capacity = 16;
+  core::OnlineMonitor monitor(pipeline_, options);
+  ASSERT_TRUE(
+      monitor
+          .StartJob(OperationContext{WorkloadType::kWordCount, "10.0.0.2"})
+          .ok());
+  auto faulty = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                       faults::FaultType::kCpuHog, 888);
+  Stream(&monitor, faulty.value());
+  const int total = static_cast<int>(faulty.value().nodes[1].cpi.size());
+  ASSERT_GT(total, 16);
+  EXPECT_EQ(monitor.ticks_observed(), total);
+  EXPECT_EQ(monitor.window_ticks(), 16);
+  ASSERT_TRUE(monitor.alarm_active());
+  // The alarm fired long before the current window's left edge; the latch
+  // still reports it in absolute job ticks.
+  EXPECT_GE(monitor.first_alarm_tick(), 8);
+  EXPECT_LT(monitor.first_alarm_tick(),
+            static_cast<int>(monitor.window().start_tick()));
+  // Diagnosis runs over the bounded window only, and still works.
+  Result<core::DiagnosisReport> report = monitor.Diagnose();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().anomaly_detected);
+  EXPECT_EQ(report.value().first_alarm_tick, monitor.first_alarm_tick());
+}
+
 // ------------------------------------------------------- cluster scan ----
 
 TEST(ClusterDiagnosisTest, LocalizesTheFaultyNode) {

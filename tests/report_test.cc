@@ -83,7 +83,9 @@ TEST_F(ReportTest, ConflictWarningAppearsForConflictedTopCause) {
   // Net faults are the designed conflict pair; a net-drop incident's report
   // must warn about the net-delay neighbour when they collide.
   const OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
-  const ContextModel& model = *pipeline_->GetContext(context).value();
+  const std::shared_ptr<const ContextModel> model_ptr =
+      pipeline_->GetContext(context).value();
+  const ContextModel& model = *model_ptr;
   auto conflicts = model.sigdb.FindConflicts(0.55);
   ASSERT_TRUE(conflicts.ok());
   bool net_pair = false;
