@@ -20,6 +20,7 @@
 #include "common/table.h"
 #include "core/assoc_cache.h"
 #include "core/association.h"
+#include "mic/simd.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -154,8 +155,9 @@ int Main() {
               static_cast<unsigned long long>(cache.flushes()),
               static_cast<unsigned long long>(cache.evicted()),
               100.0 * cache.HitRate());
-  std::printf("series length %d ticks, %d reps, %d nodes, engine %s\n", ticks,
-              reps, num_nodes, engine->name().c_str());
+  std::printf("series length %d ticks, %d reps, %d nodes, engine %s, simd %s\n",
+              ticks, reps, num_nodes, engine->name().c_str(),
+              mic::SimdLevelName(mic::ActiveSimdLevel()));
 
   // Machine-readable perf record for the CI trajectory gate.
   const char* json_path = std::getenv("INVARNETX_BENCH_JSON");
@@ -175,12 +177,14 @@ int Main() {
                  "  \"multi_thread_pairs_per_sec\": %.3f,\n"
                  "  \"multi_thread_workers\": %d,\n"
                  "  \"warm_cache_pairs_per_sec\": %.3f,\n"
-                 "  \"cache_hit_rate\": %.6f\n"
+                 "  \"cache_hit_rate\": %.6f,\n"
+                 "  \"simd\": \"%s\"\n"
                  "}\n",
                  engine->name().c_str(), ticks, reps, num_nodes,
                  telemetry::kNumMetricPairs, single_thread_pairs,
                  multi_thread_pairs, multi_thread_workers, warm_cache_pairs,
-                 cache.HitRate());
+                 cache.HitRate(),
+                 mic::SimdLevelName(mic::ActiveSimdLevel()));
     std::fclose(out);
     std::printf("wrote %s\n", json_path);
   } else {

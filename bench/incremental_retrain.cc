@@ -1,0 +1,238 @@
+// Incremental retrain performance: cold TrainContextFromExamples vs an
+// incremental retrain whose slices carry the previous epoch's mining
+// records (the dirty-pair path), for both the unchanged case (every pair
+// reused) and a one-metric perturbation (exactly 25 of 325 pairs per
+// affected slice rescored). Byte-identity of the incremental matrix to a
+// cold recompute is asserted at the core API level before any number is
+// reported, and the whole pipeline retrain additionally runs once under
+// the verify_incremental oracle. Emits BENCH_incremental.json so CI can
+// gate the reuse counts and the retrain latency ratio.
+//
+// Overrides: INVARNETX_TICKS (series length, default 256), INVARNETX_RUNS
+// (training examples, default 4), INVARNETX_THREADS, and
+// INVARNETX_BENCH_JSON (output path, default ./BENCH_incremental.json).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "core/association.h"
+#include "core/pipeline.h"
+#include "mic/simd.h"
+#include "obs/metrics.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::bench {
+namespace {
+
+// One single-node training run with coupled metrics and a stationary CPI
+// (the perf model needs >= 2 such runs; the miner sees genuine structure).
+telemetry::RunTrace SyntheticRun(int ticks, uint64_t seed) {
+  Rng rng(seed);
+  telemetry::RunTrace run;
+  run.ticks = ticks;
+  telemetry::NodeTrace node;
+  node.ip = "10.0.0.1";
+  const double phase = rng.Uniform(0.0, 6.28318);
+  for (int t = 0; t < ticks; ++t) {
+    node.cpi.push_back(1.0 + 0.05 * rng.Gaussian());
+  }
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    std::vector<double>& series = node.metrics[static_cast<size_t>(m)];
+    series.reserve(static_cast<size_t>(ticks));
+    const double coupling = rng.Uniform(0.2, 1.0);
+    double level = rng.Uniform(10.0, 100.0);
+    for (int t = 0; t < ticks; ++t) {
+      const double shared = std::sin(0.05 * t + phase);
+      level += 0.1 * rng.Gaussian();
+      series.push_back(level + 5.0 * coupling * shared + 0.5 * rng.Gaussian());
+    }
+  }
+  run.nodes.push_back(std::move(node));
+  return run;
+}
+
+std::vector<core::InvarNetX::TrainExample> Examples(
+    const std::vector<telemetry::RunTrace>& runs) {
+  std::vector<core::InvarNetX::TrainExample> examples;
+  for (const telemetry::RunTrace& run : runs) {
+    examples.push_back(core::InvarNetX::TrainExample{&run, 0});
+  }
+  return examples;
+}
+
+double Seconds(const std::chrono::steady_clock::time_point& start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+int Main() {
+  const int ticks = EnvInt("INVARNETX_TICKS", 256);
+  const int num_runs = EnvInt("INVARNETX_RUNS", 4);
+  const int threads = EnvInt("INVARNETX_THREADS", 0);
+  if (num_runs < 2) {
+    std::fprintf(stderr, "FATAL: INVARNETX_RUNS must be >= 2\n");
+    return 1;
+  }
+
+  std::vector<telemetry::RunTrace> runs;
+  for (int i = 0; i < num_runs; ++i) {
+    runs.push_back(
+        SyntheticRun(ticks, 0x16CE0000ULL + static_cast<uint64_t>(i)));
+  }
+
+  // Core-level byte-identity check before any timing: a one-metric
+  // perturbation against a prior record must rescore exactly the 25 pairs
+  // involving that metric and reproduce the cold matrix byte for byte.
+  const std::unique_ptr<core::AssociationEngine> engine =
+      core::AssociationEngine::Make(core::AssociationEngineType::kMic);
+  core::AssociationOptions assoc;
+  assoc.num_threads = threads;
+  assoc.use_cache = false;
+  telemetry::NodeTrace probe = runs[0].nodes[0];
+  core::MatrixMiningRecord record;
+  CheckOk(core::ComputeAssociationMatrix(probe, *engine, assoc, nullptr,
+                                         &record, nullptr)
+              .status(),
+          "probe matrix");
+  for (double& v : probe.metrics[3]) v += 1.0;
+  core::IncrementalMatrixStats stats;
+  Result<core::AssociationMatrix> incremental = core::ComputeAssociationMatrix(
+      probe, *engine, assoc, &record, nullptr, &stats);
+  CheckOk(incremental.status(), "incremental matrix");
+  Result<core::AssociationMatrix> cold_probe =
+      core::ComputeAssociationMatrix(probe, *engine, assoc);
+  CheckOk(cold_probe.status(), "cold probe matrix");
+  const bool byte_identical =
+      std::memcmp(incremental.value().data(), cold_probe.value().data(),
+                  incremental.value().size() * sizeof(double)) == 0;
+  if (!byte_identical || stats.rescored != telemetry::kNumMetrics - 1) {
+    std::fprintf(stderr,
+                 "FATAL: incremental matrix %s cold recompute "
+                 "(rescored %d, want %d)\n",
+                 byte_identical ? "matches" : "DIFFERS FROM", stats.rescored,
+                 telemetry::kNumMetrics - 1);
+    return 1;
+  }
+  std::printf(
+      "bit-identity: one-metric perturbation rescored %d/%d pairs, "
+      "matrix == cold recompute\n\n",
+      stats.rescored, telemetry::kNumMetricPairs);
+
+  core::InvarNetXConfig config;
+  config.num_threads = threads;
+  config.use_association_cache = false;  // isolate the dirty-pair path
+  core::InvarNetX pipeline(config);
+  const core::OperationContext context{workload::WorkloadType::kWordCount,
+                                       "10.0.0.1"};
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  obs::Counter& rescored_counter =
+      registry.GetCounter("pipeline.pairs_rescored");
+  obs::Counter& reused_counter = registry.GetCounter("pipeline.pairs_reused");
+
+  // Cold training: no prior exists yet.
+  auto start = std::chrono::steady_clock::now();
+  CheckOk(pipeline.TrainContextFromExamples(context, Examples(runs)),
+          "cold train");
+  const double cold_seconds = Seconds(start);
+
+  // Incremental retrain on unchanged data: every slice digest matches, so
+  // no pair goes through an engine.
+  uint64_t rescored_before = rescored_counter.value();
+  uint64_t reused_before = reused_counter.value();
+  start = std::chrono::steady_clock::now();
+  CheckOk(pipeline.TrainContextFromExamples(context, Examples(runs)),
+          "incremental retrain (unchanged)");
+  const double incremental_seconds = Seconds(start);
+  const uint64_t rescored_unchanged = rescored_counter.value() - rescored_before;
+  const uint64_t reused_unchanged = reused_counter.value() - reused_before;
+
+  // Perturb one metric of one example: per affected slice, the 25 pairs
+  // involving that metric are dirty and everything else is reused.
+  for (double& v : runs[0].nodes[0].metrics[7]) v *= 1.01;
+  rescored_before = rescored_counter.value();
+  reused_before = reused_counter.value();
+  start = std::chrono::steady_clock::now();
+  CheckOk(pipeline.TrainContextFromExamples(context, Examples(runs)),
+          "incremental retrain (one metric dirty)");
+  const double perturbed_seconds = Seconds(start);
+  const uint64_t rescored_perturbed = rescored_counter.value() - rescored_before;
+  const uint64_t reused_perturbed = reused_counter.value() - reused_before;
+
+  // One more retrain under the runtime oracle: the pipeline recomputes every
+  // slice cold and fails on any byte difference.
+  core::InvarNetXConfig verify_config = config;
+  verify_config.verify_incremental = true;
+  core::InvarNetX verified(verify_config);
+  CheckOk(verified.TrainContextFromExamples(context, Examples(runs)),
+          "oracle train");
+  CheckOk(verified.TrainContextFromExamples(context, Examples(runs)),
+          "oracle retrain");
+
+  const int slices = num_runs;  // whole-run window: one slice per example
+  TextTable table({"phase", "seconds", "pairs rescored", "pairs reused"});
+  table.AddRow({"cold train", FormatDouble(cold_seconds, 4),
+                std::to_string(slices * telemetry::kNumMetricPairs), "0"});
+  table.AddRow({"retrain unchanged", FormatDouble(incremental_seconds, 4),
+                std::to_string(rescored_unchanged),
+                std::to_string(reused_unchanged)});
+  table.AddRow({"retrain 1 metric", FormatDouble(perturbed_seconds, 4),
+                std::to_string(rescored_perturbed),
+                std::to_string(reused_perturbed)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "%d examples x %d ticks, %d pairs/slice, simd %s, oracle retrain ok\n",
+      num_runs, ticks, telemetry::kNumMetricPairs,
+      mic::SimdLevelName(mic::ActiveSimdLevel()));
+
+  const char* json_path = std::getenv("INVARNETX_BENCH_JSON");
+  if (json_path == nullptr || *json_path == '\0') {
+    json_path = "BENCH_incremental.json";
+  }
+  if (std::FILE* out = std::fopen(json_path, "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"incremental_retrain\",\n"
+                 "  \"ticks\": %d,\n"
+                 "  \"examples\": %d,\n"
+                 "  \"slices\": %d,\n"
+                 "  \"pairs_per_slice\": %d,\n"
+                 "  \"cold_seconds\": %.6f,\n"
+                 "  \"incremental_seconds\": %.6f,\n"
+                 "  \"perturbed_seconds\": %.6f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"pairs_rescored_unchanged\": %llu,\n"
+                 "  \"pairs_reused_unchanged\": %llu,\n"
+                 "  \"pairs_rescored_perturbed\": %llu,\n"
+                 "  \"pairs_reused_perturbed\": %llu,\n"
+                 "  \"byte_identical\": %s,\n"
+                 "  \"simd\": \"%s\"\n"
+                 "}\n",
+                 ticks, num_runs, slices, telemetry::kNumMetricPairs,
+                 cold_seconds, incremental_seconds, perturbed_seconds,
+                 incremental_seconds > 0.0 ? cold_seconds / incremental_seconds
+                                           : 0.0,
+                 static_cast<unsigned long long>(rescored_unchanged),
+                 static_cast<unsigned long long>(reused_unchanged),
+                 static_cast<unsigned long long>(rescored_perturbed),
+                 static_cast<unsigned long long>(reused_perturbed),
+                 byte_identical ? "true" : "false",
+                 mic::SimdLevelName(mic::ActiveSimdLevel()));
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "WARNING: could not write %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace invarnetx::bench
+
+int main() { return invarnetx::bench::Main(); }

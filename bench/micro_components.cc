@@ -18,6 +18,7 @@
 #include "core/invariants.h"
 #include "core/sigdb.h"
 #include "mic/mic.h"
+#include "mic/simd.h"
 #include "telemetry/trace.h"
 #include "timeseries/arima.h"
 
@@ -124,6 +125,30 @@ void BM_MicScoreWorkspace(benchmark::State& state) {
   ReportAllocsPerCall(state, allocs_before);
 }
 BENCHMARK(BM_MicScoreWorkspace)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
+
+// Forced-scalar counterpart of BM_MicScoreWorkspace: the same warm
+// workspace with SIMD dispatch pinned to the portable tier, so the table
+// quantifies what the vector DP lanes buy (the two rows return bit-identical
+// scores - only the latency differs).
+void BM_MicScoreWorkspaceScalar(benchmark::State& state) {
+  const invarnetx::mic::SimdLevel saved = invarnetx::mic::ActiveSimdLevel();
+  invarnetx::mic::SetSimdLevel(invarnetx::mic::SimdLevel::kScalar);
+  const int n = static_cast<int>(state.range(0));
+  const std::vector<double> x = NoisyLine(n, 1);
+  const std::vector<double> y = NoisyLine(n, 2);
+  invarnetx::mic::MicWorkspace workspace;
+  benchmark::DoNotOptimize(
+      invarnetx::mic::MicScore(x, y, invarnetx::mic::MicOptions(),
+                               &workspace));  // warm the buffers
+  const uint64_t allocs_before = HeapAllocations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invarnetx::mic::MicScore(
+        x, y, invarnetx::mic::MicOptions(), &workspace));
+  }
+  ReportAllocsPerCall(state, allocs_before);
+  invarnetx::mic::SetSimdLevel(saved);
+}
+BENCHMARK(BM_MicScoreWorkspaceScalar)->Arg(30)->Arg(60)->Arg(120)->Arg(240);
 
 // Pre-workspace kernel (per-call sorts, map-backed characteristic matrix,
 // nested DP tables), kept as the exactness oracle: the before/after of the

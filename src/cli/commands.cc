@@ -609,6 +609,7 @@ Status RunServe(const CommandLine& args, std::string* out) {
     return Status::InvalidArgument("bad --window (want >= 1)");
   }
   options.max_runs = std::atoi(args.Get("runs", "0").c_str());
+  options.retrain_each_run = args.Has("retrain-each-run");
 
   // A scenario file carries its own training data (seeded simulation); a
   // recorded trace needs the offline store that trained its contexts.
@@ -669,12 +670,15 @@ std::string Usage() {
       "            against each scenario's expected root cause; compares\n"
       "            diagnosis reports against golden files when present\n"
       "  serve     --replay FILE [--store DIR] [--window W] [--runs N]\n"
+      "            [--retrain-each-run]\n"
       "            stream a scenario's test runs (or a recorded trace,\n"
       "            with --store) tick by tick through a MonitorFleet -\n"
       "            one monitor per node, batched ingestion, bounded\n"
       "            windows, alarm-triggered asynchronous diagnosis -\n"
       "            and print the per-job verdicts (byte-identical for\n"
-      "            every --threads value)\n"
+      "            every --threads value); --retrain-each-run retrains\n"
+      "            every context between runs via the incremental\n"
+      "            dirty-pair path and reports the rescored/reused split\n"
       "\n"
       "global options (every command):\n"
       "  --log-level L     debug|info|warn|error|off (default info);\n"

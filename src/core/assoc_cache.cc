@@ -1,6 +1,8 @@
 #include "core/assoc_cache.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -46,6 +48,17 @@ struct Hash128 {
 
   void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
 
+  // Hashes a run of doubles with -0.0 canonicalized to +0.0, so the two
+  // representations of numeric zero - which every engine scores
+  // identically - produce the same digest. NaNs pass through with their
+  // raw bit pattern (the pipeline rejects non-finite samples upstream).
+  void Doubles(const double* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const double v = p[i] == 0.0 ? 0.0 : p[i];
+      Bytes(&v, sizeof(v));
+    }
+  }
+
   static uint64_t Avalanche(uint64_t x) {
     x ^= x >> 30;
     x *= 0xBF58476D1CE4E5B9ULL;
@@ -69,16 +82,16 @@ PairScoreKey HashSeriesPair(std::string_view engine,
   hash.Bytes(engine.data(), engine.size());
   // Lengths delimit the variable-size parts so ({1,2},{3}) != ({1},{2,3}).
   hash.U64(x.size());
-  if (!x.empty()) hash.Bytes(x.data(), x.size() * sizeof(double));
+  if (!x.empty()) hash.Doubles(x.data(), x.size());
   hash.U64(y.size());
-  if (!y.empty()) hash.Bytes(y.data(), y.size() * sizeof(double));
+  if (!y.empty()) hash.Doubles(y.data(), y.size());
   return hash.Finish();
 }
 
 SeriesDigest HashSeries(const std::vector<double>& v) {
   Hash128 hash;
   hash.U64(v.size());
-  if (!v.empty()) hash.Bytes(v.data(), v.size() * sizeof(double));
+  if (!v.empty()) hash.Doubles(v.data(), v.size());
   const PairScoreKey key = hash.Finish();
   return SeriesDigest{key.lo, key.hi};
 }
@@ -108,23 +121,58 @@ std::optional<double> AssociationScoreCache::Lookup(
     CacheCounters::Get().misses.Increment();
     return std::nullopt;
   }
+  it->second.stamp = ++shard.tick;
   hits_.fetch_add(1, std::memory_order_relaxed);
   CacheCounters::Get().hits.Increment();
-  return it->second;
+  return it->second.score;
 }
 
-void AssociationScoreCache::Insert(const PairScoreKey& key, double score) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.scores.size() >= max_entries_per_shard_) {
+void AssociationScoreCache::EvictColdHalf(Shard& shard) {
+  // Median recency stamp via nth_element; stamps are unique per shard
+  // (monotonic tick), so "stamp < threshold" drops exactly `drop` entries.
+  const size_t drop = std::max<size_t>(1, shard.scores.size() / 2);
+  if (drop >= shard.scores.size()) {
+    // Degenerate caps (1-entry shards in tests): dropping "half" is the
+    // whole shard.
     const uint64_t dropped = shard.scores.size();
     shard.scores.clear();
     flushes_.fetch_add(1, std::memory_order_relaxed);
     evicted_.fetch_add(dropped, std::memory_order_relaxed);
     CacheCounters::Get().flushes.Increment();
     CacheCounters::Get().evicted.Increment(dropped);
+    return;
   }
-  shard.scores.emplace(key, score);
+  std::vector<uint64_t> stamps;
+  stamps.reserve(shard.scores.size());
+  for (const auto& [key, entry] : shard.scores) stamps.push_back(entry.stamp);
+  std::nth_element(stamps.begin(), stamps.begin() + static_cast<long>(drop),
+                   stamps.end());
+  const uint64_t threshold = stamps[drop];
+  for (auto it = shard.scores.begin(); it != shard.scores.end();) {
+    if (it->second.stamp < threshold) {
+      it = shard.scores.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  evicted_.fetch_add(drop, std::memory_order_relaxed);
+  CacheCounters::Get().flushes.Increment();
+  CacheCounters::Get().evicted.Increment(drop);
+}
+
+void AssociationScoreCache::Insert(const PairScoreKey& key, double score) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.scores.find(key);
+  if (it != shard.scores.end()) {
+    // Re-insert of a live key (two workers raced on the same miss):
+    // refresh the recency stamp; the score is identical by determinism.
+    it->second.stamp = ++shard.tick;
+    return;
+  }
+  if (shard.scores.size() >= max_entries_per_shard_) EvictColdHalf(shard);
+  shard.scores.emplace(key, Entry{score, ++shard.tick});
 }
 
 double AssociationScoreCache::HitRate() const {

@@ -15,9 +15,19 @@ namespace invarnetx::core {
 
 // Content-hash key of one (engine, x series, y series) association score.
 // 128 bits of two independent FNV/splitmix hashes over the engine name and
-// the raw bytes of both series: a collision between distinct inputs needs
-// both halves to collide (~2^-128 per pair), so the cache stores no series
-// data and a lookup costs a hash instead of a MIC grid search.
+// the canonicalized bytes of both series: a collision between distinct
+// inputs needs both halves to collide (~2^-128 per pair), so the cache
+// stores no series data and a lookup costs a hash instead of a MIC grid
+// search.
+//
+// Canonicalization: -0.0 hashes as +0.0, because the two compare equal and
+// every association engine is insensitive to the sign of zero (MIC and the
+// rank blend only compare values; ARX sign-of-zero differences cannot
+// change a score's value) - without it, numerically identical series would
+// miss the cache and (worse) read as dirty to the incremental retrain
+// path. NaNs hash by their raw bit pattern: the pipeline rejects
+// non-finite samples at its boundary, so distinct NaN payloads reaching a
+// digest are a caller bug, not something to paper over.
 struct PairScoreKey {
   uint64_t lo = 0;
   uint64_t hi = 0;
@@ -43,6 +53,10 @@ PairScoreKey HashSeriesPair(std::string_view engine,
 
 // 128-bit content digest of one metric series, precomputable once per
 // metric and combinable into pair keys without rereading the series.
+// Digest equality implies the two series are numerically identical
+// (modulo the sign of zero), which is what lets the incremental retrain
+// path treat an unchanged digest as "every score involving this metric is
+// still valid".
 struct SeriesDigest {
   uint64_t lo = 0;
   uint64_t hi = 0;
@@ -50,10 +64,14 @@ struct SeriesDigest {
   friend bool operator==(const SeriesDigest& a, const SeriesDigest& b) {
     return a.lo == b.lo && a.hi == b.hi;
   }
+  friend bool operator!=(const SeriesDigest& a, const SeriesDigest& b) {
+    return !(a == b);
+  }
 };
 
-// Digest of a series' length and raw bytes (same double-FNV construction as
-// HashSeriesPair, so distinct series collide with ~2^-128 probability).
+// Digest of a series' length and canonicalized bytes (same double-FNV
+// construction as HashSeriesPair, so distinct series collide with ~2^-128
+// probability; -0.0 digests as +0.0, see PairScoreKey).
 SeriesDigest HashSeries(const std::vector<double>& v);
 
 // Derives the cache key of an ordered (x, y) pair under `engine` from the
@@ -80,21 +98,25 @@ PairScoreKey CombinePairKey(std::string_view engine, const SeriesDigest& x,
 // cache-thrash without holding a cache pointer.
 class AssociationScoreCache {
  public:
-  // `max_entries_per_shard` bounds each shard; reaching the cap flushes the
-  // shard wholesale. The default keeps worst-case footprint in the tens of
-  // MB; tests shrink it to observe flush behaviour.
+  // `max_entries_per_shard` bounds each shard; reaching the cap evicts the
+  // least-recently-touched half of the shard (an earlier version flushed
+  // the whole shard, which collapsed the hit rate to ~0 exactly when the
+  // working set reached capacity). The default keeps worst-case footprint
+  // in the tens of MB; tests shrink it to observe eviction behaviour.
   explicit AssociationScoreCache(size_t max_entries_per_shard = 1 << 16)
       : max_entries_per_shard_(max_entries_per_shard) {}
 
   AssociationScoreCache(const AssociationScoreCache&) = delete;
   AssociationScoreCache& operator=(const AssociationScoreCache&) = delete;
 
-  // The score stored for `key`, if any. Counts a hit or a miss.
+  // The score stored for `key`, if any. Counts a hit or a miss; a hit
+  // refreshes the entry's recency stamp, so hot keys survive evictions.
   std::optional<double> Lookup(const PairScoreKey& key) const;
 
-  // Stores a computed score. When a shard reaches its entry cap the shard
-  // is flushed wholesale - a cache, not a store; correctness never depends
-  // on retention.
+  // Stores a computed score. When a shard is at its entry cap, the
+  // least-recently-touched half of the shard (minimum 1 entry) is evicted
+  // first, so recently inserted / recently hit keys are retained - a
+  // cache, not a store; correctness never depends on retention.
   void Insert(const PairScoreKey& key, double score);
 
   void Clear();
@@ -104,9 +126,12 @@ class AssociationScoreCache {
   // and tests to observe cache effectiveness.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  // Lifetime capacity-flush tallies: how often a full shard was dropped
-  // wholesale and how many entries that evicted. A rising flush count with
-  // a low hit rate is cache-thrash - the working set exceeds the cap.
+  // Lifetime capacity-eviction tallies: `flushes` counts eviction passes
+  // (each pass drops the least-recently-touched half of one full shard;
+  // before the bounded-eviction fix it counted wholesale shard drops),
+  // `evicted` counts the entries those passes removed. A rising flush
+  // count with a low hit rate is cache-thrash - the working set exceeds
+  // the cap.
   uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
   uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
 
@@ -125,10 +150,23 @@ class AssociationScoreCache {
     }
   };
 
+  // A cached score plus the shard tick it was last inserted or hit at;
+  // eviction drops the entries with the oldest stamps.
+  struct Entry {
+    double score = 0.0;
+    uint64_t stamp = 0;
+  };
+
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<PairScoreKey, double, KeyHash> scores;
+    std::unordered_map<PairScoreKey, Entry, KeyHash> scores;
+    // Monotonic per-shard touch counter feeding the recency stamps.
+    uint64_t tick = 0;
   };
+
+  // Drops the least-recently-touched half of `shard` (minimum 1 entry).
+  // Caller holds shard.mu.
+  void EvictColdHalf(Shard& shard);
 
   Shard& ShardFor(const PairScoreKey& key) const {
     return shards_[static_cast<size_t>(key.lo) % kNumShards];

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "arx/arx.h"
 #include "common/parallel.h"
@@ -103,6 +106,15 @@ size_t TraceTicks(const telemetry::NodeTrace& node) {
   return 0;
 }
 
+// Process-wide switch for the incremental byte-identity oracle, read once.
+bool VerifyIncrementalEnv() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("INVARNETX_VERIFY_INCREMENTAL");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return enabled;
+}
+
 }  // namespace
 
 bool IsDegenerateSeries(const std::vector<double>& v) {
@@ -141,7 +153,8 @@ std::unique_ptr<AssociationEngine> AssociationEngine::Make(
 
 Result<AssociationMatrix> ComputeAssociationMatrix(
     const telemetry::NodeTrace& node, const AssociationEngine& engine,
-    const AssociationOptions& options) {
+    const AssociationOptions& options, const MatrixMiningRecord* prior,
+    MatrixMiningRecord* record, IncrementalMatrixStats* stats) {
   AssociationMatrix matrix(telemetry::kNumMetricPairs, 0.0);
   const std::string engine_name = engine.name();
   AssociationScoreCache& cache = AssociationScoreCache::Shared();
@@ -158,25 +171,38 @@ Result<AssociationMatrix> ComputeAssociationMatrix(
   // Per-metric state, computed once per matrix instead of once per pair:
   // every metric participates in 25 pairs, so without hoisting the
   // degeneracy scan runs up to 25x per series and the cache key rehashes
-  // each full series on every lookup.
+  // each full series on every lookup. Digests double as the dirty-pair
+  // test against the prior record.
+  const bool want_digests =
+      options.use_cache || prior != nullptr || record != nullptr;
   std::array<bool, telemetry::kNumMetrics> degenerate;
+  std::array<bool, telemetry::kNumMetrics> clean;  // digest matches prior
   std::array<SeriesDigest, telemetry::kNumMetrics> digest;
   for (int m = 0; m < telemetry::kNumMetrics; ++m) {
     const std::vector<double>& series = node.metrics[static_cast<size_t>(m)];
     degenerate[static_cast<size_t>(m)] = IsDegenerateSeries(series);
-    if (options.use_cache) {
-      digest[static_cast<size_t>(m)] = HashSeries(series);
-    }
+    if (want_digests) digest[static_cast<size_t>(m)] = HashSeries(series);
+    clean[static_cast<size_t>(m)] =
+        prior != nullptr &&
+        digest[static_cast<size_t>(m)] == prior->digests[static_cast<size_t>(m)];
   }
 
   // Each worker writes only its own preallocated slot, so the result is
   // identical for any thread count; the pair index doubles as the task
   // index, so error propagation follows the serial visitation order.
+  std::atomic<int> reused{0};
   Status mined = ParallelFor(
       static_cast<size_t>(telemetry::kNumMetricPairs), options.num_threads,
       [&](size_t pair) -> Status {
         int a = 0, b = 0;
         telemetry::PairFromIndex(static_cast<int>(pair), &a, &b);
+        // Dirty-pair rule: both endpoint digests unchanged since the prior
+        // record means this score cannot have moved - copy it.
+        if (clean[static_cast<size_t>(a)] && clean[static_cast<size_t>(b)]) {
+          matrix[pair] = prior->matrix[pair];
+          reused.fetch_add(1, std::memory_order_relaxed);
+          return Status::Ok();
+        }
         const std::vector<double>& x = node.metrics[static_cast<size_t>(a)];
         const std::vector<double>& y = node.metrics[static_cast<size_t>(b)];
         PairScoreKey key;
@@ -203,7 +229,49 @@ Result<AssociationMatrix> ComputeAssociationMatrix(
         return Status::Ok();
       });
   if (!mined.ok()) return mined;
+
+  const int num_reused = reused.load(std::memory_order_relaxed);
+  if (prior != nullptr) {
+    registry.GetCounter("assoc.pairs_reused")
+        .Increment(static_cast<uint64_t>(num_reused));
+    registry.GetCounter("assoc.pairs_rescored")
+        .Increment(static_cast<uint64_t>(telemetry::kNumMetricPairs -
+                                         num_reused));
+  }
+  if (stats != nullptr) {
+    stats->reused = num_reused;
+    stats->rescored = telemetry::kNumMetricPairs - num_reused;
+  }
+  if (record != nullptr) {
+    record->digests = digest;
+    record->matrix = matrix;
+  }
+
+  // Byte-identity oracle: a prior must never change the result, only the
+  // cost. Recomputes cold (no prior, no cache - the exact fallback path)
+  // and compares raw bytes.
+  if (prior != nullptr &&
+      (options.verify_incremental || VerifyIncrementalEnv())) {
+    AssociationOptions cold_options = options;
+    cold_options.use_cache = false;
+    cold_options.verify_incremental = false;
+    Result<AssociationMatrix> cold = ComputeAssociationMatrix(
+        node, engine, cold_options, nullptr, nullptr, nullptr);
+    if (!cold.ok()) return cold.status();
+    if (std::memcmp(matrix.data(), cold.value().data(),
+                    matrix.size() * sizeof(double)) != 0) {
+      return Status::Internal(
+          "incremental association matrix differs from cold recompute");
+    }
+  }
   return matrix;
+}
+
+Result<AssociationMatrix> ComputeAssociationMatrix(
+    const telemetry::NodeTrace& node, const AssociationEngine& engine,
+    const AssociationOptions& options) {
+  return ComputeAssociationMatrix(node, engine, options, nullptr, nullptr,
+                                  nullptr);
 }
 
 Result<AssociationMatrix> ComputeAssociationMatrix(

@@ -1,11 +1,13 @@
 #ifndef INVARNETX_CORE_ASSOCIATION_H_
 #define INVARNETX_CORE_ASSOCIATION_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/assoc_cache.h"
 #include "telemetry/trace.h"
 
 namespace invarnetx::core {
@@ -71,6 +73,33 @@ struct AssociationOptions {
   // 1: plain serial loop in the caller.
   int num_threads = 0;
   bool use_cache = true;
+  // Oracle for the incremental path: when a prior record is supplied, also
+  // run the cold full recompute and fail with Internal if the two matrices
+  // are not byte-identical. Costs the full compute - CI/debug only. The
+  // INVARNETX_VERIFY_INCREMENTAL=1 environment variable forces this on
+  // process-wide.
+  bool verify_incremental = false;
+};
+
+// One matrix computation's provenance: the per-metric content digests of
+// the series it was scored over, plus the scores themselves. A record from
+// a previous computation is the "prior" of an incremental recompute: any
+// pair whose two endpoint digests are unchanged must score identically
+// (digest equality implies numerically identical inputs and the engines
+// are deterministic), so its stored score is reused verbatim - the
+// dirty-pair rule of incremental invariant maintenance.
+struct MatrixMiningRecord {
+  std::array<SeriesDigest, telemetry::kNumMetrics> digests{};
+  AssociationMatrix matrix;
+};
+
+// What an incremental matrix computation did: `rescored` pairs had at least
+// one dirty endpoint (or no usable prior) and went through the engine (or
+// the shared score cache); `reused` pairs were copied from the prior
+// record. rescored + reused == kNumMetricPairs on success.
+struct IncrementalMatrixStats {
+  int rescored = 0;
+  int reused = 0;
 };
 
 // Computes the full pairwise association matrix of one node's metrics.
@@ -84,6 +113,20 @@ Result<AssociationMatrix> ComputeAssociationMatrix(
 // Default options: full hardware fan-out, cache enabled.
 Result<AssociationMatrix> ComputeAssociationMatrix(
     const telemetry::NodeTrace& node, const AssociationEngine& engine);
+
+// Incremental form. `prior` (nullable) is the record of a previous
+// computation with the same engine and metric layout: pairs whose endpoint
+// digests match the prior reuse its scores and skip the engine entirely.
+// `record` (nullable) receives this computation's digests and matrix for
+// use as the next prior. `stats` (nullable) receives the rescored/reused
+// split. The result is byte-identical to a cold full recompute for every
+// prior (enforced by tests, and at runtime when options.verify_incremental
+// or INVARNETX_VERIFY_INCREMENTAL=1 is set); a stale or mismatched prior
+// only reduces the reuse rate, never correctness.
+Result<AssociationMatrix> ComputeAssociationMatrix(
+    const telemetry::NodeTrace& node, const AssociationEngine& engine,
+    const AssociationOptions& options, const MatrixMiningRecord* prior,
+    MatrixMiningRecord* record, IncrementalMatrixStats* stats);
 
 }  // namespace invarnetx::core
 

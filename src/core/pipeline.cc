@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 
@@ -169,21 +170,58 @@ Status InvarNetX::TrainContextFromExamples(
                                                         window});
     }
   }
+  // Incremental retrain: the previous epoch's snapshot carries the mining
+  // records (matrices + digests) of its slices. When this retrain lines up
+  // with it - same engine, same window config, same slice count - each
+  // slice hands its predecessor to ComputeAssociationMatrix as a prior and
+  // only digest-dirty pairs are rescored. Misalignment just means a cold
+  // mine; the records repopulate either way.
+  std::shared_ptr<const ContextModel> previous = Snapshot(Key(context));
+  const std::string engine_name = engine->name();
+  const size_t window_config =
+      config_.analysis_window > 0
+          ? static_cast<size_t>(config_.analysis_window)
+          : 0;
+  const MiningSnapshot* prior_mining = nullptr;
+  if (previous != nullptr && previous->mining.engine == engine_name &&
+      previous->mining.analysis_window == window_config &&
+      previous->mining.records.size() == slices.size()) {
+    prior_mining = &previous->mining;
+  }
   std::vector<AssociationMatrix> matrices(slices.size());
+  std::vector<MatrixMiningRecord> records(slices.size());
+  std::atomic<int> pairs_rescored{0};
+  std::atomic<int> pairs_reused{0};
   const AssociationOptions assoc = AssocOptions();
-  obs::Span mine_span("mine_invariants", {{"slices", slices.size()}});
+  obs::Span mine_span("mine_invariants",
+                      {{"slices", slices.size()},
+                       {"incremental", prior_mining != nullptr}});
   INVARNETX_RETURN_IF_ERROR(ParallelFor(
       slices.size(), config_.num_threads, [&](size_t i) -> Status {
         const SliceTask& task = slices[i];
         const telemetry::NodeTrace sliced =
             SliceNode(*task.node, task.start, task.window);
-        Result<AssociationMatrix> matrix =
-            ComputeAssociationMatrix(sliced, *engine, assoc);
+        IncrementalMatrixStats stats;
+        Result<AssociationMatrix> matrix = ComputeAssociationMatrix(
+            sliced, *engine, assoc,
+            prior_mining == nullptr ? nullptr : &prior_mining->records[i],
+            &records[i], &stats);
         if (!matrix.ok()) return matrix.status();
+        pairs_rescored.fetch_add(stats.rescored, std::memory_order_relaxed);
+        pairs_reused.fetch_add(stats.reused, std::memory_order_relaxed);
         matrices[i] = std::move(matrix.value());
         return Status::Ok();
       }));
   mine_span.End();
+  if (prior_mining != nullptr) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+    registry.GetCounter("pipeline.pairs_rescored")
+        .Increment(static_cast<uint64_t>(
+            pairs_rescored.load(std::memory_order_relaxed)));
+    registry.GetCounter("pipeline.pairs_reused")
+        .Increment(static_cast<uint64_t>(
+            pairs_reused.load(std::memory_order_relaxed)));
+  }
 
   obs::Span perf_span("train_perf_model");
   Result<PerformanceModel> perf =
@@ -199,8 +237,14 @@ Status InvarNetX::TrainContextFromExamples(
   auto fresh = std::make_shared<ContextModel>();
   fresh->perf = std::move(perf.value());
   fresh->invariants = std::move(invariants.value());
-  if (std::shared_ptr<const ContextModel> previous = Snapshot(Key(context))) {
-    fresh->sigdb = previous->sigdb;
+  fresh->mining.engine = engine_name;
+  fresh->mining.analysis_window = window_config;
+  fresh->mining.records = std::move(records);
+  // Re-fetch the newest epoch for the signature carry-over: a signature
+  // taught while this retrain was mining must not be dropped ("previous"
+  // above may be a mine-duration stale snapshot).
+  if (std::shared_ptr<const ContextModel> latest = Snapshot(Key(context))) {
+    fresh->sigdb = latest->sigdb;
   }
   const size_t num_invariants = fresh->invariants.NumInvariants();
   Publish(Key(context), std::move(fresh));
@@ -210,6 +254,9 @@ Status InvarNetX::TrainContextFromExamples(
        {"examples", examples.size()},
        {"slices", slices.size()},
        {"invariants", num_invariants},
+       {"incremental", prior_mining != nullptr},
+       {"pairs_rescored", pairs_rescored.load(std::memory_order_relaxed)},
+       {"pairs_reused", pairs_reused.load(std::memory_order_relaxed)},
        {"mine_s", mine_span.Seconds()},
        {"perf_model_s", perf_span.Seconds()}});
   return Status::Ok();
@@ -381,6 +428,7 @@ AssociationOptions InvarNetX::AssocOptions() const {
   AssociationOptions options;
   options.num_threads = config_.num_threads;
   options.use_cache = config_.use_association_cache;
+  options.verify_incremental = config_.verify_incremental;
   return options;
 }
 

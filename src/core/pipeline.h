@@ -53,6 +53,25 @@ struct InvarNetXConfig {
   // N-run stability filter and repeated diagnoses of the same traces skip
   // the MIC dynamic program.
   bool use_association_cache = true;
+  // Run the incremental-mining byte-identity oracle on every retrain that
+  // uses a prior (see AssociationOptions::verify_incremental). CI/debug
+  // only - it costs the cold recompute the incremental path exists to skip.
+  bool verify_incremental = false;
+};
+
+// Provenance of the invariant mining that produced a ContextModel: the
+// per-slice association matrices together with the per-metric digests they
+// were scored over. Carried inside the published snapshot so the next
+// retrain of the same context can hand each slice its predecessor as an
+// incremental prior (the dirty-pair rule: only pairs whose series content
+// changed are rescored). Priors are matched positionally, which is only
+// attempted when engine, window and slice count all agree; content safety
+// comes from the digests themselves, so a stale or misaligned prior can
+// reduce reuse but never change a score.
+struct MiningSnapshot {
+  std::string engine;          // AssociationEngine::name() records used
+  size_t analysis_window = 0;  // config_.analysis_window at mining time
+  std::vector<MatrixMiningRecord> records;  // one per slice, slice order
 };
 
 // Everything InvarNet-X learned about one operation context. Context models
@@ -66,6 +85,10 @@ struct ContextModel {
   PerformanceModel perf;
   InvariantSet invariants;
   SignatureDatabase sigdb;
+  // Mining provenance for incremental retraining. Empty on models restored
+  // from disk (the XML stores persist invariants, not raw matrices), in
+  // which case the first retrain runs cold and repopulates it.
+  MiningSnapshot mining;
   // Publication sequence number of this snapshot within its context;
   // starts at 1 for the first trained/loaded model.
   uint64_t epoch = 0;

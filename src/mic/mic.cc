@@ -7,6 +7,8 @@
 #include <numeric>
 #include <utility>
 
+#include "mic/simd.h"
+
 namespace invarnetx::mic {
 namespace internal {
 
@@ -187,14 +189,20 @@ void OptimizeXAxis(const std::vector<int>& boundaries,
   // (s, t] is independent of the column budget l, so it is memoized once
   // here instead of being recomputed (with its ln calls) for every l - the
   // dominant saving of the flat-table kernel.
+  //
+  // The table is t-major - col_score[t * stride + s] - so the DP's inner
+  // reduction over s streams one contiguous row per t; that layout is what
+  // lets DpRowMax run in vector lanes. The ln-bearing build itself must
+  // stay scalar: vector math libraries do not promise the correctly-rounded
+  // std::log these bits were defined by.
   const size_t stride = static_cast<size_t>(k) + 1;
   workspace->col_score.resize(stride * stride);
-  for (int s = 0; s < k; ++s) {
-    const int* cum_s = cum + static_cast<size_t>(s) * rows;
-    double* score_row = workspace->col_score.data() + s * stride;
-    for (int t = s + 1; t <= k; ++t) {
+  for (int t = 1; t <= k; ++t) {
+    const int* cum_t = cum + static_cast<size_t>(t) * rows;
+    double* score_row = workspace->col_score.data() + t * stride;
+    for (int s = 0; s < t; ++s) {
       const int np = boundaries[t] - boundaries[s];
-      const int* cum_t = cum + static_cast<size_t>(t) * rows;
+      const int* cum_s = cum + static_cast<size_t>(s) * rows;
       double acc = 0.0;
       if (np != 0) {
         for (int q = 0; q < rows; ++q) {
@@ -202,7 +210,7 @@ void OptimizeXAxis(const std::vector<int>& boundaries,
           if (npq > 0) acc += npq * std::log(static_cast<double>(npq) / np);
         }
       }
-      score_row[t] = acc;
+      score_row[s] = acc;
     }
   }
   const double* col_score = workspace->col_score.data();
@@ -211,19 +219,17 @@ void OptimizeXAxis(const std::vector<int>& boundaries,
   constexpr double kNegInf = -1e300;
   // dp[t] = best objective partitioning the first t clumps into l columns.
   workspace->dp.assign(static_cast<size_t>(k) + 1, kNegInf);
-  for (int t = 1; t <= k; ++t) workspace->dp[t] = col_score[t];  // s = 0 row
+  for (int t = 1; t <= k; ++t) {
+    workspace->dp[t] = col_score[t * stride];  // s = 0 row
+  }
   (*best)[0] = workspace->dp[static_cast<size_t>(k)];
   workspace->next.assign(static_cast<size_t>(k) + 1, kNegInf);
   for (int l = 2; l <= cols; ++l) {
     std::fill(workspace->next.begin(), workspace->next.end(), kNegInf);
     const double* dp = workspace->dp.data();
     for (int t = l; t <= k; ++t) {
-      double v = kNegInf;
-      for (int s = l - 1; s < t; ++s) {
-        const double cand = dp[s] + col_score[s * stride + t];
-        if (cand > v) v = cand;
-      }
-      workspace->next[static_cast<size_t>(t)] = v;
+      workspace->next[static_cast<size_t>(t)] =
+          DpRowMax(dp, col_score + static_cast<size_t>(t) * stride, l - 1, t);
     }
     workspace->dp.swap(workspace->next);
     (*best)[static_cast<size_t>(l - 1)] = workspace->dp[static_cast<size_t>(k)];

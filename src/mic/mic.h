@@ -81,7 +81,11 @@ struct MicWorkspace {
   std::vector<int> row_counts;       // RowEntropy histogram scratch
   std::vector<int> cum;              // (k+1) x num_rows row-major cumulative
                                      // per-row counts
-  std::vector<double> col_score;     // (k+1)^2 memoized column scores
+  std::vector<double> col_score;     // (k+1)^2 memoized column scores,
+                                     // t-major: [t * (k+1) + s] = score of
+                                     // clump interval (s, t], so the DP's
+                                     // per-t reduction over s is contiguous
+                                     // (the layout mic/simd.h lanes read)
   std::vector<double> dp;            // DP tables of OptimizeXAxis
   std::vector<double> next;
   std::vector<double> best;

@@ -1,0 +1,118 @@
+#include "mic/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define INVARNETX_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define INVARNETX_SIMD_X86 0
+#endif
+
+namespace invarnetx::mic {
+namespace {
+
+// Matches OptimizeXAxis's kNegInf: the DP's "no valid partition" sentinel.
+// Real scores are bounded by n*ln(n) in magnitude, orders of magnitude
+// smaller, so the sentinel never ties a genuine candidate.
+constexpr double kNegInf = -1e300;
+
+double DpRowMaxScalar(const double* dp, const double* col, int s_begin,
+                      int s_end) {
+  double v = kNegInf;
+  for (int s = s_begin; s < s_end; ++s) {
+    const double cand = dp[s] + col[s];
+    if (cand > v) v = cand;
+  }
+  return v;
+}
+
+#if INVARNETX_SIMD_X86
+
+[[gnu::target("avx2")]] double DpRowMaxAvx2(const double* dp, const double* col,
+                                            int s_begin, int s_end) {
+  int s = s_begin;
+  __m256d acc = _mm256_set1_pd(kNegInf);
+  for (; s + 4 <= s_end; s += 4) {
+    const __m256d cand = _mm256_add_pd(_mm256_loadu_pd(dp + s),
+                                       _mm256_loadu_pd(col + s));
+    acc = _mm256_max_pd(acc, cand);
+  }
+  // Horizontal max of the 4 lanes. maxpd's equal-operand tie-break differs
+  // from the scalar loop's, but candidates that compare equal here have
+  // identical bit patterns (no -0.0/+0.0 mixes reach the DP, see SimdLevel),
+  // so the reduction order cannot change the returned bits.
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  __m128d m = _mm_max_pd(lo, hi);
+  m = _mm_max_sd(m, _mm_unpackhi_pd(m, m));
+  double v = _mm_cvtsd_f64(m);
+  for (; s < s_end; ++s) {
+    const double cand = dp[s] + col[s];
+    if (cand > v) v = cand;
+  }
+  return v;
+}
+
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#else
+
+bool CpuHasAvx2() { return false; }
+
+#endif  // INVARNETX_SIMD_X86
+
+SimdLevel ClampToCpu(SimdLevel level) {
+  if (level == SimdLevel::kAvx2 && !CpuHasAvx2()) return SimdLevel::kScalar;
+  return level;
+}
+
+std::atomic<SimdLevel>& ActiveLevelSlot() {
+  static std::atomic<SimdLevel> active{DetectSimdLevel()};
+  return active;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel DetectSimdLevel() {
+  static const SimdLevel detected = [] {
+    const char* env = std::getenv("INVARNETX_SIMD");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+      return SimdLevel::kScalar;
+    }
+    // Default (and explicit "avx2"): the best tier the CPU supports. An
+    // unrecognized value falls through here rather than failing - the env
+    // knob must never turn a working binary into a crashing one.
+    return ClampToCpu(SimdLevel::kAvx2);
+  }();
+  return detected;
+}
+
+SimdLevel ActiveSimdLevel() {
+  return ActiveLevelSlot().load(std::memory_order_relaxed);
+}
+
+void SetSimdLevel(SimdLevel level) {
+  ActiveLevelSlot().store(ClampToCpu(level), std::memory_order_relaxed);
+}
+
+double DpRowMax(const double* dp, const double* col, int s_begin, int s_end) {
+#if INVARNETX_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    return DpRowMaxAvx2(dp, col, s_begin, s_end);
+  }
+#endif
+  return DpRowMaxScalar(dp, col, s_begin, s_end);
+}
+
+}  // namespace invarnetx::mic

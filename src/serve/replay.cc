@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "faults/fault.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "serve/fleet.h"
 
 namespace invarnetx::serve {
@@ -158,6 +159,27 @@ Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
     out << "== run " << rep << " ==\n";
     RenderVerdicts(fleet, armed, diagnoses, &out);
     total_alarms += static_cast<int>(fleet.alarms_active());
+    if (options.retrain_each_run) {
+      // Incremental retrain between runs: every context re-mines from the
+      // same fault-free streams, so the published epoch advances while the
+      // dirty-pair rule reuses the entire previous matrix. The rescored /
+      // reused split is digest-driven and therefore deterministic across
+      // thread counts, so it is safe to render.
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+      obs::Counter& rescored_counter =
+          registry.GetCounter("pipeline.pairs_rescored");
+      obs::Counter& reused_counter =
+          registry.GetCounter("pipeline.pairs_reused");
+      const uint64_t rescored_before = rescored_counter.value();
+      const uint64_t reused_before = reused_counter.value();
+      for (const auto& [node_index, context] : armed) {
+        INVARNETX_RETURN_IF_ERROR(
+            pipeline.TrainContext(context, normal, node_index));
+      }
+      out << "retrain: " << armed.size() << " context(s), pairs rescored "
+          << (rescored_counter.value() - rescored_before) << ", reused "
+          << (reused_counter.value() - reused_before) << "\n";
+    }
   }
   out << "summary: " << total_alarms << " alarm(s) over " << runs
       << " run(s) x " << armed.size() << " monitor(s)\n";

@@ -17,6 +17,15 @@ struct ReplayOptions {
   size_t window_capacity = 256;
   // Caps the scenario test runs replayed (0 = all).
   int max_runs = 0;
+  // Retrain every armed operation context from the scenario's fault-free
+  // runs after each replayed test run - the serving-time shape of the
+  // incremental maintenance path: each retrain publishes a fresh epoch
+  // whose mining reuses the previous epoch's records (same training data,
+  // so every pair digest matches and no pair is rescored). The report
+  // gains a per-run retrain line with the rescored/reused split; verdicts
+  // are unchanged (retrained models are identical, and in-flight monitors
+  // pin their epoch regardless).
+  bool retrain_each_run = false;
 };
 
 // Replays a fault-injection scenario through a MonitorFleet: simulates the

@@ -153,6 +153,144 @@ TEST(AssociationCacheTest, SeriesDigestKeysAreOrderAndEngineSensitive) {
   EXPECT_FALSE(CombinePairKey("mic", HashSeries(x2), dy) == base);
 }
 
+TEST(AssociationCacheTest, NegativeZeroDigestsAsPositiveZero) {
+  // Regression: digests used to hash raw double bytes, so -0.0 and 0.0 -
+  // numerically equal, and scored identically by every engine - produced
+  // different digests. That missed the cache and, worse, read as "dirty"
+  // to the incremental retrain path.
+  const std::vector<double> pos = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> neg = pos;
+  neg[0] = -0.0;
+  EXPECT_TRUE(HashSeries(pos) == HashSeries(neg));
+  EXPECT_EQ(HashSeriesPair("mic", pos, pos), HashSeriesPair("mic", neg, neg));
+  // A genuinely different value still separates.
+  std::vector<double> other = pos;
+  other[0] = 1e-300;
+  EXPECT_FALSE(HashSeries(other) == HashSeries(pos));
+}
+
+TEST(AssociationCacheTest, FullShardRetainsRecentlyTouchedKeys) {
+  // Bounded eviction: a full shard drops its least-recently-touched half,
+  // not the whole shard (the old wholesale flush collapsed the hit rate to
+  // ~0 exactly when the working set reached capacity). Keys are crafted to
+  // land in one shard (ShardFor uses key.lo mod the shard count).
+  AssociationScoreCache cache(8);
+  std::vector<PairScoreKey> keys;
+  for (uint64_t i = 0; i < 8; ++i) {
+    keys.push_back(PairScoreKey{16 * i, 1000 + i});
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    cache.Insert(keys[i], static_cast<double>(i));
+  }
+  ASSERT_EQ(cache.size(), 8u);
+  // Touch the second half: these are now the shard's hot keys.
+  for (size_t i = 4; i < 8; ++i) {
+    ASSERT_TRUE(cache.Lookup(keys[i]).has_value());
+  }
+  // Overflow the shard: the untouched first half is evicted, the hot half
+  // and the new key are retained.
+  const PairScoreKey fresh{16 * 8, 1008};
+  cache.Insert(fresh, 8.0);
+  EXPECT_EQ(cache.flushes(), 1u);
+  EXPECT_EQ(cache.evicted(), 4u);
+  EXPECT_EQ(cache.size(), 5u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cache.Lookup(keys[i]).has_value()) << "cold key " << i;
+  }
+  for (size_t i = 4; i < 8; ++i) {
+    ASSERT_TRUE(cache.Lookup(keys[i]).has_value()) << "hot key " << i;
+    EXPECT_EQ(*cache.Lookup(keys[i]), static_cast<double>(i));
+  }
+  ASSERT_TRUE(cache.Lookup(fresh).has_value());
+  EXPECT_EQ(*cache.Lookup(fresh), 8.0);
+}
+
+// ------------------------------------------------- incremental mining --
+
+TEST(AssociationIncrementalTest, UnchangedPriorReusesEveryPair) {
+  const telemetry::NodeTrace node = RandomNode(71);
+  std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(AssociationEngineType::kMic);
+  AssociationOptions options{.num_threads = 1, .use_cache = false};
+
+  MatrixMiningRecord record;
+  Result<AssociationMatrix> cold = ComputeAssociationMatrix(
+      node, *engine, options, nullptr, &record, nullptr);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_TRUE(SameBytes(cold.value(), record.matrix));
+
+  IncrementalMatrixStats stats;
+  Result<AssociationMatrix> warm = ComputeAssociationMatrix(
+      node, *engine, options, &record, nullptr, &stats);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(stats.reused, telemetry::kNumMetricPairs);
+  EXPECT_EQ(stats.rescored, 0);
+  EXPECT_TRUE(SameBytes(cold.value(), warm.value()));
+}
+
+TEST(AssociationIncrementalTest, OneDirtyMetricRescoresExactly25Pairs) {
+  const telemetry::NodeTrace base = RandomNode(72);
+  std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(AssociationEngineType::kMic);
+  AssociationOptions serial{.num_threads = 1, .use_cache = false};
+
+  MatrixMiningRecord record;
+  ASSERT_TRUE(ComputeAssociationMatrix(base, *engine, serial, nullptr,
+                                       &record, nullptr)
+                  .ok());
+
+  telemetry::NodeTrace perturbed = base;
+  for (double& v : perturbed.metrics[11]) v += 0.5;
+  Result<AssociationMatrix> cold =
+      ComputeAssociationMatrix(perturbed, *engine, serial);
+  ASSERT_TRUE(cold.ok());
+
+  // The incremental result must be byte-identical to the cold recompute at
+  // every thread count, rescoring only the 25 pairs involving the dirty
+  // metric.
+  for (int threads : {1, 2, 8}) {
+    AssociationOptions options{.num_threads = threads, .use_cache = false};
+    IncrementalMatrixStats stats;
+    MatrixMiningRecord next;
+    Result<AssociationMatrix> incremental = ComputeAssociationMatrix(
+        perturbed, *engine, options, &record, &next, &stats);
+    ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+    EXPECT_EQ(stats.rescored, telemetry::kNumMetrics - 1)
+        << threads << " threads";
+    EXPECT_EQ(stats.reused,
+              telemetry::kNumMetricPairs - (telemetry::kNumMetrics - 1));
+    EXPECT_TRUE(SameBytes(cold.value(), incremental.value()))
+        << threads << " threads";
+    // The refreshed record is usable as the next prior.
+    EXPECT_TRUE(SameBytes(incremental.value(), next.matrix));
+  }
+}
+
+TEST(AssociationIncrementalTest, OracleDetectsCorruptPrior) {
+  const telemetry::NodeTrace node = RandomNode(73);
+  std::unique_ptr<AssociationEngine> engine =
+      AssociationEngine::Make(AssociationEngineType::kMic);
+  AssociationOptions options{.num_threads = 1, .use_cache = false};
+  MatrixMiningRecord record;
+  ASSERT_TRUE(ComputeAssociationMatrix(node, *engine, options, nullptr,
+                                       &record, nullptr)
+                  .ok());
+
+  // A clean pass under the oracle succeeds...
+  options.verify_incremental = true;
+  EXPECT_TRUE(
+      ComputeAssociationMatrix(node, *engine, options, &record, nullptr,
+                               nullptr)
+          .ok());
+
+  // ...and a corrupted prior score (reused verbatim because its digests
+  // still match) is caught as a byte mismatch against the cold recompute.
+  record.matrix[0] += 1.0;
+  Result<AssociationMatrix> corrupt = ComputeAssociationMatrix(
+      node, *engine, options, &record, nullptr, nullptr);
+  EXPECT_FALSE(corrupt.ok());
+}
+
 // ------------------------------------------ workspace kernel exactness --
 
 // The tentpole guarantee: the workspace kernel, hinted degeneracy

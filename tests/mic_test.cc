@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+
 #include "common/random.h"
 #include "mic/mic.h"
+#include "mic/simd.h"
 
 // ----------------------------------------------- allocation counting hook --
 // This binary replaces the global allocation functions with counting
@@ -465,6 +469,85 @@ TEST(MicWorkspaceTest, ZeroSteadyStateAllocations) {
   after = HeapAllocations();
   ASSERT_TRUE(shorter.ok());
   EXPECT_EQ(after - before, 0u) << "shorter warm Mic() allocated";
+}
+
+// ----------------------------------------------------- SIMD dispatch tiers --
+
+// Runs `body` under every SIMD tier the host supports (always at least the
+// scalar tier), restoring the ambient dispatch level afterwards.
+template <typename Body>
+void ForEachSimdLevel(const Body& body) {
+  const SimdLevel ambient = ActiveSimdLevel();
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (DetectSimdLevel() != SimdLevel::kScalar) {
+    levels.push_back(DetectSimdLevel());
+  }
+  for (SimdLevel level : levels) {
+    SetSimdLevel(level);
+    body(level);
+  }
+  SetSimdLevel(ambient);
+}
+
+TEST(MicSimdTest, EveryTierBitIdenticalToReference) {
+  // The vectorized DP reduction must be bit-identical to the scalar one
+  // (and both to the allocating reference kernel): the max over
+  // dp[s] + col_score[t][s] is order-independent because no candidate is
+  // NaN or -0.0, so lane-parallel evaluation cannot change the result.
+  MicWorkspace workspace;
+  Rng rng(0x51D);
+  for (int n : {30, 100, 257}) {
+    std::vector<double> x, y;
+    for (int i = 0; i < n; ++i) {
+      x.push_back(rng.Gaussian(0, 1));
+      y.push_back(0.6 * x.back() * x.back() + rng.Gaussian(0, 0.4));
+    }
+    const Result<MicResult> reference = MicReference(x, y);
+    ASSERT_TRUE(reference.ok());
+    ForEachSimdLevel([&](SimdLevel level) {
+      const Result<MicResult> got = Mic(x, y, MicOptions(), &workspace);
+      ASSERT_TRUE(got.ok());
+      ExpectExactlyEqual(got.value(), reference.value(),
+                         std::string("n=") + std::to_string(n) + " level " +
+                             SimdLevelName(level));
+    });
+  }
+}
+
+TEST(MicSimdTest, ZeroSteadyStateAllocationsOnEveryTier) {
+  // The dispatch layer must not cost the zero-allocation guarantee.
+  Rng rng(0x51D2);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.Gaussian(0, 1));
+    y.push_back(0.5 * x.back() + rng.Gaussian(0, 0.5));
+  }
+  MicWorkspace workspace;
+  ASSERT_TRUE(Mic(x, y, MicOptions(), &workspace).ok());  // warm buffers
+  ForEachSimdLevel([&](SimdLevel level) {
+    ASSERT_TRUE(Mic(x, y, MicOptions(), &workspace).ok());  // settle tier
+    const uint64_t before = HeapAllocations();
+    const Result<MicResult> warm = Mic(x, y, MicOptions(), &workspace);
+    const uint64_t after = HeapAllocations();
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(after - before, 0u)
+        << "warm Mic() allocated at level " << SimdLevelName(level);
+  });
+}
+
+TEST(MicSimdTest, EnvKnobForcesScalar) {
+  // DetectSimdLevel honors INVARNETX_SIMD=scalar (read once at startup);
+  // whatever it picked, SetSimdLevel can override and the active level
+  // round-trips.
+  const SimdLevel ambient = ActiveSimdLevel();
+  SetSimdLevel(SimdLevel::kScalar);
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  SetSimdLevel(ambient);
+  EXPECT_EQ(ActiveSimdLevel(), ambient);
+  if (const char* env = std::getenv("INVARNETX_SIMD");
+      env != nullptr && std::string_view(env) == "scalar") {
+    EXPECT_EQ(DetectSimdLevel(), SimdLevel::kScalar);
+  }
 }
 
 // ------------------------------------------- pinned MINE stats regression --

@@ -5,6 +5,7 @@
 
 #include "core/evaluate.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 
 namespace invarnetx::core {
 namespace {
@@ -116,6 +117,77 @@ TEST_F(PipelineTest, EpochAdvancesAcrossRetrainsAndSnapshotsStayPinned) {
   EXPECT_EQ(fresh.GetContext(kContext).value()->epoch, 4u);
   EXPECT_EQ(fresh.GetContext(kContext).value()->sigdb.size(), 1u);
   EXPECT_EQ(second->sigdb.size(), 0u);  // older snapshots never mutate
+}
+
+TEST_F(PipelineTest, RetrainOnUnchangedDataReusesEveryPairScore) {
+  obs::Counter& rescored =
+      obs::MetricsRegistry::Shared().GetCounter("pipeline.pairs_rescored");
+  obs::Counter& reused =
+      obs::MetricsRegistry::Shared().GetCounter("pipeline.pairs_reused");
+
+  InvarNetXConfig config;
+  config.use_association_cache = false;  // isolate digest-driven reuse
+  InvarNetX fresh(config);
+  ASSERT_TRUE(fresh.TrainContext(kContext, *normal_, kVictim).ok());
+  const std::shared_ptr<const ContextModel> cold =
+      fresh.GetContext(kContext).value();
+  ASSERT_FALSE(cold->mining.records.empty());
+
+  // Same examples again: every slice digest matches the carried mining
+  // snapshot, so no pair is rescored and the published invariants are
+  // byte-identical.
+  const uint64_t rescored_before = rescored.value();
+  const uint64_t reused_before = reused.value();
+  ASSERT_TRUE(fresh.TrainContext(kContext, *normal_, kVictim).ok());
+  const std::shared_ptr<const ContextModel> warm =
+      fresh.GetContext(kContext).value();
+  EXPECT_EQ(rescored.value() - rescored_before, 0u);
+  EXPECT_EQ(reused.value() - reused_before,
+            cold->mining.records.size() *
+                static_cast<size_t>(telemetry::kNumMetricPairs));
+  EXPECT_EQ(warm->invariants.values, cold->invariants.values);
+  EXPECT_EQ(warm->invariants.PairIndices(), cold->invariants.PairIndices());
+
+  // One perturbed tick in one metric of one run dirties only that run's
+  // slices; the rest of the fleet of pair scores is still reused.
+  std::vector<telemetry::RunTrace> perturbed = *normal_;
+  perturbed[0].nodes[kVictim].metrics[5][3] += 1.0;
+  const uint64_t rescored_mid = rescored.value();
+  ASSERT_TRUE(fresh.TrainContext(kContext, perturbed, kVictim).ok());
+  const uint64_t delta = rescored.value() - rescored_mid;
+  EXPECT_GT(delta, 0u);
+  EXPECT_LE(delta, static_cast<uint64_t>(telemetry::kNumMetrics - 1) *
+                       cold->mining.records.size());
+}
+
+TEST_F(PipelineTest, MiningStateSurvivesAddSignatureEpochs) {
+  obs::Counter& rescored =
+      obs::MetricsRegistry::Shared().GetCounter("pipeline.pairs_rescored");
+  InvarNetXConfig config;
+  config.use_association_cache = false;
+  InvarNetX fresh(config);
+  ASSERT_TRUE(fresh.TrainContext(kContext, *normal_, kVictim).ok());
+  // AddSignature publishes a new epoch via copy; the mining snapshot must
+  // ride along so the retrain after it still reuses everything.
+  auto run = SimulateFaultRun(WorkloadType::kWordCount,
+                              faults::FaultType::kCpuHog, 903);
+  ASSERT_TRUE(
+      fresh.AddSignature(kContext, "cpu-hog", run.value(), kVictim).ok());
+  EXPECT_FALSE(fresh.GetContext(kContext).value()->mining.records.empty());
+  const uint64_t before = rescored.value();
+  ASSERT_TRUE(fresh.TrainContext(kContext, *normal_, kVictim).ok());
+  EXPECT_EQ(rescored.value() - before, 0u);
+  EXPECT_EQ(fresh.GetContext(kContext).value()->sigdb.size(), 1u);
+}
+
+TEST_F(PipelineTest, VerifyIncrementalOraclePassesOnRetrain) {
+  InvarNetXConfig config;
+  config.verify_incremental = true;
+  InvarNetX checked(config);
+  ASSERT_TRUE(checked.TrainContext(kContext, *normal_, kVictim).ok());
+  // The second train takes the incremental path under the cold-recompute
+  // oracle; any reuse that is not byte-identical would fail the train.
+  ASSERT_TRUE(checked.TrainContext(kContext, *normal_, kVictim).ok());
 }
 
 TEST_F(PipelineTest, TrainRejectsTooFewRuns) {

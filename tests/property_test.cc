@@ -3,6 +3,7 @@
 // single examples.
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -350,6 +351,77 @@ TEST_P(EngineContractTest, ConstantSeriesScoreZero) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllEngines, EngineContractTest,
+    ::testing::Values(core::AssociationEngineType::kMic,
+                      core::AssociationEngineType::kArx,
+                      core::AssociationEngineType::kEnsemble),
+    [](const ::testing::TestParamInfo<core::AssociationEngineType>& info) {
+      return core::AssociationEngineName(info.param);
+    });
+
+// ------------------------------------------- dirty-pair incremental law --
+
+// The incremental retrain contract, checked per engine: perturbing exactly
+// one metric dirties exactly the kNumMetrics-1 pairs involving it, every
+// other pair is reused from the prior record, and the incremental matrix is
+// byte-identical to a cold recompute at every thread count.
+class DirtyPairPropertyTest
+    : public ::testing::TestWithParam<core::AssociationEngineType> {
+ protected:
+  static telemetry::NodeTrace MakeNode(uint64_t seed) {
+    Rng rng(seed);
+    telemetry::NodeTrace node;
+    node.ip = "10.1.0.1";
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      double level = rng.Uniform(5.0, 50.0);
+      for (int t = 0; t < 48; ++t) {
+        level += rng.Gaussian(0.0, 0.5);
+        node.metrics[m].push_back(level + std::sin(0.2 * t + m));
+      }
+    }
+    return node;
+  }
+};
+
+TEST_P(DirtyPairPropertyTest, OnePerturbedMetricDirtiesExactlyItsPairs) {
+  const auto engine = core::AssociationEngine::Make(GetParam());
+  ASSERT_NE(engine, nullptr);
+  const telemetry::NodeTrace base = MakeNode(81);
+  core::AssociationOptions serial{.num_threads = 1, .use_cache = false};
+
+  core::MatrixMiningRecord prior;
+  ASSERT_TRUE(core::ComputeAssociationMatrix(base, *engine, serial, nullptr,
+                                             &prior, nullptr)
+                  .ok());
+
+  for (int dirty_metric : {0, 13, telemetry::kNumMetrics - 1}) {
+    telemetry::NodeTrace perturbed = base;
+    perturbed.metrics[dirty_metric][7] += 0.25;
+    const Result<core::AssociationMatrix> cold =
+        core::ComputeAssociationMatrix(perturbed, *engine, serial);
+    ASSERT_TRUE(cold.ok());
+
+    for (int threads : {1, 2, 8}) {
+      core::AssociationOptions options{.num_threads = threads,
+                                       .use_cache = false};
+      core::IncrementalMatrixStats stats;
+      const Result<core::AssociationMatrix> incremental =
+          core::ComputeAssociationMatrix(perturbed, *engine, options, &prior,
+                                         nullptr, &stats);
+      ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+      EXPECT_EQ(stats.rescored, telemetry::kNumMetrics - 1)
+          << "metric " << dirty_metric << ", " << threads << " threads";
+      EXPECT_EQ(stats.reused,
+                telemetry::kNumMetricPairs - (telemetry::kNumMetrics - 1));
+      EXPECT_EQ(std::memcmp(cold.value().data(), incremental.value().data(),
+                            cold.value().size() * sizeof(double)),
+                0)
+          << "metric " << dirty_metric << ", " << threads << " threads";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, DirtyPairPropertyTest,
     ::testing::Values(core::AssociationEngineType::kMic,
                       core::AssociationEngineType::kArx,
                       core::AssociationEngineType::kEnsemble),

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -298,6 +299,52 @@ TEST(ServeReplayTest, MaxRunsCapsTheReplay) {
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   EXPECT_NE(out.value().find("== run 0 =="), std::string::npos);
   EXPECT_EQ(out.value().find("== run 1 =="), std::string::npos);
+}
+
+TEST(ServeReplayTest, RetrainEachRunStaysDeterministicAndReusesScores) {
+  Result<campaign::Scenario> scenario =
+      campaign::ParseScenario(kScenarioText);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+
+  auto render = [&](int threads) {
+    serve::ReplayOptions options;
+    options.threads = threads;
+    options.retrain_each_run = true;
+    Result<std::string> out = serve::ReplayScenario(scenario.value(), options);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? out.value() : std::string();
+  };
+  const std::string serial = render(1);
+  ASSERT_FALSE(serial.empty());
+  // The retrain summary is rendered per run; the training data is unchanged
+  // between runs, so every pair score is reused and none rescored - which
+  // also keeps the report byte-identical across thread counts.
+  EXPECT_NE(serial.find("retrain:"), std::string::npos);
+  EXPECT_NE(serial.find("pairs rescored 0"), std::string::npos);
+  EXPECT_EQ(serial.find("reused 0\n"), std::string::npos);
+  EXPECT_EQ(serial, render(4));
+
+  // Verdict lines are unaffected by the retrain passes.
+  serve::ReplayOptions plain;
+  plain.threads = 1;
+  Result<std::string> baseline =
+      serve::ReplayScenario(scenario.value(), plain);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_NE(serial.find("ALARM"), std::string::npos);
+  std::istringstream with_retrain(serial);
+  std::string line;
+  std::vector<std::string> verdicts;
+  while (std::getline(with_retrain, line)) {
+    if (line.find("node ") != std::string::npos) verdicts.push_back(line);
+  }
+  std::istringstream without(baseline.value());
+  std::vector<std::string> baseline_verdicts;
+  while (std::getline(without, line)) {
+    if (line.find("node ") != std::string::npos) {
+      baseline_verdicts.push_back(line);
+    }
+  }
+  EXPECT_EQ(verdicts, baseline_verdicts);
 }
 
 TEST(ServeReplayTest, TraceReplayRejectsEmptyTrace) {
