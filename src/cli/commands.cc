@@ -1,18 +1,24 @@
 #include "cli/commands.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "campaign/scenario.h"
 #include "campaign/scoreboard.h"
+#include "serve/fleet.h"
 #include "serve/replay.h"
+#include "serve/statusz.h"
 #include "core/cluster_diagnosis.h"
 #include "core/evaluate.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "obs/http.h"
+#include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -611,31 +617,150 @@ Status RunServe(const CommandLine& args, std::string* out) {
   options.max_runs = std::atoi(args.Get("runs", "0").c_str());
   options.retrain_each_run = args.Has("retrain-each-run");
 
-  // A scenario file carries its own training data (seeded simulation); a
-  // recorded trace needs the offline store that trained its contexts.
-  if (std::filesystem::path(target).extension() == ".scenario") {
-    Result<campaign::Scenario> scenario = campaign::LoadScenarioFile(target);
-    if (!scenario.ok()) return scenario.status();
+  // Optional embedded observability endpoint. Everything about it stays off
+  // stdout (the port announcement goes through the structured logger on
+  // stderr), so replay output is byte-identical with or without it.
+  std::unique_ptr<obs::HttpServer> http;
+  if (args.Has("http-port")) {
+    const int port = std::atoi(args.Get("http-port", "").c_str());
+    if (port < 0 || port > 65535) {
+      return Status::InvalidArgument("bad --http-port (want 0..65535): " +
+                                     args.Get("http-port", ""));
+    }
+    obs::HttpServer::Options http_options;
+    http_options.port = static_cast<uint16_t>(port);
+    http_options.bind_address = args.Get("http-addr", "127.0.0.1");
+    http = std::make_unique<obs::HttpServer>(http_options);
+    serve::InstallObsEndpoints(http.get());
+    INVARNETX_RETURN_IF_ERROR(http->Start());
+    obs::EventJournal::Shared().Record(
+        obs::EventKind::kLifecycle, "observability endpoint up",
+        {{"port", static_cast<uint64_t>(http->port())}});
+    INVARNETX_OBS_LOG(
+        obs::LogLevel::kInfo, "observability endpoint listening",
+        {{"addr", http_options.bind_address},
+         {"port", static_cast<uint64_t>(http->port())},
+         {"endpoints", "/metrics /healthz /statusz /tracez"}});
+  }
+  // CI smoke and manual curls need the endpoint alive after the replay
+  // finishes; --http-linger S holds the process that long before exiting.
+  const double linger_seconds =
+      std::atof(args.Get("http-linger", "0").c_str());
+
+  Status status = [&]() -> Status {
+    // A scenario file carries its own training data (seeded simulation); a
+    // recorded trace needs the offline store that trained its contexts.
+    if (std::filesystem::path(target).extension() == ".scenario") {
+      Result<campaign::Scenario> scenario = campaign::LoadScenarioFile(target);
+      if (!scenario.ok()) return scenario.status();
+      Result<std::string> rendered =
+          serve::ReplayScenario(scenario.value(), options);
+      if (!rendered.ok()) return rendered.status();
+      *out += rendered.value();
+      return Status::Ok();
+    }
+    if (!args.Has("store")) {
+      return Status::InvalidArgument(
+          "serve --replay TRACE needs --store DIR (trained offline state)");
+    }
+    Result<telemetry::RunTrace> trace = telemetry::ReadTraceFile(target);
+    if (!trace.ok()) return trace.status();
+    core::InvarNetXConfig pipeline_config;
+    ApplyMiningOptions(args, &pipeline_config);
+    core::InvarNetX pipeline(pipeline_config);
+    INVARNETX_RETURN_IF_ERROR(
+        pipeline.LoadFromDirectory(args.Get("store", "")));
     Result<std::string> rendered =
-        serve::ReplayScenario(scenario.value(), options);
+        serve::ReplayTrace(pipeline, trace.value(), options);
     if (!rendered.ok()) return rendered.status();
     *out += rendered.value();
     return Status::Ok();
+  }();
+
+  if (http != nullptr) {
+    if (status.ok() && linger_seconds > 0.0) {
+      INVARNETX_OBS_LOG(obs::LogLevel::kInfo, "replay done, endpoint lingering",
+                        {{"seconds", linger_seconds}});
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(linger_seconds));
+    }
+    obs::EventJournal::Shared().Record(obs::EventKind::kLifecycle,
+                                       "observability endpoint down");
+    http->Stop();
   }
-  if (!args.Has("store")) {
-    return Status::InvalidArgument(
-        "serve --replay TRACE needs --store DIR (trained offline state)");
+  return status;
+}
+
+Status RunEvents(const CommandLine& args, std::string* out) {
+  // Like `stats`, a fresh process has an empty journal, so `events` first
+  // exercises the whole span of journal hooks - train (retrain +
+  // epoch-publish events), then a one-monitor fleet streamed through a
+  // faulty run (alarm, diagnosis, and - with the demo's low thresholds -
+  // alarm-storm events) - and dumps what was recorded.
+  const std::string format = args.Get("format", "text");
+  if (format != "text" && format != "json") {
+    return Status::InvalidArgument("bad --format (want text|json): " + format);
   }
-  Result<telemetry::RunTrace> trace = telemetry::ReadTraceFile(target);
-  if (!trace.ok()) return trace.status();
-  core::InvarNetXConfig pipeline_config;
-  ApplyMiningOptions(args, &pipeline_config);
-  core::InvarNetX pipeline(pipeline_config);
-  INVARNETX_RETURN_IF_ERROR(pipeline.LoadFromDirectory(args.Get("store", "")));
-  Result<std::string> rendered =
-      serve::ReplayTrace(pipeline, trace.value(), options);
-  if (!rendered.ok()) return rendered.status();
-  *out += rendered.value();
+  const int last = std::atoi(args.Get("last", "0").c_str());
+  if (last < 0) return Status::InvalidArgument("bad --last (want >= 0)");
+
+  if (args.Get("exercise", "1") != "0") {
+    Result<uint64_t> seed = ParseSeed(args);
+    if (!seed.ok()) return seed.status();
+    core::EvalConfig config;
+    config.seed = seed.value();
+    config.normal_runs = std::atoi(args.Get("runs", "3").c_str());
+    if (config.normal_runs < 2) config.normal_runs = 2;
+    ApplyMiningOptions(args, &config.pipeline);
+
+    Result<std::vector<telemetry::RunTrace>> normal =
+        core::SimulateNormalRuns(config.workload, config.normal_runs,
+                                 config.seed, config.interactive_train_ticks);
+    if (!normal.ok()) return normal.status();
+    core::InvarNetX pipeline(config.pipeline);
+    INVARNETX_RETURN_IF_ERROR(
+        core::TrainPipeline(&pipeline, config, normal.value()));
+    Result<telemetry::RunTrace> faulty = core::SimulateFaultRun(
+        config.workload, faults::FaultType::kCpuHog, config.seed + 1000);
+    if (!faulty.ok()) return faulty.status();
+
+    serve::FleetConfig fleet_config;
+    fleet_config.threads = config.pipeline.num_threads;
+    // Demo thresholds: a single alarm counts as a storm, so the dump shows
+    // every event kind the serve path can journal.
+    fleet_config.storm_alarm_threshold = 1;
+    serve::MonitorFleet fleet(&pipeline, fleet_config);
+    const core::OperationContext context = core::VictimContext(config);
+    INVARNETX_RETURN_IF_ERROR(fleet.StartJob(context));
+    const telemetry::NodeTrace& node =
+        faulty.value().nodes[static_cast<size_t>(config.victim_node)];
+    std::vector<serve::TickSample> batch(1);
+    batch[0].context = context;
+    for (size_t t = 0; t < node.cpi.size(); ++t) {
+      batch[0].cpi = node.cpi[t];
+      for (size_t m = 0; m < static_cast<size_t>(telemetry::kNumMetrics);
+           ++m) {
+        batch[0].metrics[m] = node.metrics[m][t];
+      }
+      Result<serve::TickSummary> summary = fleet.IngestTick(batch);
+      if (!summary.ok()) return summary.status();
+    }
+    fleet.WaitForDiagnoses();
+    fleet.TakeDiagnoses();
+  }
+
+  obs::EventJournal& journal = obs::EventJournal::Shared();
+  const std::vector<obs::Event> events =
+      journal.Snapshot(static_cast<size_t>(last));
+  if (format == "json") {
+    *out += obs::RenderEventsJson(events);
+    return Status::Ok();
+  }
+  *out += "# journal: " + std::to_string(events.size()) + " of " +
+          std::to_string(journal.next_seq()) + " recorded events (" +
+          std::to_string(journal.evicted()) + " evicted, capacity " +
+          std::to_string(journal.capacity()) + ")\n";
+  *out += obs::RenderEventsText(events);
   return Status::Ok();
 }
 
@@ -670,15 +795,27 @@ std::string Usage() {
       "            against each scenario's expected root cause; compares\n"
       "            diagnosis reports against golden files when present\n"
       "  serve     --replay FILE [--store DIR] [--window W] [--runs N]\n"
-      "            [--retrain-each-run]\n"
+      "            [--retrain-each-run] [--http-port P] [--http-addr A]\n"
+      "            [--http-linger S]\n"
       "            stream a scenario's test runs (or a recorded trace,\n"
       "            with --store) tick by tick through a MonitorFleet -\n"
       "            one monitor per node, batched ingestion, bounded\n"
       "            windows, alarm-triggered asynchronous diagnosis -\n"
       "            and print the per-job verdicts (byte-identical for\n"
-      "            every --threads value); --retrain-each-run retrains\n"
-      "            every context between runs via the incremental\n"
-      "            dirty-pair path and reports the rescored/reused split\n"
+      "            every --threads value, and with --http-port on or\n"
+      "            off); --retrain-each-run retrains every context\n"
+      "            between runs via the incremental dirty-pair path and\n"
+      "            reports the rescored/reused split; --http-port serves\n"
+      "            /metrics /healthz /statusz /tracez while replaying\n"
+      "            (0 = ephemeral; port logged on stderr), binding\n"
+      "            --http-addr (default 127.0.0.1), and --http-linger\n"
+      "            keeps the endpoint up S seconds after the replay\n"
+      "  events    [--format text|json] [--last N] [--exercise 0|1]\n"
+      "            dump the bounded in-process event journal (alarms,\n"
+      "            retrains, epoch publishes, diagnoses, cache\n"
+      "            evictions, watchdog trips); by default first runs a\n"
+      "            small train+serve self-exercise so a fresh process\n"
+      "            has events to show (--exercise 0 skips it)\n"
       "\n"
       "global options (every command):\n"
       "  --log-level L     debug|info|warn|error|off (default info);\n"
@@ -712,6 +849,7 @@ Status RunCommand(const CommandLine& args, std::string* out) {
     if (args.command == "stats") return RunStats(args, out);
     if (args.command == "campaign") return RunCampaign(args, out);
     if (args.command == "serve") return RunServe(args, out);
+    if (args.command == "events") return RunEvents(args, out);
     *out += Usage();
     return Status::InvalidArgument("unknown command: " + args.command);
   }();

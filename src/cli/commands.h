@@ -39,6 +39,8 @@ Result<CommandLine> ParseArgs(int argc, const char* const* argv);
 //   campaign  run DIR|FILE [--csv F] [--json F] [--golden-dir D]
 //             [--update-golden] [--min-precision X]
 //   serve     --replay FILE [--store DIR] [--window W] [--runs N]
+//             [--http-port P] [--http-addr A] [--http-linger S]
+//   events    [--format text|json] [--last N] [--exercise 0|1]
 Status RunSimulate(const CommandLine& args, std::string* out);
 Status RunTrain(const CommandLine& args, std::string* out);
 Status RunAddSignature(const CommandLine& args, std::string* out);
@@ -48,6 +50,7 @@ Status RunInfo(const CommandLine& args, std::string* out);
 Status RunStats(const CommandLine& args, std::string* out);
 Status RunCampaign(const CommandLine& args, std::string* out);
 Status RunServe(const CommandLine& args, std::string* out);
+Status RunEvents(const CommandLine& args, std::string* out);
 
 // Dispatches to the command; unknown commands return kInvalidArgument with
 // the usage text in *out. Also applies the global observability options

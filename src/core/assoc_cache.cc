@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 
 namespace invarnetx::core {
@@ -140,6 +141,9 @@ void AssociationScoreCache::EvictColdHalf(Shard& shard) {
     evicted_.fetch_add(dropped, std::memory_order_relaxed);
     CacheCounters::Get().flushes.Increment();
     CacheCounters::Get().evicted.Increment(dropped);
+    obs::EventJournal::Shared().Record(
+        obs::EventKind::kCacheEviction, "assoc cache shard flushed",
+        {{"evicted", dropped}});
     return;
   }
   std::vector<uint64_t> stamps;
@@ -159,6 +163,9 @@ void AssociationScoreCache::EvictColdHalf(Shard& shard) {
   evicted_.fetch_add(drop, std::memory_order_relaxed);
   CacheCounters::Get().flushes.Increment();
   CacheCounters::Get().evicted.Increment(drop);
+  obs::EventJournal::Shared().Record(
+      obs::EventKind::kCacheEviction, "assoc cache dropped cold half",
+      {{"evicted", drop}, {"retained", shard.scores.size()}});
 }
 
 void AssociationScoreCache::Insert(const PairScoreKey& key, double score) {

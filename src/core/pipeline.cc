@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "core/assoc_cache.h"
+#include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -248,6 +249,13 @@ Status InvarNetX::TrainContextFromExamples(
   }
   const size_t num_invariants = fresh->invariants.NumInvariants();
   Publish(Key(context), std::move(fresh));
+  obs::EventJournal::Shared().Record(
+      obs::EventKind::kRetrain, "context (re)trained",
+      {{"context", Key(context).ToString()},
+       {"invariants", num_invariants},
+       {"incremental", prior_mining != nullptr},
+       {"pairs_rescored", pairs_rescored.load(std::memory_order_relaxed)},
+       {"pairs_reused", pairs_reused.load(std::memory_order_relaxed)}});
   INVARNETX_OBS_LOG(
       obs::LogLevel::kInfo, "trained context",
       {{"context", Key(context).ToString()},
@@ -471,10 +479,19 @@ std::shared_ptr<const ContextModel> InvarNetX::Snapshot(
 
 void InvarNetX::Publish(const OperationContext& key,
                         std::shared_ptr<ContextModel> fresh) {
-  std::lock_guard<std::mutex> lock(contexts_mu_);
-  std::shared_ptr<const ContextModel>& slot = contexts_[key];
-  fresh->epoch = (slot == nullptr ? 0 : slot->epoch) + 1;
-  slot = std::move(fresh);
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    std::shared_ptr<const ContextModel>& slot = contexts_[key];
+    fresh->epoch = (slot == nullptr ? 0 : slot->epoch) + 1;
+    epoch = fresh->epoch;
+    slot = std::move(fresh);
+  }
+  // Journal outside the lock: readers pinning snapshots never wait on the
+  // journal's mutex.
+  obs::EventJournal::Shared().Record(
+      obs::EventKind::kEpochPublish, "context model epoch published",
+      {{"context", key.ToString()}, {"epoch", epoch}});
 }
 
 Status InvarNetX::SaveToDirectory(const std::string& directory) const {

@@ -1,0 +1,248 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace invarnetx::obs {
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+// Writes the whole buffer, retrying on EINTR / partial writes.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Options options) : options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, Handler handler) {
+  handlers_[path] = std::move(handler);
+}
+
+Status HttpServer::Start() {
+  if (running_) return Status::InvalidArgument("http server already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind " + options_.bind_address + ":" +
+                           std::to_string(options_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + err);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("getsockname: " + err);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  shutting_down_ = false;
+  running_ = true;
+  const int workers = options_.num_workers < 1 ? 1 : options_.num_workers;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  // shutdown() unblocks the acceptor's accept(); close alone is not
+  // guaranteed to on all platforms.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Closed or shut down listener: exit quietly when stopping.
+      if (!running_) return;
+      INVARNETX_OBS_LOG(LogLevel::kWarn, "http accept failed",
+                        {{"error", std::strerror(errno)}});
+      return;
+    }
+    // A stuck client must not pin a worker forever.
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      ::close(fd);
+      return;
+    }
+    pending_.push_back(fd);
+    cv_.notify_one();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // shutting down, queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read until the end of the request head; the endpoints take no bodies.
+  std::string head;
+  char buf[1024];
+  while (head.size() < kMaxRequestBytes &&
+         head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // timeout, reset, or client gave up mid-request
+    }
+    head.append(buf, static_cast<size_t>(n));
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::Shared();
+  HttpRequest request;
+  HttpResponse response;
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else {
+    request.method = request_line.substr(0, sp1);
+    std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t question = target.find('?');
+    if (question != std::string::npos) {
+      request.query = target.substr(question + 1);
+      target.resize(question);
+    }
+    request.path = target;
+    if (request.method != "GET" && request.method != "HEAD") {
+      response.status = 405;
+      response.body = "only GET is served here\n";
+    } else {
+      auto it = handlers_.find(request.path);
+      if (it == handlers_.end()) {
+        response.status = 404;
+        response.body = "no handler for " + request.path + "; try:\n";
+        for (const auto& [path, handler] : handlers_) {
+          response.body += "  " + path + "\n";
+        }
+      } else {
+        response = it->second(request);
+      }
+    }
+  }
+
+  registry
+      .GetCounter("obs.http_requests",
+                  {{"code", std::to_string(response.status)}})
+      .Increment();
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (request.method != "HEAD") out += response.body;
+  WriteAll(fd, out);
+}
+
+}  // namespace invarnetx::obs

@@ -1,0 +1,93 @@
+#ifndef INVARNETX_OBS_HTTP_H_
+#define INVARNETX_OBS_HTTP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+// Minimal embedded HTTP/1.1 server for the observability endpoints
+// (/metrics, /healthz, /statusz, /tracez). Deliberately dependency-free:
+// blocking BSD sockets, one acceptor thread, a small worker pool draining
+// an accepted-connection queue. It serves GET with Connection: close only -
+// a scrape target, not a web framework - and binds loopback by default so
+// enabling it never exposes the process beyond the host. Handlers run on
+// worker threads and must be thread-safe.
+namespace invarnetx::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET", uppercased
+  std::string path;    // "/metrics" - no query string
+  std::string query;   // text after '?', if any (no parsing)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;  // 0 picks an ephemeral port; see port() after Start
+    int num_workers = 2;
+    int backlog = 16;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  explicit HttpServer(Options options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers an exact-path handler. Call before Start(); unknown paths
+  // get a 404 listing the registered ones.
+  void Handle(const std::string& path, Handler handler);
+
+  // Binds, listens, and spawns the acceptor + workers. Fails (with the
+  // errno text) if the port is taken or the address does not parse.
+  Status Start();
+
+  // Idempotent; joins all threads and closes every socket.
+  void Stop();
+
+  bool running() const { return running_; }
+  // The bound port (resolves ephemeral requests); 0 before Start.
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+
+  std::map<std::string, Handler> handlers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  bool shutting_down_ = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace invarnetx::obs
+
+#endif  // INVARNETX_OBS_HTTP_H_

@@ -1,0 +1,94 @@
+#ifndef INVARNETX_OBS_JOURNAL_H_
+#define INVARNETX_OBS_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+
+// Bounded structured event journal: the last-N notable state changes of the
+// process (alarms, epoch publishes, diagnoses, cache evictions, ring
+// overflows, watchdog trips), kept in memory so `/statusz` and `invarnetx
+// events` can answer "what just happened?" without scraping logs. The ring
+// is fixed-capacity; when full, the oldest event is dropped and an eviction
+// counter advances, so the journal itself can never grow without bound -
+// the same discipline the serve layer's ring windows follow.
+namespace invarnetx::obs {
+
+enum class EventKind {
+  kAlarm = 0,        // monitor raised or re-confirmed an alarm
+  kRetrain,          // model (re)training started or finished
+  kEpochPublish,     // a new immutable model epoch went live
+  kDiagnosis,        // a ranked diagnosis completed
+  kCacheEviction,    // association score cache dropped its cold half
+  kRingOverflow,     // a serve-side ring overwrote unread samples
+  kAlarmStorm,       // alarm-storm detector tripped or cleared
+  kSlowTick,         // ingest watchdog saw p99 above budget
+  kLifecycle,        // process-level marks (serve start/stop, HTTP up)
+};
+
+// Stable lowercase token for rendering and filtering (e.g. "alarm",
+// "epoch_publish").
+std::string EventKindName(EventKind kind);
+
+struct Event {
+  uint64_t seq = 0;         // monotonic, never reused, survives eviction
+  uint64_t uptime_us = 0;   // same clock as logs and trace spans
+  EventKind kind = EventKind::kLifecycle;
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+class EventJournal {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit EventJournal(size_t capacity = kDefaultCapacity);
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  // Appends one event, evicting the oldest if the ring is full. Cheap
+  // enough for serve-path hooks: one mutex, no I/O. Also mirrors the event
+  // to the debug log so journal and logs tell the same story.
+  void Record(EventKind kind, std::string message,
+              std::vector<LogField> fields = {});
+
+  // Point-in-time copy, oldest first. `last_n == 0` means everything
+  // retained.
+  std::vector<Event> Snapshot(size_t last_n = 0) const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Events dropped from the ring so far (total recorded = size + evicted).
+  uint64_t evicted() const;
+  // Next sequence number to be assigned (== total events ever recorded).
+  uint64_t next_seq() const;
+
+  // Drops all retained events and zeroes counters (tests, bench phases).
+  void Reset();
+
+  // Process-wide journal all built-in hooks record to.
+  static EventJournal& Shared();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Event> ring_;
+  uint64_t next_seq_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+// `ts=<s> seq=<n> kind=<token> msg="..." key=value ...`, one line per
+// event, oldest first.
+std::string RenderEventsText(const std::vector<Event>& events);
+// JSON array of {"seq":..,"uptime_us":..,"kind":"..","msg":"..",
+// "fields":{...}} objects, oldest first.
+std::string RenderEventsJson(const std::vector<Event>& events);
+
+}  // namespace invarnetx::obs
+
+#endif  // INVARNETX_OBS_JOURNAL_H_

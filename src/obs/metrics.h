@@ -9,6 +9,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
 
 // Process-wide metrics for the diagnosis engine's own behaviour: counters
 // (monotonic event tallies), gauges (instantaneous values), and fixed-bucket
@@ -17,7 +21,17 @@
 // once and then pay only relaxed atomics per update - cheap enough to leave
 // on in production runs, which is what makes the Table 1 overhead numbers
 // measurable instead of estimated.
+//
+// Metrics may carry low-cardinality labels (per-shard, per-workload - never
+// per-monitor or per-request); each distinct (name, labels) pair is its own
+// series with its own handle. The registry exports in three shapes: the
+// original text table, JSON, and Prometheus/OpenMetrics text exposition for
+// the embedded /metrics endpoint.
 namespace invarnetx::obs {
+
+// Sorted-by-key on registration, so {a=1,b=2} and {b=2,a=1} name the same
+// series. Keep cardinality low: labels multiply series counts.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
 // Monotonically increasing event count.
 class Counter {
@@ -67,6 +81,10 @@ class Histogram {
   double sum() const;
   // q in [0, 1]; returns 0 when empty.
   double Percentile(double q) const;
+  // Samples in bucket i (i == kNumBuckets is the overflow bucket).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
 
   // Upper bound of bucket i (inclusive); the overflow bucket reports the
   // last finite bound.
@@ -83,7 +101,9 @@ class Histogram {
 // Name -> metric maps with idempotent registration: the first Get* creates,
 // later calls return the same object, so components that race to register
 // (several pipelines sharing the process-wide thread pool) cannot create
-// duplicates. Names follow `<area>.<noun>` (see DESIGN.md).
+// duplicates. Names follow `<area>.<noun>` (see DESIGN.md). The labeled
+// overloads register one series per distinct label set under the same
+// family name.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -91,13 +111,21 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter& GetCounter(const std::string& name);
+  Counter& GetCounter(const std::string& name, const MetricLabels& labels);
   Gauge& GetGauge(const std::string& name);
+  Gauge& GetGauge(const std::string& name, const MetricLabels& labels);
   Histogram& GetHistogram(const std::string& name);
+  Histogram& GetHistogram(const std::string& name, const MetricLabels& labels);
 
   bool HasGauge(const std::string& name) const;
 
+  // Optional `# HELP` text for the OpenMetrics exposition, keyed by family
+  // name (the unlabeled metric name). Idempotent; later calls win.
+  void SetHelp(const std::string& name, const std::string& help);
+
   // Point-in-time copy for programmatic consumers (CLI stats, reports,
-  // tests).
+  // tests). Labeled series appear under their display key
+  // `name{key="value",...}` with label keys sorted.
   struct HistogramStats {
     uint64_t count = 0;
     double sum = 0.0;
@@ -117,6 +145,16 @@ class MetricsRegistry {
   std::string RenderText() const;
   std::string RenderJson() const;
 
+  // Prometheus/OpenMetrics text exposition: `# HELP`/`# TYPE` lines per
+  // family, one sample line per series (counters gain the `_total` suffix,
+  // histograms expand to cumulative `_bucket{le=...}` + `_sum` + `_count`),
+  // terminated by `# EOF`. Dots in names become underscores. Every call
+  // increments this registry's `obs.export_total` counter. The exported
+  // values are a point-in-time snapshot taken under a short lock - a scrape
+  // never holds the registry lock while formatting, so it cannot stall the
+  // serve ingest hot path.
+  std::string RenderOpenMetrics();
+
   // Zeroes every value but keeps the handles valid (benches isolate
   // measurement phases with this).
   void ResetAll();
@@ -124,12 +162,37 @@ class MetricsRegistry {
   // The process-wide registry all built-in instrumentation reports to.
   static MetricsRegistry& Shared();
 
+  // Display key of a labeled series: `name{k="v",...}` with keys sorted and
+  // values escaped; just `name` when labels are empty.
+  static std::string SeriesKey(const std::string& name,
+                               const MetricLabels& labels);
+
  private:
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> metric;
+    std::string family;   // unlabeled metric name
+    MetricLabels labels;  // sorted by key
+  };
+  template <typename T>
+  static Entry<T>& GetEntry(std::map<std::string, Entry<T>>* entries,
+                            const std::string& name,
+                            const MetricLabels& labels);
+
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
+
+// Strict validation of a Prometheus/OpenMetrics text exposition as produced
+// by RenderOpenMetrics: name/label syntax, `# TYPE` before samples, no
+// duplicate series, cumulative non-decreasing histogram buckets with an
+// le="+Inf" bucket matching `_count`, and a terminal `# EOF`. On success
+// reports the number of sample lines. Shared by tools/openmetrics_check and
+// the exposition tests.
+Status ValidateOpenMetrics(const std::string& text, size_t* num_samples);
 
 }  // namespace invarnetx::obs
 

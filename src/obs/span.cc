@@ -304,6 +304,73 @@ int CurrentThreadTid() {
   return tid;
 }
 
+SlowSpanSampler::SlowSpanSampler(size_t per_stage)
+    : per_stage_(per_stage == 0 ? 1 : per_stage) {}
+
+void SlowSpanSampler::Offer(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++offered_;
+  std::vector<TraceEvent>& kept = by_stage_[event.name];
+  if (kept.size() >= per_stage_ && event.dur_us <= kept.back().dur_us) {
+    return;
+  }
+  // Sorted insert by descending duration; the vector is at most
+  // per_stage_ long, so a linear scan is the whole cost.
+  auto it = kept.begin();
+  while (it != kept.end() && it->dur_us >= event.dur_us) ++it;
+  kept.insert(it, event);
+  if (kept.size() > per_stage_) kept.pop_back();
+}
+
+std::vector<TraceEvent> SlowSpanSampler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& [stage, kept] : by_stage_) {
+    out.insert(out.end(), kept.begin(), kept.end());
+  }
+  return out;
+}
+
+uint64_t SlowSpanSampler::offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offered_;
+}
+
+void SlowSpanSampler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_stage_.clear();
+  offered_ = 0;
+}
+
+std::string SlowSpanSampler::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "tracez: slowest spans per stage (keeping " +
+                    std::to_string(per_stage_) + ", offered " +
+                    std::to_string(offered_) + ")\n";
+  for (const auto& [stage, kept] : by_stage_) {
+    out += "\nstage " + stage + "\n";
+    for (const TraceEvent& event : kept) {
+      char line[128];
+      std::snprintf(line, sizeof(line),
+                    "  dur_ms=%.3f ts=%.3f tid=%d",
+                    static_cast<double>(event.dur_us) / 1e3,
+                    static_cast<double>(event.ts_us) / 1e6, event.tid);
+      out += line;
+      for (const auto& [key, value] : event.args) {
+        out += " " + key + "=" + JsonString(value);
+      }
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+SlowSpanSampler& SlowSpanSampler::Shared() {
+  // Leaked: spans end on pool workers that may outlive static teardown.
+  static SlowSpanSampler* sampler = new SlowSpanSampler();
+  return *sampler;
+}
+
 Span::Span(std::string name, std::initializer_list<LogField> fields)
     : name_(std::move(name)), start_us_(UptimeMicros()) {
   args_.reserve(fields.size());
@@ -322,14 +389,15 @@ void Span::End() {
   MetricsRegistry::Shared()
       .GetHistogram("span." + name_)
       .Record(static_cast<double>(dur_us) / 1e6);
+  TraceEvent event;
+  event.name = name_;
+  event.ts_us = start_us_;
+  event.dur_us = dur_us;
+  event.tid = CurrentThreadTid();
+  event.args = std::move(args_);
+  SlowSpanSampler::Shared().Offer(event);
   TraceRecorder& recorder = TraceRecorder::Shared();
   if (recorder.enabled()) {
-    TraceEvent event;
-    event.name = name_;
-    event.ts_us = start_us_;
-    event.dur_us = dur_us;
-    event.tid = CurrentThreadTid();
-    event.args = std::move(args_);
     recorder.Record(std::move(event));
   }
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <initializer_list>
+#include <map>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -62,6 +63,46 @@ class TraceRecorder {
 // Small dense id for the calling thread (Chrome traces want integer tids;
 // std::thread::id is opaque). Stable for the thread's lifetime.
 int CurrentThreadTid();
+
+// Tail sampler: keeps only the slowest-N completed spans per stage name, so
+// a long-running serve process can always answer "what were the worst
+// detect/diagnose calls lately?" without recording every span the way the
+// TraceRecorder does. Always on (per-span cost is one mutex plus a bounded
+// sorted insert, in line with the histogram update every span already
+// pays); stage cardinality is bounded by the code's span names.
+class SlowSpanSampler {
+ public:
+  static constexpr size_t kDefaultPerStage = 8;
+
+  explicit SlowSpanSampler(size_t per_stage = kDefaultPerStage);
+  SlowSpanSampler(const SlowSpanSampler&) = delete;
+  SlowSpanSampler& operator=(const SlowSpanSampler&) = delete;
+
+  // Considers one completed span; kept only if the stage has fewer than
+  // per_stage samples or the span outlasts the stage's current fastest.
+  void Offer(const TraceEvent& event);
+
+  // All retained spans, grouped by stage name (sorted), slowest first
+  // within a stage.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Total spans offered (kept or not) since the last Clear.
+  uint64_t offered() const;
+  size_t per_stage() const { return per_stage_; }
+  void Clear();
+
+  // Plain-text table for the /tracez endpoint.
+  std::string RenderText() const;
+
+  static SlowSpanSampler& Shared();
+
+ private:
+  const size_t per_stage_;
+  mutable std::mutex mu_;
+  // Per stage, sorted by descending duration; bounded at per_stage_.
+  std::map<std::string, std::vector<TraceEvent>> by_stage_;
+  uint64_t offered_ = 0;
+};
 
 // RAII stage timer. Annotations reuse LogField so call sites write
 //   obs::Span span("mine_invariants", {{"context", ctx.name}});

@@ -1,22 +1,32 @@
 #include "serve/fleet.h"
 
 #include <algorithm>
+#include <functional>
 #include <set>
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "serve/statusz.h"
 
 namespace invarnetx::serve {
 
 MonitorFleet::MonitorFleet(const core::InvarNetX* pipeline, FleetConfig config)
     : pipeline_(pipeline), config_(config) {
   if (config_.window_capacity == 0) config_.window_capacity = 1;
+  if (config_.status_shards < 1) config_.status_shards = 1;
+  if (config_.storm_window_ticks == 0) config_.storm_window_ticks = 1;
+  if (config_.watchdog_window_ticks == 0) config_.watchdog_window_ticks = 1;
+  status_cache_.slow_tick_budget_seconds = config_.slow_tick_budget_seconds;
+  FleetStatusBoard::Shared().Register(this);
 }
 
 MonitorFleet::~MonitorFleet() {
+  // Deregister first: once this returns, no /statusz scrape can reach us.
+  FleetStatusBoard::Shared().Deregister(this);
   // Pool workers capture `this` (results_mu_/results_cv_); never let the
   // fleet die with diagnoses in flight.
   WaitForDiagnoses();
@@ -30,11 +40,20 @@ Status MonitorFleet::StartJob(const core::OperationContext& context) {
     Slot slot;
     slot.monitor =
         std::make_unique<core::OnlineMonitor>(pipeline_, options);
+    slot.shard = static_cast<int>(std::hash<std::string>{}(
+                                      context.ToString()) %
+                                  static_cast<size_t>(config_.status_shards));
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+    const obs::MetricLabels labels = {{"shard", std::to_string(slot.shard)}};
+    slot.shard_samples = &registry.GetCounter("serve.shard_samples", labels);
+    slot.shard_overflow = &registry.GetCounter("serve.shard_overflow", labels);
     it = monitors_.emplace(context, std::move(slot)).first;
   }
   INVARNETX_RETURN_IF_ERROR(it->second.monitor->StartJob(context));
   it->second.diagnosis_dispatched = false;
+  it->second.overflow_journaled = false;
   PublishGauges();
+  RefreshStatusCache();
   return Status::Ok();
 }
 
@@ -79,13 +98,33 @@ Result<TickSummary> MonitorFleet::IngestTick(
   summary.samples = static_cast<int>(samples.size());
   for (size_t i = 0; i < samples.size(); ++i) {
     Slot* slot = targets[i];
+    // Per-shard backpressure accounting: one relaxed atomic per sample,
+    // plus the overflow tally once a job outgrows its bounded window.
+    slot->shard_samples->Increment();
+    if (slot->monitor->ticks_observed() >
+        static_cast<int>(config_.window_capacity)) {
+      slot->shard_overflow->Increment();
+      ++window_overflows_;
+      if (!slot->overflow_journaled) {
+        slot->overflow_journaled = true;
+        obs::EventJournal::Shared().Record(
+            obs::EventKind::kRingOverflow, "window overwriting oldest ticks",
+            {{"context", samples[i].context.ToString()},
+             {"capacity", static_cast<uint64_t>(config_.window_capacity)}});
+      }
+    }
     if (!slot->monitor->alarm_active() || slot->diagnosis_dispatched) {
       continue;
     }
     ++summary.new_alarms;
     slot->diagnosis_dispatched = true;
+    ++alarms_raised_;
     obs::MetricsRegistry::Shared().GetCounter("serve.alarms_raised")
         .Increment();
+    obs::EventJournal::Shared().Record(
+        obs::EventKind::kAlarm, "debounced alarm latched",
+        {{"context", samples[i].context.ToString()},
+         {"tick", slot->monitor->first_alarm_tick()}});
     if (config_.diagnose_on_alarm) DispatchDiagnosis(slot);
   }
   summary.alarms_active = static_cast<int>(alarms_active());
@@ -94,9 +133,13 @@ Result<TickSummary> MonitorFleet::IngestTick(
   registry.GetCounter("serve.ticks_ingested").Increment();
   registry.GetCounter("serve.samples_ingested")
       .Increment(static_cast<uint64_t>(samples.size()));
+  ++ticks_ingested_;
+  samples_ingested_ += samples.size();
   PublishGauges();
   ingest_span.End();
   registry.GetHistogram("serve.ingest_seconds").Record(ingest_span.Seconds());
+  RunWatchdogs(summary.new_alarms, ingest_span.Seconds());
+  RefreshStatusCache();
   return summary;
 }
 
@@ -118,6 +161,8 @@ void MonitorFleet::DispatchDiagnosis(Slot* slot) {
   }
   obs::MetricsRegistry::Shared().GetHistogram("serve.diagnosis_queue_depth")
       .Record(static_cast<double>(depth));
+  obs::MetricsRegistry::Shared().GetGauge("serve.diagnosis_backlog")
+      .Set(static_cast<double>(depth));
 
   auto task = [this, pending = std::move(pending), model = std::move(model),
                window = std::move(window)]() mutable {
@@ -132,16 +177,27 @@ void MonitorFleet::DispatchDiagnosis(Slot* slot) {
     }
     obs::MetricsRegistry::Shared().GetCounter("serve.diagnoses_completed")
         .Increment();
+    diagnoses_completed_.fetch_add(1, std::memory_order_relaxed);
+    obs::EventJournal::Shared().Record(
+        obs::EventKind::kDiagnosis, "alarm-triggered diagnosis completed",
+        {{"context", pending.context.ToString()},
+         {"epoch", pending.epoch},
+         {"ok", pending.status.ok()}});
+    size_t backlog = 0;
     {
       std::lock_guard<std::mutex> lock(results_mu_);
       results_.push_back(std::move(pending));
-      --pending_;
+      backlog = --pending_;
       // Notify under the lock: a WaitForDiagnoses caller may destroy the
       // fleet the moment it sees pending_ == 0, and it cannot leave wait()
       // until this mutex is released - keeping the cv alive for the
       // broadcast.
       results_cv_.notify_all();
     }
+    // Only the process-wide registry is touched past the notify: the fleet
+    // may already be getting destroyed by the thread it just woke.
+    obs::MetricsRegistry::Shared().GetGauge("serve.diagnosis_backlog")
+        .Set(static_cast<double>(backlog));
   };
   if (config_.threads == 1) {
     task();
@@ -202,6 +258,112 @@ void MonitorFleet::PublishGauges() {
       .Set(static_cast<double>(active_monitors()));
   registry.GetGauge("serve.alarms_active")
       .Set(static_cast<double>(alarms_active()));
+}
+
+void MonitorFleet::RunWatchdogs(int new_alarms, double ingest_seconds) {
+  // Alarm-storm detector: new alarms over a sliding window of ticks, with
+  // trip-at-T / clear-at-T/2 hysteresis so a storm journals twice (start
+  // and end), not once per tick.
+  if (config_.storm_alarm_threshold > 0) {
+    storm_window_.push_back(new_alarms);
+    storm_alarms_in_window_ += new_alarms;
+    if (storm_window_.size() > config_.storm_window_ticks) {
+      storm_alarms_in_window_ -= storm_window_.front();
+      storm_window_.pop_front();
+    }
+    if (!storm_active_ &&
+        storm_alarms_in_window_ >= config_.storm_alarm_threshold) {
+      storm_active_ = true;
+      obs::EventJournal::Shared().Record(
+          obs::EventKind::kAlarmStorm, "alarm storm started",
+          {{"alarms_in_window", storm_alarms_in_window_},
+           {"window_ticks", static_cast<uint64_t>(storm_window_.size())},
+           {"threshold", config_.storm_alarm_threshold}});
+    } else if (storm_active_ &&
+               storm_alarms_in_window_ <= config_.storm_alarm_threshold / 2) {
+      storm_active_ = false;
+      obs::EventJournal::Shared().Record(
+          obs::EventKind::kAlarmStorm, "alarm storm cleared",
+          {{"alarms_in_window", storm_alarms_in_window_}});
+    }
+  }
+
+  // Slow-tick watchdog: p99 of recent batched-ingest latencies against the
+  // configured budget, same trip/recover hysteresis.
+  tick_latencies_.push_back(ingest_seconds);
+  if (tick_latencies_.size() > config_.watchdog_window_ticks) {
+    tick_latencies_.pop_front();
+  }
+  std::vector<double> sorted(tick_latencies_.begin(), tick_latencies_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t rank =
+      sorted.empty()
+          ? 0
+          : std::min(sorted.size() - 1,
+                     static_cast<size_t>(0.99 *
+                                         static_cast<double>(sorted.size())));
+  ingest_p99_seconds_ = sorted.empty() ? 0.0 : sorted[rank];
+  obs::MetricsRegistry::Shared().GetGauge("serve.ingest_p99_seconds")
+      .Set(ingest_p99_seconds_);
+  if (config_.slow_tick_budget_seconds > 0.0) {
+    if (!slow_ticks_active_ &&
+        ingest_p99_seconds_ > config_.slow_tick_budget_seconds) {
+      slow_ticks_active_ = true;
+      obs::EventJournal::Shared().Record(
+          obs::EventKind::kSlowTick, "ingest p99 above budget",
+          {{"p99_seconds", ingest_p99_seconds_},
+           {"budget_seconds", config_.slow_tick_budget_seconds}});
+    } else if (slow_ticks_active_ &&
+               ingest_p99_seconds_ <= config_.slow_tick_budget_seconds) {
+      slow_ticks_active_ = false;
+      obs::EventJournal::Shared().Record(
+          obs::EventKind::kSlowTick, "ingest p99 back under budget",
+          {{"p99_seconds", ingest_p99_seconds_}});
+    }
+  }
+}
+
+void MonitorFleet::RefreshStatusCache() {
+  FleetStatus status;
+  status.active_monitors = active_monitors();
+  status.alarms_active = alarms_active();
+  status.ticks_ingested = ticks_ingested_;
+  status.samples_ingested = samples_ingested_;
+  status.alarms_raised = alarms_raised_;
+  status.window_overflows = window_overflows_;
+  status.storm_active = storm_active_;
+  status.slow_ticks_active = slow_ticks_active_;
+  status.ingest_p99_seconds = ingest_p99_seconds_;
+  status.slow_tick_budget_seconds = config_.slow_tick_budget_seconds;
+  status.monitors.reserve(monitors_.size());
+  for (const auto& [context, slot] : monitors_) {
+    MonitorStatus row;
+    row.context = context.ToString();
+    row.shard = slot.shard;
+    row.job_active = slot.monitor->job_active();
+    row.alarm_active = slot.monitor->alarm_active();
+    row.epoch = slot.monitor->model_epoch();
+    row.first_alarm_tick = slot.monitor->first_alarm_tick();
+    row.ticks_observed = slot.monitor->ticks_observed();
+    row.window_ticks = slot.monitor->window_ticks();
+    status.monitors.push_back(std::move(row));
+  }
+  std::lock_guard<std::mutex> lock(status_mu_);
+  status_cache_ = std::move(status);
+}
+
+FleetStatus MonitorFleet::Snapshot() const {
+  FleetStatus status;
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    status = status_cache_;
+  }
+  // Counters pool workers advance are read live; everything else is the
+  // ingestion thread's cache.
+  status.pending_diagnoses = pending_diagnoses();
+  status.diagnoses_completed =
+      diagnoses_completed_.load(std::memory_order_relaxed);
+  return status;
 }
 
 }  // namespace invarnetx::serve

@@ -2,7 +2,10 @@
 #define INVARNETX_SERVE_FLEET_H_
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +15,7 @@
 #include "common/status.h"
 #include "core/monitor.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "telemetry/metrics.h"
 
 namespace invarnetx::serve {
@@ -30,6 +34,24 @@ struct FleetConfig {
   // triggers one asynchronous diagnosis on a snapshot of its window, so
   // detection never blocks on the MIC matrix.
   bool diagnose_on_alarm = true;
+
+  // --- Observability knobs (no effect on verdicts or diagnoses) ---
+
+  // Shards for the labeled ingest/overflow counters: monitors hash into
+  // `shard ∈ [0, status_shards)` so per-shard hotspots show up in /metrics
+  // without per-monitor series cardinality.
+  int status_shards = 8;
+  // Alarm-storm detector: trips when new alarms across the last
+  // storm_window_ticks ingest ticks reach storm_alarm_threshold; clears
+  // (with hysteresis) when they fall to half the threshold. Both events are
+  // journaled. A zero threshold disables the detector.
+  size_t storm_window_ticks = 16;
+  int storm_alarm_threshold = 8;
+  // Slow-tick watchdog: journals when the p99 of the last
+  // watchdog_window_ticks ingest latencies exceeds the budget, and again
+  // when it recovers. A non-positive budget disables the watchdog.
+  double slow_tick_budget_seconds = 0.25;
+  size_t watchdog_window_ticks = 64;
 };
 
 // One monitor's observations for one cluster tick.
@@ -44,6 +66,38 @@ struct TickSummary {
   int samples = 0;
   int new_alarms = 0;     // monitors whose debounced alarm first fired now
   int alarms_active = 0;  // latched alarms across the fleet after this tick
+};
+
+// One monitor's row in a fleet status snapshot.
+struct MonitorStatus {
+  std::string context;  // OperationContext::ToString()
+  int shard = 0;
+  bool job_active = false;
+  bool alarm_active = false;
+  uint64_t epoch = 0;
+  int first_alarm_tick = -1;
+  int ticks_observed = 0;  // absolute, including window-evicted ticks
+  int window_ticks = 0;    // currently retained
+};
+
+// Point-in-time fleet state for /statusz. Produced by
+// MonitorFleet::Snapshot(), which is safe to call from any thread (it reads
+// a cache the ingestion thread maintains - HTTP scrapes never touch the
+// monitor map itself).
+struct FleetStatus {
+  size_t active_monitors = 0;
+  size_t alarms_active = 0;
+  size_t pending_diagnoses = 0;
+  uint64_t ticks_ingested = 0;
+  uint64_t samples_ingested = 0;
+  uint64_t alarms_raised = 0;
+  uint64_t diagnoses_completed = 0;
+  uint64_t window_overflows = 0;  // samples that overwrote unread history
+  bool storm_active = false;
+  bool slow_ticks_active = false;     // watchdog currently tripped
+  double ingest_p99_seconds = 0.0;    // over the watchdog window
+  double slow_tick_budget_seconds = 0.0;
+  std::vector<MonitorStatus> monitors;
 };
 
 // A completed alarm-triggered diagnosis.
@@ -73,10 +127,15 @@ struct FleetDiagnosis {
 // Self-observability (obs::MetricsRegistry::Shared()):
 //   gauge     serve.active_monitors       monitors with an active job
 //   gauge     serve.alarms_active         latched alarms across the fleet
+//   gauge     serve.diagnosis_backlog     diagnoses in flight right now
+//   gauge     serve.ingest_p99_seconds    p99 over the watchdog window
 //   histogram serve.ingest_seconds        per-tick batched ingest latency
 //   histogram serve.diagnosis_queue_depth pending diagnoses at enqueue time
 //   counter   serve.ticks_ingested / serve.samples_ingested
 //   counter   serve.alarms_raised / serve.diagnoses_completed
+//   counter   serve.shard_samples{shard=S} / serve.shard_overflow{shard=S}
+// plus journal events (obs::EventJournal::Shared()): alarm, diagnosis,
+// ring_overflow (first overflow per job), alarm_storm, slow_tick.
 class MonitorFleet {
  public:
   explicit MonitorFleet(const core::InvarNetX* pipeline,
@@ -113,18 +172,36 @@ class MonitorFleet {
   const core::OnlineMonitor* Find(const core::OperationContext& context) const;
   const FleetConfig& config() const { return config_; }
 
+  // Thread-safe point-in-time status for /statusz: reads the cache the
+  // ingestion thread refreshes at every StartJob / IngestTick, so a scrape
+  // never races the monitor map. Live counters (pending diagnoses) are
+  // folded in at read time.
+  FleetStatus Snapshot() const;
+
  private:
   struct Slot {
     std::unique_ptr<core::OnlineMonitor> monitor;
     // One asynchronous diagnosis per job: set when the alarm's diagnosis
     // was enqueued, cleared by StartJob.
     bool diagnosis_dispatched = false;
+    int shard = 0;
+    // Looked up once at slot creation so the ingest hot path pays relaxed
+    // atomics, not registry map lookups.
+    obs::Counter* shard_samples = nullptr;
+    obs::Counter* shard_overflow = nullptr;
+    // First window overflow of a job is journaled; later ones only count.
+    bool overflow_journaled = false;
   };
 
   // Snapshots the monitor's window + pinned model and enqueues the cause
   // inference (inline when config_.threads == 1).
   void DispatchDiagnosis(Slot* slot);
   void PublishGauges();
+  // Refreshes the cached /statusz snapshot; ingestion thread only.
+  void RefreshStatusCache();
+  // Feeds the alarm-storm detector and slow-tick watchdog with one tick's
+  // outcome; journals trips and recoveries. Ingestion thread only.
+  void RunWatchdogs(int new_alarms, double ingest_seconds);
 
   const core::InvarNetX* pipeline_;
   FleetConfig config_;
@@ -136,6 +213,27 @@ class MonitorFleet {
   std::condition_variable results_cv_;
   std::vector<FleetDiagnosis> results_;
   size_t pending_ = 0;
+
+  // Lifetime tallies mirrored into FleetStatus (the shared registry's
+  // counters are process-wide; these are this fleet's own).
+  uint64_t ticks_ingested_ = 0;
+  uint64_t samples_ingested_ = 0;
+  uint64_t alarms_raised_ = 0;
+  uint64_t window_overflows_ = 0;
+  std::atomic<uint64_t> diagnoses_completed_{0};  // pool workers bump this
+
+  // Alarm-storm detector + slow-tick watchdog state; ingestion thread only.
+  std::deque<int> storm_window_;
+  int storm_alarms_in_window_ = 0;
+  bool storm_active_ = false;
+  std::deque<double> tick_latencies_;
+  bool slow_ticks_active_ = false;
+  double ingest_p99_seconds_ = 0.0;
+
+  // Cached status the HTTP plane reads; guarded because scrape threads call
+  // Snapshot() while the ingestion thread refreshes it.
+  mutable std::mutex status_mu_;
+  FleetStatus status_cache_;
 };
 
 }  // namespace invarnetx::serve

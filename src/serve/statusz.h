@@ -1,0 +1,50 @@
+#ifndef INVARNETX_SERVE_STATUSZ_H_
+#define INVARNETX_SERVE_STATUSZ_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/http.h"
+#include "serve/fleet.h"
+
+// Glue between the serve layer and the embedded HTTP endpoints: a
+// process-wide board of live fleets, plus the handler set that turns the
+// board, the metrics registry, the event journal, and the slow-span sampler
+// into /metrics, /healthz, /statusz, and /tracez.
+namespace invarnetx::serve {
+
+// Registry of live MonitorFleets so scrape handlers can find them without
+// the serving code threading pointers through every layer. Fleets register
+// on construction and must deregister before destruction (both handled by
+// MonitorFleet itself). Thread-safe; Snapshots() calls each fleet's
+// Snapshot() under the board lock, which Deregister also takes - so a
+// scrape can never race a fleet's destruction.
+class FleetStatusBoard {
+ public:
+  void Register(const MonitorFleet* fleet);
+  void Deregister(const MonitorFleet* fleet);
+  size_t size() const;
+  std::vector<FleetStatus> Snapshots() const;
+
+  static FleetStatusBoard& Shared();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<const MonitorFleet*> fleets_;
+};
+
+// Renders one fleet status as the /statusz text block (exposed for tests).
+std::string RenderFleetStatus(const FleetStatus& status);
+
+// Registers the four observability handlers on `server`:
+//   /metrics  OpenMetrics exposition of the shared registry
+//   /healthz  liveness + readiness one-pager (ok, uptime, fleet counts)
+//   /statusz  fleet snapshots + metrics table + journal tail
+//   /tracez   slowest spans per stage from the shared SlowSpanSampler
+// Call before HttpServer::Start().
+void InstallObsEndpoints(obs::HttpServer* server);
+
+}  // namespace invarnetx::serve
+
+#endif  // INVARNETX_SERVE_STATUSZ_H_

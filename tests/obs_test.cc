@@ -15,6 +15,7 @@
 
 #include "common/parallel.h"
 #include "core/assoc_cache.h"
+#include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -374,6 +375,256 @@ TEST(ThreadPoolMetricsTest, SharedPoolReportsTasksAndSingleWorkerGauge) {
   }
   EXPECT_DOUBLE_EQ(registry.GetGauge("threadpool.workers").value(),
                    shared_size);
+}
+
+// ------------------------------------------------- labeled series --------
+
+TEST(MetricsTest, SeriesKeySortsLabelKeysAndEscapesValues) {
+  const obs::MetricLabels labels = {{"z", "quote\"q"},
+                                    {"a", "back\\b"},
+                                    {"m", "line\nn"}};
+  EXPECT_EQ(obs::MetricsRegistry::SeriesKey("serve.x", labels),
+            "serve.x{a=\"back\\\\b\",m=\"line\\nn\",z=\"quote\\\"q\"}");
+  // No labels: the key is just the family name.
+  EXPECT_EQ(obs::MetricsRegistry::SeriesKey("serve.x", {}), "serve.x");
+}
+
+TEST(MetricsTest, LabeledHandlesAreIdempotentAcrossKeyOrder) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a =
+      registry.GetCounter("serve.shard_samples", {{"shard", "3"}, {"w", "x"}});
+  // Same labels in a different order name the same series.
+  obs::Counter& b =
+      registry.GetCounter("serve.shard_samples", {{"w", "x"}, {"shard", "3"}});
+  EXPECT_EQ(&a, &b);
+  // A different label value is its own series under the same family.
+  obs::Counter& other =
+      registry.GetCounter("serve.shard_samples", {{"shard", "4"}, {"w", "x"}});
+  EXPECT_NE(&a, &other);
+  // The unlabeled series is distinct from every labeled one.
+  obs::Counter& bare = registry.GetCounter("serve.shard_samples");
+  EXPECT_NE(&bare, &a);
+
+  a.Increment(2);
+  other.Increment(5);
+  const auto snap = registry.Snap();
+  EXPECT_EQ(snap.counters.at("serve.shard_samples{shard=\"3\",w=\"x\"}"), 2u);
+  EXPECT_EQ(snap.counters.at("serve.shard_samples{shard=\"4\",w=\"x\"}"), 5u);
+  EXPECT_EQ(snap.counters.at("serve.shard_samples"), 0u);
+}
+
+// --------------------------------------------- OpenMetrics exposition ----
+
+TEST(MetricsTest, OpenMetricsExpositionIsValidAndWellFormed) {
+  obs::MetricsRegistry registry;
+  registry.SetHelp("serve.ticks", "Ticks ingested by the fleet");
+  registry.GetCounter("serve.ticks").Increment(3);
+  registry.GetCounter("serve.shard_samples", {{"shard", "0"}}).Increment(7);
+  registry.GetCounter("serve.shard_samples", {{"shard", "1"}}).Increment(9);
+  registry.GetGauge("serve.active_monitors").Set(2.5);
+  obs::Histogram& hist = registry.GetHistogram("serve.ingest_seconds");
+  hist.Record(0.001);
+  hist.Record(0.002);
+  hist.Record(1e12);  // lands in the overflow bucket; only +Inf counts it
+
+  const std::string text = registry.RenderOpenMetrics();
+  size_t samples = 0;
+  const Status valid = obs::ValidateOpenMetrics(text, &samples);
+  ASSERT_TRUE(valid.ok()) << valid.ToString() << "\n" << text;
+  EXPECT_GT(samples, 0u);
+
+  // Counters gain `_total`, dots become underscores, labels survive, and
+  // the help text rides on the exported (suffixed) name.
+  EXPECT_NE(text.find("# TYPE serve_ticks_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# HELP serve_ticks_total Ticks ingested by the fleet\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("serve_ticks_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_shard_samples_total{shard=\"0\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_shard_samples_total{shard=\"1\"} 9\n"),
+            std::string::npos);
+  // One TYPE line per family even with several labeled series.
+  const std::string type_line = "# TYPE serve_shard_samples_total counter\n";
+  const size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+
+  EXPECT_NE(text.find("# TYPE serve_active_monitors gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_active_monitors 2.5\n"), std::string::npos);
+
+  // Histograms expand to cumulative buckets + _sum + _count, and +Inf
+  // carries the overflow sample the finite buckets cannot.
+  EXPECT_NE(text.find("# TYPE serve_ingest_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_ingest_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_ingest_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_ingest_seconds_sum "), std::string::npos);
+
+  // Rendering increments the registry's own export counter, so the scrape
+  // observes itself.
+  EXPECT_NE(text.find("obs_export_total 1\n"), std::string::npos);
+  // The document terminates with the OpenMetrics EOF marker.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(MetricsTest, OpenMetricsValidatorRejectsCorruptedDocuments) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a.b").Increment();
+  registry.GetHistogram("lat.s").Record(0.5);
+  const std::string good = registry.RenderOpenMetrics();
+  size_t n = 0;
+  ASSERT_TRUE(obs::ValidateOpenMetrics(good, &n).ok());
+
+  // Missing terminal # EOF.
+  EXPECT_FALSE(
+      obs::ValidateOpenMetrics(good.substr(0, good.rfind("# EOF")), &n).ok());
+  // Content after # EOF.
+  EXPECT_FALSE(obs::ValidateOpenMetrics(good + "late 1\n", &n).ok());
+  // Duplicate series line.
+  std::string dup = good;
+  dup.insert(dup.rfind("# EOF"), "a_b_total 1\n");
+  EXPECT_FALSE(obs::ValidateOpenMetrics(dup, &n).ok());
+  // Sample with no # TYPE for its family.
+  EXPECT_FALSE(obs::ValidateOpenMetrics("mystery 1\n# EOF\n", &n).ok());
+  // Counter family must carry the _total suffix.
+  EXPECT_FALSE(
+      obs::ValidateOpenMetrics("# TYPE foo counter\nfoo 1\n# EOF\n", &n)
+          .ok());
+  // Histogram buckets must be cumulative and must include le="+Inf".
+  EXPECT_FALSE(obs::ValidateOpenMetrics(
+                   "# TYPE h histogram\n"
+                   "h_bucket{le=\"0.1\"} 5\n"
+                   "h_bucket{le=\"+Inf\"} 3\n"
+                   "h_sum 1.0\nh_count 3\n# EOF\n",
+                   &n)
+                   .ok());
+  EXPECT_FALSE(obs::ValidateOpenMetrics(
+                   "# TYPE h histogram\n"
+                   "h_bucket{le=\"0.1\"} 2\n"
+                   "h_sum 1.0\nh_count 2\n# EOF\n",
+                   &n)
+                   .ok());
+  // Malformed label block.
+  EXPECT_FALSE(obs::ValidateOpenMetrics(
+                   "# TYPE x_total counter\nx_total{shard=3} 1\n# EOF\n", &n)
+                   .ok());
+}
+
+// ------------------------------------------------------ event journal ----
+
+TEST(JournalTest, BoundedRingEvictsOldestAndSequenceSurvives) {
+  obs::EventJournal journal(4);
+  EXPECT_EQ(journal.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    journal.Record(obs::EventKind::kAlarm, "event " + std::to_string(i),
+                   {{"i", i}});
+  }
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.evicted(), 6u);
+  EXPECT_EQ(journal.next_seq(), 10u);
+
+  const std::vector<obs::Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and sequence numbers survive eviction untouched.
+  EXPECT_EQ(events.front().seq, 6u);
+  EXPECT_EQ(events.back().seq, 9u);
+  EXPECT_EQ(events.back().message, "event 9");
+
+  const std::vector<obs::Event> tail = journal.Snapshot(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.front().seq, 8u);
+  EXPECT_EQ(tail.back().seq, 9u);
+
+  journal.Reset();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.evicted(), 0u);
+  EXPECT_TRUE(journal.Snapshot().empty());
+}
+
+TEST(JournalTest, RenderTextAndJsonRoundTrip) {
+  obs::EventJournal journal(8);
+  journal.Record(obs::EventKind::kEpochPublish, "published \"v2\"",
+                 {obs::LogField("context", "wordcount@10.0.0.2"),
+                  obs::LogField("epoch", 3)});
+  journal.Record(obs::EventKind::kAlarmStorm, "alarm storm started",
+                 {obs::LogField("alarms_in_window", 9)});
+  const std::vector<obs::Event> events = journal.Snapshot();
+
+  const std::string text = obs::RenderEventsText(events);
+  EXPECT_NE(text.find("kind=epoch_publish"), std::string::npos);
+  EXPECT_NE(text.find("msg=\"published \\\"v2\\\"\""), std::string::npos);
+  EXPECT_NE(text.find("context=\"wordcount@10.0.0.2\""), std::string::npos);
+  EXPECT_NE(text.find("epoch=3"), std::string::npos);
+  EXPECT_NE(text.find("kind=alarm_storm"), std::string::npos);
+
+  const std::string json = obs::RenderEventsJson(events);
+  ASSERT_TRUE(obs::ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"kind\": \"epoch_publish\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\": 3"), std::string::npos);
+}
+
+TEST(JournalTest, RecordMirrorsToDebugLog) {
+  ScopedLogCapture capture;
+  obs::SetLogLevel(obs::LogLevel::kDebug);
+  obs::EventJournal journal(4);
+  journal.Record(obs::EventKind::kDiagnosis, "diagnosis done");
+  bool mirrored = false;
+  for (const std::string& line : capture.lines()) {
+    if (line.find("diagnosis done") != std::string::npos &&
+        line.find("event=\"diagnosis\"") != std::string::npos) {
+      mirrored = true;
+    }
+  }
+  EXPECT_TRUE(mirrored);
+}
+
+// -------------------------------------------------- slow-span sampler ----
+
+TEST(SpanTest, SlowSpanSamplerKeepsSlowestPerStage) {
+  obs::SlowSpanSampler sampler(2);
+  for (uint64_t dur : {5u, 1u, 9u, 3u, 7u}) {
+    obs::TraceEvent event;
+    event.name = "detect";
+    event.dur_us = dur;
+    sampler.Offer(event);
+  }
+  obs::TraceEvent other;
+  other.name = "diagnose";
+  other.dur_us = 100;
+  other.args = {{"context", "wordcount@10.0.0.2"}};
+  sampler.Offer(other);
+
+  EXPECT_EQ(sampler.offered(), 6u);
+  const std::vector<obs::TraceEvent> kept = sampler.Snapshot();
+  // Two detect spans (the slowest two) plus the lone diagnose span,
+  // grouped by stage name in sorted order, slowest first within a stage.
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].name, "detect");
+  EXPECT_EQ(kept[0].dur_us, 9u);
+  EXPECT_EQ(kept[1].dur_us, 7u);
+  EXPECT_EQ(kept[2].name, "diagnose");
+
+  const std::string text = sampler.RenderText();
+  EXPECT_NE(text.find("detect"), std::string::npos);
+  EXPECT_NE(text.find("diagnose"), std::string::npos);
+  EXPECT_NE(text.find("wordcount@10.0.0.2"), std::string::npos);
+
+  sampler.Clear();
+  EXPECT_EQ(sampler.offered(), 0u);
+  EXPECT_TRUE(sampler.Snapshot().empty());
+}
+
+TEST(SpanTest, EndedSpansFeedTheSharedSampler) {
+  const uint64_t before = obs::SlowSpanSampler::Shared().offered();
+  {
+    obs::Span span("sampler_feed_test", {{"k", "v"}});
+  }
+  EXPECT_GT(obs::SlowSpanSampler::Shared().offered(), before);
 }
 
 }  // namespace

@@ -2,18 +2,28 @@
 // windows, alarm-triggered asynchronous diagnosis, retrain safety) and the
 // deterministic fleet replay driver.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "campaign/scenario.h"
 #include "core/evaluate.h"
+#include "obs/http.h"
+#include "obs/journal.h"
 #include "serve/fleet.h"
 #include "serve/replay.h"
+#include "serve/statusz.h"
 
 namespace invarnetx {
 namespace {
@@ -30,6 +40,35 @@ using workload::WorkloadType;
 OperationContext Context(int node) {
   return OperationContext{WorkloadType::kWordCount,
                           "10.0.0." + std::to_string(node + 1)};
+}
+
+// One GET over a fresh loopback connection, response discarded; returns
+// whether the round trip completed. The full-protocol assertions live in
+// http_test - here a scraper only needs to generate real endpoint traffic.
+bool ScrapeOverLoopback(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return false;
+  }
+  char buffer[4096];
+  while (::recv(fd, buffer, sizeof(buffer), 0) > 0) {
+  }
+  ::close(fd);
+  return true;
 }
 
 TickSample SampleAt(const telemetry::RunTrace& trace, int node, size_t t) {
@@ -252,6 +291,94 @@ TEST_F(MonitorFleetTest, RetrainWhileActivePinsTheOldEpoch) {
   EXPECT_EQ(fleet.Find(Context(1))->model_epoch(), 2u);
 }
 
+TEST_F(MonitorFleetTest, SnapshotReflectsIngestAlarmsAndWatchdogs) {
+  obs::EventJournal::Shared().Reset();
+  FleetConfig config;
+  // One alarm in the window trips the storm detector; any nonzero ingest
+  // latency beats a sub-nanosecond budget, so the watchdog trips too.
+  config.storm_alarm_threshold = 1;
+  config.slow_tick_budget_seconds = 1e-12;
+  MonitorFleet fleet(pipeline_, config);
+  ASSERT_TRUE(fleet.StartJob(Context(1)).ok());
+  ASSERT_TRUE(fleet.StartJob(Context(2)).ok());
+
+  auto faulty = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                       faults::FaultType::kCpuHog, 888);
+  ASSERT_TRUE(faulty.ok());
+  Stream(&fleet, faulty.value());
+  fleet.WaitForDiagnoses();
+
+  const uint64_t total =
+      static_cast<uint64_t>(faulty.value().nodes[1].cpi.size());
+  const serve::FleetStatus status = fleet.Snapshot();
+  EXPECT_EQ(status.active_monitors, 2u);
+  EXPECT_EQ(status.ticks_ingested, total);
+  EXPECT_EQ(status.samples_ingested, 2 * total);
+  EXPECT_GE(status.alarms_raised, 1u);
+  EXPECT_EQ(status.alarms_active, fleet.alarms_active());
+  EXPECT_EQ(status.pending_diagnoses, 0u);
+  EXPECT_GE(status.diagnoses_completed, 1u);
+  EXPECT_TRUE(status.slow_ticks_active);
+  EXPECT_GT(status.ingest_p99_seconds, 0.0);
+  ASSERT_EQ(status.monitors.size(), 2u);
+  for (const serve::MonitorStatus& monitor : status.monitors) {
+    EXPECT_TRUE(monitor.job_active);
+    EXPECT_EQ(monitor.ticks_observed, static_cast<int>(total));
+    EXPECT_GE(monitor.shard, 0);
+    EXPECT_LT(monitor.shard, config.status_shards);
+  }
+
+  // The watchdog trips and the storm detector's start (and, once the alarm
+  // leaves the sliding window, its clear) all land in the journal.
+  bool storm_started = false, storm_cleared = false, slow_tick = false;
+  bool alarm_logged = false, diagnosis_logged = false;
+  for (const obs::Event& event : obs::EventJournal::Shared().Snapshot()) {
+    if (event.kind == obs::EventKind::kAlarmStorm) {
+      if (event.message.find("started") != std::string::npos) {
+        storm_started = true;
+      }
+      if (event.message.find("cleared") != std::string::npos) {
+        storm_cleared = true;
+      }
+    }
+    if (event.kind == obs::EventKind::kSlowTick) slow_tick = true;
+    if (event.kind == obs::EventKind::kAlarm) alarm_logged = true;
+    if (event.kind == obs::EventKind::kDiagnosis) diagnosis_logged = true;
+  }
+  EXPECT_TRUE(storm_started);
+  EXPECT_TRUE(storm_cleared);
+  EXPECT_TRUE(slow_tick);
+  EXPECT_TRUE(alarm_logged);
+  EXPECT_TRUE(diagnosis_logged);
+}
+
+TEST_F(MonitorFleetTest, OverflowIsCountedAndJournaledOncePerJob) {
+  obs::EventJournal::Shared().Reset();
+  FleetConfig config;
+  config.window_capacity = 16;
+  MonitorFleet fleet(pipeline_, config);
+  ASSERT_TRUE(fleet.StartJob(Context(1)).ok());
+  ASSERT_TRUE(fleet.StartJob(Context(2)).ok());
+  auto faulty = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                       faults::FaultType::kCpuHog, 888);
+  ASSERT_TRUE(faulty.ok());
+  Stream(&fleet, faulty.value());
+  fleet.WaitForDiagnoses();
+
+  const uint64_t total =
+      static_cast<uint64_t>(faulty.value().nodes[1].cpi.size());
+  ASSERT_GT(total, 16u);
+  const serve::FleetStatus status = fleet.Snapshot();
+  // Every tick past the window overwrote history, on both monitors...
+  EXPECT_EQ(status.window_overflows, 2 * (total - 16));
+  // ...but each job journals its first overflow only once.
+  size_t overflow_events = 0;
+  for (const obs::Event& event : obs::EventJournal::Shared().Snapshot()) {
+    if (event.kind == obs::EventKind::kRingOverflow) ++overflow_events;
+  }
+  EXPECT_EQ(overflow_events, 2u);
+}
+
 // ------------------------------------------------------------- replay -----
 
 constexpr char kScenarioText[] =
@@ -345,6 +472,41 @@ TEST(ServeReplayTest, RetrainEachRunStaysDeterministicAndReusesScores) {
     }
   }
   EXPECT_EQ(verdicts, baseline_verdicts);
+}
+
+// A live scraper pounding every endpoint must never leak into replay
+// output: verdicts are computed from the trace alone, and all observability
+// traffic stays on the HTTP plane (and stderr). This is the in-process
+// version of the CI smoke's `serve --http-port` byte-identity check.
+TEST(ServeReplayTest, ReplayIsByteIdenticalUnderLiveScrape) {
+  Result<campaign::Scenario> scenario =
+      campaign::ParseScenario(kScenarioText);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  serve::ReplayOptions options;
+  options.threads = 2;
+
+  Result<std::string> quiet = serve::ReplayScenario(scenario.value(), options);
+  ASSERT_TRUE(quiet.ok()) << quiet.status().ToString();
+
+  obs::HttpServer server;
+  serve::InstallObsEndpoints(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load()) {
+      ScrapeOverLoopback(port, "/metrics");
+      ScrapeOverLoopback(port, "/statusz");
+    }
+  });
+
+  Result<std::string> scraped =
+      serve::ReplayScenario(scenario.value(), options);
+  done.store(true);
+  scraper.join();
+  server.Stop();
+  ASSERT_TRUE(scraped.ok()) << scraped.status().ToString();
+  EXPECT_EQ(quiet.value(), scraped.value());
 }
 
 TEST(ServeReplayTest, TraceReplayRejectsEmptyTrace) {

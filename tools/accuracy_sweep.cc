@@ -9,6 +9,7 @@
 
 #include "common/table.h"
 #include "core/evaluate.h"
+#include "obs/log.h"
 
 int main(int argc, char** argv) {
   namespace core = invarnetx::core;
@@ -27,8 +28,11 @@ int main(int argc, char** argv) {
       config.test_runs_per_fault = reps;
       auto result = core::RunEvaluation(config);
       if (!result.ok()) {
-        std::fprintf(stderr, "eval failed: %s\n",
-                     result.status().ToString().c_str());
+        INVARNETX_OBS_LOG(
+            invarnetx::obs::LogLevel::kError, "eval failed",
+            {{"workload", invarnetx::workload::WorkloadName(workload)},
+             {"seed", seeds[s]},
+             {"error", result.status().ToString()}});
         return 1;
       }
       psum += result.value().avg_precision;

@@ -1,0 +1,43 @@
+// CI checker: validates a Prometheus/OpenMetrics text exposition (as served
+// by `invarnetx serve --http-port` at /metrics) read from a file or stdin.
+// Exits 0 and prints the sample count when the document is well-formed;
+// exits 1 with the validator's complaint otherwise.
+//
+// Usage: openmetrics_check [FILE]    (no FILE: read stdin)
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc > 1) {
+    std::ifstream file(argv[1], std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "openmetrics_check: cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  }
+
+  size_t num_samples = 0;
+  const invarnetx::Status status =
+      invarnetx::obs::ValidateOpenMetrics(text, &num_samples);
+  if (!status.ok()) {
+    std::fprintf(stderr, "openmetrics_check: INVALID: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("openmetrics_check: OK, %zu samples\n", num_samples);
+  return 0;
+}
