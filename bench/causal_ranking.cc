@@ -1,0 +1,177 @@
+// Causal-ranking engine cost: how fast the invariant-graph suspect ranking
+// runs (rankings/s over realistic broken graphs) and what the end-to-end
+// causal fallback adds to a diagnosis (p50/p99 of the pipeline-measured
+// fallback time: graph build + power iteration). The graphs come from real
+// diagnoses - a trained wordcount context with an EMPTY signature database,
+// so every faulty run takes the unknown-problem path and the fallback fires
+// exactly as it would in production.
+//
+// Overrides: INVARNETX_REPS (faulty runs per fault, default 4),
+// INVARNETX_SEED (default 42), INVARNETX_RANK_REPS (ranking microbench
+// repetitions per graph, default 400), and INVARNETX_BENCH_JSON (output
+// path, default ./BENCH_causal.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "causal/graph.h"
+#include "causal/ranking.h"
+#include "common/table.h"
+#include "core/evaluate.h"
+#include "core/pipeline.h"
+#include "faults/fault.h"
+#include "telemetry/trace.h"
+
+namespace invarnetx::bench {
+namespace {
+
+using workload::WorkloadType;
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(samples.size())));
+  return samples[idx];
+}
+
+int Main() {
+  const int reps = EnvInt("INVARNETX_REPS", 4);
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("INVARNETX_SEED", 42));
+  const int rank_reps = EnvInt("INVARNETX_RANK_REPS", 400);
+
+  // A trained context with no signatures: every diagnosed fault is unknown,
+  // so InferCause always reaches the causal fallback.
+  core::InvarNetXConfig config;
+  config.num_threads = 0;
+  core::InvarNetX pipeline(config);
+  const core::OperationContext context{WorkloadType::kWordCount, "10.0.0.2"};
+  auto normal = core::SimulateNormalRuns(WorkloadType::kWordCount, 5, seed);
+  CheckOk(normal.status(), "SimulateNormalRuns");
+  CheckOk(pipeline.TrainContext(context, normal.value(), 1), "TrainContext");
+  auto model = pipeline.GetContext(context);
+  CheckOk(model.status(), "GetContext");
+
+  const std::vector<faults::FaultType> faults = {
+      faults::FaultType::kCpuHog,  faults::FaultType::kMemHog,
+      faults::FaultType::kDiskHog, faults::FaultType::kNetDrop,
+      faults::FaultType::kNetDelay};
+
+  // Fallback latency as the pipeline itself measures it, plus the broken
+  // graphs for the ranking microbench.
+  std::vector<double> fallback_seconds;
+  std::vector<causal::InvariantGraph> graphs;
+  int diagnoses = 0;
+  for (const faults::FaultType fault : faults) {
+    for (int rep = 0; rep < reps; ++rep) {
+      auto run = core::SimulateFaultRun(WorkloadType::kWordCount, fault,
+                                        seed + 1000 + static_cast<uint64_t>(
+                                                          rep));
+      CheckOk(run.status(), "SimulateFaultRun");
+      auto report = pipeline.InferCause(context, run.value(), 1);
+      CheckOk(report.status(), "InferCause");
+      ++diagnoses;
+      if (!report.value().used_causal_fallback) continue;
+      fallback_seconds.push_back(report.value().cost.causal_seconds);
+      auto graph = causal::BuildInvariantGraph(
+          model.value()->invariants.present, model.value()->invariants.values,
+          report.value().violations, report.value().deviations);
+      CheckOk(graph.status(), "BuildInvariantGraph");
+      graphs.push_back(std::move(graph).value());
+    }
+  }
+  if (graphs.empty()) {
+    std::fprintf(stderr, "no diagnosis reached the causal fallback\n");
+    return 1;
+  }
+
+  // Pure ranking throughput over the collected graphs.
+  const causal::RankingOptions options;
+  std::vector<double> rank_seconds;
+  rank_seconds.reserve(graphs.size() * static_cast<size_t>(rank_reps));
+  size_t sink = 0;
+  double total_rank_seconds = 0.0;
+  for (const causal::InvariantGraph& graph : graphs) {
+    for (int i = 0; i < rank_reps; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<causal::RankedSuspect> ranking =
+          causal::RankSuspects(graph, options);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      sink += ranking.size();
+      rank_seconds.push_back(elapsed.count());
+      total_rank_seconds += elapsed.count();
+    }
+  }
+  const double rankings = static_cast<double>(rank_seconds.size());
+  const double rankings_per_sec =
+      total_rank_seconds > 0.0 ? rankings / total_rank_seconds : 0.0;
+
+  double mean_broken = 0.0;
+  for (const causal::InvariantGraph& graph : graphs) {
+    mean_broken += static_cast<double>(graph.num_broken());
+  }
+  mean_broken /= static_cast<double>(graphs.size());
+
+  TextTable table({"measure", "value"});
+  table.AddRow({"diagnoses (all unknown)", FormatDouble(diagnoses, 0)});
+  table.AddRow({"fallbacks fired", FormatDouble(
+                    static_cast<double>(fallback_seconds.size()), 0)});
+  table.AddRow({"mean broken edges", FormatDouble(mean_broken, 1)});
+  table.AddRow({"rankings/s", FormatDouble(rankings_per_sec, 0)});
+  table.AddRow({"ranking p50",
+                FormatDouble(Percentile(rank_seconds, 0.50) * 1e6, 1) +
+                    " us"});
+  table.AddRow({"ranking p99",
+                FormatDouble(Percentile(rank_seconds, 0.99) * 1e6, 1) +
+                    " us"});
+  table.AddRow({"fallback p50",
+                FormatDouble(Percentile(fallback_seconds, 0.50) * 1e6, 1) +
+                    " us"});
+  table.AddRow({"fallback p99",
+                FormatDouble(Percentile(fallback_seconds, 0.99) * 1e6, 1) +
+                    " us"});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("(ranking sink %zu suspects; fallback time = graph build + %d "
+              "power iterations, as measured inside InferCause)\n",
+              sink, options.iterations);
+
+  const char* json_path = std::getenv("INVARNETX_BENCH_JSON");
+  if (json_path == nullptr || *json_path == '\0') {
+    json_path = "BENCH_causal.json";
+  }
+  if (std::FILE* out = std::fopen(json_path, "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"causal_ranking\",\n"
+                 "  \"diagnoses\": %d,\n"
+                 "  \"fallbacks\": %zu,\n"
+                 "  \"mean_broken_edges\": %.3f,\n"
+                 "  \"rankings_per_sec\": %.3f,\n"
+                 "  \"ranking_p50_sec\": %.9f,\n"
+                 "  \"ranking_p99_sec\": %.9f,\n"
+                 "  \"fallback_p50_sec\": %.9f,\n"
+                 "  \"fallback_p99_sec\": %.9f\n"
+                 "}\n",
+                 diagnoses, fallback_seconds.size(), mean_broken,
+                 rankings_per_sec, Percentile(rank_seconds, 0.50),
+                 Percentile(rank_seconds, 0.99),
+                 Percentile(fallback_seconds, 0.50),
+                 Percentile(fallback_seconds, 0.99));
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "WARNING: could not write %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace invarnetx::bench
+
+int main() { return invarnetx::bench::Main(); }

@@ -142,7 +142,20 @@ Result<ScenarioScore> RunScenario(const Scenario& scenario,
   score.expected_cause = scenario.expected_cause;
   score.window = scenario.window;
   score.test_runs = scenario.test_runs;
+  score.hold_out = scenario.hold_out;
+  score.expected_metrics = scenario.expected_metrics;
   score.runs.resize(static_cast<size_t>(scenario.test_runs));
+
+  // Both engines rank every detected run over the same violation evidence:
+  // the signature query inside Diagnose, and the causal-graph ranking here
+  // against the published model snapshot - the honest head-to-head even on
+  // known faults, where serving would never fall back.
+  Result<std::shared_ptr<const core::ContextModel>> model =
+      pipeline.GetContext(context);
+  if (!model.ok()) return model.status();
+  causal::RankingOptions causal_options;
+  causal_options.top_k = options.top_k;
+
   INVARNETX_RETURN_IF_ERROR(ParallelFor(
       score.runs.size(), options.threads, [&](size_t rep) -> Status {
         Result<telemetry::RunTrace> trace =
@@ -159,22 +172,64 @@ Result<ScenarioScore> RunScenario(const Scenario& scenario,
         outcome.first_alarm_tick = report.value().first_alarm_tick;
         outcome.num_violations = report.value().num_violations;
         outcome.causes = report.value().causes;
+        outcome.used_causal_fallback = report.value().used_causal_fallback;
+        outcome.signature_seconds = report.value().cost.infer_seconds;
         for (size_t i = 0; i < outcome.causes.size(); ++i) {
           if (outcome.causes[i].problem == scenario.expected_cause) {
             outcome.expected_rank = static_cast<int>(i) + 1;
             break;
           }
         }
+
+        // Causal engine on the same evidence, whether or not serving would
+        // have fallen back - the same deterministic ranking function the
+        // pipeline's fallback runs, re-ranked with the campaign's top_k.
+        if (outcome.detected && outcome.num_violations > 0) {
+          const uint64_t causal_start_us = obs::UptimeMicros();
+          Result<causal::InvariantGraph> graph = causal::BuildInvariantGraph(
+              model.value()->invariants.present,
+              model.value()->invariants.values, report.value().violations,
+              report.value().deviations);
+          if (!graph.ok()) return graph.status();
+          outcome.suspects =
+              causal::RankSuspects(graph.value(), causal_options);
+          outcome.causal_seconds =
+              static_cast<double>(obs::UptimeMicros() - causal_start_us) /
+              1e6;
+          for (size_t i = 0; i < outcome.suspects.size(); ++i) {
+            const int metric = outcome.suspects[i].metric;
+            if (std::find(scenario.expected_metrics.begin(),
+                          scenario.expected_metrics.end(),
+                          metric) != scenario.expected_metrics.end()) {
+              outcome.causal_rank = static_cast<int>(i) + 1;
+              break;
+            }
+          }
+        }
         return Status::Ok();
       }));
 
-  // 5. Score.
+  // 5. Score both engines.
   double latency_sum = 0.0;
   double ap_sum = 0.0;
+  double causal_ap_sum = 0.0;
+  double signature_seconds_sum = 0.0;
+  double causal_seconds_sum = 0.0;
   for (const RunOutcome& outcome : score.runs) {
     if (!outcome.detected) continue;
     ++score.detected;
     latency_sum += outcome.first_alarm_tick - scenario.window.start_tick;
+    signature_seconds_sum += outcome.signature_seconds;
+    causal_seconds_sum += outcome.causal_seconds;
+    if (outcome.causal_rank > 0) {
+      ++score.causal_found;
+      causal_ap_sum += 1.0 / outcome.causal_rank;
+      if (outcome.causal_rank == 1) ++score.causal_top1_correct;
+      if (outcome.causal_rank <= 3) ++score.causal_top3_correct;
+      if (outcome.causal_rank <= static_cast<int>(options.top_k)) {
+        ++score.causal_topk_correct;
+      }
+    }
     if (outcome.expected_rank == 0) continue;
     ++score.found_any;
     ap_sum += 1.0 / outcome.expected_rank;
@@ -192,6 +247,15 @@ Result<ScenarioScore> RunScenario(const Scenario& scenario,
   score.map = ap_sum / n;
   score.mean_detection_latency_ticks =
       score.detected == 0 ? 0.0 : latency_sum / score.detected;
+  score.causal_precision_at_1 = score.causal_top1_correct / n;
+  score.causal_precision_at_k = score.causal_topk_correct / n;
+  score.causal_recall = score.causal_found / n;
+  score.causal_recall_at_3 = score.causal_top3_correct / n;
+  score.causal_map = causal_ap_sum / n;
+  score.mean_signature_seconds =
+      score.detected == 0 ? 0.0 : signature_seconds_sum / score.detected;
+  score.mean_causal_seconds =
+      score.detected == 0 ? 0.0 : causal_seconds_sum / score.detected;
 
   registry.GetCounter("campaign.test_runs")
       .Increment(static_cast<uint64_t>(score.test_runs));
@@ -229,6 +293,17 @@ Result<CampaignResult> RunCampaign(const std::vector<Scenario>& scenarios,
     result.mean_precision_at_k += score.value().precision_at_k;
     result.mean_recall += score.value().recall;
     result.mean_map += score.value().map;
+    result.mean_causal_precision_at_1 += score.value().causal_precision_at_1;
+    result.mean_causal_precision_at_k += score.value().causal_precision_at_k;
+    result.mean_causal_recall += score.value().causal_recall;
+    result.mean_causal_map += score.value().causal_map;
+    if (score.value().hold_out) {
+      ++result.holdout_scenarios;
+      result.mean_causal_recall_at_3 += score.value().causal_recall_at_3;
+    } else {
+      ++result.known_scenarios;
+      result.mean_known_precision_at_1 += score.value().precision_at_1;
+    }
     if (score.value().detected > 0) {
       result.mean_detection_latency_ticks +=
           score.value().mean_detection_latency_ticks;
@@ -241,6 +316,16 @@ Result<CampaignResult> RunCampaign(const std::vector<Scenario>& scenarios,
   result.mean_precision_at_k /= n;
   result.mean_recall /= n;
   result.mean_map /= n;
+  result.mean_causal_precision_at_1 /= n;
+  result.mean_causal_precision_at_k /= n;
+  result.mean_causal_recall /= n;
+  result.mean_causal_map /= n;
+  if (result.known_scenarios > 0) {
+    result.mean_known_precision_at_1 /= result.known_scenarios;
+  }
+  if (result.holdout_scenarios > 0) {
+    result.mean_causal_recall_at_3 /= result.holdout_scenarios;
+  }
   if (scenarios_with_alarms > 0) {
     result.mean_detection_latency_ticks /= scenarios_with_alarms;
   }

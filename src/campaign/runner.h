@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "campaign/scenario.h"
+#include "causal/ranking.h"
 #include "common/status.h"
 #include "core/pipeline.h"
 
@@ -22,7 +23,9 @@ struct CampaignOptions {
   size_t top_k = 5;
 };
 
-// Outcome of diagnosing one test run of a scenario.
+// Outcome of diagnosing one test run of a scenario, carrying both engines'
+// rankings: the signature engine's ranked causes and the causal-graph
+// engine's ranked suspect metrics over the same violation evidence.
 struct RunOutcome {
   int rep = 0;
   bool detected = false;
@@ -32,6 +35,18 @@ struct RunOutcome {
   // 1-based rank of the expected cause in the ranked list; 0 = absent.
   int expected_rank = 0;
   std::vector<core::RankedCause> causes;
+  // Causal engine: suspect metrics ranked over the broken-edge subgraph.
+  std::vector<causal::RankedSuspect> suspects;
+  // Best 1-based rank of any expected culprit metric among the suspects;
+  // 0 = none ranked.
+  int causal_rank = 0;
+  // Whether the serving path would have fallen back (no signature cleared
+  // the similarity threshold).
+  bool used_causal_fallback = false;
+  // Per-engine wall-clock diagnosis latency. NOT rendered by the
+  // deterministic scoreboards - only by RenderEngineComparison.
+  double signature_seconds = 0.0;
+  double causal_seconds = 0.0;
 };
 
 // Diagnosis quality of one scenario, over its test runs.
@@ -56,18 +71,53 @@ struct ScenarioScore {
   // values mean the alarm pre-dates the injection (a false alarm that the
   // fault then "confirms").
   double mean_detection_latency_ticks = 0.0;
+
+  // --- Causal engine (ranked-metric answer list) ---------------------
+  bool hold_out = false;             // injected fault absent from catalog
+  std::vector<int> expected_metrics;  // ground-truth culprit MetricIds
+  int causal_top1_correct = 0;  // an expected metric ranked first
+  int causal_topk_correct = 0;  // within top_k
+  int causal_top3_correct = 0;  // within top 3 (the CI recall@3 gate)
+  int causal_found = 0;         // anywhere in the suspect list
+  double causal_precision_at_1 = 0.0;
+  double causal_precision_at_k = 0.0;
+  double causal_recall = 0.0;
+  double causal_recall_at_3 = 0.0;
+  double causal_map = 0.0;  // reciprocal causal_rank, averaged
+  // Per-engine mean wall-clock latency over detected runs. NOT part of any
+  // deterministic rendering (see scoreboard.h).
+  double mean_signature_seconds = 0.0;
+  double mean_causal_seconds = 0.0;
+
   std::vector<RunOutcome> runs;
 };
 
-// A whole campaign: per-scenario scores plus cross-scenario means.
+// A whole campaign: per-scenario scores plus cross-scenario means. The
+// signature-engine means are additionally split into known-fault (catalog
+// contains the culprit) and hold-out scenarios, because on hold-outs the
+// signature engine scores zero by construction and only the causal engine
+// can be graded.
 struct CampaignResult {
   std::vector<ScenarioScore> scores;
   int total_test_runs = 0;
+  int known_scenarios = 0;    // catalog includes the injected fault
+  int holdout_scenarios = 0;  // unknown-fault scenarios
   double mean_precision_at_1 = 0.0;
   double mean_precision_at_k = 0.0;
   double mean_recall = 0.0;
   double mean_map = 0.0;
   double mean_detection_latency_ticks = 0.0;  // over scenarios with alarms
+  // Signature engine over known-fault scenarios only (the CI precision
+  // gate - hold-outs would dilute it to zero).
+  double mean_known_precision_at_1 = 0.0;
+  // Causal engine over every scenario...
+  double mean_causal_precision_at_1 = 0.0;
+  double mean_causal_precision_at_k = 0.0;
+  double mean_causal_recall = 0.0;
+  double mean_causal_map = 0.0;
+  // ...and its recall@3 over the hold-out scenarios alone (the CI
+  // unknown-fault gate).
+  double mean_causal_recall_at_3 = 0.0;
 };
 
 // Executes one scenario end to end: simulate fault-free runs, train the

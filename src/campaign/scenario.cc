@@ -7,9 +7,58 @@
 #include <set>
 #include <sstream>
 
+#include "telemetry/metrics.h"
 #include "telemetry/runner.h"
 
 namespace invarnetx::campaign {
+
+// Derived from the injectors' driver-state footprints (faults/injectors.cc
+// via telemetry/collector.cc): the metrics each fault perturbs most
+// directly, strongest first.
+std::vector<int> DefaultCulpritMetrics(faults::FaultType fault) {
+  using namespace telemetry;
+  switch (fault) {
+    case faults::FaultType::kCpuHog:
+      return {kCpuUserPct, kCpuIdlePct, kLoadAvg1m, kCtxSwitchesPerSec,
+              kProcsRunning};
+    case faults::FaultType::kMemHog:
+      return {kMemUsedMb, kMemFreeMb, kSwapUsedMb, kPageFaultsPerSec,
+              kPagesOutPerSec};
+    case faults::FaultType::kDiskHog:
+      return {kDiskReadKbps, kDiskWriteKbps, kDiskUtilPct, kCpuIowaitPct,
+              kDiskReadIops};
+    case faults::FaultType::kNetDrop:
+      return {kTcpRetransPerSec, kNetRxKbps, kNetTxKbps, kNetRxPktsPerSec,
+              kNetTxPktsPerSec};
+    case faults::FaultType::kNetDelay:
+      return {kTcpRetransPerSec, kNetRxKbps, kNetTxKbps, kNetRxPktsPerSec,
+              kNetTxPktsPerSec};
+    case faults::FaultType::kBlockCorruption:
+      return {kDiskReadKbps, kDiskReadIops, kDiskUtilPct, kNetRxKbps};
+    case faults::FaultType::kMisconfig:
+      return {kCtxSwitchesPerSec, kProcsRunning, kProcThreads,
+              kPageFaultsPerSec};
+    case faults::FaultType::kOverload:
+      return {kCpuUserPct, kLoadAvg1m, kMemUsedMb, kCtxSwitchesPerSec};
+    case faults::FaultType::kSuspend:
+      return {kCpuUserPct, kCpuIdlePct, kNetRxKbps, kProcThreads};
+    case faults::FaultType::kRpcHang:
+      return {kNetRxKbps, kNetTxKbps, kTcpRetransPerSec, kCpuUserPct};
+    case faults::FaultType::kThreadLeak:
+      return {kProcThreads, kMemUsedMb, kCtxSwitchesPerSec, kLoadAvg1m};
+    case faults::FaultType::kNpeRestart:
+      return {kProcsRunning, kCtxSwitchesPerSec, kCpuUserPct, kProcThreads};
+    case faults::FaultType::kLockRace:
+      return {kCtxSwitchesPerSec, kLoadAvg1m, kCpuUserPct, kProcThreads};
+    case faults::FaultType::kCommInterference:
+      return {kNetRxKbps, kNetTxKbps, kNetRxPktsPerSec, kNetTxPktsPerSec};
+    case faults::FaultType::kBlockReceiverException:
+      return {kDiskWriteKbps, kDiskWriteIops, kNetRxKbps, kDiskUtilPct};
+    default:
+      return {kCpuUserPct, kLoadAvg1m};
+  }
+}
+
 namespace {
 
 // Trims leading/trailing spaces and tabs.
@@ -151,9 +200,27 @@ Result<Scenario> ParseScenario(const std::string& text,
       if (!v.ok()) return v.status();
       window.target_node = static_cast<size_t>(v.value());
       have_target = true;
+    } else if (key == "expected-metrics") {
+      std::istringstream list(value);
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        Result<int> metric = telemetry::MetricFromName(Trim(token));
+        if (!metric.ok()) return metric.status();
+        scenario.expected_metrics.push_back(metric.value());
+      }
+      if (scenario.expected_metrics.empty()) {
+        return Status::InvalidArgument(where +
+                                       ": 'expected-metrics' lists no "
+                                       "metrics");
+      }
     } else if (key == "signatures") {
       if (value == "all") {
         signatures_all = true;
+      } else if (value == "all-except-fault") {
+        // Unknown-fault study: the catalog spans every applicable fault
+        // but the injected one, so the culprit is genuinely unseen.
+        signatures_all = true;
+        scenario.hold_out = true;
       } else {
         std::istringstream list(value);
         std::string token;
@@ -207,21 +274,29 @@ Result<Scenario> ParseScenario(const std::string& text,
   }
 
   // `signatures = all` (also the default): every fault the workload admits.
+  // `all-except-fault` additionally drops the injected one (hold-out).
   if (signatures_all || scenario.signature_faults.empty()) {
     scenario.signature_faults.clear();
     for (faults::FaultType fault : faults::AllFaults()) {
-      if (faults::AppliesTo(fault, scenario.workload)) {
-        scenario.signature_faults.push_back(fault);
-      }
+      if (!faults::AppliesTo(fault, scenario.workload)) continue;
+      if (scenario.hold_out && fault == scenario.fault) continue;
+      scenario.signature_faults.push_back(fault);
     }
   }
-  // The expected cause must be learnable, or every test run scores zero.
-  if (std::find(scenario.signature_faults.begin(),
+  // Outside a hold-out study the expected cause must be learnable, or every
+  // test run scores zero.
+  if (!scenario.hold_out &&
+      std::find(scenario.signature_faults.begin(),
                 scenario.signature_faults.end(),
                 scenario.fault) == scenario.signature_faults.end()) {
     return Status::InvalidArgument(where + ": 'signatures' must include the "
                                    "injected fault " +
-                                   faults::FaultName(scenario.fault));
+                                   faults::FaultName(scenario.fault) +
+                                   " (or use 'all-except-fault' for an "
+                                   "unknown-fault study)");
+  }
+  if (scenario.expected_metrics.empty()) {
+    scenario.expected_metrics = DefaultCulpritMetrics(scenario.fault);
   }
   return scenario;
 }

@@ -58,9 +58,23 @@ struct Scenario {
   // Problems taught to the signature database before diagnosis; empty means
   // every fault applicable to the workload (`signatures = all`).
   std::vector<faults::FaultType> signature_faults;
+  // Unknown-fault study: `signatures = all-except-fault` teaches every
+  // applicable fault EXCEPT the injected one, so the signature engine can
+  // never name the culprit and only the causal-graph ranking can score.
+  bool hold_out = false;
+  // Ground-truth culprit metrics the causal suspect ranking is scored
+  // against (telemetry::MetricId). Defaults to the injected fault's
+  // footprint (DefaultCulpritMetrics); override with `expected-metrics =
+  // cpu_user_pct, load_avg_1m`.
+  std::vector<int> expected_metrics;
   // Where the scenario was loaded from (diagnostics only).
   std::string source_path;
 };
+
+// The metrics a fault's injector perturbs most directly - the default
+// ranked-metric answer list unknown-fault scenarios score the causal
+// engine against.
+std::vector<int> DefaultCulpritMetrics(faults::FaultType fault);
 
 // Parses one scenario from `key = value` text. `#` starts a comment; blank
 // lines are ignored; unknown keys are errors (typos must not silently

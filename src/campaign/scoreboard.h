@@ -19,8 +19,18 @@ std::string RenderCsv(const CampaignResult& result);
 // {"scenarios": [...], "summary": {...}} with per-run outcomes inlined.
 std::string RenderJson(const CampaignResult& result);
 
-// Human-readable console table plus the cross-scenario means.
+// Human-readable console table plus the cross-scenario means, one line per
+// scenario with both engines' quality columns (signature p@1/p@k/map and
+// causal c@1/c@k/cmap; hold-out scenarios are marked `unseen`).
 std::string RenderText(const CampaignResult& result);
+
+// Head-to-head engine comparison: per-scenario precision@1/@k and MAP for
+// the signature and causal engines side by side, plus each engine's mean
+// wall-clock diagnosis latency. The ONE rendering that is NOT a
+// deterministic function of the campaign (latency columns are measured),
+// so it is never byte-compared, never a golden, and never part of the
+// determinism suite.
+std::string RenderEngineComparison(const CampaignResult& result);
 
 // The per-scenario golden report: fault schedule, per-run ranked causes,
 // and the score line. Stable formatting (fixed 6-decimal doubles).

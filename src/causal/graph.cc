@@ -1,0 +1,66 @@
+#include "causal/graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace invarnetx::causal {
+
+int InvariantGraph::num_broken() const {
+  int broken = 0;
+  for (const InvariantEdge& edge : edges) broken += edge.broken ? 1 : 0;
+  return broken;
+}
+
+Result<InvariantGraph> BuildInvariantGraph(
+    const std::vector<uint8_t>& present, const std::vector<double>& values,
+    const std::vector<uint8_t>& violations,
+    const std::vector<double>& deviations) {
+  const size_t pairs = static_cast<size_t>(telemetry::kNumMetricPairs);
+  if (present.size() != pairs || values.size() != pairs) {
+    return Status::InvalidArgument(
+        "BuildInvariantGraph: present/values want " + std::to_string(pairs) +
+        " metric-pair entries, got " + std::to_string(present.size()) + "/" +
+        std::to_string(values.size()));
+  }
+  size_t num_invariants = 0;
+  for (uint8_t bit : present) num_invariants += bit ? 1 : 0;
+  if (violations.size() != num_invariants) {
+    return Status::InvalidArgument(
+        "BuildInvariantGraph: violation tuple wants " +
+        std::to_string(num_invariants) + " entries (one per invariant), got " +
+        std::to_string(violations.size()));
+  }
+  if (!deviations.empty() && deviations.size() != num_invariants) {
+    return Status::InvalidArgument(
+        "BuildInvariantGraph: deviations want " +
+        std::to_string(num_invariants) + " entries or none, got " +
+        std::to_string(deviations.size()));
+  }
+
+  InvariantGraph graph;
+  graph.edges.reserve(num_invariants);
+  size_t invariant = 0;
+  for (size_t p = 0; p < pairs; ++p) {
+    if (!present[p]) continue;
+    InvariantEdge edge;
+    edge.pair_index = static_cast<int>(p);
+    telemetry::PairFromIndex(edge.pair_index, &edge.metric_a, &edge.metric_b);
+    // Association scores live in [0, 1] by construction; clamp anyway so a
+    // hand-built or corrupted store can never push propagation negative.
+    edge.weight = std::clamp(values[p], 0.0, 1.0);
+    edge.broken = violations[invariant] != 0;
+    if (edge.broken) {
+      edge.deviation = deviations.empty()
+                           ? 1.0
+                           : std::max(deviations[invariant], 0.0);
+    }
+    const int index = static_cast<int>(graph.edges.size());
+    graph.incident[static_cast<size_t>(edge.metric_a)].push_back(index);
+    graph.incident[static_cast<size_t>(edge.metric_b)].push_back(index);
+    graph.edges.push_back(edge);
+    ++invariant;
+  }
+  return graph;
+}
+
+}  // namespace invarnetx::causal

@@ -1,0 +1,60 @@
+#ifndef INVARNETX_CAUSAL_GRAPH_H_
+#define INVARNETX_CAUSAL_GRAPH_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+
+// The invariant network of one operation context viewed as a weighted
+// undirected graph: nodes are the 26 collectl metrics, edges are the mined
+// invariants, edge weight is the stored association score I(m, n). A
+// diagnosis marks the violated edges "broken" and attaches the deviation
+// |I - A| that broke them; the causal ranking (ranking.h) then propagates
+// blame over this graph to localize faults the signature database has never
+// seen (RADICE-style graph comparison, ExplainIt!-style ranked suspects).
+namespace invarnetx::causal {
+
+// One invariant edge in metric-pair space.
+struct InvariantEdge {
+  int pair_index = 0;  // flat upper-triangle index (telemetry::PairIndex)
+  int metric_a = 0;    // lower MetricId of the pair
+  int metric_b = 0;    // higher MetricId of the pair
+  // Stored invariant value I(a, b) in [0, 1] - how tightly the two metrics
+  // moved together across the normal runs.
+  double weight = 0.0;
+  bool broken = false;     // violated in the diagnosed run
+  double deviation = 0.0;  // |I - A| when broken; 0.0 otherwise
+};
+
+struct InvariantGraph {
+  // Every invariant, ascending pair index (the order of
+  // core::InvariantSet::PairIndices() and of violation tuples).
+  std::vector<InvariantEdge> edges;
+  // Indices into `edges` for the edges incident to each metric, ascending.
+  std::array<std::vector<int>, telemetry::kNumMetrics> incident;
+
+  int num_edges() const { return static_cast<int>(edges.size()); }
+  int num_broken() const;
+};
+
+// Builds the graph from the core layer's invariant-network layout without
+// depending on it: `present` / `values` hold one entry per metric pair
+// (kNumMetricPairs, flat upper-triangle order), `violations` / `deviations`
+// one entry per *invariant* (ascending pair index - exactly the layout of
+// DiagnosisReport::violations / ::deviations). `deviations` may be empty,
+// in which case every broken edge gets deviation 1.0.
+//
+// An all-zero `present` (nothing mined - e.g. a fully degenerate,
+// all-constant training slice) yields a graph with no edges; rankings over
+// it are empty, never an error.
+Result<InvariantGraph> BuildInvariantGraph(
+    const std::vector<uint8_t>& present, const std::vector<double>& values,
+    const std::vector<uint8_t>& violations,
+    const std::vector<double>& deviations);
+
+}  // namespace invarnetx::causal
+
+#endif  // INVARNETX_CAUSAL_GRAPH_H_

@@ -1,0 +1,106 @@
+#include "causal/ranking.h"
+
+#include <algorithm>
+#include <array>
+
+namespace invarnetx::causal {
+namespace {
+
+// Floors for zero deviations/weights (possible on hand-built graphs and on
+// degenerate slices whose association scores are exactly 0): a broken edge
+// always attracts a sliver of restart mass and always conducts, so the
+// all-degenerate case still yields a well-defined uniform ranking instead
+// of dividing by zero or silently dropping edges.
+constexpr double kFloor = 1e-9;
+
+// Sum that is a function of the addend multiset alone: sorting by value
+// before accumulating removes the dependence of floating-point addition on
+// operand order, which is what makes every score bit-identical across
+// metric-index permutations, repeated runs, and thread counts.
+double MultisetSum(std::vector<double>* terms) {
+  std::sort(terms->begin(), terms->end());
+  double sum = 0.0;
+  for (double term : *terms) sum += term;
+  return sum;
+}
+
+}  // namespace
+
+std::vector<RankedSuspect> RankSuspects(const InvariantGraph& graph,
+                                        const RankingOptions& options) {
+  constexpr size_t kN = static_cast<size_t>(telemetry::kNumMetrics);
+
+  // Restart distribution: each broken edge deposits its deviation on both
+  // endpoints, so the walk keeps returning to the metrics whose invariants
+  // broke hardest. Also the weighted broken-degree each node divides its
+  // outflow by.
+  std::array<std::vector<double>, kN> base_terms;
+  std::array<std::vector<double>, kN> strength_terms;
+  for (const InvariantEdge& edge : graph.edges) {
+    if (!edge.broken) continue;
+    const double deviation = std::max(edge.deviation, kFloor);
+    const double weight = std::max(edge.weight, kFloor);
+    const size_t a = static_cast<size_t>(edge.metric_a);
+    const size_t b = static_cast<size_t>(edge.metric_b);
+    base_terms[a].push_back(deviation);
+    base_terms[b].push_back(deviation);
+    strength_terms[a].push_back(weight);
+    strength_terms[b].push_back(weight);
+  }
+
+  std::array<double, kN> base{};
+  std::array<double, kN> strength{};
+  std::vector<double> totals;
+  for (size_t m = 0; m < kN; ++m) {
+    base[m] = MultisetSum(&base_terms[m]);
+    strength[m] = MultisetSum(&strength_terms[m]);
+    if (base[m] > 0.0) totals.push_back(base[m]);
+  }
+  if (totals.empty()) return {};  // nothing broken: nobody to suspect
+  const double total = MultisetSum(&totals);
+  for (size_t m = 0; m < kN; ++m) base[m] /= total;
+
+  // Deterministic power iteration of the personalized walk over the
+  // broken-edge subgraph: a node emits its mass across its broken edges in
+  // proportion to the strength of the violated association (a decisively
+  // broken tight coupling conducts more blame than a weak one).
+  const double damping = std::clamp(options.damping, 0.0, 1.0);
+  const int iterations = std::max(options.iterations, 1);
+  std::array<double, kN> score = base;
+  std::array<double, kN> next{};
+  std::vector<double> incoming;
+  for (int it = 0; it < iterations; ++it) {
+    for (size_t m = 0; m < kN; ++m) {
+      incoming.clear();
+      for (int e : graph.incident[m]) {
+        const InvariantEdge& edge = graph.edges[static_cast<size_t>(e)];
+        if (!edge.broken) continue;
+        const size_t n = static_cast<size_t>(
+            edge.metric_a == static_cast<int>(m) ? edge.metric_b
+                                                 : edge.metric_a);
+        incoming.push_back(score[n] * std::max(edge.weight, kFloor) /
+                           strength[n]);
+      }
+      next[m] = (1.0 - damping) * base[m] + damping * MultisetSum(&incoming);
+    }
+    score = next;
+  }
+
+  std::vector<RankedSuspect> suspects;
+  for (size_t m = 0; m < kN; ++m) {
+    if (score[m] > 0.0) {
+      suspects.push_back(RankedSuspect{static_cast<int>(m), score[m]});
+    }
+  }
+  std::stable_sort(suspects.begin(), suspects.end(),
+                   [](const RankedSuspect& x, const RankedSuspect& y) {
+                     if (x.score != y.score) return x.score > y.score;
+                     return x.metric < y.metric;
+                   });
+  if (options.top_k > 0 && suspects.size() > options.top_k) {
+    suspects.resize(options.top_k);
+  }
+  return suspects;
+}
+
+}  // namespace invarnetx::causal

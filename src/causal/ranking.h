@@ -1,0 +1,48 @@
+#ifndef INVARNETX_CAUSAL_RANKING_H_
+#define INVARNETX_CAUSAL_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "causal/graph.h"
+
+namespace invarnetx::causal {
+
+// One suspect metric in a causal ranking, most suspicious first.
+struct RankedSuspect {
+  int metric = 0;      // telemetry::MetricId
+  double score = 0.0;  // stationary blame mass, sums to ~1 over suspects
+};
+
+// Knobs of the score-propagation walk. Defaults are the ones the pipeline's
+// causal fallback uses; campaigns and tests override iterations/top_k only.
+struct RankingOptions {
+  // Fixed iteration count: the walk is a deterministic power iteration, not
+  // a sampled random walk, so there is no RNG and no convergence test whose
+  // outcome could depend on floating-point round-off direction.
+  int iterations = 64;
+  // Fraction of each metric's next-round mass that arrives from neighbors;
+  // the rest is the personalized restart toward broken-edge endpoints.
+  double damping = 0.5;
+  // Suspects retained (0 = all with positive score).
+  size_t top_k = 5;
+};
+
+// Ranks suspect metrics over the broken-edge subgraph of `graph`: the
+// restart distribution concentrates on the endpoints of broken invariants
+// (proportional to how badly each broke), and mass then diffuses across the
+// broken edges weighted by the strength of the violated association, so a
+// metric at the center of many decisively broken, formerly tight couplings
+// accumulates the blame.
+//
+// Deterministic by construction: per-node contribution lists are sorted by
+// numeric value before summation, so every score is a function of the
+// contribution *multiset* - bit-identical across runs, thread counts, and
+// metric-index permutations. A graph with no broken edges ranks nobody
+// (empty result), never an error.
+std::vector<RankedSuspect> RankSuspects(const InvariantGraph& graph,
+                                        const RankingOptions& options = {});
+
+}  // namespace invarnetx::causal
+
+#endif  // INVARNETX_CAUSAL_RANKING_H_

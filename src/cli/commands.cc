@@ -561,6 +561,9 @@ Status RunCampaign(const CommandLine& args, std::string* out) {
       campaign::RunCampaign(scenarios, options);
   if (!result.ok()) return result.status();
   *out += campaign::RenderText(result.value());
+  // Head-to-head engine table with measured per-engine latency columns -
+  // console only, never byte-compared (see scoreboard.h).
+  *out += campaign::RenderEngineComparison(result.value());
 
   if (args.Has("csv")) {
     std::ofstream file(args.Get("csv", ""), std::ios::binary);
@@ -588,13 +591,38 @@ Status RunCampaign(const CommandLine& args, std::string* out) {
             " (record them with --update-golden)\n";
   }
 
+  // Regression floors: --min-precision gates the signature engine over the
+  // known-fault scenarios (hold-outs score zero there by construction);
+  // --min-causal-recall gates the causal engine's recall@3 over the
+  // unknown-fault scenarios.
   if (args.Has("min-precision")) {
     const double floor = std::atof(args.Get("min-precision", "0").c_str());
-    if (result.value().mean_precision_at_1 < floor) {
+    if (result.value().known_scenarios == 0) {
       return Status::FailedPrecondition(
-          "mean precision@1 " +
-          std::to_string(result.value().mean_precision_at_1) +
+          "--min-precision set but the campaign has no known-fault "
+          "scenarios to gate");
+    }
+    if (result.value().mean_known_precision_at_1 < floor) {
+      return Status::FailedPrecondition(
+          "known-fault mean precision@1 " +
+          std::to_string(result.value().mean_known_precision_at_1) +
           " below the --min-precision floor " + args.Get("min-precision", ""));
+    }
+  }
+  if (args.Has("min-causal-recall")) {
+    const double floor =
+        std::atof(args.Get("min-causal-recall", "0").c_str());
+    if (result.value().holdout_scenarios == 0) {
+      return Status::FailedPrecondition(
+          "--min-causal-recall set but the campaign has no unknown-fault "
+          "(signatures = all-except-fault) scenarios to gate");
+    }
+    if (result.value().mean_causal_recall_at_3 < floor) {
+      return Status::FailedPrecondition(
+          "unknown-fault causal recall@3 " +
+          std::to_string(result.value().mean_causal_recall_at_3) +
+          " below the --min-causal-recall floor " +
+          args.Get("min-causal-recall", ""));
     }
   }
   return Status::Ok();
@@ -789,7 +817,7 @@ std::string Usage() {
       "            process metrics registry (counters/gauges/histograms)\n"
       "  campaign  run SCENARIO_DIR|SCENARIO_FILE [--csv FILE]\n"
       "            [--json FILE] [--golden-dir DIR] [--update-golden]\n"
-      "            [--top-k K] [--min-precision X]\n"
+      "            [--top-k K] [--min-precision X] [--min-causal-recall X]\n"
       "            execute a deterministic fault-injection campaign:\n"
       "            train, inject, diagnose, and score ranked causes\n"
       "            against each scenario's expected root cause; compares\n"

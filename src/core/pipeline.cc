@@ -88,9 +88,10 @@ size_t AnomalousWindowStart(const PerformanceModel& perf,
 std::string DiagnosisCost::Summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "detect_s=%.6f matrix_s=%.6f infer_s=%.6f total_s=%.6f "
-                "cache_hits=%llu cache_misses=%llu",
-                detect_seconds, matrix_seconds, infer_seconds, total_seconds,
+                "detect_s=%.6f matrix_s=%.6f infer_s=%.6f causal_s=%.6f "
+                "total_s=%.6f cache_hits=%llu cache_misses=%llu",
+                detect_seconds, matrix_seconds, infer_seconds, causal_seconds,
+                total_seconds,
                 static_cast<unsigned long long>(cache_hits),
                 static_cast<unsigned long long>(cache_misses));
   return buf;
@@ -396,6 +397,7 @@ Result<DiagnosisReport> InvarNetX::InferCauseForModel(
   report.cost.cache_hits = cache.hits() - hits_before;
   report.cost.cache_misses = cache.misses() - misses_before;
   report.violations = std::move(tuple.value());
+  report.deviations = std::move(deviations);
   for (uint8_t bit : report.violations) report.num_violations += bit;
 
   // Hints: violated association pairs, worst deviation first, so the
@@ -405,8 +407,8 @@ Result<DiagnosisReport> InvarNetX::InferCauseForModel(
     if (report.violations[i]) violated.push_back(i);
   }
   std::stable_sort(violated.begin(), violated.end(),
-                   [&deviations](size_t a, size_t b) {
-                     return deviations[a] > deviations[b];
+                   [&report](size_t a, size_t b) {
+                     return report.deviations[a] > report.deviations[b];
                    });
   const std::vector<int> pair_indices = model.invariants.PairIndices();
   for (size_t i : violated) {
@@ -426,9 +428,46 @@ Result<DiagnosisReport> InvarNetX::InferCauseForModel(
     report.known_problem = !report.causes.empty() &&
                            report.causes[0].score >= config_.min_similarity;
   }
+
+  // Causal fallback: no signature cleared the threshold (or there were no
+  // signatures at all), so rank suspect metrics over the broken-edge
+  // subgraph of the invariant network instead of leaving the operator with
+  // a low-confidence match. Pure function of the model snapshot and the
+  // violation evidence - deterministic for every thread count.
+  double causal_seconds = 0.0;
+  if (config_.causal_fallback && !report.known_problem &&
+      report.num_violations > 0) {
+    const uint64_t causal_start_us = obs::UptimeMicros();
+    Result<causal::InvariantGraph> graph = causal::BuildInvariantGraph(
+        model.invariants.present, model.invariants.values, report.violations,
+        report.deviations);
+    if (!graph.ok()) return graph.status();
+    causal::RankingOptions ranking_options;
+    ranking_options.iterations = config_.causal_iterations;
+    ranking_options.damping = config_.causal_damping;
+    ranking_options.top_k = config_.causal_top_k;
+    report.suspects = causal::RankSuspects(graph.value(), ranking_options);
+    report.used_causal_fallback = !report.suspects.empty();
+    causal_seconds =
+        static_cast<double>(obs::UptimeMicros() - causal_start_us) / 1e6;
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+    registry.GetCounter("causal.rankings").Increment();
+    if (report.used_causal_fallback) {
+      registry.GetCounter("causal.fallback_total").Increment();
+      obs::EventJournal::Shared().Record(
+          obs::EventKind::kCausalFallback,
+          "causal fallback ranked suspects",
+          {{"violations", report.num_violations},
+           {"suspects", static_cast<int>(report.suspects.size())},
+           {"top_metric", telemetry::MetricName(report.suspects[0].metric)}});
+    }
+  }
+
   infer_span.End();
+  report.cost.causal_seconds = causal_seconds;
   report.cost.total_seconds = infer_span.Seconds();
-  report.cost.infer_seconds = infer_span.Seconds() - matrix_seconds;
+  report.cost.infer_seconds =
+      infer_span.Seconds() - matrix_seconds - causal_seconds;
   return report;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "causal/ranking.h"
 #include "common/status.h"
 #include "core/anomaly.h"
 #include "core/association.h"
@@ -57,6 +58,16 @@ struct InvarNetXConfig {
   // uses a prior (see AssociationOptions::verify_incremental). CI/debug
   // only - it costs the cold recompute the incremental path exists to skip.
   bool verify_incremental = false;
+  // Causal-graph fallback engine: when no signature clears min_similarity
+  // (or the signature base is empty), rank suspect metrics over the
+  // broken-edge subgraph of the invariant network instead of reporting a
+  // low-confidence match. Deterministic for every thread count.
+  bool causal_fallback = true;
+  // Power-iteration count and damping of the propagation walk
+  // (causal::RankingOptions); suspects retained per report.
+  int causal_iterations = 64;
+  double causal_damping = 0.5;
+  size_t causal_top_k = 5;
 };
 
 // Provenance of the invariant mining that produced a ContextModel: the
@@ -102,6 +113,7 @@ struct DiagnosisCost {
   double detect_seconds = 0.0;  // CPI anomaly detection (Perf-D)
   double matrix_seconds = 0.0;  // association matrix of the abnormal run
   double infer_seconds = 0.0;   // violation tuple + signature query
+  double causal_seconds = 0.0;  // causal fallback ranking (0 when skipped)
   double total_seconds = 0.0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -117,8 +129,16 @@ struct DiagnosisReport {
   int first_alarm_tick = -1;
   std::vector<uint8_t> violations;  // over the context's invariants
   int num_violations = 0;
+  // |I - A| per invariant, same indexing as `violations` - the evidence
+  // the hints are sorted by and the causal fallback weights edges with.
+  std::vector<double> deviations;
   std::vector<RankedCause> causes;
   bool known_problem = false;  // top cause clears min_similarity
+  // Causal-graph fallback ranking over the broken-edge subgraph of the
+  // invariant network: filled when the signature engine found no cause
+  // above min_similarity (unseen fault), most suspicious metric first.
+  std::vector<causal::RankedSuspect> suspects;
+  bool used_causal_fallback = false;
   // Human-readable violated pairs ("metric_a ~ metric_b"), capped at 10 -
   // the paper's hints for uninvestigated problems.
   std::vector<std::string> hints;

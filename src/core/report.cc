@@ -80,6 +80,14 @@ std::string RenderIncidentReport(const OperationContext& context,
            "this as an *uninvestigated* problem and add its signature once "
            "resolved.\n";
   }
+  if (report.used_causal_fallback && !report.suspects.empty()) {
+    out << "\n## Causal suspects (invariant-graph ranking)\n\n";
+    for (size_t i = 0; i < report.suspects.size(); ++i) {
+      out << (i + 1) << ". **"
+          << telemetry::MetricName(report.suspects[i].metric) << "** (blame "
+          << report.suspects[i].score << ")\n";
+    }
+  }
 
   // Violations grouped by the metric families they touch.
   std::map<std::string, int> family_counts;

@@ -42,6 +42,7 @@ std::string EventKindName(EventKind kind) {
     case EventKind::kAlarmStorm: return "alarm_storm";
     case EventKind::kSlowTick: return "slow_tick";
     case EventKind::kLifecycle: return "lifecycle";
+    case EventKind::kCausalFallback: return "causal_fallback";
   }
   return "unknown";
 }

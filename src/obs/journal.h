@@ -29,6 +29,7 @@ enum class EventKind {
   kAlarmStorm,       // alarm-storm detector tripped or cleared
   kSlowTick,         // ingest watchdog saw p99 above budget
   kLifecycle,        // process-level marks (serve start/stop, HTTP up)
+  kCausalFallback,   // no signature matched; causal engine ranked suspects
 };
 
 // Stable lowercase token for rendering and filtering (e.g. "alarm",

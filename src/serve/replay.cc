@@ -77,6 +77,19 @@ void RenderVerdicts(
     } else {
       *out << " -> unknown problem";
     }
+    // Unseen fault: the causal fallback ranked suspect metrics over the
+    // broken invariant graph. Deterministic, so safe to render.
+    if (diagnosis->report.used_causal_fallback &&
+        !diagnosis->report.suspects.empty()) {
+      *out << "; suspects:";
+      const size_t shown = std::min<size_t>(diagnosis->report.suspects.size(),
+                                            3);
+      for (size_t i = 0; i < shown; ++i) {
+        *out << (i == 0 ? " " : ", ")
+             << telemetry::MetricName(diagnosis->report.suspects[i].metric)
+             << " " << FormatScore(diagnosis->report.suspects[i].score);
+      }
+    }
     *out << " [epoch " << diagnosis->epoch << "]\n";
   }
 }

@@ -15,6 +15,7 @@
 #include "campaign/scenario.h"
 #include "campaign/scoreboard.h"
 #include "faults/fault.h"
+#include "telemetry/metrics.h"
 #include "workload/spec.h"
 
 namespace invarnetx::campaign {
@@ -34,6 +35,21 @@ normal-runs = 3
 signature-runs = 1
 test-runs = 2
 signatures = cpu-hog,mem-hog,disk-hog
+)";
+
+// The same cluster with the injected fault held out of the catalog: the
+// signature engine has never seen a CPU hog, so only the causal suspect
+// ranking can localize it.
+constexpr const char* kMiniHoldOutScenario = R"(# unknown-fault test scenario
+name = mini-unseen-cpu-hog
+workload = wordcount
+fault = cpu-hog
+seed = 7
+slaves = 2
+normal-runs = 3
+signature-runs = 1
+test-runs = 2
+signatures = all-except-fault
 )";
 
 class TempDir {
@@ -153,6 +169,54 @@ TEST(ScenarioParserTest, RejectsMalformedInputs) {
           .ok());
 }
 
+TEST(ScenarioParserTest, HoldOutExcludesInjectedFaultFromCatalog) {
+  const Result<Scenario> parsed = ParseScenario(
+      "name = x\nworkload = wordcount\nfault = cpu-hog\n"
+      "signatures = all-except-fault\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const Scenario& s = parsed.value();
+  EXPECT_TRUE(s.hold_out);
+  // The catalog expanded to the applicable faults minus the injected one.
+  EXPECT_FALSE(s.signature_faults.empty());
+  EXPECT_EQ(std::count(s.signature_faults.begin(), s.signature_faults.end(),
+                       faults::FaultType::kCpuHog),
+            0);
+  // The ranked-metric answer list defaults to the fault's footprint.
+  EXPECT_EQ(s.expected_metrics,
+            DefaultCulpritMetrics(faults::FaultType::kCpuHog));
+  // A plain catalog never holds out.
+  const Result<Scenario> plain = ParseScenario(
+      "name = y\nworkload = wordcount\nfault = cpu-hog\nsignatures = all\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain.value().hold_out);
+  EXPECT_EQ(std::count(plain.value().signature_faults.begin(),
+                       plain.value().signature_faults.end(),
+                       faults::FaultType::kCpuHog),
+            1);
+}
+
+TEST(ScenarioParserTest, ExpectedMetricsOverrideAndErrors) {
+  const Result<Scenario> parsed = ParseScenario(
+      "name = x\nworkload = sort\nfault = mem-hog\n"
+      "expected-metrics = mem_used_mb, swap_used_mb\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const std::vector<int> want = {
+      telemetry::MetricFromName("mem_used_mb").value(),
+      telemetry::MetricFromName("swap_used_mb").value()};
+  EXPECT_EQ(parsed.value().expected_metrics, want);
+
+  // Unknown metric names and empty lists are hard errors, like every other
+  // scenario-key typo.
+  EXPECT_FALSE(ParseScenario(
+                   "name = x\nworkload = sort\nfault = mem-hog\n"
+                   "expected-metrics = mem_used_mb, bogus_metric\n")
+                   .ok());
+  EXPECT_FALSE(ParseScenario(
+                   "name = x\nworkload = sort\nfault = mem-hog\n"
+                   "expected-metrics = ,\n")
+                   .ok());
+}
+
 TEST(ScenarioParserTest, DirectoryLoadsSortedAndRejectsDuplicates) {
   TempDir dir("parse");
   WriteFile(dir.path() / "02-b.scenario",
@@ -196,6 +260,16 @@ CampaignResult SyntheticResult() {
   score.recall = 1.0;
   score.map = 0.75;
   score.mean_detection_latency_ticks = 2.5;
+  score.expected_metrics = DefaultCulpritMetrics(faults::FaultType::kDiskHog);
+  score.causal_top1_correct = 1;
+  score.causal_top3_correct = 2;
+  score.causal_topk_correct = 2;
+  score.causal_found = 2;
+  score.causal_precision_at_1 = 0.5;
+  score.causal_precision_at_k = 1.0;
+  score.causal_recall = 1.0;
+  score.causal_recall_at_3 = 1.0;
+  score.causal_map = 0.75;
   RunOutcome run;
   run.rep = 0;
   run.detected = true;
@@ -205,6 +279,11 @@ CampaignResult SyntheticResult() {
   run.expected_rank = 1;
   run.causes.push_back(core::RankedCause{"disk-hog", 0.625});
   run.causes.push_back(core::RankedCause{"mem-hog", 0.125});
+  run.causal_rank = 1;
+  run.suspects.push_back(causal::RankedSuspect{
+      telemetry::MetricFromName("disk_util_pct").value(), 0.5});
+  run.suspects.push_back(causal::RankedSuspect{
+      telemetry::MetricFromName("cpu_iowait_pct").value(), 0.25});
   score.runs.push_back(run);
   result.scores.push_back(score);
   result.total_test_runs = 2;
@@ -213,6 +292,12 @@ CampaignResult SyntheticResult() {
   result.mean_recall = 1.0;
   result.mean_map = 0.75;
   result.mean_detection_latency_ticks = 2.5;
+  result.known_scenarios = 1;
+  result.mean_known_precision_at_1 = 0.5;
+  result.mean_causal_precision_at_1 = 0.5;
+  result.mean_causal_precision_at_k = 1.0;
+  result.mean_causal_recall = 1.0;
+  result.mean_causal_map = 0.75;
   return result;
 }
 
@@ -224,6 +309,9 @@ TEST(ScoreboardTest, CsvHasHeaderAndOneRowPerScenario) {
   ASSERT_TRUE(std::getline(lines, row));
   EXPECT_FALSE(std::getline(lines, extra));
   EXPECT_NE(header.find("precision_at_1"), std::string::npos);
+  EXPECT_NE(header.find("causal_precision_at_1"), std::string::npos);
+  EXPECT_NE(header.find("causal_recall_at_3"), std::string::npos);
+  EXPECT_NE(header.find("hold_out"), std::string::npos);
   EXPECT_NE(row.find("synthetic"), std::string::npos);
   EXPECT_NE(row.find("0.500000"), std::string::npos);
 }
@@ -235,6 +323,15 @@ TEST(ScoreboardTest, JsonCarriesRunsAndSummary) {
   EXPECT_NE(json.find("\"expected_rank\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"mean_precision_at_1\": 0.500000"),
             std::string::npos);
+  // Head-to-head: both engines' verdicts travel with every run and the
+  // summary carries the per-engine means.
+  EXPECT_NE(json.find("\"causal_rank\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"top_suspect\": \"disk_util_pct\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"mean_causal_precision_at_1\": 0.500000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"mean_known_precision_at_1\": 0.500000"),
+            std::string::npos);
 }
 
 TEST(ScoreboardTest, ReportNamesFaultScheduleAndRankedCauses) {
@@ -243,6 +340,18 @@ TEST(ScoreboardTest, ReportNamesFaultScheduleAndRankedCauses) {
             std::string::npos);
   EXPECT_NE(report.find("1. disk-hog 0.625000"), std::string::npos);
   EXPECT_NE(report.find("p@1=0.500000"), std::string::npos);
+  // The causal engine's side of the head-to-head.
+  EXPECT_NE(report.find("expected-metrics = "), std::string::npos);
+  EXPECT_NE(report.find("1. disk_util_pct 0.500000"), std::string::npos);
+  EXPECT_NE(report.find("causal: c@1=0.500000"), std::string::npos);
+
+  // The engine-comparison table is console-only (its latency columns are
+  // measured), but its shape is still asserted.
+  const std::string comparison =
+      RenderEngineComparison(SyntheticResult());
+  EXPECT_NE(comparison.find("sig_ms"), std::string::npos);
+  EXPECT_NE(comparison.find("causal_ms"), std::string::npos);
+  EXPECT_NE(comparison.find("synthetic"), std::string::npos);
 }
 
 // ---------------------------------------------------------- golden gate --
@@ -307,6 +416,52 @@ TEST(CampaignEndToEndTest, MiniScenarioScoresAndStaysDeterministic) {
   EXPECT_EQ(RenderJson(first.value()), RenderJson(parallel.value()));
   EXPECT_EQ(RenderCsv(first.value()), RenderCsv(parallel.value()));
   EXPECT_EQ(RenderJson(parallel.value()), RenderJson(again.value()));
+  EXPECT_EQ(RenderScenarioReport(first.value().scores[0]),
+            RenderScenarioReport(parallel.value().scores[0]));
+}
+
+TEST(CampaignEndToEndTest, HoldOutScenarioScoresCausalEngineDeterministically) {
+  const Result<Scenario> scenario = ParseScenario(kMiniHoldOutScenario);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().message();
+  ASSERT_TRUE(scenario.value().hold_out);
+
+  CampaignOptions serial;
+  serial.threads = 1;
+  const Result<CampaignResult> first =
+      RunCampaign({scenario.value()}, serial);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  const ScenarioScore& score = first.value().scores[0];
+  EXPECT_TRUE(score.hold_out);
+  EXPECT_EQ(score.expected_metrics,
+            DefaultCulpritMetrics(faults::FaultType::kCpuHog));
+
+  // The signature engine cannot name a fault it never learned...
+  EXPECT_EQ(score.top1_correct, 0);
+  EXPECT_DOUBLE_EQ(score.precision_at_1, 0.0);
+  // ...but every detected run still gets a causal suspect ranking.
+  EXPECT_GT(score.detected, 0);
+  for (const RunOutcome& run : score.runs) {
+    if (!run.detected || run.num_violations == 0) continue;
+    EXPECT_FALSE(run.suspects.empty());
+    EXPECT_GE(run.causal_rank, 0);
+  }
+  EXPECT_GE(score.causal_recall_at_3, 0.0);
+  EXPECT_LE(score.causal_recall_at_3, 1.0);
+  // Hold-out scenarios feed the unknown-fault gate, not the known-fault one.
+  EXPECT_EQ(first.value().known_scenarios, 0);
+  EXPECT_EQ(first.value().holdout_scenarios, 1);
+  EXPECT_DOUBLE_EQ(first.value().mean_causal_recall_at_3,
+                   score.causal_recall_at_3);
+
+  // Suspect rankings - scores included, rendered to full precision - are
+  // byte-identical when the campaign runs on eight threads.
+  CampaignOptions wide;
+  wide.threads = 8;
+  const Result<CampaignResult> parallel =
+      RunCampaign({scenario.value()}, wide);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+  EXPECT_EQ(RenderJson(first.value()), RenderJson(parallel.value()));
+  EXPECT_EQ(RenderCsv(first.value()), RenderCsv(parallel.value()));
   EXPECT_EQ(RenderScenarioReport(first.value().scores[0]),
             RenderScenarioReport(parallel.value().scores[0]));
 }

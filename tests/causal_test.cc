@@ -1,0 +1,342 @@
+#include "causal/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "causal/graph.h"
+#include "gtest/gtest.h"
+#include "telemetry/metrics.h"
+
+namespace invarnetx::causal {
+namespace {
+
+namespace tm = invarnetx::telemetry;
+
+// One invariant to mine: the pair, its association score, whether the
+// diagnosed run broke it, and by how much.
+struct Edge {
+  int a = 0;
+  int b = 0;
+  double weight = 1.0;
+  bool broken = false;
+  double deviation = 0.0;
+};
+
+// Expands a compact edge list into the flat pipeline layout BuildInvariantGraph
+// consumes: present/values per metric pair, violations/deviations per invariant
+// in ascending pair-index order.
+InvariantGraph MakeGraph(const std::vector<Edge>& spec) {
+  std::vector<uint8_t> present(tm::kNumMetricPairs, 0);
+  std::vector<double> values(tm::kNumMetricPairs, 0.0);
+  std::map<int, const Edge*> by_pair;
+  for (const Edge& e : spec) {
+    const int pair = tm::PairIndex(std::min(e.a, e.b), std::max(e.a, e.b));
+    present[pair] = 1;
+    values[pair] = e.weight;
+    by_pair[pair] = &e;
+  }
+  std::vector<uint8_t> violations;
+  std::vector<double> deviations;
+  for (const auto& [pair, edge] : by_pair) {
+    violations.push_back(edge->broken ? 1 : 0);
+    deviations.push_back(edge->broken ? edge->deviation : 0.0);
+  }
+  Result<InvariantGraph> graph =
+      BuildInvariantGraph(present, values, violations, deviations);
+  EXPECT_TRUE(graph.ok()) << graph.status().message();
+  return graph.ok() ? std::move(graph).value() : InvariantGraph{};
+}
+
+int RankOf(const std::vector<RankedSuspect>& ranking, int metric) {
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    if (ranking[i].metric == metric) return static_cast<int>(i) + 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Graph-builder edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(CausalGraphTest, EmptyMatrixYieldsNoEdgesAndEmptyRanking) {
+  std::vector<uint8_t> present(tm::kNumMetricPairs, 0);
+  std::vector<double> values(tm::kNumMetricPairs, 0.0);
+  Result<InvariantGraph> graph = BuildInvariantGraph(present, values, {}, {});
+  ASSERT_TRUE(graph.ok()) << graph.status().message();
+  EXPECT_EQ(graph.value().num_edges(), 0);
+  EXPECT_EQ(graph.value().num_broken(), 0);
+  for (const auto& incident : graph.value().incident) {
+    EXPECT_TRUE(incident.empty());
+  }
+  EXPECT_TRUE(RankSuspects(graph.value()).empty());
+}
+
+TEST(CausalGraphTest, RejectsSizeMismatches) {
+  std::vector<uint8_t> present(tm::kNumMetricPairs, 0);
+  std::vector<double> values(tm::kNumMetricPairs, 0.0);
+  present[0] = 1;
+
+  // Matrix vectors must cover every metric pair.
+  EXPECT_FALSE(BuildInvariantGraph({1, 0}, {0.5, 0.0}, {1}, {}).ok());
+  EXPECT_FALSE(
+      BuildInvariantGraph(present, {0.5}, {1}, {}).ok());
+  // One violation flag per invariant - not per pair, not empty.
+  EXPECT_FALSE(BuildInvariantGraph(present, values, {}, {}).ok());
+  EXPECT_FALSE(BuildInvariantGraph(present, values, {1, 0}, {}).ok());
+  // Deviations, when given, must match the violations.
+  EXPECT_FALSE(BuildInvariantGraph(present, values, {1}, {0.5, 0.1}).ok());
+}
+
+TEST(CausalGraphTest, MissingDeviationsDefaultToOne) {
+  InvariantGraph graph;
+  {
+    std::vector<uint8_t> present(tm::kNumMetricPairs, 0);
+    std::vector<double> values(tm::kNumMetricPairs, 0.0);
+    const int pair = tm::PairIndex(2, 7);
+    present[pair] = 1;
+    values[pair] = 0.8;
+    Result<InvariantGraph> built =
+        BuildInvariantGraph(present, values, {1}, /*deviations=*/{});
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    graph = std::move(built).value();
+  }
+  ASSERT_EQ(graph.num_edges(), 1);
+  EXPECT_TRUE(graph.edges[0].broken);
+  EXPECT_EQ(graph.edges[0].deviation, 1.0);
+}
+
+TEST(CausalGraphTest, SingleBrokenEdgeSplitsMassBetweenEndpoints) {
+  InvariantGraph graph = MakeGraph({{3, 9, 0.9, true, 0.4}});
+  ASSERT_EQ(graph.num_edges(), 1);
+  EXPECT_EQ(graph.num_broken(), 1);
+  std::vector<RankedSuspect> ranking = RankSuspects(graph);
+  ASSERT_EQ(ranking.size(), 2u);
+  // A lone broken edge is symmetric: both endpoints carry half the blame,
+  // and the tie breaks toward the lower metric id.
+  EXPECT_EQ(ranking[0].metric, 3);
+  EXPECT_EQ(ranking[1].metric, 9);
+  EXPECT_DOUBLE_EQ(ranking[0].score, ranking[1].score);
+  EXPECT_NEAR(ranking[0].score + ranking[1].score, 1.0, 1e-12);
+}
+
+TEST(CausalGraphTest, DegenerateZeroWeightSliceRanksUniformlyWithoutNan) {
+  // An all-constant training slice can mine invariants whose stored score is
+  // 0.0; breaking them must not divide by zero or produce NaN.
+  InvariantGraph graph = MakeGraph({
+      {0, 1, 0.0, true, 0.0},
+      {2, 3, 0.0, true, 0.0},
+  });
+  std::vector<RankedSuspect> ranking = RankSuspects(graph);
+  ASSERT_EQ(ranking.size(), 4u);
+  double total = 0.0;
+  for (const RankedSuspect& s : ranking) {
+    EXPECT_TRUE(std::isfinite(s.score));
+    EXPECT_GT(s.score, 0.0);
+    total += s.score;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Fully symmetric problem: everyone is equally suspicious.
+  EXPECT_DOUBLE_EQ(ranking.front().score, ranking.back().score);
+}
+
+TEST(CausalGraphTest, DisconnectedComponentsBothRetainMass) {
+  // Two broken components that share no metric: a decisive CPU pair and a
+  // mild network pair. Mass must stay split across components (no component
+  // starves), with the harder-broken one ahead.
+  InvariantGraph graph = MakeGraph({
+      {0, 1, 0.9, true, 0.8},    // component A
+      {20, 21, 0.9, true, 0.1},  // component B
+      {10, 11, 0.9, false, 0.0},  // intact edge elsewhere - must not rank
+  });
+  std::vector<RankedSuspect> ranking = RankSuspects(graph, {.top_k = 0});
+  ASSERT_EQ(ranking.size(), 4u);
+  EXPECT_GT(RankOf(ranking, 0), 0);
+  EXPECT_GT(RankOf(ranking, 20), 0);
+  EXPECT_EQ(RankOf(ranking, 10), 0);
+  EXPECT_EQ(RankOf(ranking, 11), 0);
+  EXPECT_LT(RankOf(ranking, 0), RankOf(ranking, 20));
+  double total = 0.0;
+  for (const RankedSuspect& s : ranking) total += s.score;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CausalGraphTest, IntactEdgesDoNotLeakIntoTheRanking) {
+  // Metric 5 sits on many intact invariants but only one broken one; the
+  // intact edges must contribute nothing to anyone's score.
+  InvariantGraph sparse = MakeGraph({{5, 6, 0.7, true, 0.3}});
+  InvariantGraph dense = MakeGraph({
+      {5, 6, 0.7, true, 0.3},
+      {5, 7, 0.9, false, 0.0},
+      {5, 8, 0.9, false, 0.0},
+      {4, 5, 0.9, false, 0.0},
+  });
+  std::vector<RankedSuspect> a = RankSuspects(sparse);
+  std::vector<RankedSuspect> b = RankSuspects(dense);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].metric, b[i].metric);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(CausalGraphTest, TopKTruncatesButZeroMeansAll) {
+  InvariantGraph graph = MakeGraph({
+      {0, 1, 0.9, true, 0.9},
+      {0, 2, 0.8, true, 0.7},
+      {0, 3, 0.7, true, 0.5},
+      {0, 4, 0.6, true, 0.3},
+  });
+  EXPECT_EQ(RankSuspects(graph, {.top_k = 2}).size(), 2u);
+  EXPECT_EQ(RankSuspects(graph, {.top_k = 0}).size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Ranking properties.
+// ---------------------------------------------------------------------------
+
+// A moderately irregular broken subgraph used by the property tests: a hub
+// (metric h0) with three decisively broken spokes, plus a weaker side pair.
+std::vector<Edge> Fixture(const std::vector<int>& m) {
+  return {
+      {m[0], m[1], 0.95, true, 0.80},
+      {m[0], m[2], 0.90, true, 0.60},
+      {m[0], m[3], 0.85, true, 0.40},
+      {m[1], m[2], 0.70, true, 0.20},
+      {m[4], m[5], 0.60, true, 0.15},
+      {m[3], m[5], 0.40, true, 0.10},
+      {m[2], m[5], 0.50, false, 0.0},
+  };
+}
+
+TEST(CausalRankingTest, PermutationInvariance) {
+  // Relabel every metric through a nontrivial permutation; the scores must
+  // map across bit-for-bit (MultisetSum makes each sum independent of the
+  // order the neighbors are visited in). Rank everybody (top_k = 0): a
+  // truncation boundary would otherwise resolve exact ties by metric id,
+  // which is the one thing that legitimately is not label-blind.
+  const std::vector<int> base = {2, 5, 9, 14, 20, 25};
+  const std::vector<int> permuted = {17, 3, 22, 0, 11, 8};
+  std::vector<RankedSuspect> a =
+      RankSuspects(MakeGraph(Fixture(base)), {.top_k = 0});
+  std::vector<RankedSuspect> b =
+      RankSuspects(MakeGraph(Fixture(permuted)), {.top_k = 0});
+  ASSERT_EQ(a.size(), b.size());
+  std::map<int, double> base_scores;
+  for (const RankedSuspect& s : a) base_scores[s.metric] = s.score;
+  std::map<int, double> permuted_scores;
+  for (const RankedSuspect& s : b) permuted_scores[s.metric] = s.score;
+  for (size_t i = 0; i < base.size(); ++i) {
+    const bool in_a = base_scores.count(base[i]) > 0;
+    const bool in_b = permuted_scores.count(permuted[i]) > 0;
+    EXPECT_EQ(in_a, in_b);
+    if (in_a && in_b) {
+      // Bitwise, not approximate: the walk must be exactly label-blind.
+      EXPECT_EQ(base_scores[base[i]], permuted_scores[permuted[i]])
+          << "metric " << base[i] << " -> " << permuted[i];
+    }
+  }
+  // The ranking order itself must map across too.
+  for (size_t i = 0; i < a.size(); ++i) {
+    const auto it = std::find(base.begin(), base.end(), a[i].metric);
+    ASSERT_NE(it, base.end());
+    EXPECT_EQ(b[i].metric, permuted[it - base.begin()]);
+  }
+}
+
+TEST(CausalRankingTest, MonotoneInViolationCount) {
+  // Star construction: metric 0 starts with two broken spokes while metric
+  // 13 has three. Breaking more edges onto metric 0 must strictly raise its
+  // score and eventually overtake the rival hub.
+  std::vector<Edge> spec = {
+      {0, 1, 0.9, true, 0.5},  {0, 2, 0.9, true, 0.5},
+      {13, 14, 0.9, true, 0.5}, {13, 15, 0.9, true, 0.5},
+      {13, 16, 0.9, true, 0.5},
+  };
+  auto score_of = [](const std::vector<RankedSuspect>& r, int metric) {
+    for (const RankedSuspect& s : r) {
+      if (s.metric == metric) return s.score;
+    }
+    return 0.0;
+  };
+  std::vector<RankedSuspect> before =
+      RankSuspects(MakeGraph(spec), {.top_k = 0});
+  EXPECT_LT(score_of(before, 0), score_of(before, 13));
+
+  double prev = score_of(before, 0);
+  for (int spoke = 3; spoke <= 6; ++spoke) {
+    spec.push_back({0, spoke, 0.9, true, 0.5});
+    std::vector<RankedSuspect> now =
+        RankSuspects(MakeGraph(spec), {.top_k = 0});
+    EXPECT_GT(score_of(now, 0), prev)
+        << "adding broken spoke " << spoke << " did not raise the hub";
+    prev = score_of(now, 0);
+  }
+  // With 6 spokes vs. the rival's 3, metric 0 is now the top suspect.
+  std::vector<RankedSuspect> final_ranking = RankSuspects(MakeGraph(spec));
+  ASSERT_FALSE(final_ranking.empty());
+  EXPECT_EQ(final_ranking[0].metric, 0);
+}
+
+TEST(CausalRankingTest, ByteIdenticalAcrossRepeatsAndThreads) {
+  InvariantGraph graph = MakeGraph(Fixture({2, 5, 9, 14, 20, 25}));
+  const std::vector<RankedSuspect> reference = RankSuspects(graph);
+  ASSERT_FALSE(reference.empty());
+
+  auto expect_bitwise_equal = [&](const std::vector<RankedSuspect>& got) {
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].metric, reference[i].metric);
+      // memcmp on the raw doubles: "close enough" is not enough here.
+      EXPECT_EQ(std::memcmp(&got[i].score, &reference[i].score,
+                            sizeof(double)),
+                0)
+          << "rank " << i + 1 << " score drifted";
+    }
+  };
+
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    expect_bitwise_equal(RankSuspects(graph));
+  }
+
+  // Concurrent rankings over the same graph from several threads.
+  constexpr int kThreads = 4;
+  std::vector<std::vector<RankedSuspect>> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&graph, &results, t] { results[t] = RankSuspects(graph); });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  for (const std::vector<RankedSuspect>& got : results) {
+    expect_bitwise_equal(got);
+  }
+}
+
+TEST(CausalRankingTest, ScoresAreNormalizedAndOrdered) {
+  std::vector<RankedSuspect> ranking =
+      RankSuspects(MakeGraph(Fixture({2, 5, 9, 14, 20, 25})), {.top_k = 0});
+  ASSERT_FALSE(ranking.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    total += ranking[i].score;
+    if (i > 0) {
+      // Descending scores; ties break toward the lower metric id.
+      EXPECT_GE(ranking[i - 1].score, ranking[i].score);
+      if (ranking[i - 1].score == ranking[i].score) {
+        EXPECT_LT(ranking[i - 1].metric, ranking[i].metric);
+      }
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace invarnetx::causal

@@ -509,6 +509,56 @@ TEST(ServeReplayTest, ReplayIsByteIdenticalUnderLiveScrape) {
   EXPECT_EQ(quiet.value(), scraped.value());
 }
 
+// An unknown fault at serving time: the injected CPU hog is held out of the
+// signature catalog and nothing the victim context learned clears the
+// similarity threshold, so the fleet's diagnosis falls back to the causal
+// suspect ranking. The ranked-metric block must appear on the verdict line
+// and the whole report must stay byte-identical across thread counts (the
+// ranking is a deterministic power iteration, not a sampled walk).
+TEST(ServeReplayTest, UnknownFaultFallsBackToCausalRankingDeterministically) {
+  Result<campaign::Scenario> scenario = campaign::ParseScenario(
+      "name = serve-unseen\n"
+      "workload = wordcount\n"
+      "fault = cpu-hog\n"
+      "seed = 7\n"
+      "slaves = 2\n"
+      "normal-runs = 3\n"
+      "signature-runs = 1\n"
+      "test-runs = 2\n"
+      "signatures = all-except-fault\n");
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  ASSERT_TRUE(scenario.value().hold_out);
+
+  auto render = [&](int threads) {
+    serve::ReplayOptions options;
+    options.threads = threads;
+    Result<std::string> out = serve::ReplayScenario(scenario.value(), options);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? out.value() : std::string();
+  };
+  const std::string serial = render(1);
+  ASSERT_FALSE(serial.empty());
+
+  // The alarm fired, the best signature match stayed below the similarity
+  // threshold, and the causal fallback ranked suspects instead.
+  EXPECT_NE(serial.find("ALARM"), std::string::npos);
+  EXPECT_NE(serial.find("(below threshold)"), std::string::npos);
+  EXPECT_NE(serial.find("; suspects:"), std::string::npos);
+  // No verdict line may claim the held-out fault: the catalog genuinely
+  // never learned it. (The report header names it; verdicts must not.)
+  std::istringstream lines(serial);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("ALARM") == std::string::npos) continue;
+    EXPECT_EQ(line.find("-> cpu-hog"), std::string::npos) << line;
+    EXPECT_NE(line.find("suspects:"), std::string::npos) << line;
+  }
+
+  // Byte-identical across thread counts and across a repeated replay.
+  EXPECT_EQ(serial, render(4));
+  EXPECT_EQ(serial, render(1));
+}
+
 TEST(ServeReplayTest, TraceReplayRejectsEmptyTrace) {
   InvarNetX pipeline;
   telemetry::RunTrace empty;
