@@ -77,7 +77,7 @@ double StreamFleet(const core::InvarNetX& pipeline, int monitors, int ticks,
                    const telemetry::NodeTrace& source) {
   serve::MonitorFleet fleet(&pipeline);
   for (int i = 0; i < monitors; ++i) {
-    CheckOk(fleet.StartJob(MonitorContext(i)), "StartJob");
+    CheckOk(fleet.StartJob(MonitorContext(i)).status(), "StartJob");
   }
   const int source_ticks = static_cast<int>(source.cpi.size());
   std::vector<serve::TickSample> batch(static_cast<size_t>(monitors));

@@ -46,15 +46,20 @@ FleetRates StreamFleet(const core::InvarNetX& pipeline, int monitors,
   serve::FleetConfig config;
   config.window_capacity = window;
   config.threads = threads;
+  config.expected_monitors = static_cast<size_t>(monitors);
   serve::MonitorFleet fleet(&pipeline, config);
+  std::vector<serve::MonitorHandle> handles(static_cast<size_t>(monitors));
   for (int i = 0; i < monitors; ++i) {
-    CheckOk(fleet.StartJob(MonitorContext(i)), "StartJob");
+    Result<serve::MonitorHandle> handle = fleet.StartJob(MonitorContext(i));
+    CheckOk(handle.status(), "StartJob");
+    handles[static_cast<size_t>(i)] = handle.value();
   }
 
   const int source_ticks = static_cast<int>(source.cpi.size());
   std::vector<serve::TickSample> batch(static_cast<size_t>(monitors));
   for (int i = 0; i < monitors; ++i) {
     batch[static_cast<size_t>(i)].context = MonitorContext(i);
+    batch[static_cast<size_t>(i)].monitor = handles[static_cast<size_t>(i)];
   }
   std::vector<double> ingest_seconds;
   ingest_seconds.reserve(static_cast<size_t>(ticks));

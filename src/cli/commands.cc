@@ -644,6 +644,16 @@ Status RunServe(const CommandLine& args, std::string* out) {
   }
   options.max_runs = std::atoi(args.Get("runs", "0").c_str());
   options.retrain_each_run = args.Has("retrain-each-run");
+  options.shards = std::atoi(args.Get("shards", "0").c_str());
+  if (options.shards < 0) {
+    return Status::InvalidArgument("bad --shards (want >= 0; 0 = auto)");
+  }
+  const int ring_capacity = std::atoi(args.Get("ring-capacity", "0").c_str());
+  if (ring_capacity < 0) {
+    return Status::InvalidArgument(
+        "bad --ring-capacity (want >= 0; 0 = auto-size, never rejects)");
+  }
+  options.ring_capacity = static_cast<size_t>(ring_capacity);
 
   // Optional embedded observability endpoint. Everything about it stays off
   // stdout (the port announcement goes through the structured logger on
@@ -759,7 +769,7 @@ Status RunEvents(const CommandLine& args, std::string* out) {
     fleet_config.storm_alarm_threshold = 1;
     serve::MonitorFleet fleet(&pipeline, fleet_config);
     const core::OperationContext context = core::VictimContext(config);
-    INVARNETX_RETURN_IF_ERROR(fleet.StartJob(context));
+    INVARNETX_RETURN_IF_ERROR(fleet.StartJob(context).status());
     const telemetry::NodeTrace& node =
         faulty.value().nodes[static_cast<size_t>(config.victim_node)];
     std::vector<serve::TickSample> batch(1);
@@ -823,15 +833,19 @@ std::string Usage() {
       "            against each scenario's expected root cause; compares\n"
       "            diagnosis reports against golden files when present\n"
       "  serve     --replay FILE [--store DIR] [--window W] [--runs N]\n"
-      "            [--retrain-each-run] [--http-port P] [--http-addr A]\n"
-      "            [--http-linger S]\n"
+      "            [--shards S] [--ring-capacity C] [--retrain-each-run]\n"
+      "            [--http-port P] [--http-addr A] [--http-linger S]\n"
       "            stream a scenario's test runs (or a recorded trace,\n"
       "            with --store) tick by tick through a MonitorFleet -\n"
-      "            one monitor per node, batched ingestion, bounded\n"
-      "            windows, alarm-triggered asynchronous diagnosis -\n"
-      "            and print the per-job verdicts (byte-identical for\n"
-      "            every --threads value, and with --http-port on or\n"
-      "            off); --retrain-each-run retrains every context\n"
+      "            one monitor per node, sharded batched ingestion over\n"
+      "            per-shard SPSC rings, bounded windows, alarm-triggered\n"
+      "            asynchronous diagnosis - and print the per-job\n"
+      "            verdicts (byte-identical for every --threads and\n"
+      "            --shards value, and with --http-port on or off);\n"
+      "            --shards 0 = one shard per hardware thread, and\n"
+      "            --ring-capacity 0 auto-sizes each shard's ring so\n"
+      "            nothing is rejected (a fixed C gives real\n"
+      "            backpressure); --retrain-each-run retrains every context\n"
       "            between runs via the incremental dirty-pair path and\n"
       "            reports the rescored/reused split; --http-port serves\n"
       "            /metrics /healthz /statusz /tracez while replaying\n"

@@ -1,0 +1,121 @@
+#ifndef INVARNETX_COMMON_SPSC_RING_H_
+#define INVARNETX_COMMON_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace invarnetx {
+
+// Bounded wait-free single-producer/single-consumer ring.
+//
+// The serving layer's per-shard ingest queue: the ingestion thread pushes,
+// one shard-affine worker pops, and neither ever blocks. A full ring makes
+// TryPush return false (and bumps the producer-side reject tally) instead
+// of waiting - backpressure is the caller's policy decision, not a stall
+// inside the queue.
+//
+// Memory model: the producer publishes a slot with a release store of
+// head_; the consumer acquires it before reading, and releases tail_ after
+// the copy so the producer may overwrite the slot. head_/tail_ are
+// monotonic uint64 positions (they never wrap in practice) masked into a
+// power-of-two slot array; each side keeps a cached copy of the other
+// side's index so the steady-state fast path touches only its own cache
+// line.
+//
+// Thread contract: exactly one producer thread may call TryPush/rejects,
+// and exactly one consumer thread may call TryPop, at a time. Reset and
+// the constructor require both sides quiescent. SizeApprox/Empty are safe
+// anywhere but only approximate while the queue is in motion.
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing entries are published across threads by memcpy "
+                "semantics; non-trivial types need their own synchronization");
+
+ public:
+  // `capacity` is the number of entries TryPush may hold un-popped; it is
+  // the backpressure limit, not the allocation size (slots round up to a
+  // power of two). capacity >= 1.
+  explicit SpscRing(size_t capacity) { Reset(capacity); }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Reallocates for a new capacity and drops any retained entries. Only
+  // valid while no concurrent TryPush/TryPop runs (the serve layer calls
+  // it between ticks, when every ring is drained).
+  void Reset(size_t capacity) {
+    capacity_ = capacity < 1 ? 1 : capacity;
+    size_t slots = 1;
+    while (slots < capacity_) slots <<= 1;
+    mask_ = slots - 1;
+    slots_.assign(slots, T{});
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    cached_head_ = 0;
+    cached_tail_ = 0;
+    rejects_ = 0;
+  }
+
+  // Producer side. False (and a reject tally bump) when the ring holds
+  // capacity() un-popped entries.
+  bool TryPush(const T& value) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ >= capacity_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ >= capacity_) {
+        ++rejects_;
+        return false;
+      }
+    }
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. False when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (cached_head_ == tail) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (cached_head_ == tail) return false;
+    }
+    *out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Entries currently retained; exact only while both sides are quiescent.
+  size_t SizeApprox() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<size_t>(head - tail);
+  }
+  bool Empty() const { return SizeApprox() == 0; }
+
+  // Failed TryPush calls since construction/Reset. Producer-side state:
+  // read it from the producer thread (or quiescent), like TryPush itself.
+  uint64_t rejects() const { return rejects_; }
+
+ private:
+  // Producer-owned line: write cursor plus the consumer index cache.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+  uint64_t rejects_ = 0;
+  // Consumer-owned line.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+
+  alignas(64) size_t capacity_ = 1;
+  size_t mask_ = 0;
+  std::vector<T> slots_;
+};
+
+}  // namespace invarnetx
+
+#endif  // INVARNETX_COMMON_SPSC_RING_H_

@@ -1,6 +1,7 @@
 #ifndef INVARNETX_OBS_HTTP_H_
 #define INVARNETX_OBS_HTTP_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -75,7 +76,9 @@ class HttpServer {
   Options options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  bool running_ = false;
+  // Written by Stop() while the acceptor reads it after a failed accept();
+  // atomic so that unsynchronized hand-off is well-defined.
+  std::atomic<bool> running_{false};
 
   std::map<std::string, Handler> handlers_;
 

@@ -43,6 +43,7 @@ std::string EventKindName(EventKind kind) {
     case EventKind::kSlowTick: return "slow_tick";
     case EventKind::kLifecycle: return "lifecycle";
     case EventKind::kCausalFallback: return "causal_fallback";
+    case EventKind::kBackpressure: return "backpressure";
   }
   return "unknown";
 }

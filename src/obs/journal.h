@@ -30,6 +30,7 @@ enum class EventKind {
   kSlowTick,         // ingest watchdog saw p99 above budget
   kLifecycle,        // process-level marks (serve start/stop, HTTP up)
   kCausalFallback,   // no signature matched; causal engine ranked suspects
+  kBackpressure,     // a shard's ingest ring rejected samples (full)
 };
 
 // Stable lowercase token for rendering and filtering (e.g. "alarm",

@@ -1,8 +1,8 @@
 #include "serve/fleet.h"
 
 #include <algorithm>
-#include <functional>
-#include <set>
+#include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/parallel.h"
@@ -14,12 +14,95 @@
 
 namespace invarnetx::serve {
 
+namespace {
+
+// One window-slab row: [cpi, metric 0 .. metric 25] per tick slot, the same
+// layout core::RingWindow uses.
+constexpr size_t kRowDoubles = static_cast<size_t>(telemetry::kNumMetrics) + 1;
+
+// Stack-local completion latch for the per-tick drain fan-out. Notify runs
+// under the lock: the waiter cannot leave Wait() (and pop the latch off its
+// stack) until the signalling task has released the mutex.
+struct DrainLatch {
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 0;
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+}  // namespace
+
 MonitorFleet::MonitorFleet(const core::InvarNetX* pipeline, FleetConfig config)
     : pipeline_(pipeline), config_(config) {
   if (config_.window_capacity == 0) config_.window_capacity = 1;
-  if (config_.status_shards < 1) config_.status_shards = 1;
   if (config_.storm_window_ticks == 0) config_.storm_window_ticks = 1;
   if (config_.watchdog_window_ticks == 0) config_.watchdog_window_ticks = 1;
+  consecutive_required_ = pipeline_->config().consecutive_required;
+  effective_threads_ = EffectiveThreadCount(config_.threads);
+
+  // Resolve the shard count once; it is fixed for the fleet's lifetime (a
+  // monitor's shard is part of its handle assignment).
+  int shards = config_.shards;
+  if (shards < 1) shards = EffectiveThreadCount(0);
+  shards = std::min(shards, kMaxThreads);
+  config_.shards = shards;
+
+  const size_t initial_ring =
+      config_.ring_capacity == 0 ? 1 : config_.ring_capacity;
+  const size_t per_shard_hint =
+      config_.expected_monitors == 0
+          ? 0
+          : config_.expected_monitors / static_cast<size_t>(shards) + 1;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>(initial_ring);
+    const obs::MetricLabels labels = {{"shard", std::to_string(s)}};
+    shard->samples_counter = &registry.GetCounter("serve.shard_samples", labels);
+    shard->window_overflow_counter =
+        &registry.GetCounter("serve.shard_overflow", labels);
+    shard->ring_overflow_counter =
+        &registry.GetCounter("serve.ring_overflow", labels);
+    if (per_shard_hint > 0) {
+      ShardHot& hot = shard->hot;
+      hot.last_residual.reserve(per_shard_hint);
+      hot.threshold.reserve(per_shard_hint);
+      hot.debounce.reserve(per_shard_hint);
+      hot.alarm.reserve(per_shard_hint);
+      hot.first_alarm_tick.reserve(per_shard_hint);
+      hot.window_total.reserve(per_shard_hint);
+      hot.window_size.reserve(per_shard_hint);
+      hot.window_head.reserve(per_shard_hint);
+      hot.epoch.reserve(per_shard_hint);
+      hot.predictor.reserve(per_shard_hint);
+      hot.window_slab.reserve(per_shard_hint * config_.window_capacity *
+                              kRowDoubles);
+      shard->members.reserve(per_shard_hint);
+    }
+    shards_.push_back(std::move(shard));
+  }
+  if (config_.expected_monitors > 0) {
+    slots_.reserve(config_.expected_monitors);
+    shard_of_.reserve(config_.expected_monitors);
+    local_of_.reserve(config_.expected_monitors);
+    job_active_.reserve(config_.expected_monitors);
+    seen_stamp_.reserve(config_.expected_monitors);
+  }
+  shard_count_scratch_.resize(static_cast<size_t>(shards), 0);
+  shard_pushed_scratch_.resize(static_cast<size_t>(shards), 0);
+  shard_window_overflow_scratch_.resize(static_cast<size_t>(shards), 0);
+
+  if (effective_threads_ > 1) {
+    ThreadPool::Shared().EnsureSize(effective_threads_);
+  }
   status_cache_.slow_tick_budget_seconds = config_.slow_tick_budget_seconds;
   FleetStatusBoard::Shared().Register(this);
 }
@@ -32,109 +115,351 @@ MonitorFleet::~MonitorFleet() {
   WaitForDiagnoses();
 }
 
-Status MonitorFleet::StartJob(const core::OperationContext& context) {
-  auto it = monitors_.find(context);
-  if (it == monitors_.end()) {
-    core::OnlineMonitor::Options options;
-    options.window_capacity = config_.window_capacity;
-    Slot slot;
-    slot.monitor =
-        std::make_unique<core::OnlineMonitor>(pipeline_, options);
-    slot.shard = static_cast<int>(std::hash<std::string>{}(
-                                      context.ToString()) %
-                                  static_cast<size_t>(config_.status_shards));
-    obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
-    const obs::MetricLabels labels = {{"shard", std::to_string(slot.shard)}};
-    slot.shard_samples = &registry.GetCounter("serve.shard_samples", labels);
-    slot.shard_overflow = &registry.GetCounter("serve.shard_overflow", labels);
-    it = monitors_.emplace(context, std::move(slot)).first;
+Result<MonitorHandle> MonitorFleet::StartJob(
+    const core::OperationContext& context) {
+  Result<std::shared_ptr<const core::ContextModel>> model =
+      pipeline_->GetContext(context);
+  if (!model.ok()) return model.status();
+
+  auto [it, inserted] = index_.try_emplace(context, kInvalidMonitor);
+  if (inserted) {
+    // First job for this context: assign the next dense handle and its
+    // shard, and grow that shard's SoA columns + window slab by one monitor.
+    const MonitorHandle handle = static_cast<MonitorHandle>(slots_.size());
+    const uint32_t shard_index =
+        static_cast<uint32_t>(handle) % static_cast<uint32_t>(shards_.size());
+    Shard& shard = *shards_[shard_index];
+    const uint32_t local = static_cast<uint32_t>(shard.members.size());
+    it->second = handle;
+
+    ColdSlot slot;
+    slot.context = context;
+    slot.shard = static_cast<int>(shard_index);
+    slot.local = local;
+    slots_.push_back(std::move(slot));
+    shard_of_.push_back(shard_index);
+    local_of_.push_back(local);
+    job_active_.push_back(0);
+    seen_stamp_.push_back(0);
+
+    ShardHot& hot = shard.hot;
+    hot.last_residual.push_back(0.0);
+    hot.threshold.push_back(0.0);
+    hot.debounce.push_back(0);
+    hot.alarm.push_back(0);
+    hot.first_alarm_tick.push_back(-1);
+    hot.window_total.push_back(0);
+    hot.window_size.push_back(0);
+    hot.window_head.push_back(0);
+    hot.epoch.push_back(0);
+    hot.predictor.emplace_back(ts::ArimaModel());  // re-pinned below
+    hot.window_slab.resize(hot.window_slab.size() +
+                           config_.window_capacity * kRowDoubles);
+    shard.members.push_back(handle);
+
+    // Auto ring capacity tracks the shard's population, so a well-formed
+    // batch (each monitor at most once per tick) can never be rejected.
+    // Safe between ticks: every ring is drained before IngestTick returns.
+    if (config_.ring_capacity == 0 &&
+        shard.ring.capacity() < shard.members.size()) {
+      shard.ring.Reset(shard.members.size());
+    }
   }
-  INVARNETX_RETURN_IF_ERROR(it->second.monitor->StartJob(context));
-  it->second.diagnosis_dispatched = false;
-  it->second.overflow_journaled = false;
+
+  const MonitorHandle handle = it->second;
+  ColdSlot& cold = slots_[static_cast<size_t>(handle)];
+  Shard& shard = *shards_[static_cast<size_t>(cold.shard)];
+  ShardHot& hot = shard.hot;
+  const uint32_t local = cold.local;
+
+  // Pin the epoch snapshot and cache the scalar alarm threshold; the
+  // per-sample path then compares against one double instead of re-deriving
+  // the rule from the model.
+  cold.model = std::move(model.value());
+  cold.diagnosis_dispatched = false;
+  cold.overflow_journaled = false;
+  const core::ThresholdRule rule = pipeline_->config().threshold_rule;
+  hot.threshold[local] = rule == core::ThresholdRule::kMaxMin
+                             ? cold.model->perf.residual_max()
+                             : cold.model->perf.Threshold(rule);
+  hot.epoch[local] = cold.model->epoch;
+  hot.predictor[local] = ts::ArimaPredictor(cold.model->perf.arima());
+  hot.last_residual[local] = 0.0;
+  hot.debounce[local] = 0;
+  if (hot.alarm[local] != 0) --alarms_latched_;
+  hot.alarm[local] = 0;
+  hot.first_alarm_tick[local] = -1;
+  hot.window_total[local] = 0;
+  hot.window_size[local] = 0;
+  hot.window_head[local] = 0;
+
+  if (job_active_[static_cast<size_t>(handle)] == 0) {
+    job_active_[static_cast<size_t>(handle)] = 1;
+    ++active_jobs_;
+  }
+  // New job era: the next backpressure reject per shard is journal-worthy
+  // again.
+  for (auto& s : shards_) s->backpressure_journaled = false;
+
   PublishGauges();
   RefreshStatusCache();
-  return Status::Ok();
+  return handle;
+}
+
+void MonitorFleet::ObserveOne(Shard& shard, uint32_t local,
+                              const TickSample& sample) {
+  // Exactly AnomalyDetector::Observe + RingWindow::Push, run against the
+  // shard's SoA columns with the threshold scalar cached at StartJob.
+  ShardHot& hot = shard.hot;
+  ts::ArimaPredictor& predictor = hot.predictor[local];
+  const bool ready = predictor.Ready();
+  const double raw = predictor.Observe(sample.cpi);
+  const double residual = ready ? raw : 0.0;
+  hot.last_residual[local] = residual;
+  const bool flag = ready && residual > hot.threshold[local];
+  const int32_t consecutive = flag ? hot.debounce[local] + 1 : 0;
+  hot.debounce[local] = consecutive;
+
+  const size_t capacity = config_.window_capacity;
+  const uint32_t head = hot.window_head[local];
+  double* row =
+      hot.window_slab.data() +
+      (static_cast<size_t>(local) * capacity + head) * kRowDoubles;
+  row[0] = sample.cpi;
+  std::memcpy(row + 1, sample.metrics.data(),
+              sizeof(double) * static_cast<size_t>(telemetry::kNumMetrics));
+  hot.window_head[local] = head + 1 == capacity ? 0 : head + 1;
+  const int64_t total = ++hot.window_total[local];
+  if (hot.window_size[local] < capacity) ++hot.window_size[local];
+
+  if (consecutive >= consecutive_required_ && hot.alarm[local] == 0) {
+    hot.alarm[local] = 1;
+    // Absolute job ticks, so the report still names the right tick after
+    // the window has evicted it.
+    hot.first_alarm_tick[local] = static_cast<int32_t>(total) - 1;
+  }
+}
+
+void MonitorFleet::DrainShard(Shard& shard, uint32_t expected,
+                              const std::vector<TickSample>& samples) {
+  RingEntry entry;
+  uint32_t drained = 0;
+  while (drained < expected) {
+    if (shard.ring.TryPop(&entry)) {
+      ObserveOne(shard, entry.local, samples[entry.index]);
+      ++drained;
+    } else {
+      // The producer is still distributing this tick's batch; the entries
+      // we are owed are already admitted and on their way.
+      std::this_thread::yield();
+    }
+  }
 }
 
 Result<TickSummary> MonitorFleet::IngestTick(
     const std::vector<TickSample>& samples) {
-  obs::Span ingest_span("serve_ingest_tick",
-                        {{"samples", samples.size()}});
-  // Resolve every sample to its monitor up front: errors surface before any
-  // observation lands, so a rejected batch leaves the fleet untouched.
-  std::vector<Slot*> targets(samples.size(), nullptr);
-  std::set<const Slot*> seen;
+  obs::Span ingest_span("serve_ingest_tick", {{"samples", samples.size()}});
+  ++tick_stamp_;
+
+  // Phase 1 - validate and resolve every sample up front: errors surface
+  // before any observation lands, so a rejected batch leaves the fleet
+  // untouched. Duplicate detection is allocation-free: dense tick-stamped
+  // flags over handles, no per-tick set.
+  handles_scratch_.resize(samples.size());
+  const size_t num_shards = shards_.size();
+  std::fill(shard_count_scratch_.begin(), shard_count_scratch_.end(), 0u);
   for (size_t i = 0; i < samples.size(); ++i) {
-    auto it = monitors_.find(samples[i].context);
-    if (it == monitors_.end() || !it->second.monitor->job_active()) {
-      return Status::FailedPrecondition(
-          "IngestTick: no active monitor for " +
-          samples[i].context.ToString());
+    MonitorHandle handle = samples[i].monitor;
+    if (handle == kInvalidMonitor) {
+      // Compatibility path for producers that never learned their handle.
+      auto it = index_.find(samples[i].context);
+      handle = it == index_.end() ? kInvalidMonitor : it->second;
     }
-    if (!seen.insert(&it->second).second) {
-      return Status::InvalidArgument(
-          "IngestTick: duplicate sample for " + samples[i].context.ToString());
+    if (handle < 0 || static_cast<size_t>(handle) >= slots_.size()) {
+      return Status::FailedPrecondition("IngestTick: no active monitor for " +
+                                        samples[i].context.ToString());
     }
-    targets[i] = &it->second;
+    if (job_active_[static_cast<size_t>(handle)] == 0) {
+      return Status::FailedPrecondition("IngestTick: no active monitor for " +
+                                        slots_[static_cast<size_t>(handle)]
+                                            .context.ToString());
+    }
+    if (seen_stamp_[static_cast<size_t>(handle)] == tick_stamp_) {
+      return Status::InvalidArgument("IngestTick: duplicate sample for " +
+                                     slots_[static_cast<size_t>(handle)]
+                                         .context.ToString());
+    }
+    seen_stamp_[static_cast<size_t>(handle)] = tick_stamp_;
+    handles_scratch_[i] = handle;
+    ++shard_count_scratch_[shard_of_[static_cast<size_t>(handle)]];
   }
 
-  // Detection fan-out. Each index touches only its own monitor (duplicates
-  // were rejected above), so the fan-out is race-free and the per-monitor
-  // stream stays serial - verdicts are bit-identical for any thread count.
-  std::vector<core::OnlineMonitor::TickVerdict> verdicts(samples.size());
-  INVARNETX_RETURN_IF_ERROR(ParallelFor(
-      samples.size(), config_.threads, [&](size_t i) -> Status {
-        Result<core::OnlineMonitor::TickVerdict> verdict =
-            targets[i]->monitor->Observe(samples[i].cpi, samples[i].metrics);
-        if (!verdict.ok()) return verdict.status();
-        verdicts[i] = verdict.value();
-        return Status::Ok();
-      }));
+  // Phase 2 - deterministic admission: a shard accepts at most its ring
+  // capacity this tick, decided by counts in batch order - never by queue
+  // timing - so the reject set is identical for every thread count.
+  int nonempty = 0;
+  int first_nonempty = -1;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (shard_count_scratch_[s] == 0) continue;
+    ++nonempty;
+    if (first_nonempty < 0) first_nonempty = static_cast<int>(s);
+  }
+  const bool parallel = effective_threads_ > 1 && nonempty > 1;
 
-  // Alarm handling runs serially in sample order, so diagnosis dispatch
-  // order is deterministic too.
+  // Shard-affine consumers start before the push phase, so detection
+  // pipelines with distribution. Pool tasks and this thread race to claim
+  // each shard's drain (caller-participates): ingest completes even when
+  // every pool worker is grinding a diagnosis.
+  DrainLatch latch;
+  if (parallel) {
+    latch.remaining = nonempty - 1;
+    for (size_t s = static_cast<size_t>(first_nonempty) + 1; s < num_shards;
+         ++s) {
+      if (shard_count_scratch_[s] == 0) continue;
+      Shard* shard = shards_[s].get();
+      shard->drain_claimed.store(0, std::memory_order_relaxed);
+      const uint32_t expected = static_cast<uint32_t>(
+          std::min<size_t>(shard_count_scratch_[s], shard->ring.capacity()));
+      ThreadPool::Shared().Submit([this, shard, expected, &samples, &latch] {
+        if (shard->drain_claimed.exchange(1, std::memory_order_acq_rel) == 0) {
+          DrainShard(*shard, expected, samples);
+        }
+        latch.Done();
+      });
+    }
+  }
+
+  // Phase 3 - distribute in batch order. An admitted push cannot fail: at
+  // most capacity entries are pushed per shard per tick and the consumer
+  // only ever removes entries, so the ring never holds more than capacity.
   TickSummary summary;
-  summary.samples = static_cast<int>(samples.size());
+  accepted_scratch_.resize(samples.size());
+  std::fill(shard_pushed_scratch_.begin(), shard_pushed_scratch_.end(), 0u);
   for (size_t i = 0; i < samples.size(); ++i) {
-    Slot* slot = targets[i];
-    // Per-shard backpressure accounting: one relaxed atomic per sample,
-    // plus the overflow tally once a job outgrows its bounded window.
-    slot->shard_samples->Increment();
-    if (slot->monitor->ticks_observed() >
-        static_cast<int>(config_.window_capacity)) {
-      slot->shard_overflow->Increment();
+    const MonitorHandle handle = handles_scratch_[i];
+    const uint32_t s = shard_of_[static_cast<size_t>(handle)];
+    Shard& shard = *shards_[s];
+    if (shard_pushed_scratch_[s] < shard.ring.capacity()) {
+      ++shard_pushed_scratch_[s];
+      shard.ring.TryPush(RingEntry{local_of_[static_cast<size_t>(handle)],
+                                   static_cast<uint32_t>(i)});
+      accepted_scratch_[i] = 1;
+    } else {
+      accepted_scratch_[i] = 0;
+      ++summary.rejected;
+    }
+  }
+
+  // Phase 4 - drain. This thread always takes the first shard, then helps
+  // with any shard whose pool task has not started yet.
+  if (first_nonempty >= 0) {
+    Shard& first = *shards_[static_cast<size_t>(first_nonempty)];
+    DrainShard(first,
+               static_cast<uint32_t>(std::min<size_t>(
+                   shard_count_scratch_[static_cast<size_t>(first_nonempty)],
+                   first.ring.capacity())),
+               samples);
+  }
+  if (parallel) {
+    for (size_t s = static_cast<size_t>(first_nonempty) + 1; s < num_shards;
+         ++s) {
+      if (shard_count_scratch_[s] == 0) continue;
+      Shard* shard = shards_[s].get();
+      if (shard->drain_claimed.exchange(1, std::memory_order_acq_rel) == 0) {
+        DrainShard(*shard,
+                   static_cast<uint32_t>(std::min<size_t>(
+                       shard_count_scratch_[s], shard->ring.capacity())),
+                   samples);
+      }
+    }
+    latch.Wait();
+  } else {
+    for (size_t s = static_cast<size_t>(std::max(first_nonempty, 0)) + 1;
+         s < num_shards; ++s) {
+      if (shard_count_scratch_[s] == 0) continue;
+      Shard& shard = *shards_[s];
+      DrainShard(shard,
+                 static_cast<uint32_t>(std::min<size_t>(
+                     shard_count_scratch_[s], shard.ring.capacity())),
+                 samples);
+    }
+  }
+
+  // Phase 5 - accounting and alarm handling, serially in batch order, so
+  // diagnosis dispatch order is deterministic for every shard and thread
+  // count.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  std::fill(shard_window_overflow_scratch_.begin(),
+            shard_window_overflow_scratch_.end(), 0u);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (accepted_scratch_[i] == 0) continue;
+    const MonitorHandle handle = handles_scratch_[i];
+    ColdSlot& cold = slots_[static_cast<size_t>(handle)];
+    Shard& shard = *shards_[static_cast<size_t>(cold.shard)];
+    ShardHot& hot = shard.hot;
+    const uint32_t local = cold.local;
+    ++summary.samples;
+    if (hot.window_total[local] >
+        static_cast<int64_t>(config_.window_capacity)) {
+      ++shard_window_overflow_scratch_[static_cast<size_t>(cold.shard)];
       ++window_overflows_;
-      if (!slot->overflow_journaled) {
-        slot->overflow_journaled = true;
+      if (!cold.overflow_journaled) {
+        cold.overflow_journaled = true;
         obs::EventJournal::Shared().Record(
             obs::EventKind::kRingOverflow, "window overwriting oldest ticks",
-            {{"context", samples[i].context.ToString()},
+            {{"context", cold.context.ToString()},
              {"capacity", static_cast<uint64_t>(config_.window_capacity)}});
       }
     }
-    if (!slot->monitor->alarm_active() || slot->diagnosis_dispatched) {
-      continue;
-    }
+    if (hot.alarm[local] == 0 || cold.diagnosis_dispatched) continue;
     ++summary.new_alarms;
-    slot->diagnosis_dispatched = true;
+    cold.diagnosis_dispatched = true;
     ++alarms_raised_;
-    obs::MetricsRegistry::Shared().GetCounter("serve.alarms_raised")
-        .Increment();
+    ++alarms_latched_;
+    registry.GetCounter("serve.alarms_raised").Increment();
     obs::EventJournal::Shared().Record(
         obs::EventKind::kAlarm, "debounced alarm latched",
-        {{"context", samples[i].context.ToString()},
-         {"tick", slot->monitor->first_alarm_tick()}});
-    if (config_.diagnose_on_alarm) DispatchDiagnosis(slot);
+        {{"context", cold.context.ToString()},
+         {"tick", hot.first_alarm_tick[local]}});
+    if (config_.diagnose_on_alarm) DispatchDiagnosis(handle);
   }
-  summary.alarms_active = static_cast<int>(alarms_active());
+  summary.alarms_active = static_cast<int>(alarms_latched_);
 
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
+  // Per-shard series: one batched increment per shard instead of one atomic
+  // per sample.
+  for (size_t s = 0; s < num_shards; ++s) {
+    Shard& shard = *shards_[s];
+    const uint32_t count = shard_count_scratch_[s];
+    if (count == 0) continue;
+    const uint32_t accepted = static_cast<uint32_t>(
+        std::min<size_t>(count, shard.ring.capacity()));
+    shard.samples += accepted;
+    shard.samples_counter->Increment(accepted);
+    if (shard_window_overflow_scratch_[s] > 0) {
+      shard.window_overflow_counter->Increment(
+          shard_window_overflow_scratch_[s]);
+    }
+    const uint32_t rejected = count - accepted;
+    if (rejected > 0) {
+      shard.ring_rejects += rejected;
+      shard.ring_overflow_counter->Increment(rejected);
+      samples_rejected_ += rejected;
+      if (!shard.backpressure_journaled) {
+        shard.backpressure_journaled = true;
+        obs::EventJournal::Shared().Record(
+            obs::EventKind::kBackpressure, "ingest ring full; samples rejected",
+            {{"shard", static_cast<uint64_t>(s)},
+             {"rejected", static_cast<uint64_t>(rejected)},
+             {"ring_capacity", static_cast<uint64_t>(shard.ring.capacity())}});
+      }
+    }
+  }
+
   registry.GetCounter("serve.ticks_ingested").Increment();
   registry.GetCounter("serve.samples_ingested")
-      .Increment(static_cast<uint64_t>(samples.size()));
+      .Increment(static_cast<uint64_t>(summary.samples));
   ++ticks_ingested_;
-  samples_ingested_ += samples.size();
+  samples_ingested_ += static_cast<uint64_t>(summary.samples);
   PublishGauges();
   ingest_span.End();
   registry.GetHistogram("serve.ingest_seconds").Record(ingest_span.Seconds());
@@ -143,16 +468,48 @@ Result<TickSummary> MonitorFleet::IngestTick(
   return summary;
 }
 
-void MonitorFleet::DispatchDiagnosis(Slot* slot) {
+telemetry::NodeTrace MonitorFleet::MaterializeWindow(
+    const Shard& shard, uint32_t local, const std::string& ip) const {
+  // Same layout and order as core::RingWindow::Materialize: oldest retained
+  // tick first, slot = absolute tick modulo capacity.
+  const ShardHot& hot = shard.hot;
+  const size_t capacity = config_.window_capacity;
+  const size_t size = hot.window_size[local];
+  const int64_t start = hot.window_total[local] - static_cast<int64_t>(size);
+  const double* base =
+      hot.window_slab.data() + static_cast<size_t>(local) * capacity *
+                                   kRowDoubles;
+  telemetry::NodeTrace out;
+  out.ip = ip;
+  out.cpi.reserve(size);
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    out.metrics[static_cast<size_t>(m)].reserve(size);
+  }
+  for (size_t i = 0; i < size; ++i) {
+    const size_t slot = static_cast<size_t>(
+        (start + static_cast<int64_t>(i)) % static_cast<int64_t>(capacity));
+    const double* row = base + slot * kRowDoubles;
+    out.cpi.push_back(row[0]);
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      out.metrics[static_cast<size_t>(m)].push_back(row[m + 1]);
+    }
+  }
+  return out;
+}
+
+void MonitorFleet::DispatchDiagnosis(MonitorHandle handle) {
   // Snapshot everything the diagnosis needs now: later ticks keep mutating
   // the live window while the MIC matrix grinds on the copy, and a StartJob
   // re-arm can swap the monitor's model epoch underneath us.
+  ColdSlot& cold = slots_[static_cast<size_t>(handle)];
+  const Shard& shard = *shards_[static_cast<size_t>(cold.shard)];
   FleetDiagnosis pending;
-  pending.context = slot->monitor->context();
-  pending.epoch = slot->monitor->model_epoch();
-  pending.first_alarm_tick = slot->monitor->first_alarm_tick();
-  std::shared_ptr<const core::ContextModel> model = slot->monitor->model();
-  telemetry::NodeTrace window = slot->monitor->WindowTrace();
+  pending.context = cold.context;
+  pending.epoch = shard.hot.epoch[cold.local];
+  pending.first_alarm_tick = shard.hot.first_alarm_tick[cold.local];
+  std::shared_ptr<const core::ContextModel> model = cold.model;
+  telemetry::NodeTrace window =
+      MaterializeWindow(shard, cold.local, cold.context.node_ip);
 
   size_t depth = 0;
   {
@@ -225,39 +582,57 @@ std::vector<FleetDiagnosis> MonitorFleet::TakeDiagnoses() {
   return out;
 }
 
-size_t MonitorFleet::active_monitors() const {
-  size_t active = 0;
-  for (const auto& [context, slot] : monitors_) {
-    if (slot.monitor->job_active()) ++active;
-  }
-  return active;
-}
-
-size_t MonitorFleet::alarms_active() const {
-  size_t alarms = 0;
-  for (const auto& [context, slot] : monitors_) {
-    if (slot.monitor->alarm_active()) ++alarms;
-  }
-  return alarms;
-}
-
 size_t MonitorFleet::pending_diagnoses() const {
   std::lock_guard<std::mutex> lock(results_mu_);
   return pending_;
 }
 
-const core::OnlineMonitor* MonitorFleet::Find(
+MonitorHandle MonitorFleet::Resolve(
     const core::OperationContext& context) const {
-  auto it = monitors_.find(context);
-  return it == monitors_.end() ? nullptr : it->second.monitor.get();
+  auto it = index_.find(context);
+  return it == index_.end() ? kInvalidMonitor : it->second;
+}
+
+MonitorView MonitorFleet::ViewLocked(MonitorHandle handle) const {
+  const ColdSlot& cold = slots_[static_cast<size_t>(handle)];
+  const ShardHot& hot = shards_[static_cast<size_t>(cold.shard)]->hot;
+  const uint32_t local = cold.local;
+  MonitorView view;
+  view.context = cold.context;
+  view.handle = handle;
+  view.shard = cold.shard;
+  view.job_active = job_active_[static_cast<size_t>(handle)] != 0;
+  view.alarm_active = hot.alarm[local] != 0;
+  view.epoch = hot.epoch[local];
+  view.first_alarm_tick = hot.first_alarm_tick[local];
+  view.ticks_observed = hot.window_total[local];
+  view.window_ticks = static_cast<int>(hot.window_size[local]);
+  view.window_capacity = config_.window_capacity;
+  view.window_start_tick =
+      hot.window_total[local] - static_cast<int64_t>(hot.window_size[local]);
+  view.last_residual = hot.last_residual[local];
+  view.debounce = hot.debounce[local];
+  return view;
+}
+
+std::optional<MonitorView> MonitorFleet::View(MonitorHandle handle) const {
+  if (handle < 0 || static_cast<size_t>(handle) >= slots_.size()) {
+    return std::nullopt;
+  }
+  return ViewLocked(handle);
+}
+
+std::optional<MonitorView> MonitorFleet::View(
+    const core::OperationContext& context) const {
+  return View(Resolve(context));
 }
 
 void MonitorFleet::PublishGauges() {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Shared();
   registry.GetGauge("serve.active_monitors")
-      .Set(static_cast<double>(active_monitors()));
+      .Set(static_cast<double>(active_jobs_));
   registry.GetGauge("serve.alarms_active")
-      .Set(static_cast<double>(alarms_active()));
+      .Set(static_cast<double>(alarms_latched_));
 }
 
 void MonitorFleet::RunWatchdogs(int new_alarms, double ingest_seconds) {
@@ -325,29 +700,73 @@ void MonitorFleet::RunWatchdogs(int new_alarms, double ingest_seconds) {
 
 void MonitorFleet::RefreshStatusCache() {
   FleetStatus status;
-  status.active_monitors = active_monitors();
-  status.alarms_active = alarms_active();
+  status.active_monitors = active_jobs_;
+  status.monitors_total = slots_.size();
+  status.alarms_active = alarms_latched_;
   status.ticks_ingested = ticks_ingested_;
   status.samples_ingested = samples_ingested_;
+  status.samples_rejected = samples_rejected_;
   status.alarms_raised = alarms_raised_;
   status.window_overflows = window_overflows_;
   status.storm_active = storm_active_;
   status.slow_ticks_active = slow_ticks_active_;
   status.ingest_p99_seconds = ingest_p99_seconds_;
   status.slow_tick_budget_seconds = config_.slow_tick_budget_seconds;
-  status.monitors.reserve(monitors_.size());
-  for (const auto& [context, slot] : monitors_) {
-    MonitorStatus row;
-    row.context = context.ToString();
-    row.shard = slot.shard;
-    row.job_active = slot.monitor->job_active();
-    row.alarm_active = slot.monitor->alarm_active();
-    row.epoch = slot.monitor->model_epoch();
-    row.first_alarm_tick = slot.monitor->first_alarm_tick();
-    row.ticks_observed = slot.monitor->ticks_observed();
-    row.window_ticks = slot.monitor->window_ticks();
-    status.monitors.push_back(std::move(row));
+  status.shards.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    ShardStatus row;
+    row.shard = static_cast<int>(s);
+    row.monitors = shard.members.size();
+    row.ring_capacity = shard.ring.capacity();
+    row.samples = shard.samples;
+    row.ring_rejects = shard.ring_rejects;
+    status.shards.push_back(row);
   }
+
+  // Per-monitor rows are capped: full dump only when asked for (or the
+  // fleet is small); otherwise at most status_top_k interesting rows
+  // (alarm latched or window overflowed this job), found by a flat scan of
+  // the per-shard alarm bytes that is skipped entirely in the quiet case.
+  const bool full = config_.status_full_dump ||
+                    slots_.size() <= config_.status_top_k;
+  if (full) {
+    status.monitors.reserve(slots_.size());
+    for (size_t h = 0; h < slots_.size(); ++h) {
+      MonitorStatus row;
+      const MonitorView view = ViewLocked(static_cast<MonitorHandle>(h));
+      row.context = view.context.ToString();
+      row.shard = view.shard;
+      row.job_active = view.job_active;
+      row.alarm_active = view.alarm_active;
+      row.epoch = view.epoch;
+      row.first_alarm_tick = view.first_alarm_tick;
+      row.ticks_observed = static_cast<int>(view.ticks_observed);
+      row.window_ticks = view.window_ticks;
+      status.monitors.push_back(std::move(row));
+    }
+  } else if (alarms_latched_ > 0 || window_overflows_ > 0) {
+    for (size_t h = 0;
+         h < slots_.size() && status.monitors.size() < config_.status_top_k;
+         ++h) {
+      const ColdSlot& cold = slots_[h];
+      const ShardHot& hot = shards_[static_cast<size_t>(cold.shard)]->hot;
+      if (hot.alarm[cold.local] == 0 && !cold.overflow_journaled) continue;
+      MonitorStatus row;
+      const MonitorView view = ViewLocked(static_cast<MonitorHandle>(h));
+      row.context = view.context.ToString();
+      row.shard = view.shard;
+      row.job_active = view.job_active;
+      row.alarm_active = view.alarm_active;
+      row.epoch = view.epoch;
+      row.first_alarm_tick = view.first_alarm_tick;
+      row.ticks_observed = static_cast<int>(view.ticks_observed);
+      row.window_ticks = view.window_ticks;
+      status.monitors.push_back(std::move(row));
+    }
+  }
+  status.monitors_listed_truncated = status.monitors.size() < slots_.size();
+
   std::lock_guard<std::mutex> lock(status_mu_);
   status_cache_ = std::move(status);
 }

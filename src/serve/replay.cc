@@ -21,21 +21,30 @@ std::string FormatScore(double score) {
   return buf;
 }
 
+// One monitor armed for a replayed job: which node of the trace it watches
+// and the dense handle StartJob assigned (stamped into every TickSample so
+// the ingest path skips the context map).
+struct ArmedMonitor {
+  size_t node_index = 0;
+  core::OperationContext context;
+  MonitorHandle handle = kInvalidMonitor;
+};
+
 // One sample per armed node at tick `t` of the trace.
-std::vector<TickSample> SamplesAt(
-    const telemetry::RunTrace& trace,
-    const std::vector<std::pair<size_t, core::OperationContext>>& armed,
-    size_t t) {
+std::vector<TickSample> SamplesAt(const telemetry::RunTrace& trace,
+                                  const std::vector<ArmedMonitor>& armed,
+                                  size_t t) {
   std::vector<TickSample> samples;
   samples.reserve(armed.size());
-  for (const auto& [node_index, context] : armed) {
-    const telemetry::NodeTrace& node = trace.nodes[node_index];
+  for (const ArmedMonitor& m : armed) {
+    const telemetry::NodeTrace& node = trace.nodes[m.node_index];
     TickSample sample;
-    sample.context = context;
+    sample.context = m.context;
+    sample.monitor = m.handle;
     sample.cpi = node.cpi[t];
-    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
-      sample.metrics[static_cast<size_t>(m)] =
-          node.metrics[static_cast<size_t>(m)][t];
+    for (int metric = 0; metric < telemetry::kNumMetrics; ++metric) {
+      sample.metrics[static_cast<size_t>(metric)] =
+          node.metrics[static_cast<size_t>(metric)][t];
     }
     samples.push_back(std::move(sample));
   }
@@ -43,17 +52,18 @@ std::vector<TickSample> SamplesAt(
 }
 
 // Renders every armed node's verdict after one replayed job, in node order.
-void RenderVerdicts(
-    const MonitorFleet& fleet,
-    const std::vector<std::pair<size_t, core::OperationContext>>& armed,
-    const std::vector<FleetDiagnosis>& diagnoses, std::ostringstream* out) {
-  for (const auto& [node_index, context] : armed) {
-    const core::OnlineMonitor* monitor = fleet.Find(context);
-    if (monitor == nullptr || !monitor->alarm_active()) {
+void RenderVerdicts(const MonitorFleet& fleet,
+                    const std::vector<ArmedMonitor>& armed,
+                    const std::vector<FleetDiagnosis>& diagnoses,
+                    std::ostringstream* out) {
+  for (const ArmedMonitor& m : armed) {
+    const core::OperationContext& context = m.context;
+    const std::optional<MonitorView> view = fleet.View(m.handle);
+    if (!view.has_value() || !view->alarm_active) {
       *out << context.node_ip << ": healthy\n";
       continue;
     }
-    *out << context.node_ip << ": ALARM tick " << monitor->first_alarm_tick();
+    *out << context.node_ip << ": ALARM tick " << view->first_alarm_tick;
     const FleetDiagnosis* diagnosis = nullptr;
     for (const FleetDiagnosis& d : diagnoses) {
       if (d.context == context) {
@@ -116,13 +126,14 @@ Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
   core::InvarNetXConfig pipeline_config;
   pipeline_config.num_threads = options.threads;
   core::InvarNetX pipeline(pipeline_config);
-  std::vector<std::pair<size_t, core::OperationContext>> armed;
+  std::vector<ArmedMonitor> armed;
   for (int node = 1; node <= scenario.slaves; ++node) {
     const core::OperationContext context{
         scenario.workload, "10.0.0." + std::to_string(node + 1)};
     INVARNETX_RETURN_IF_ERROR(pipeline.TrainContext(
         context, normal, static_cast<size_t>(node)));
-    armed.emplace_back(static_cast<size_t>(node), context);
+    armed.push_back(ArmedMonitor{static_cast<size_t>(node), context,
+                                 kInvalidMonitor});
   }
 
   // 3. Teach the victim context the scenario's signature catalog, on the
@@ -144,6 +155,9 @@ Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
   FleetConfig fleet_config;
   fleet_config.window_capacity = options.window_capacity;
   fleet_config.threads = options.threads;
+  fleet_config.shards = options.shards;
+  fleet_config.ring_capacity = options.ring_capacity;
+  fleet_config.expected_monitors = armed.size();
   MonitorFleet fleet(&pipeline, fleet_config);
 
   int runs = scenario.test_runs;
@@ -158,8 +172,10 @@ Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
     Result<telemetry::RunTrace> trace =
         campaign::SimulateScenarioTestRun(scenario, rep);
     if (!trace.ok()) return trace.status();
-    for (const auto& [node_index, context] : armed) {
-      INVARNETX_RETURN_IF_ERROR(fleet.StartJob(context));
+    for (ArmedMonitor& m : armed) {
+      Result<MonitorHandle> handle = fleet.StartJob(m.context);
+      if (!handle.ok()) return handle.status();
+      m.handle = handle.value();
     }
     const size_t ticks = trace.value().nodes[1].cpi.size();
     for (size_t t = 0; t < ticks; ++t) {
@@ -185,9 +201,9 @@ Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
           registry.GetCounter("pipeline.pairs_reused");
       const uint64_t rescored_before = rescored_counter.value();
       const uint64_t reused_before = reused_counter.value();
-      for (const auto& [node_index, context] : armed) {
+      for (const ArmedMonitor& m : armed) {
         INVARNETX_RETURN_IF_ERROR(
-            pipeline.TrainContext(context, normal, node_index));
+            pipeline.TrainContext(m.context, normal, m.node_index));
       }
       out << "retrain: " << armed.size() << " context(s), pairs rescored "
           << (rescored_counter.value() - rescored_before) << ", reused "
@@ -216,6 +232,8 @@ Result<std::string> ReplayTrace(const core::InvarNetX& pipeline,
   FleetConfig fleet_config;
   fleet_config.window_capacity = options.window_capacity;
   fleet_config.threads = options.threads;
+  fleet_config.shards = options.shards;
+  fleet_config.ring_capacity = options.ring_capacity;
   MonitorFleet fleet(&pipeline, fleet_config);
 
   std::ostringstream out;
@@ -225,12 +243,13 @@ Result<std::string> ReplayTrace(const core::InvarNetX& pipeline,
     if (span.end_tick <= span.start_tick) continue;
 
     // Arm a monitor for every node whose operation context is archived.
-    std::vector<std::pair<size_t, core::OperationContext>> armed;
+    std::vector<ArmedMonitor> armed;
     for (size_t n = 0; n < trace.nodes.size(); ++n) {
       const core::OperationContext context{span.type, trace.nodes[n].ip};
       if (!pipeline.HasContext(context)) continue;
-      INVARNETX_RETURN_IF_ERROR(fleet.StartJob(context));
-      armed.emplace_back(n, context);
+      Result<MonitorHandle> handle = fleet.StartJob(context);
+      if (!handle.ok()) return handle.status();
+      armed.push_back(ArmedMonitor{n, context, handle.value()});
     }
     out << "== job " << j << " (" << workload::WorkloadName(span.type)
         << ", ticks " << span.start_tick << ".." << span.end_tick << ", "

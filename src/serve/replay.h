@@ -11,10 +11,17 @@
 namespace invarnetx::serve {
 
 // Knobs of a fleet replay. Like CampaignOptions, these are runtime concerns
-// only: the rendered report is byte-identical for every `threads` value.
+// only: the rendered report is byte-identical for every `threads` and
+// `shards` value (CI diffs the output across both).
 struct ReplayOptions {
   int threads = 0;
   size_t window_capacity = 256;
+  // Monitor shards of the underlying fleet (FleetConfig::shards); 0 = one
+  // per hardware thread.
+  int shards = 0;
+  // Per-shard ingest ring capacity (FleetConfig::ring_capacity); 0 = auto,
+  // sized so replay batches are never rejected.
+  size_t ring_capacity = 0;
   // Caps the scenario test runs replayed (0 = all).
   int max_runs = 0;
   // Retrain every armed operation context from the scenario's fault-free

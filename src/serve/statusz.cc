@@ -59,10 +59,12 @@ FleetStatusBoard& FleetStatusBoard::Shared() {
 std::string RenderFleetStatus(const FleetStatus& status) {
   std::string out;
   out += "  active_monitors=" + std::to_string(status.active_monitors);
+  out += " monitors_total=" + std::to_string(status.monitors_total);
   out += " alarms_active=" + std::to_string(status.alarms_active);
   out += " pending_diagnoses=" + std::to_string(status.pending_diagnoses);
   out += "\n  ticks_ingested=" + std::to_string(status.ticks_ingested);
   out += " samples_ingested=" + std::to_string(status.samples_ingested);
+  out += " samples_rejected=" + std::to_string(status.samples_rejected);
   out += " alarms_raised=" + std::to_string(status.alarms_raised);
   out += " diagnoses_completed=" + std::to_string(status.diagnoses_completed);
   out += " window_overflows=" + std::to_string(status.window_overflows);
@@ -72,6 +74,18 @@ std::string RenderFleetStatus(const FleetStatus& status) {
   out += status.slow_ticks_active ? "true" : "false";
   out += " ingest_p99_s=" + FormatSeconds(status.ingest_p99_seconds);
   out += " budget_s=" + FormatSeconds(status.slow_tick_budget_seconds);
+  out += "\n";
+  for (const ShardStatus& shard : status.shards) {
+    out += "  shard " + std::to_string(shard.shard);
+    out += " monitors=" + std::to_string(shard.monitors);
+    out += " ring_capacity=" + std::to_string(shard.ring_capacity);
+    out += " samples=" + std::to_string(shard.samples);
+    out += " ring_rejects=" + std::to_string(shard.ring_rejects);
+    out += "\n";
+  }
+  out += "  monitors shown " + std::to_string(status.monitors.size()) +
+         " of " + std::to_string(status.monitors_total);
+  if (status.monitors_listed_truncated) out += " (interesting rows only)";
   out += "\n";
   for (const MonitorStatus& monitor : status.monitors) {
     out += "  monitor " + monitor.context;

@@ -12,6 +12,7 @@
 #include <array>
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "core/evaluate.h"
 #include "obs/http.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "serve/fleet.h"
 #include "serve/replay.h"
 #include "serve/statusz.h"
@@ -138,8 +140,8 @@ TEST_F(MonitorFleetTest, LifecycleAlarmsAndAsyncDiagnosis) {
 
   // The fault targets node 1; its monitor must alarm and the alarm must
   // have produced exactly one completed diagnosis naming the right cause.
-  ASSERT_NE(fleet.Find(Context(1)), nullptr);
-  EXPECT_TRUE(fleet.Find(Context(1))->alarm_active());
+  ASSERT_TRUE(fleet.View(Context(1)).has_value());
+  EXPECT_TRUE(fleet.View(Context(1))->alarm_active);
   std::vector<FleetDiagnosis> diagnoses = fleet.TakeDiagnoses();
   bool victim_diagnosed = false;
   for (const FleetDiagnosis& d : diagnoses) {
@@ -171,10 +173,10 @@ TEST_F(MonitorFleetTest, IngestRejectsUnknownInactiveAndDuplicate) {
   ASSERT_TRUE(fleet.StartJob(Context(1)).ok());
   // Duplicate monitor in one batch.
   EXPECT_FALSE(fleet.IngestTick({sample, sample}).ok());
-  EXPECT_EQ(fleet.Find(Context(1))->ticks_observed(), 0);
+  EXPECT_EQ(fleet.View(Context(1))->ticks_observed, 0);
   // A well-formed batch then lands.
   ASSERT_TRUE(fleet.IngestTick({sample}).ok());
-  EXPECT_EQ(fleet.Find(Context(1))->ticks_observed(), 1);
+  EXPECT_EQ(fleet.View(Context(1))->ticks_observed, 1);
   // Untrained contexts cannot be armed at all.
   EXPECT_FALSE(
       fleet.StartJob(OperationContext{WorkloadType::kSort, "10.0.0.2"}).ok());
@@ -196,24 +198,24 @@ TEST_F(MonitorFleetTest, SteadyStateMemoryBoundedByMonitorsTimesWindow) {
   const int total = static_cast<int>(faulty.value().nodes[1].cpi.size());
   ASSERT_GT(total, 16);  // the run must actually overflow the window
   for (int node = 1; node <= 2; ++node) {
-    const core::OnlineMonitor* monitor = fleet.Find(Context(node));
-    ASSERT_NE(monitor, nullptr);
+    const std::optional<serve::MonitorView> monitor =
+        fleet.View(Context(node));
+    ASSERT_TRUE(monitor.has_value());
     // Absolute tick accounting survives eviction...
-    EXPECT_EQ(monitor->ticks_observed(), total);
+    EXPECT_EQ(monitor->ticks_observed, total);
     // ...while retention and allocation stay pinned at the configured
     // window: fleet memory is monitors x window_capacity ticks.
-    EXPECT_EQ(monitor->window_ticks(), 16);
-    EXPECT_EQ(monitor->window().allocated_ticks(), 16u);
-    EXPECT_EQ(monitor->window().start_tick(),
-              static_cast<int64_t>(total - 16));
+    EXPECT_EQ(monitor->window_ticks, 16);
+    EXPECT_EQ(monitor->window_capacity, 16u);
+    EXPECT_EQ(monitor->window_start_tick, static_cast<int64_t>(total - 16));
   }
   // The victim's first alarm pre-dates the window's current left edge, yet
   // is still reported in absolute job ticks.
-  const core::OnlineMonitor* victim = fleet.Find(Context(1));
-  ASSERT_TRUE(victim->alarm_active());
-  EXPECT_LT(victim->first_alarm_tick(),
-            static_cast<int>(victim->window().start_tick()));
-  EXPECT_GE(victim->first_alarm_tick(), 8);
+  const std::optional<serve::MonitorView> victim = fleet.View(Context(1));
+  ASSERT_TRUE(victim->alarm_active);
+  EXPECT_LT(victim->first_alarm_tick,
+            static_cast<int>(victim->window_start_tick));
+  EXPECT_GE(victim->first_alarm_tick, 8);
 }
 
 TEST_F(MonitorFleetTest, DiagnoseOnAlarmCanBeDisabled) {
@@ -227,7 +229,7 @@ TEST_F(MonitorFleetTest, DiagnoseOnAlarmCanBeDisabled) {
   ASSERT_TRUE(faulty.ok());
   Stream(&fleet, faulty.value());
   fleet.WaitForDiagnoses();
-  EXPECT_TRUE(fleet.Find(Context(1))->alarm_active());
+  EXPECT_TRUE(fleet.View(Context(1))->alarm_active);
   EXPECT_TRUE(fleet.TakeDiagnoses().empty());
 }
 
@@ -271,13 +273,13 @@ TEST_F(MonitorFleetTest, RetrainWhileActivePinsTheOldEpoch) {
 
   MonitorFleet fleet(&pipeline);
   ASSERT_TRUE(fleet.StartJob(Context(1)).ok());
-  ASSERT_EQ(fleet.Find(Context(1))->model_epoch(), 1u);
+  ASSERT_EQ(fleet.View(Context(1))->epoch, 1u);
 
   // Retrain under the fleet's feet: the published epoch advances, but the
   // armed monitor keeps the snapshot it pinned at StartJob.
   ASSERT_TRUE(pipeline.TrainContext(Context(1), normal.value(), 1).ok());
   EXPECT_EQ(pipeline.GetContext(Context(1)).value()->epoch, 2u);
-  EXPECT_EQ(fleet.Find(Context(1))->model_epoch(), 1u);
+  EXPECT_EQ(fleet.View(Context(1))->epoch, 1u);
 
   auto clean = core::SimulateNormalRuns(WorkloadType::kWordCount, 1, 778);
   ASSERT_TRUE(clean.ok());
@@ -285,10 +287,10 @@ TEST_F(MonitorFleetTest, RetrainWhileActivePinsTheOldEpoch) {
     ASSERT_TRUE(
         fleet.IngestTick({SampleAt(clean.value()[0], 1, t)}).ok());
   }
-  EXPECT_EQ(fleet.Find(Context(1))->model_epoch(), 1u);
+  EXPECT_EQ(fleet.View(Context(1))->epoch, 1u);
   // The next job picks up the fresh epoch.
   ASSERT_TRUE(fleet.StartJob(Context(1)).ok());
-  EXPECT_EQ(fleet.Find(Context(1))->model_epoch(), 2u);
+  EXPECT_EQ(fleet.View(Context(1))->epoch, 2u);
 }
 
 TEST_F(MonitorFleetTest, SnapshotReflectsIngestAlarmsAndWatchdogs) {
@@ -320,13 +322,26 @@ TEST_F(MonitorFleetTest, SnapshotReflectsIngestAlarmsAndWatchdogs) {
   EXPECT_GE(status.diagnoses_completed, 1u);
   EXPECT_TRUE(status.slow_ticks_active);
   EXPECT_GT(status.ingest_p99_seconds, 0.0);
-  ASSERT_EQ(status.monitors.size(), 2u);
+  EXPECT_EQ(status.monitors_total, 2u);
+  ASSERT_EQ(status.monitors.size(), 2u);  // small fleet: full dump
+  EXPECT_FALSE(status.monitors_listed_truncated);
   for (const serve::MonitorStatus& monitor : status.monitors) {
     EXPECT_TRUE(monitor.job_active);
     EXPECT_EQ(monitor.ticks_observed, static_cast<int>(total));
     EXPECT_GE(monitor.shard, 0);
-    EXPECT_LT(monitor.shard, config.status_shards);
+    EXPECT_LT(monitor.shard, fleet.shard_count());
   }
+  ASSERT_EQ(status.shards.size(),
+            static_cast<size_t>(fleet.shard_count()));
+  uint64_t shard_samples = 0;
+  size_t shard_monitors = 0;
+  for (const serve::ShardStatus& shard : status.shards) {
+    shard_samples += shard.samples;
+    shard_monitors += shard.monitors;
+    EXPECT_EQ(shard.ring_rejects, 0u);
+  }
+  EXPECT_EQ(shard_samples, 2 * total);
+  EXPECT_EQ(shard_monitors, 2u);
 
   // The watchdog trips and the storm detector's start (and, once the alarm
   // leaves the sliding window, its clear) all land in the journal.
@@ -379,6 +394,110 @@ TEST_F(MonitorFleetTest, OverflowIsCountedAndJournaledOncePerJob) {
   EXPECT_EQ(overflow_events, 2u);
 }
 
+TEST_F(MonitorFleetTest, BackpressureRejectsDeterministicallyAndJournals) {
+  obs::EventJournal::Shared().Reset();
+  FleetConfig config;
+  config.threads = 1;
+  config.shards = 1;
+  config.ring_capacity = 1;  // fixed capacity: real backpressure
+  MonitorFleet fleet(pipeline_, config);
+  obs::Counter& overflow_counter = obs::MetricsRegistry::Shared().GetCounter(
+      "serve.ring_overflow", {{"shard", "0"}});
+  const uint64_t counter_before = overflow_counter.value();
+
+  ASSERT_TRUE(fleet.StartJob(Context(1)).ok());
+  ASSERT_TRUE(fleet.StartJob(Context(2)).ok());
+  auto clean = core::SimulateNormalRuns(WorkloadType::kWordCount, 1, 779);
+  ASSERT_TRUE(clean.ok());
+  constexpr int kTicks = 3;
+  for (int t = 0; t < kTicks; ++t) {
+    Result<TickSummary> summary =
+        fleet.IngestTick({SampleAt(clean.value()[0], 1, static_cast<size_t>(t)),
+                          SampleAt(clean.value()[0], 2,
+                                   static_cast<size_t>(t))});
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    // The ring holds one entry, so admission (decided by batch order, never
+    // queue timing) accepts the first sample and rejects the second - the
+    // same victim every tick.
+    EXPECT_EQ(summary.value().samples, 1);
+    EXPECT_EQ(summary.value().rejected, 1);
+  }
+  // The admitted monitor advanced; the rejected one never observed a tick.
+  EXPECT_EQ(fleet.View(Context(1))->ticks_observed, kTicks);
+  EXPECT_EQ(fleet.View(Context(2))->ticks_observed, 0);
+
+  const serve::FleetStatus status = fleet.Snapshot();
+  EXPECT_EQ(status.samples_ingested, static_cast<uint64_t>(kTicks));
+  EXPECT_EQ(status.samples_rejected, static_cast<uint64_t>(kTicks));
+  ASSERT_EQ(status.shards.size(), 1u);
+  EXPECT_EQ(status.shards[0].ring_capacity, 1u);
+  EXPECT_EQ(status.shards[0].ring_rejects, static_cast<uint64_t>(kTicks));
+  EXPECT_EQ(overflow_counter.value() - counter_before,
+            static_cast<uint64_t>(kTicks));
+
+  // Backpressure journals once per shard per job era, not once per reject.
+  size_t backpressure_events = 0;
+  for (const obs::Event& event : obs::EventJournal::Shared().Snapshot()) {
+    if (event.kind == obs::EventKind::kBackpressure) ++backpressure_events;
+  }
+  EXPECT_EQ(backpressure_events, 1u);
+}
+
+TEST_F(MonitorFleetTest, HandleStampedSamplesBypassTheContextLookup) {
+  MonitorFleet fleet(pipeline_);
+  Result<serve::MonitorHandle> handle = fleet.StartJob(Context(1));
+  ASSERT_TRUE(handle.ok());
+  auto clean = core::SimulateNormalRuns(WorkloadType::kWordCount, 1, 780);
+  ASSERT_TRUE(clean.ok());
+  TickSample sample = SampleAt(clean.value()[0], 1, 0);
+  sample.monitor = handle.value();
+  ASSERT_TRUE(fleet.IngestTick({sample}).ok());
+  EXPECT_EQ(fleet.View(handle.value())->ticks_observed, 1);
+  EXPECT_EQ(fleet.View(handle.value())->handle, handle.value());
+  EXPECT_EQ(fleet.Resolve(Context(1)), handle.value());
+  // A bogus handle is rejected, not silently resolved via the context.
+  sample.monitor = 12345;
+  EXPECT_FALSE(fleet.IngestTick({sample}).ok());
+  EXPECT_FALSE(fleet.View(serve::MonitorHandle{12345}).has_value());
+}
+
+TEST_F(MonitorFleetTest, StatusCacheCapsRowsAtTopKInterestingMonitors) {
+  FleetConfig config;
+  config.status_top_k = 1;
+  MonitorFleet fleet(pipeline_, config);
+  ASSERT_TRUE(fleet.StartJob(Context(1)).ok());
+  ASSERT_TRUE(fleet.StartJob(Context(2)).ok());
+
+  // Quiet fleet with more monitors than top-k: no per-monitor rows at all
+  // (nothing is interesting), flagged truncated.
+  const serve::FleetStatus quiet = fleet.Snapshot();
+  EXPECT_EQ(quiet.monitors_total, 2u);
+  EXPECT_TRUE(quiet.monitors.empty());
+  EXPECT_TRUE(quiet.monitors_listed_truncated);
+
+  // After the fault the alarmed monitor is interesting and surfaces.
+  auto faulty = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                       faults::FaultType::kCpuHog, 888);
+  ASSERT_TRUE(faulty.ok());
+  Stream(&fleet, faulty.value());
+  fleet.WaitForDiagnoses();
+  const serve::FleetStatus alarmed = fleet.Snapshot();
+  ASSERT_EQ(alarmed.monitors.size(), 1u);
+  EXPECT_EQ(alarmed.monitors[0].context, Context(1).ToString());
+  EXPECT_TRUE(alarmed.monitors[0].alarm_active);
+  EXPECT_TRUE(alarmed.monitors_listed_truncated);
+
+  // The explicit full dump overrides the cap.
+  FleetConfig full = config;
+  full.status_full_dump = true;
+  MonitorFleet full_fleet(pipeline_, full);
+  ASSERT_TRUE(full_fleet.StartJob(Context(1)).ok());
+  ASSERT_TRUE(full_fleet.StartJob(Context(2)).ok());
+  const serve::FleetStatus dump = full_fleet.Snapshot();
+  EXPECT_EQ(dump.monitors.size(), 2u);
+  EXPECT_FALSE(dump.monitors_listed_truncated);
+}
+
 // ------------------------------------------------------------- replay -----
 
 constexpr char kScenarioText[] =
@@ -413,6 +532,34 @@ TEST(ServeReplayTest, ScenarioReplayIsByteIdenticalAcrossThreadCounts) {
   EXPECT_NE(serial.find("ALARM"), std::string::npos);
   EXPECT_NE(serial.find("cpu-hog"), std::string::npos);
   EXPECT_NE(serial.find("== run 1 =="), std::string::npos);
+}
+
+// The tentpole determinism claim: verdicts are a function of the trace
+// alone, never of how monitors were sharded or how many workers drained the
+// rings. Every (shards, threads) combination must render the same bytes.
+TEST(ServeReplayTest, ReplayIsByteIdenticalAcrossShardAndThreadCounts) {
+  Result<campaign::Scenario> scenario =
+      campaign::ParseScenario(kScenarioText);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+
+  auto render = [&](int shards, int threads) {
+    serve::ReplayOptions options;
+    options.shards = shards;
+    options.threads = threads;
+    Result<std::string> out = serve::ReplayScenario(scenario.value(), options);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? out.value() : std::string();
+  };
+  const std::string baseline = render(1, 1);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_NE(baseline.find("ALARM"), std::string::npos);
+  for (int shards : {2, 8}) {
+    for (int threads : {1, 4}) {
+      EXPECT_EQ(baseline, render(shards, threads))
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+  EXPECT_EQ(baseline, render(1, 4)) << "shards=1 threads=4";
 }
 
 TEST(ServeReplayTest, MaxRunsCapsTheReplay) {
