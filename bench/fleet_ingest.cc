@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,7 +26,10 @@
 #include "common/table.h"
 #include "core/evaluate.h"
 #include "core/pipeline.h"
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
 #include "serve/fleet.h"
+#include "workload/spec.h"
 
 namespace invarnetx::bench {
 namespace {
@@ -119,6 +123,104 @@ FleetRates StreamFleet(const core::InvarNetX& pipeline, int monitors,
   return rates;
 }
 
+// Same tick stream, but pushed through the loopback TCP front end: an
+// IngestServer wraps the fleet, and an IngestClient negotiates handles with
+// HELLO and streams binary TICK frames. Measures the end-to-end socket rate
+// (encode + write + read + decode + IngestTick) so CI can gate the wire
+// path against the in-process sharded rate.
+FleetRates StreamFleetOverLoopback(const core::InvarNetX& pipeline,
+                                   int monitors, int ticks, size_t window,
+                                   int shards,
+                                   const telemetry::NodeTrace& source) {
+  serve::FleetConfig config;
+  config.window_capacity = window;
+  config.threads = 0;
+  config.shards = shards;
+  config.expected_monitors = static_cast<size_t>(monitors);
+  serve::MonitorFleet fleet(&pipeline, config);
+
+  // A 100k-monitor TICK frame is ~22 MB, so the frame ceiling scales with
+  // the fleet instead of using the 8 MiB default.
+  const size_t frame_cap =
+      static_cast<size_t>(monitors) * net::kBinarySampleBytes + 4096;
+  std::ostringstream verdicts;  // never rendered: the bench skips ENDJOB
+  net::IngestServerOptions server_options;
+  server_options.max_frame_bytes = frame_cap;
+  net::IngestServer server(&fleet, &verdicts, server_options);
+  CheckOk(server.Start(), "IngestServer::Start");
+
+  net::IngestClientOptions client_options;
+  client_options.port = server.port();
+  client_options.max_frame_bytes = frame_cap;
+  net::IngestClient client(client_options);
+  CheckOk(client.Connect(), "IngestClient::Connect");
+
+  const std::string workload_name =
+      workload::WorkloadName(WorkloadType::kWordCount);
+  std::vector<net::HelloEntry> entries(static_cast<size_t>(monitors));
+  for (int i = 0; i < monitors; ++i) {
+    entries[static_cast<size_t>(i)] = {workload_name,
+                                       MonitorContext(i).node_ip};
+  }
+  Result<std::vector<serve::MonitorHandle>> handles = client.Hello(entries);
+  CheckOk(handles.status(), "IngestClient::Hello");
+
+  std::vector<serve::TickSample> batch(static_cast<size_t>(monitors));
+  for (int i = 0; i < monitors; ++i) {
+    batch[static_cast<size_t>(i)].monitor =
+        handles.value()[static_cast<size_t>(i)];
+  }
+
+  const int source_ticks = static_cast<int>(source.cpi.size());
+  std::vector<double> tick_seconds;
+  tick_seconds.reserve(static_cast<size_t>(ticks));
+  double total = 0.0;
+  uint64_t rejected = 0;
+  for (int t = 0; t < ticks; ++t) {
+    const size_t src = static_cast<size_t>(t % source_ticks);
+    const double cpi = source.cpi[src];
+    std::array<double, telemetry::kNumMetrics> metrics;
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      metrics[static_cast<size_t>(m)] =
+          source.metrics[static_cast<size_t>(m)][src];
+    }
+    for (int i = 0; i < monitors; ++i) {
+      batch[static_cast<size_t>(i)].cpi = cpi;
+      batch[static_cast<size_t>(i)].metrics = metrics;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    Result<net::TickOutcome> outcome = client.Tick(batch);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    CheckOk(outcome.status(), "IngestClient::Tick");
+    rejected += outcome.value().rejected;
+    tick_seconds.push_back(elapsed.count());
+    total += elapsed.count();
+  }
+  CheckOk(client.Bye(), "IngestClient::Bye");
+  client.Close();
+  server.Stop();
+  fleet.WaitForDiagnoses();
+
+  std::sort(tick_seconds.begin(), tick_seconds.end());
+  auto percentile = [&](double p) {
+    const size_t idx = std::min(
+        tick_seconds.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(tick_seconds.size())));
+    return tick_seconds[idx];
+  };
+  FleetRates rates;
+  rates.ticks_per_sec = static_cast<double>(ticks) / total;
+  rates.samples_per_sec = rates.ticks_per_sec * monitors;
+  rates.p50_ingest_sec = percentile(0.50);
+  rates.p99_ingest_sec = percentile(0.99);
+  rates.rejected = rejected;
+  rates.overflow_rate = static_cast<double>(rejected) /
+                        (static_cast<double>(monitors) *
+                         static_cast<double>(ticks));
+  return rates;
+}
+
 int Main() {
   const int monitors = EnvInt("INVARNETX_MONITORS", 100000);
   const int ticks = EnvInt("INVARNETX_TICKS", 30);
@@ -153,7 +255,18 @@ int Main() {
                 FormatDouble(sharded.samples_per_sec, 0),
                 FormatDouble(sharded.p50_ingest_sec * 1e3, 2) + " ms",
                 FormatDouble(sharded.p99_ingest_sec * 1e3, 2) + " ms"});
+  const FleetRates socket = StreamFleetOverLoopback(pipeline, monitors, ticks,
+                                                    window, shards, source);
+  table.AddRow({"loopback socket", FormatDouble(socket.ticks_per_sec, 2),
+                FormatDouble(socket.samples_per_sec, 0),
+                FormatDouble(socket.p50_ingest_sec * 1e3, 2) + " ms",
+                FormatDouble(socket.p99_ingest_sec * 1e3, 2) + " ms"});
   std::printf("%s\n", table.Render().c_str());
+  const double socket_ratio =
+      socket.samples_per_sec / sharded.samples_per_sec;
+  std::printf("loopback socket carries %.0f%% of the in-process sharded "
+              "rate (binary frames, %d samples/tick)\n",
+              socket_ratio * 100.0, monitors);
   std::printf("%d monitors, %d ticks, window %zu ticks, shards %d (0 = one "
               "per hardware thread)\n",
               monitors, ticks, window, shards);
@@ -190,13 +303,20 @@ int Main() {
                  "  \"samples_per_sec\": %.3f,\n"
                  "  \"p50_ingest_sec\": %.9f,\n"
                  "  \"p99_ingest_sec\": %.9f,\n"
+                 "  \"socket_ticks_per_sec\": %.3f,\n"
+                 "  \"socket_samples_per_sec\": %.3f,\n"
+                 "  \"socket_p50_tick_sec\": %.9f,\n"
+                 "  \"socket_p99_tick_sec\": %.9f,\n"
+                 "  \"socket_to_sharded_ratio\": %.4f,\n"
                  "  \"backpressure_rejected\": %llu,\n"
                  "  \"overflow_rate\": %.6f\n"
                  "}\n",
                  monitors, ticks, window, shards, serial.ticks_per_sec,
                  serial.samples_per_sec, sharded.ticks_per_sec,
                  sharded.samples_per_sec, sharded.p50_ingest_sec,
-                 sharded.p99_ingest_sec,
+                 sharded.p99_ingest_sec, socket.ticks_per_sec,
+                 socket.samples_per_sec, socket.p50_ingest_sec,
+                 socket.p99_ingest_sec, socket_ratio,
                  static_cast<unsigned long long>(backpressure.rejected),
                  backpressure.overflow_rate);
     std::fclose(out);

@@ -10,6 +10,8 @@
 
 #include "campaign/scenario.h"
 #include "campaign/scoreboard.h"
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
 #include "serve/fleet.h"
 #include "serve/replay.h"
 #include "serve/statusz.h"
@@ -686,6 +688,59 @@ Status RunServe(const CommandLine& args, std::string* out) {
       std::atof(args.Get("http-linger", "0").c_str());
 
   Status status = [&]() -> Status {
+    // Socket ingest mode: train the scenario's fleet exactly like --replay,
+    // then accept the test-run samples over TCP instead of simulating them
+    // in-process. The output composes the same header, the same per-run
+    // verdict blocks (IngestServer renders through serve::RenderVerdicts),
+    // and the same summary line, so it diffs byte-for-byte against a local
+    // replay of the scenario when the producer streams the same runs.
+    if (args.Has("ingest-port")) {
+      const int ingest_port = std::atoi(args.Get("ingest-port", "").c_str());
+      if (ingest_port < 0 || ingest_port > 65535) {
+        return Status::InvalidArgument("bad --ingest-port (want 0..65535): " +
+                                       args.Get("ingest-port", ""));
+      }
+      if (std::filesystem::path(target).extension() != ".scenario") {
+        return Status::InvalidArgument(
+            "--ingest-port needs a .scenario --replay target (the scenario "
+            "defines which contexts get trained)");
+      }
+      if (options.retrain_each_run) {
+        return Status::InvalidArgument(
+            "--ingest-port does not support --retrain-each-run");
+      }
+      Result<campaign::Scenario> scenario = campaign::LoadScenarioFile(target);
+      if (!scenario.ok()) return scenario.status();
+      Result<serve::ScenarioFleetPlan> plan =
+          serve::PrepareScenarioFleet(scenario.value(), options);
+      if (!plan.ok()) return plan.status();
+      serve::MonitorFleet fleet(
+          plan.value().pipeline.get(),
+          serve::MakeScenarioFleetConfig(options,
+                                         plan.value().contexts.size()));
+
+      std::ostringstream verdicts;
+      net::IngestServerOptions ingest_options;
+      ingest_options.bind_address = args.Get("ingest-addr", "127.0.0.1");
+      ingest_options.port = ingest_port;
+      net::IngestServer server(&fleet, &verdicts, ingest_options);
+      INVARNETX_RETURN_IF_ERROR(server.Start());
+      // Port announcement stays off stdout so the report is byte-clean.
+      INVARNETX_OBS_LOG(obs::LogLevel::kInfo, "ingest endpoint listening",
+                        {{"addr", ingest_options.bind_address},
+                         {"port", static_cast<uint64_t>(server.port())}});
+      const net::SessionStats stats = server.WaitForSession();
+      server.Stop();
+      if (!stats.completed) {
+        return Status::IoError("no ingest session completed cleanly");
+      }
+      *out += plan.value().header;
+      *out += verdicts.str();
+      *out += "summary: " + std::to_string(stats.total_alarms) +
+              " alarm(s) over " + std::to_string(stats.runs) + " run(s) x " +
+              std::to_string(plan.value().contexts.size()) + " monitor(s)\n";
+      return Status::Ok();
+    }
     // A scenario file carries its own training data (seeded simulation); a
     // recorded trace needs the offline store that trained its contexts.
     if (std::filesystem::path(target).extension() == ".scenario") {
@@ -727,6 +782,44 @@ Status RunServe(const CommandLine& args, std::string* out) {
     http->Stop();
   }
   return status;
+}
+
+Status RunStream(const CommandLine& args, std::string* out) {
+  // The producer side of `serve --ingest-port`: connects to a running
+  // ingest endpoint and streams a scenario's test runs through it in
+  // replay order (HELLO in node order, JOB / TICK x ticks / ENDJOB per
+  // run, BYE). The server's stdout then matches `serve --replay` of the
+  // same scenario byte for byte.
+  if (!args.Has("replay")) {
+    return Status::InvalidArgument("stream needs --replay FILE (.scenario)");
+  }
+  const std::string target = args.Get("replay", "");
+  if (std::filesystem::path(target).extension() != ".scenario") {
+    return Status::InvalidArgument("stream --replay wants a .scenario file");
+  }
+  const int port = std::atoi(args.Get("port", "0").c_str());
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("stream needs --port P (1..65535)");
+  }
+  Result<campaign::Scenario> scenario = campaign::LoadScenarioFile(target);
+  if (!scenario.ok()) return scenario.status();
+
+  net::IngestClientOptions client_options;
+  client_options.address = args.Get("addr", "127.0.0.1");
+  client_options.port = port;
+  client_options.text = args.Has("text");
+  net::IngestClient client(client_options);
+  INVARNETX_RETURN_IF_ERROR(client.Connect());
+  Result<net::StreamStats> stats = net::StreamScenario(
+      &client, scenario.value(), std::atoi(args.Get("runs", "0").c_str()));
+  if (!stats.ok()) return stats.status();
+  *out += "streamed " + scenario.value().name + ": " +
+          std::to_string(stats.value().runs) + " run(s), " +
+          std::to_string(stats.value().ticks) + " tick(s), " +
+          std::to_string(stats.value().accepted) + " sample(s) accepted, " +
+          std::to_string(stats.value().rejected) + " rejected, " +
+          std::to_string(stats.value().alarms) + " alarm(s)\n";
+  return Status::Ok();
 }
 
 Status RunEvents(const CommandLine& args, std::string* out) {
@@ -835,6 +928,7 @@ std::string Usage() {
       "  serve     --replay FILE [--store DIR] [--window W] [--runs N]\n"
       "            [--shards S] [--ring-capacity C] [--retrain-each-run]\n"
       "            [--http-port P] [--http-addr A] [--http-linger S]\n"
+      "            [--ingest-port P] [--ingest-addr A]\n"
       "            stream a scenario's test runs (or a recorded trace,\n"
       "            with --store) tick by tick through a MonitorFleet -\n"
       "            one monitor per node, sharded batched ingestion over\n"
@@ -851,7 +945,20 @@ std::string Usage() {
       "            /metrics /healthz /statusz /tracez while replaying\n"
       "            (0 = ephemeral; port logged on stderr), binding\n"
       "            --http-addr (default 127.0.0.1), and --http-linger\n"
-      "            keeps the endpoint up S seconds after the replay\n"
+      "            keeps the endpoint up S seconds after the replay;\n"
+      "            --ingest-port opens the TCP ingest front end instead of\n"
+      "            simulating the test runs locally: the fleet is trained\n"
+      "            from the scenario exactly like --replay, then waits for\n"
+      "            one producer session (see `stream`) and prints the same\n"
+      "            byte-identical report (0 = ephemeral port, logged on\n"
+      "            stderr; binds --ingest-addr, default 127.0.0.1)\n"
+      "  stream    --replay FILE.scenario --port P [--addr A] [--runs N]\n"
+      "            [--text]\n"
+      "            connect to a `serve --ingest-port` endpoint and stream\n"
+      "            the scenario's test runs through it in replay order\n"
+      "            (HELLO handle negotiation, batched TICK frames,\n"
+      "            explicit BACKPRESSURE accounting); --text speaks the\n"
+      "            nc-friendly line protocol instead of binary frames\n"
       "  events    [--format text|json] [--last N] [--exercise 0|1]\n"
       "            dump the bounded in-process event journal (alarms,\n"
       "            retrains, epoch publishes, diagnoses, cache\n"
@@ -891,6 +998,7 @@ Status RunCommand(const CommandLine& args, std::string* out) {
     if (args.command == "stats") return RunStats(args, out);
     if (args.command == "campaign") return RunCampaign(args, out);
     if (args.command == "serve") return RunServe(args, out);
+    if (args.command == "stream") return RunStream(args, out);
     if (args.command == "events") return RunEvents(args, out);
     *out += Usage();
     return Status::InvalidArgument("unknown command: " + args.command);

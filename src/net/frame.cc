@@ -1,0 +1,344 @@
+#include "net/frame.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "net/wire.h"
+
+namespace invarnetx::net {
+namespace {
+
+static_assert(std::numeric_limits<double>::is_iec559,
+              "the binary dialect ships raw IEEE-754 doubles");
+static_assert(sizeof(double) == 8 && sizeof(serve::MonitorHandle) == 4,
+              "wire layout assumes 8-byte doubles and 4-byte handles");
+
+void AppendU16(std::string* out, uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xff),
+                         static_cast<char>(v >> 8)};
+  out->append(bytes, 2);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out->append(bytes, 4);
+}
+
+void AppendI32(std::string* out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendF64(std::string* out, double v) {
+  char bytes[8];
+  std::memcpy(bytes, &v, 8);  // little-endian host assumed (see header)
+  out->append(bytes, 8);
+}
+
+// Strict forward-only cursor over a decode payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool ReadU16(uint16_t* v) {
+    if (data_.size() - pos_ < 2) return false;
+    *v = static_cast<uint16_t>(
+        static_cast<uint8_t>(data_[pos_]) |
+        (static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + 1])) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (data_.size() - pos_ < 4) return false;
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    *v = out;
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadI32(int32_t* v) {
+    uint32_t raw = 0;
+    if (!ReadU32(&raw)) return false;
+    std::memcpy(v, &raw, 4);
+    return true;
+  }
+
+  bool ReadF64(double* v) {
+    if (data_.size() - pos_ < 8) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadString8(std::string* v) {
+    if (pos_ >= data_.size()) return false;
+    const size_t len = static_cast<uint8_t>(data_[pos_]);
+    if (data_.size() - pos_ - 1 < len) return false;
+    v->assign(data_.data() + pos_ + 1, len);
+    pos_ += 1 + len;
+    return true;
+  }
+
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated ") + what + " frame");
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  AppendU32(&out, static_cast<uint32_t>(payload.size() + 1));
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeHello(const std::vector<HelloEntry>& entries) {
+  std::string payload;
+  AppendU16(&payload, kProtocolVersion);
+  AppendU32(&payload, static_cast<uint32_t>(entries.size()));
+  for (const HelloEntry& entry : entries) {
+    payload.push_back(static_cast<char>(entry.workload.size() & 0xff));
+    payload.append(entry.workload);
+    payload.push_back(static_cast<char>(entry.node_ip.size() & 0xff));
+    payload.append(entry.node_ip);
+  }
+  return EncodeFrame(FrameType::kHello, payload);
+}
+
+std::string EncodeHelloAck(const std::vector<serve::MonitorHandle>& handles) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(handles.size()));
+  for (const serve::MonitorHandle handle : handles) {
+    AppendI32(&payload, handle);
+  }
+  return EncodeFrame(FrameType::kHelloAck, payload);
+}
+
+std::string EncodeTick(const std::vector<serve::TickSample>& samples) {
+  std::string payload;
+  payload.reserve(4 + samples.size() * kBinarySampleBytes);
+  AppendU32(&payload, static_cast<uint32_t>(samples.size()));
+  for (const serve::TickSample& sample : samples) {
+    AppendI32(&payload, sample.monitor);
+    AppendF64(&payload, sample.cpi);
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      AppendF64(&payload, sample.metrics[static_cast<size_t>(m)]);
+    }
+  }
+  return EncodeFrame(FrameType::kTick, payload);
+}
+
+std::string EncodeTickReply(const TickOutcome& outcome) {
+  std::string payload;
+  AppendU32(&payload, outcome.accepted);
+  AppendU32(&payload, outcome.rejected);
+  return EncodeFrame(outcome.rejected == 0 ? FrameType::kTickAck
+                                           : FrameType::kBackpressure,
+                     payload);
+}
+
+std::string EncodeEndJobAck(uint32_t alarms_active) {
+  std::string payload;
+  AppendU32(&payload, alarms_active);
+  return EncodeFrame(FrameType::kEndJobAck, payload);
+}
+
+std::string EncodeEmpty(FrameType type) { return EncodeFrame(type, {}); }
+
+std::string EncodeErr(std::string_view message) {
+  return EncodeFrame(FrameType::kErr, message);
+}
+
+Result<std::vector<HelloEntry>> DecodeHello(std::string_view payload) {
+  Cursor cursor(payload);
+  uint16_t version = 0;
+  uint32_t count = 0;
+  if (!cursor.ReadU16(&version)) return Truncated("HELLO");
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  if (!cursor.ReadU32(&count)) return Truncated("HELLO");
+  std::vector<HelloEntry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HelloEntry entry;
+    if (!cursor.ReadString8(&entry.workload) ||
+        !cursor.ReadString8(&entry.node_ip)) {
+      return Truncated("HELLO");
+    }
+    if (entry.workload.empty() || entry.node_ip.empty()) {
+      return Status::InvalidArgument("empty context in HELLO");
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (!cursor.Done()) {
+    return Status::InvalidArgument("trailing bytes after HELLO entries");
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("HELLO negotiates no contexts");
+  }
+  return entries;
+}
+
+Result<std::vector<serve::MonitorHandle>> DecodeHelloAck(
+    std::string_view payload) {
+  Cursor cursor(payload);
+  uint32_t count = 0;
+  if (!cursor.ReadU32(&count)) return Truncated("HELLO-ACK");
+  std::vector<serve::MonitorHandle> handles;
+  handles.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    serve::MonitorHandle handle = serve::kInvalidMonitor;
+    if (!cursor.ReadI32(&handle)) return Truncated("HELLO-ACK");
+    handles.push_back(handle);
+  }
+  if (!cursor.Done()) {
+    return Status::InvalidArgument("trailing bytes after HELLO-ACK handles");
+  }
+  return handles;
+}
+
+Result<std::vector<serve::TickSample>> DecodeTick(std::string_view payload) {
+  Cursor cursor(payload);
+  uint32_t count = 0;
+  if (!cursor.ReadU32(&count)) return Truncated("TICK");
+  // The exact-size check up front makes the per-sample loop unconditional
+  // and rejects truncation/trailing garbage in one comparison.
+  if (payload.size() != 4 + static_cast<size_t>(count) * kBinarySampleBytes) {
+    return Status::InvalidArgument(
+        "TICK payload size does not match its sample count");
+  }
+  std::vector<serve::TickSample> samples(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    serve::TickSample& sample = samples[i];
+    cursor.ReadI32(&sample.monitor);
+    cursor.ReadF64(&sample.cpi);
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      cursor.ReadF64(&sample.metrics[static_cast<size_t>(m)]);
+    }
+  }
+  return samples;
+}
+
+Result<TickOutcome> DecodeTickReply(std::string_view payload) {
+  Cursor cursor(payload);
+  TickOutcome outcome;
+  if (!cursor.ReadU32(&outcome.accepted) ||
+      !cursor.ReadU32(&outcome.rejected) || !cursor.Done()) {
+    return Truncated("TICK-ACK");
+  }
+  return outcome;
+}
+
+Result<uint32_t> DecodeEndJobAck(std::string_view payload) {
+  Cursor cursor(payload);
+  uint32_t alarms = 0;
+  if (!cursor.ReadU32(&alarms) || !cursor.Done()) {
+    return Truncated("ENDJOB-ACK");
+  }
+  return alarms;
+}
+
+Result<Frame> ReadFrame(int fd, size_t max_payload) {
+  char header[4];
+  if (!ReadFull(fd, header, sizeof(header))) {
+    return Status::IoError("connection closed reading frame header");
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(header[i]))
+              << (8 * i);
+  }
+  if (length == 0) return Status::InvalidArgument("zero-length frame");
+  if (length > max_payload + 1) {
+    return Status::InvalidArgument("oversized frame: " +
+                                   std::to_string(length) + " bytes > max " +
+                                   std::to_string(max_payload + 1));
+  }
+  Frame frame;
+  char type = 0;
+  if (!ReadFull(fd, &type, 1)) {
+    return Status::IoError("connection closed reading frame type");
+  }
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(type));
+  frame.payload.resize(length - 1);
+  if (length > 1 && !ReadFull(fd, frame.payload.data(), length - 1)) {
+    return Status::IoError("connection closed mid-frame");
+  }
+  return frame;
+}
+
+Status WriteFrame(int fd, const std::string& encoded) {
+  if (!WriteAll(fd, encoded)) {
+    return Status::IoError("short write on frame");
+  }
+  return Status::Ok();
+}
+
+std::string FormatSampleLine(const serve::TickSample& sample) {
+  char buf[32];
+  std::string line = std::to_string(sample.monitor);
+  std::snprintf(buf, sizeof(buf), " %.17g", sample.cpi);
+  line += buf;
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    std::snprintf(buf, sizeof(buf), " %.17g",
+                  sample.metrics[static_cast<size_t>(m)]);
+    line += buf;
+  }
+  return line;
+}
+
+Result<serve::TickSample> ParseSampleLine(std::string_view line) {
+  serve::TickSample sample;
+  // strtol/strtod need a terminated buffer; copy once (sample lines are
+  // short) rather than assuming the caller's backing store is terminated.
+  const std::string owned(line);
+  const char* cursor = owned.c_str();
+  char* next = nullptr;
+  const long handle = std::strtol(cursor, &next, 10);
+  if (next == cursor) {
+    return Status::InvalidArgument("sample line: bad handle");
+  }
+  sample.monitor = static_cast<serve::MonitorHandle>(handle);
+  cursor = next;
+  sample.cpi = std::strtod(cursor, &next);
+  if (next == cursor) {
+    return Status::InvalidArgument("sample line: bad cpi");
+  }
+  cursor = next;
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    sample.metrics[static_cast<size_t>(m)] = std::strtod(cursor, &next);
+    if (next == cursor) {
+      return Status::InvalidArgument("sample line: bad metric " +
+                                     std::to_string(m));
+    }
+    cursor = next;
+  }
+  while (cursor != owned.c_str() + owned.size() &&
+         (*cursor == ' ' || *cursor == '\r')) {
+    ++cursor;
+  }
+  if (*cursor != '\0') {
+    return Status::InvalidArgument("sample line: trailing fields");
+  }
+  return sample;
+}
+
+}  // namespace invarnetx::net

@@ -1,14 +1,11 @@
 #include "obs/http.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "net/wire.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -28,24 +25,16 @@ std::string StatusText(int status) {
   }
 }
 
-// Writes the whole buffer, retrying on EINTR / partial writes.
-bool WriteAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-#ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
-#else
-                             0
-#endif
-    );
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
+// Serializes status/headers/body; HEAD suppresses the body but keeps the
+// real Content-Length.
+std::string RenderResponse(const HttpResponse& response, bool include_body) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (include_body) out += response.body;
+  return out;
 }
 
 }  // namespace
@@ -55,129 +44,44 @@ HttpServer::HttpServer(Options options) : options_(std::move(options)) {}
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
   handlers_[path] = std::move(handler);
 }
 
+HttpServer::Handler HttpServer::LookupHandler(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  auto it = handlers_.find(path);
+  return it == handlers_.end() ? Handler() : it->second;
+}
+
+std::string HttpServer::HandlerListing() const {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  std::string listing;
+  for (const auto& [path, handler] : handlers_) {
+    listing += "  " + path + "\n";
+  }
+  return listing;
+}
+
 Status HttpServer::Start() {
-  if (running_) return Status::InvalidArgument("http server already running");
-
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad bind address: " +
-                                   options_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("bind " + options_.bind_address + ":" +
-                           std::to_string(options_.port) + ": " + err);
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("listen: " + err);
-  }
-
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
-      0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IoError("getsockname: " + err);
-  }
-  port_ = ntohs(bound.sin_port);
-
-  shutting_down_ = false;
-  running_ = true;
-  const int workers = options_.num_workers < 1 ? 1 : options_.num_workers;
-  workers_.reserve(static_cast<size_t>(workers));
-  for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-  acceptor_ = std::thread([this] { AcceptLoop(); });
-  return Status::Ok();
+  net::SocketServer::Options server_options;
+  server_options.bind_address = options_.bind_address;
+  server_options.port = options_.port;
+  server_options.num_workers = options_.num_workers;
+  server_options.backlog = options_.backlog;
+  server_options.io_timeout_seconds = 5;
+  server_options.accept_override = options_.accept_override;
+  server_options.on_error = [](const std::string& event,
+                               const std::string& detail) {
+    INVARNETX_OBS_LOG(LogLevel::kWarn, "http " + event,
+                      {{"error", detail}});
+  };
+  server_.SetOptions(std::move(server_options));
+  server_.SetHandler([this](int fd) { ServeConnection(fd); });
+  return server_.Start();
 }
 
-void HttpServer::Stop() {
-  if (!running_) return;
-  running_ = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutting_down_ = true;
-  }
-  // shutdown() unblocks the acceptor's accept(); close alone is not
-  // guaranteed to on all platforms.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (int fd : pending_) ::close(fd);
-  pending_.clear();
-}
-
-void HttpServer::AcceptLoop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // Closed or shut down listener: exit quietly when stopping.
-      if (!running_) return;
-      INVARNETX_OBS_LOG(LogLevel::kWarn, "http accept failed",
-                        {{"error", std::strerror(errno)}});
-      return;
-    }
-    // A stuck client must not pin a worker forever.
-    timeval timeout{};
-    timeout.tv_sec = 5;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_) {
-      ::close(fd);
-      return;
-    }
-    pending_.push_back(fd);
-    cv_.notify_one();
-  }
-}
-
-void HttpServer::WorkerLoop() {
-  for (;;) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutting_down_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // shutting down, queue drained
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    ServeConnection(fd);
-    ::close(fd);
-  }
-}
+void HttpServer::Stop() { server_.Stop(); }
 
 void HttpServer::ServeConnection(int fd) {
   // Read until the end of the request head; the endpoints take no bodies.
@@ -194,6 +98,22 @@ void HttpServer::ServeConnection(int fd) {
   }
 
   MetricsRegistry& registry = MetricsRegistry::Shared();
+  if (head.find("\r\n\r\n") == std::string::npos) {
+    // The head hit the size cap without terminating: the request is
+    // truncated, not complete. Parsing the fragment would serve whatever
+    // path prefix happened to fit - reject it instead.
+    HttpResponse response;
+    response.status = 400;
+    response.body = "request head exceeds " +
+                    std::to_string(kMaxRequestBytes) + " bytes\n";
+    registry
+        .GetCounter("obs.http_requests",
+                    {{"code", std::to_string(response.status)}})
+        .Increment();
+    net::WriteAll(fd, RenderResponse(response, /*include_body=*/true));
+    return;
+  }
+
   HttpRequest request;
   HttpResponse response;
   const size_t line_end = head.find("\r\n");
@@ -218,15 +138,13 @@ void HttpServer::ServeConnection(int fd) {
       response.status = 405;
       response.body = "only GET is served here\n";
     } else {
-      auto it = handlers_.find(request.path);
-      if (it == handlers_.end()) {
+      Handler handler = LookupHandler(request.path);
+      if (!handler) {
         response.status = 404;
-        response.body = "no handler for " + request.path + "; try:\n";
-        for (const auto& [path, handler] : handlers_) {
-          response.body += "  " + path + "\n";
-        }
+        response.body =
+            "no handler for " + request.path + "; try:\n" + HandlerListing();
       } else {
-        response = it->second(request);
+        response = handler(request);
       }
     }
   }
@@ -235,14 +153,8 @@ void HttpServer::ServeConnection(int fd) {
       .GetCounter("obs.http_requests",
                   {{"code", std::to_string(response.status)}})
       .Increment();
-
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    StatusText(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  if (request.method != "HEAD") out += response.body;
-  WriteAll(fd, out);
+  net::WriteAll(fd,
+                RenderResponse(response, request.method != "HEAD"));
 }
 
 }  // namespace invarnetx::obs

@@ -1,26 +1,23 @@
 #ifndef INVARNETX_OBS_HTTP_H_
 #define INVARNETX_OBS_HTTP_H_
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/status.h"
+#include "net/socket_server.h"
 
 // Minimal embedded HTTP/1.1 server for the observability endpoints
 // (/metrics, /healthz, /statusz, /tracez). Deliberately dependency-free:
-// blocking BSD sockets, one acceptor thread, a small worker pool draining
-// an accepted-connection queue. It serves GET with Connection: close only -
-// a scrape target, not a web framework - and binds loopback by default so
-// enabling it never exposes the process beyond the host. Handlers run on
-// worker threads and must be thread-safe.
+// blocking BSD sockets via the shared net::SocketServer plumbing (one
+// acceptor thread, a small worker pool draining an accepted-connection
+// queue). It serves GET with Connection: close only - a scrape target, not
+// a web framework - and binds loopback by default so enabling it never
+// exposes the process beyond the host. Handlers run on worker threads and
+// must be thread-safe.
 namespace invarnetx::obs {
 
 struct HttpRequest {
@@ -42,6 +39,9 @@ class HttpServer {
     uint16_t port = 0;  // 0 picks an ephemeral port; see port() after Start
     int num_workers = 2;
     int backlog = 16;
+    // Test-only fault injection, forwarded to the acceptor (see
+    // net::SocketServer::Options::accept_override).
+    std::function<int(int listen_fd)> accept_override;
   };
 
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -53,8 +53,10 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  // Registers an exact-path handler. Call before Start(); unknown paths
-  // get a 404 listing the registered ones.
+  // Registers an exact-path handler. Thread-safe, and safe to call while
+  // the server is running (the handler map is locked against concurrent
+  // worker-thread lookups); unknown paths get a 404 listing the
+  // registered ones.
   void Handle(const std::string& path, Handler handler);
 
   // Binds, listens, and spawns the acceptor + workers. Fails (with the
@@ -64,31 +66,25 @@ class HttpServer {
   // Idempotent; joins all threads and closes every socket.
   void Stop();
 
-  bool running() const { return running_; }
+  bool running() const { return server_.running(); }
   // The bound port (resolves ephemeral requests); 0 before Start.
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return server_.port(); }
 
  private:
-  void AcceptLoop();
-  void WorkerLoop();
   void ServeConnection(int fd);
+  // The registered handler for `path`, or null. Copies the std::function
+  // out under the lock so the (possibly slow) handler runs without it.
+  Handler LookupHandler(const std::string& path) const;
+  // The sorted path list for 404 bodies.
+  std::string HandlerListing() const;
 
   Options options_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  // Written by Stop() while the acceptor reads it after a failed accept();
-  // atomic so that unsynchronized hand-off is well-defined.
-  std::atomic<bool> running_{false};
+  net::SocketServer server_;
 
+  // Guards handlers_: Handle() may race worker-thread lookups when a
+  // handler is registered after Start().
+  mutable std::mutex handlers_mu_;
   std::map<std::string, Handler> handlers_;
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
-  bool shutting_down_ = false;
-
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace invarnetx::obs

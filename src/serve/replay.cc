@@ -51,12 +51,24 @@ std::vector<TickSample> SamplesAt(const telemetry::RunTrace& trace,
   return samples;
 }
 
-// Renders every armed node's verdict after one replayed job, in node order.
-void RenderVerdicts(const MonitorFleet& fleet,
-                    const std::vector<ArmedMonitor>& armed,
-                    const std::vector<FleetDiagnosis>& diagnoses,
-                    std::ostringstream* out) {
+// The verdict lines for one job, as ArmedContext rows for RenderVerdicts.
+std::vector<ArmedContext> ToArmedContexts(
+    const std::vector<ArmedMonitor>& armed) {
+  std::vector<ArmedContext> contexts;
+  contexts.reserve(armed.size());
   for (const ArmedMonitor& m : armed) {
+    contexts.push_back(ArmedContext{m.context, m.handle});
+  }
+  return contexts;
+}
+
+}  // namespace
+
+void RenderVerdicts(const MonitorFleet& fleet,
+                    const std::vector<ArmedContext>& armed,
+                    const std::vector<FleetDiagnosis>& diagnoses,
+                    std::ostream* out) {
+  for (const ArmedContext& m : armed) {
     const core::OperationContext& context = m.context;
     const std::optional<MonitorView> view = fleet.View(m.handle);
     if (!view.has_value() || !view->alarm_active) {
@@ -104,20 +116,19 @@ void RenderVerdicts(const MonitorFleet& fleet,
   }
 }
 
-}  // namespace
+Result<ScenarioFleetPlan> PrepareScenarioFleet(
+    const campaign::Scenario& scenario, const ReplayOptions& options) {
+  ScenarioFleetPlan plan;
 
-Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
-                                   const ReplayOptions& options) {
   // 1. Fault-free runs on the campaign's normal seed stream.
-  std::vector<telemetry::RunTrace> normal(
-      static_cast<size_t>(scenario.normal_runs));
+  plan.normal.resize(static_cast<size_t>(scenario.normal_runs));
   INVARNETX_RETURN_IF_ERROR(ParallelFor(
-      normal.size(), options.threads, [&](size_t i) -> Status {
+      plan.normal.size(), options.threads, [&](size_t i) -> Status {
         Result<telemetry::RunTrace> trace =
             campaign::SimulateScenarioNormalRun(scenario,
                                                 static_cast<int>(i));
         if (!trace.ok()) return trace.status();
-        normal[i] = std::move(trace.value());
+        plan.normal[i] = std::move(trace.value());
         return Status::Ok();
       }));
 
@@ -125,15 +136,14 @@ Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
   // cluster, not just the campaign's victim.
   core::InvarNetXConfig pipeline_config;
   pipeline_config.num_threads = options.threads;
-  core::InvarNetX pipeline(pipeline_config);
-  std::vector<ArmedMonitor> armed;
+  plan.pipeline = std::make_unique<core::InvarNetX>(pipeline_config);
   for (int node = 1; node <= scenario.slaves; ++node) {
     const core::OperationContext context{
         scenario.workload, "10.0.0." + std::to_string(node + 1)};
-    INVARNETX_RETURN_IF_ERROR(pipeline.TrainContext(
-        context, normal, static_cast<size_t>(node)));
-    armed.push_back(ArmedMonitor{static_cast<size_t>(node), context,
-                                 kInvalidMonitor});
+    INVARNETX_RETURN_IF_ERROR(plan.pipeline->TrainContext(
+        context, plan.normal, static_cast<size_t>(node)));
+    plan.contexts.push_back(context);
+    plan.node_indices.push_back(static_cast<size_t>(node));
   }
 
   // 3. Teach the victim context the scenario's signature catalog, on the
@@ -145,27 +155,55 @@ Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
       Result<telemetry::RunTrace> run =
           campaign::SimulateScenarioSignatureRun(scenario, fi, rep);
       if (!run.ok()) return run.status();
-      INVARNETX_RETURN_IF_ERROR(pipeline.AddSignature(
+      INVARNETX_RETURN_IF_ERROR(plan.pipeline->AddSignature(
           victim, faults::FaultName(scenario.signature_faults[fi]),
           run.value(), campaign::ScenarioVictimNode(scenario)));
     }
   }
 
-  // 4. Stream each test run through the fleet, one job per run.
+  plan.runs = scenario.test_runs;
+  if (options.max_runs > 0) plan.runs = std::min(plan.runs, options.max_runs);
+  std::ostringstream header;
+  header << "replay " << scenario.name << ": " << plan.contexts.size()
+         << " monitors, " << plan.runs << " run(s), window "
+         << options.window_capacity << " ticks, fault "
+         << faults::FaultName(scenario.fault) << "\n";
+  plan.header = header.str();
+  return plan;
+}
+
+FleetConfig MakeScenarioFleetConfig(const ReplayOptions& options,
+                                    size_t expected_monitors) {
   FleetConfig fleet_config;
   fleet_config.window_capacity = options.window_capacity;
   fleet_config.threads = options.threads;
   fleet_config.shards = options.shards;
   fleet_config.ring_capacity = options.ring_capacity;
-  fleet_config.expected_monitors = armed.size();
-  MonitorFleet fleet(&pipeline, fleet_config);
+  fleet_config.expected_monitors = expected_monitors;
+  return fleet_config;
+}
 
-  int runs = scenario.test_runs;
-  if (options.max_runs > 0) runs = std::min(runs, options.max_runs);
+Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
+                                   const ReplayOptions& options) {
+  Result<ScenarioFleetPlan> prepared = PrepareScenarioFleet(scenario, options);
+  if (!prepared.ok()) return prepared.status();
+  ScenarioFleetPlan& plan = prepared.value();
+  core::InvarNetX& pipeline = *plan.pipeline;
+  const std::vector<telemetry::RunTrace>& normal = plan.normal;
+
+  std::vector<ArmedMonitor> armed;
+  for (size_t i = 0; i < plan.contexts.size(); ++i) {
+    armed.push_back(ArmedMonitor{plan.node_indices[i], plan.contexts[i],
+                                 kInvalidMonitor});
+  }
+
+  // 4. Stream each test run through the fleet, one job per run.
+  MonitorFleet fleet(&pipeline,
+                     MakeScenarioFleetConfig(options, armed.size()));
+
+  const int runs = plan.runs;
   std::ostringstream out;
-  out << "replay " << scenario.name << ": " << armed.size() << " monitors, "
-      << runs << " run(s), window " << fleet_config.window_capacity
-      << " ticks, fault " << faults::FaultName(scenario.fault) << "\n";
+  out << plan.header;
 
   int total_alarms = 0;
   for (int rep = 0; rep < runs; ++rep) {
@@ -186,7 +224,7 @@ Result<std::string> ReplayScenario(const campaign::Scenario& scenario,
     fleet.WaitForDiagnoses();
     const std::vector<FleetDiagnosis> diagnoses = fleet.TakeDiagnoses();
     out << "== run " << rep << " ==\n";
-    RenderVerdicts(fleet, armed, diagnoses, &out);
+    RenderVerdicts(fleet, ToArmedContexts(armed), diagnoses, &out);
     total_alarms += static_cast<int>(fleet.alarms_active());
     if (options.retrain_each_run) {
       // Incremental retrain between runs: every context re-mines from the
@@ -265,7 +303,7 @@ Result<std::string> ReplayTrace(const core::InvarNetX& pipeline,
     }
     fleet.WaitForDiagnoses();
     const std::vector<FleetDiagnosis> diagnoses = fleet.TakeDiagnoses();
-    RenderVerdicts(fleet, armed, diagnoses, &out);
+    RenderVerdicts(fleet, ToArmedContexts(armed), diagnoses, &out);
   }
   return out.str();
 }

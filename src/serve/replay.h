@@ -1,11 +1,15 @@
 #ifndef INVARNETX_SERVE_REPLAY_H_
 #define INVARNETX_SERVE_REPLAY_H_
 
+#include <iosfwd>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "campaign/scenario.h"
 #include "common/status.h"
 #include "core/pipeline.h"
+#include "serve/fleet.h"
 #include "telemetry/trace.h"
 
 namespace invarnetx::serve {
@@ -34,6 +38,49 @@ struct ReplayOptions {
   // pin their epoch regardless).
   bool retrain_each_run = false;
 };
+
+// One context armed in a fleet: the operation context and the dense handle
+// its StartJob returned. The verdict renderer walks these in order, so the
+// caller's arming order is the report's node order.
+struct ArmedContext {
+  core::OperationContext context;
+  MonitorHandle handle = kInvalidMonitor;
+};
+
+// Renders every armed context's verdict after one finished job, in `armed`
+// order - the exact per-node report lines of --replay, shared with the
+// socket ingest front end so socket-fed verdicts diff clean against a
+// local replay of the same samples.
+void RenderVerdicts(const MonitorFleet& fleet,
+                    const std::vector<ArmedContext>& armed,
+                    const std::vector<FleetDiagnosis>& diagnoses,
+                    std::ostream* out);
+
+// Scenario serving state shared by --replay and the socket ingest mode: the
+// pipeline trained from the scenario's fault-free runs plus the victim's
+// signature catalog, the slave operation contexts in node order, and the
+// report header line. Building this is steps 1-3 of ReplayScenario; what
+// differs between the two modes is only where the test-run samples come
+// from (simulated locally vs. streamed over a socket).
+struct ScenarioFleetPlan {
+  std::unique_ptr<core::InvarNetX> pipeline;
+  // Slave contexts in node order; contexts[i] watches trace node
+  // node_indices[i]. This order is the canonical HELLO / arming order.
+  std::vector<core::OperationContext> contexts;
+  std::vector<size_t> node_indices;
+  // The fault-free training runs (kept for retrain_each_run).
+  std::vector<telemetry::RunTrace> normal;
+  int runs = 0;  // test runs to stream, after the max_runs cap
+  std::string header;
+};
+
+Result<ScenarioFleetPlan> PrepareScenarioFleet(
+    const campaign::Scenario& scenario, const ReplayOptions& options);
+
+// The FleetConfig both modes build from the same options, so their fleets
+// shard and backpressure identically.
+FleetConfig MakeScenarioFleetConfig(const ReplayOptions& options,
+                                    size_t expected_monitors);
 
 // Replays a fault-injection scenario through a MonitorFleet: simulates the
 // scenario's fault-free runs, trains every slave's operation context,

@@ -9,6 +9,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -221,6 +223,100 @@ TEST(HttpServerTest, ConcurrentScrapesDuringFleetIngest) {
   done.store(true);
   for (std::thread& scraper : scrapers) scraper.join();
   EXPECT_GT(scrapes.load(), 0);
+  server.Stop();
+}
+
+// Regression: a request head that hits the 8 KiB cap without ever sending
+// the "\r\n\r\n" terminator used to be parsed as if it were complete. It
+// must be answered with 400 and a closed connection instead.
+TEST(HttpServerTest, OversizeUnterminatedHeadGets400) {
+  HttpServer server;
+  server.Handle("/ok", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+
+  // > 8 KiB of header bytes, never terminated.
+  std::string request = "GET /ok HTTP/1.1\r\nHost: x\r\nX-Pad: ";
+  request.append(9000, 'a');
+  const std::string response = RawRequest(server.port(), request);
+  EXPECT_EQ(response.rfind("HTTP/1.1 400", 0), 0u) << response;
+  EXPECT_NE(Body(response).find("exceeds"), std::string::npos) << response;
+
+  // The server is still healthy for well-formed requests afterwards.
+  const std::string ok = Get(server.port(), "/ok");
+  EXPECT_EQ(ok.rfind("HTTP/1.1 200 OK", 0), 0u) << ok;
+
+  server.Stop();
+}
+
+// Regression: any accept() errno other than EINTR used to kill the
+// acceptor thread permanently - after one transient ECONNABORTED or EMFILE
+// the server would silently stop accepting forever. Injected transient
+// failures must be survived.
+TEST(HttpServerTest, AcceptorSurvivesTransientAcceptFailures) {
+  std::atomic<int> failures{3};
+  HttpServer::Options options;
+  options.accept_override = [&failures](int listen_fd) {
+    if (failures.fetch_sub(1) > 0) {
+      errno = ECONNABORTED;  // transient: aborted handshake
+      return -1;
+    }
+    return static_cast<int>(::accept(listen_fd, nullptr, nullptr));
+  };
+  HttpServer server(options);
+  server.Handle("/ok", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+
+  // Wait out the injected failures (10 ms backoff each), then the acceptor
+  // must still be alive and serving.
+  while (failures.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::string response = Get(server.port(), "/ok");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK", 0), 0u) << response;
+
+  server.Stop();
+}
+
+// Regression: Handle() used to mutate the handler map with no lock while
+// worker threads looked paths up, an unsynchronized data race. Registering
+// handlers from several threads during live scrapes must be clean (the
+// TSan job runs this suite).
+TEST(HttpServerTest, ConcurrentHandlerRegistrationDuringScrapes) {
+  HttpServer server;
+  server.Handle("/seed", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load()) {
+      Get(port, "/seed");
+      Get(port, "/nope");  // 404 path walks the whole map for its listing
+    }
+  });
+  std::vector<std::thread> registrars;
+  for (int t = 0; t < 2; ++t) {
+    registrars.emplace_back([&server, t] {
+      for (int i = 0; i < 20; ++i) {
+        const std::string path =
+            "/dyn" + std::to_string(t) + "_" + std::to_string(i);
+        server.Handle(path, [path](const HttpRequest&) {
+          HttpResponse response;
+          response.body = path;
+          return response;
+        });
+      }
+    });
+  }
+  for (std::thread& registrar : registrars) registrar.join();
+  done.store(true);
+  scraper.join();
+
+  // Every late-registered handler is reachable.
+  const std::string late = Get(port, "/dyn1_19");
+  EXPECT_EQ(late.rfind("HTTP/1.1 200 OK", 0), 0u) << late;
+  EXPECT_EQ(Body(late), "/dyn1_19");
+
   server.Stop();
 }
 

@@ -1,0 +1,734 @@
+// Tests for the TCP ingest front end (src/net): frame codec round trips and
+// strict decode errors, oversized / truncated / mid-frame-disconnect wire
+// handling, full loopback sessions in both dialects, protocol errors (ERR +
+// close), one-session-at-a-time busy rejection, deterministic socket
+// backpressure, byte-identical verdicts across shard x thread configs, and
+// an xmlstore-fuzz-style random-bytes harness against the listener.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evaluate.h"
+#include "net/frame.h"
+#include "net/ingest_client.h"
+#include "net/ingest_server.h"
+#include "net/wire.h"
+#include "serve/fleet.h"
+#include "serve/replay.h"
+
+namespace invarnetx {
+namespace {
+
+using core::InvarNetX;
+using core::OperationContext;
+using net::Frame;
+using net::FrameType;
+using net::HelloEntry;
+using net::IngestClient;
+using net::IngestClientOptions;
+using net::IngestServer;
+using net::IngestServerOptions;
+using net::TickOutcome;
+using serve::FleetConfig;
+using serve::MonitorFleet;
+using serve::MonitorHandle;
+using serve::TickSample;
+using workload::WorkloadType;
+
+OperationContext Context(int node) {
+  return OperationContext{WorkloadType::kWordCount,
+                          "10.0.0." + std::to_string(node + 1)};
+}
+
+std::string ContextToken(int node) { return Context(node).ToString(); }
+
+// One handle-stamped sample for `node` at tick `t` of the trace.
+TickSample SampleAt(const telemetry::RunTrace& trace, int node,
+                    MonitorHandle handle, size_t t) {
+  const telemetry::NodeTrace& series = trace.nodes[static_cast<size_t>(node)];
+  TickSample sample;
+  sample.monitor = handle;
+  sample.cpi = series.cpi[t];
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    sample.metrics[static_cast<size_t>(m)] =
+        series.metrics[static_cast<size_t>(m)][t];
+  }
+  return sample;
+}
+
+// Raw loopback connection to a server port; -1 on failure.
+int RawConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool BitsEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Codec unit tests (no sockets).
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodecTest, HelloRoundTrip) {
+  const std::vector<HelloEntry> entries = {{"wordcount", "10.0.0.2"},
+                                           {"sort", "10.0.0.3"}};
+  const std::string frame = net::EncodeHello(entries);
+  // Length prefix covers type + payload.
+  ASSERT_GE(frame.size(), 5u);
+  EXPECT_EQ(frame[4], static_cast<char>(FrameType::kHello));
+  const auto decoded = net::DecodeHello(frame.substr(5));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 2u);
+  EXPECT_EQ(decoded.value()[0].workload, "wordcount");
+  EXPECT_EQ(decoded.value()[0].node_ip, "10.0.0.2");
+  EXPECT_EQ(decoded.value()[1].workload, "sort");
+  EXPECT_EQ(decoded.value()[1].node_ip, "10.0.0.3");
+}
+
+TEST(FrameCodecTest, HelloAckRoundTrip) {
+  const std::vector<MonitorHandle> handles = {0, 7, 2147483647, -1};
+  const std::string frame = net::EncodeHelloAck(handles);
+  const auto decoded = net::DecodeHelloAck(frame.substr(5));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), handles);
+}
+
+TEST(FrameCodecTest, TickRoundTripIsBitExact) {
+  // Awkward doubles: negative zero, denormal, huge, and a repeating
+  // fraction - the binary codec must round trip raw bits.
+  std::vector<TickSample> samples(2);
+  samples[0].monitor = 3;
+  samples[0].cpi = -0.0;
+  samples[0].metrics[0] = 5e-324;          // smallest denormal
+  samples[0].metrics[25] = 1.0 / 3.0;
+  samples[1].monitor = 0;
+  samples[1].cpi = 1.7976931348623157e308;  // DBL_MAX
+  samples[1].metrics[7] = -123.456789;
+
+  const std::string frame = net::EncodeTick(samples);
+  EXPECT_EQ(frame.size(), 5 + 4 + 2 * net::kBinarySampleBytes);
+  const auto decoded = net::DecodeTick(frame.substr(5));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 2u);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].monitor, samples[i].monitor);
+    EXPECT_TRUE(BitsEqual(decoded.value()[i].cpi, samples[i].cpi));
+    for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+      EXPECT_TRUE(BitsEqual(decoded.value()[i].metrics[static_cast<size_t>(m)],
+                            samples[i].metrics[static_cast<size_t>(m)]));
+    }
+  }
+}
+
+TEST(FrameCodecTest, TickReplyPicksBackpressureType) {
+  const std::string ok = net::EncodeTickReply(TickOutcome{5, 0});
+  EXPECT_EQ(ok[4], static_cast<char>(FrameType::kTickAck));
+  const std::string pressed = net::EncodeTickReply(TickOutcome{3, 2});
+  EXPECT_EQ(pressed[4], static_cast<char>(FrameType::kBackpressure));
+  const auto decoded = net::DecodeTickReply(pressed.substr(5));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().accepted, 3u);
+  EXPECT_EQ(decoded.value().rejected, 2u);
+}
+
+TEST(FrameCodecTest, DecodersRejectMalformedPayloads) {
+  // Truncated HELLO: chop any suffix off a valid payload.
+  const std::string hello =
+      net::EncodeHello({{"wordcount", "10.0.0.2"}}).substr(5);
+  for (size_t keep = 0; keep < hello.size(); ++keep) {
+    EXPECT_FALSE(net::DecodeHello(hello.substr(0, keep)).ok())
+        << "undetected truncation at " << keep;
+  }
+  // Trailing garbage after the declared entries.
+  EXPECT_FALSE(net::DecodeHello(hello + "x").ok());
+  // Unsupported version.
+  std::string bad_version = hello;
+  bad_version[0] = 9;
+  EXPECT_FALSE(net::DecodeHello(bad_version).ok());
+  // Zero contexts.
+  const std::string no_entries("\x01\x00\x00\x00\x00\x00", 6);
+  EXPECT_FALSE(net::DecodeHello(no_entries).ok());
+
+  // HELLO-ACK with trailing bytes.
+  const std::string ack = net::EncodeHelloAck({1}).substr(5);
+  EXPECT_FALSE(net::DecodeHelloAck(ack + "zz").ok());
+  EXPECT_FALSE(net::DecodeHelloAck(ack.substr(0, ack.size() - 1)).ok());
+
+  // TICK whose payload size disagrees with its count, both ways.
+  std::vector<TickSample> one(1);
+  const std::string tick = net::EncodeTick(one).substr(5);
+  EXPECT_FALSE(net::DecodeTick(tick.substr(0, tick.size() - 1)).ok());
+  EXPECT_FALSE(net::DecodeTick(tick + "x").ok());
+  std::string lying_count = tick;
+  lying_count[0] = 2;  // claims 2 samples, ships 1
+  EXPECT_FALSE(net::DecodeTick(lying_count).ok());
+
+  // Fixed-size replies with the wrong size.
+  EXPECT_FALSE(net::DecodeTickReply("1234567").ok());
+  EXPECT_FALSE(net::DecodeTickReply("123456789").ok());
+  EXPECT_FALSE(net::DecodeEndJobAck("123").ok());
+  EXPECT_FALSE(net::DecodeEndJobAck("12345").ok());
+}
+
+TEST(FrameCodecTest, ReadFrameEnforcesLengthBounds) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  // Oversized declared length is rejected before any payload allocation.
+  const char huge[4] = {'\xff', '\xff', '\xff', '\x7f'};
+  ASSERT_TRUE(net::WriteAll(fds[0], huge, 4));
+  auto oversized = net::ReadFrame(fds[1], 1024);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_NE(oversized.status().message().find("oversized"),
+            std::string::npos);
+
+  // Zero-length frames are invalid (every frame carries a type byte).
+  const char zero[4] = {0, 0, 0, 0};
+  ASSERT_TRUE(net::WriteAll(fds[0], zero, 4));
+  EXPECT_FALSE(net::ReadFrame(fds[1], 1024).ok());
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FrameCodecTest, ReadFrameReportsMidFrameDisconnect) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Declare 100 payload bytes, deliver 10, hang up.
+  const std::string frame = net::EncodeFrame(FrameType::kTick,
+                                             std::string(99, 'x'));
+  ASSERT_TRUE(net::WriteAll(fds[0], frame.substr(0, 15)));
+  ::close(fds[0]);
+  auto result = net::ReadFrame(fds[1], net::kDefaultMaxFramePayload);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  ::close(fds[1]);
+}
+
+TEST(FrameCodecTest, SampleLineRoundTripsBitExact) {
+  TickSample sample;
+  sample.monitor = 42;
+  sample.cpi = 1.0 / 3.0;
+  sample.metrics[0] = -0.0;
+  sample.metrics[5] = 123456.789012345678;
+  sample.metrics[25] = 2.2250738585072014e-308;
+  const auto parsed = net::ParseSampleLine(net::FormatSampleLine(sample));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().monitor, 42);
+  EXPECT_TRUE(BitsEqual(parsed.value().cpi, sample.cpi));
+  for (int m = 0; m < telemetry::kNumMetrics; ++m) {
+    EXPECT_TRUE(BitsEqual(parsed.value().metrics[static_cast<size_t>(m)],
+                          sample.metrics[static_cast<size_t>(m)]));
+  }
+}
+
+TEST(FrameCodecTest, SampleLineRejectsMalformedLines) {
+  EXPECT_FALSE(net::ParseSampleLine("").ok());
+  EXPECT_FALSE(net::ParseSampleLine("notanumber 1 2").ok());
+  // Only 3 of the 26 metrics.
+  EXPECT_FALSE(net::ParseSampleLine("0 1.0 0.1 0.2 0.3").ok());
+  // One field too many.
+  TickSample sample;
+  EXPECT_FALSE(
+      net::ParseSampleLine(net::FormatSampleLine(sample) + " 9").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Loopback session tests against a real fleet.
+// ---------------------------------------------------------------------------
+
+// One trained pipeline shared by the session tests: contexts for slaves 1
+// and 2, with the cpu-hog signature taught to slave 1 (the fault victim).
+class IngestSessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new InvarNetX();
+    auto normal = core::SimulateNormalRuns(WorkloadType::kWordCount, 8, 42);
+    ASSERT_TRUE(normal.ok());
+    for (int node = 1; node <= 2; ++node) {
+      ASSERT_TRUE(pipeline_
+                      ->TrainContext(Context(node), normal.value(),
+                                     static_cast<size_t>(node))
+                      .ok());
+    }
+    for (uint64_t rep = 0; rep < 2; ++rep) {
+      auto run = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                        faults::FaultType::kCpuHog, 900 + rep);
+      ASSERT_TRUE(run.ok());
+      ASSERT_TRUE(
+          pipeline_->AddSignature(Context(1), "cpu-hog", run.value(), 1).ok());
+    }
+    faulty_ = new telemetry::RunTrace();
+    auto faulty = core::SimulateFaultRun(WorkloadType::kWordCount,
+                                         faults::FaultType::kCpuHog, 888);
+    ASSERT_TRUE(faulty.ok());
+    *faulty_ = std::move(faulty.value());
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete faulty_;
+    pipeline_ = nullptr;
+    faulty_ = nullptr;
+  }
+
+  // Streams the shared faulty trace through a connected client as one job
+  // and returns the EndJob alarm count.
+  static uint32_t StreamFaultyRun(IngestClient* client) {
+    auto handles = client->Hello(
+        {{"wordcount", Context(1).node_ip}, {"wordcount", Context(2).node_ip}});
+    EXPECT_TRUE(handles.ok()) << handles.status().ToString();
+    EXPECT_TRUE(client->StartJob().ok());
+    for (size_t t = 0; t < faulty_->nodes[1].cpi.size(); ++t) {
+      auto outcome = client->Tick(
+          {SampleAt(*faulty_, 1, handles.value()[0], t),
+           SampleAt(*faulty_, 2, handles.value()[1], t)});
+      EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+      EXPECT_EQ(outcome.value().accepted, 2u);
+      EXPECT_EQ(outcome.value().rejected, 0u);
+    }
+    auto alarms = client->EndJob();
+    EXPECT_TRUE(alarms.ok()) << alarms.status().ToString();
+    EXPECT_TRUE(client->Bye().ok());
+    return alarms.ok() ? alarms.value() : 0;
+  }
+
+  // The reference: the same run ingested in-process and rendered through
+  // the same RenderVerdicts path.
+  static std::string InProcessVerdicts(FleetConfig config) {
+    MonitorFleet fleet(pipeline_, config);
+    std::vector<serve::ArmedContext> armed;
+    for (int node = 1; node <= 2; ++node) {
+      auto handle = fleet.StartJob(Context(node));
+      EXPECT_TRUE(handle.ok());
+      armed.push_back(serve::ArmedContext{Context(node), handle.value()});
+    }
+    for (size_t t = 0; t < faulty_->nodes[1].cpi.size(); ++t) {
+      auto summary = fleet.IngestTick(
+          {SampleAt(*faulty_, 1, armed[0].handle, t),
+           SampleAt(*faulty_, 2, armed[1].handle, t)});
+      EXPECT_TRUE(summary.ok());
+    }
+    fleet.WaitForDiagnoses();
+    std::ostringstream out;
+    out << "== run 0 ==\n";
+    serve::RenderVerdicts(fleet, armed, fleet.TakeDiagnoses(), &out);
+    return out.str();
+  }
+
+  static InvarNetX* pipeline_;
+  static telemetry::RunTrace* faulty_;
+};
+
+InvarNetX* IngestSessionTest::pipeline_ = nullptr;
+telemetry::RunTrace* IngestSessionTest::faulty_ = nullptr;
+
+TEST_F(IngestSessionTest, BinarySessionMatchesInProcessVerdicts) {
+  FleetConfig config;
+  config.threads = 1;
+  config.shards = 1;
+  MonitorFleet fleet(pipeline_, config);
+  std::ostringstream verdicts;
+  IngestServer server(&fleet, &verdicts, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  IngestClientOptions options;
+  options.port = server.port();
+  IngestClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+  const uint32_t alarms = StreamFaultyRun(&client);
+  EXPECT_GE(alarms, 1u);
+
+  const net::SessionStats stats = server.WaitForSession();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.runs, 1);
+  EXPECT_EQ(stats.total_alarms, alarms);
+  server.Stop();
+
+  EXPECT_EQ(verdicts.str(), InProcessVerdicts(config));
+  EXPECT_NE(verdicts.str().find("10.0.0.2: ALARM"), std::string::npos)
+      << verdicts.str();
+  EXPECT_NE(verdicts.str().find("cpu-hog"), std::string::npos);
+}
+
+TEST_F(IngestSessionTest, TextSessionMatchesBinarySession) {
+  std::string binary_verdicts;
+  std::string text_verdicts;
+  for (const bool text : {false, true}) {
+    FleetConfig config;
+    config.threads = 1;
+    config.shards = 1;
+    MonitorFleet fleet(pipeline_, config);
+    std::ostringstream verdicts;
+    IngestServer server(&fleet, &verdicts, {});
+    ASSERT_TRUE(server.Start().ok());
+    IngestClientOptions options;
+    options.port = server.port();
+    options.text = text;
+    IngestClient client(options);
+    ASSERT_TRUE(client.Connect().ok());
+    StreamFaultyRun(&client);
+    EXPECT_TRUE(server.WaitForSession().completed);
+    server.Stop();
+    (text ? text_verdicts : binary_verdicts) = verdicts.str();
+  }
+  EXPECT_EQ(binary_verdicts, text_verdicts);
+  EXPECT_FALSE(binary_verdicts.empty());
+}
+
+// The acceptance matrix: socket-fed verdicts are identical across every
+// shard x thread combination (and identical to the in-process reference).
+TEST_F(IngestSessionTest, VerdictsByteIdenticalAcrossShardsAndThreads) {
+  std::string reference;
+  for (const int shards : {1, 2, 8}) {
+    for (const int threads : {1, 4}) {
+      FleetConfig config;
+      config.threads = threads;
+      config.shards = shards;
+      MonitorFleet fleet(pipeline_, config);
+      std::ostringstream verdicts;
+      IngestServer server(&fleet, &verdicts, {});
+      ASSERT_TRUE(server.Start().ok());
+      IngestClientOptions options;
+      options.port = server.port();
+      IngestClient client(options);
+      ASSERT_TRUE(client.Connect().ok());
+      StreamFaultyRun(&client);
+      EXPECT_TRUE(server.WaitForSession().completed);
+      server.Stop();
+      if (reference.empty()) {
+        reference = verdicts.str();
+        EXPECT_EQ(reference, InProcessVerdicts(config));
+      } else {
+        EXPECT_EQ(verdicts.str(), reference)
+            << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_F(IngestSessionTest, UnknownContextInHelloClosesConnection) {
+  MonitorFleet fleet(pipeline_, {});
+  IngestServer server(&fleet, nullptr, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Untrained node: StartJob fails, ERR closes the connection.
+  {
+    IngestClientOptions options;
+    options.port = server.port();
+    IngestClient client(options);
+    ASSERT_TRUE(client.Connect().ok());
+    auto handles = client.Hello({{"wordcount", "10.9.9.9"}});
+    ASSERT_FALSE(handles.ok());
+    EXPECT_NE(handles.status().message().find("unknown context"),
+              std::string::npos)
+        << handles.status().ToString();
+    // The server closed its side; the next round trip fails.
+    EXPECT_FALSE(client.StartJob().ok());
+  }
+  // Unknown workload spelling, via the text dialect. The previous failed
+  // session may still be releasing its slot; retry through the busy window.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    IngestClientOptions options;
+    options.port = server.port();
+    options.text = true;
+    IngestClient client(options);
+    ASSERT_TRUE(client.Connect().ok());
+    auto handles = client.Hello({{"mapreduce9000", "10.0.0.2"}});
+    ASSERT_FALSE(handles.ok());
+    if (handles.status().message().find("busy") != std::string::npos) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    EXPECT_NE(handles.status().message().find("unknown workload"),
+              std::string::npos)
+        << handles.status().ToString();
+    break;
+  }
+  server.Stop();
+}
+
+TEST_F(IngestSessionTest, DuplicateHandleInOneTickClosesConnection) {
+  MonitorFleet fleet(pipeline_, {});
+  IngestServer server(&fleet, nullptr, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  IngestClientOptions options;
+  options.port = server.port();
+  IngestClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+  auto handles = client.Hello(
+      {{"wordcount", Context(1).node_ip}, {"wordcount", Context(2).node_ip}});
+  ASSERT_TRUE(handles.ok());
+  // Both samples stamp the same monitor: IngestTick rejects the whole batch
+  // up front (fleet untouched) and the server answers with a strict ERR.
+  auto outcome = client.Tick({SampleAt(*faulty_, 1, handles.value()[0], 0),
+                              SampleAt(*faulty_, 2, handles.value()[0], 0)});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_FALSE(client.StartJob().ok());  // connection is gone
+  server.Stop();
+}
+
+TEST_F(IngestSessionTest, SecondConcurrentSessionIsTurnedAwayBusy) {
+  MonitorFleet fleet(pipeline_, {});
+  IngestServer server(&fleet, nullptr, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  IngestClientOptions options;
+  options.port = server.port();
+  IngestClient first(options);
+  ASSERT_TRUE(first.Connect().ok());
+  auto handles = first.Hello({{"wordcount", Context(1).node_ip}});
+  ASSERT_TRUE(handles.ok());
+
+  IngestClient second(options);
+  ASSERT_TRUE(second.Connect().ok());
+  auto rejected = second.Hello({{"wordcount", Context(2).node_ip}});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("busy"), std::string::npos)
+      << rejected.status().ToString();
+
+  // The first session is unaffected.
+  ASSERT_TRUE(first.StartJob().ok());
+  auto outcome = first.Tick({SampleAt(*faulty_, 1, handles.value()[0], 0)});
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(first.Bye().ok());
+  server.Stop();
+}
+
+// Socket backpressure is the fleet's deterministic ring-reject policy made
+// visible on the wire: with one shard and a 1-deep ring, a 2-sample tick
+// always admits the first sample in batch order and rejects the second -
+// and the text dialect labels the reply BACKPRESSURE explicitly.
+TEST_F(IngestSessionTest, BackpressureIsExplicitAndDeterministic) {
+  FleetConfig config;
+  config.threads = 1;
+  config.shards = 1;
+  config.ring_capacity = 1;
+  MonitorFleet fleet(pipeline_, config);
+  IngestServer server(&fleet, nullptr, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  net::LineReader reader(fd);
+  std::string line;
+
+  ASSERT_TRUE(net::WriteAll(
+      fd, "HELLO v1 " + ContextToken(1) + " " + ContextToken(2) + "\n"));
+  ASSERT_TRUE(reader.ReadLine(&line));
+  ASSERT_EQ(line, "OK 0 1") << line;
+  ASSERT_TRUE(net::WriteAll(fd, std::string("JOB\n")));
+  ASSERT_TRUE(reader.ReadLine(&line));
+  ASSERT_EQ(line, "OK");
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    std::string tick = "TICK 2\n";
+    tick += net::FormatSampleLine(
+                SampleAt(*faulty_, 1, 0, static_cast<size_t>(repeat))) +
+            "\n";
+    tick += net::FormatSampleLine(
+                SampleAt(*faulty_, 2, 1, static_cast<size_t>(repeat))) +
+            "\n";
+    ASSERT_TRUE(net::WriteAll(fd, tick));
+    ASSERT_TRUE(reader.ReadLine(&line));
+    // Deterministic: same counts every tick, batch order decides admission.
+    EXPECT_EQ(line, "BACKPRESSURE 1 1");
+  }
+  ASSERT_TRUE(net::WriteAll(fd, std::string("BYE\n")));
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line, "OK");
+  ::close(fd);
+  server.Stop();
+}
+
+TEST_F(IngestSessionTest, OversizedTickFrameIsRejectedBeforeAllocation) {
+  MonitorFleet fleet(pipeline_, {});
+  IngestServerOptions server_options;
+  server_options.max_frame_bytes = 1024;  // fits a handful of samples only
+  IngestServer server(&fleet, nullptr, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  IngestClientOptions options;
+  options.port = server.port();
+  IngestClient client(options);
+  ASSERT_TRUE(client.Connect().ok());
+  auto handles = client.Hello({{"wordcount", Context(1).node_ip}});
+  ASSERT_TRUE(handles.ok());
+  // 100 samples = ~22 KB of payload, far over the 1 KiB server cap.
+  std::vector<TickSample> oversized(100);
+  auto outcome = client.Tick(oversized);
+  ASSERT_FALSE(outcome.ok());
+  server.Stop();
+}
+
+TEST_F(IngestSessionTest, UnexpectedFrameTypeGetsStrictErr) {
+  MonitorFleet fleet(pipeline_, {});
+  IngestServer server(&fleet, nullptr, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(net::WriteAll(fd, net::kBinaryMagic, 4));
+  ASSERT_TRUE(
+      net::WriteAll(fd, net::EncodeFrame(static_cast<FrameType>(0x42), "")));
+  auto reply = net::ReadFrame(fd, net::kDefaultMaxFramePayload);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().type, FrameType::kErr);
+  EXPECT_NE(reply.value().payload.find("unexpected frame"),
+            std::string::npos);
+  // And the connection is closed: the next read sees EOF.
+  char byte;
+  EXPECT_FALSE(net::ReadFull(fd, &byte, 1));
+  ::close(fd);
+  server.Stop();
+}
+
+TEST_F(IngestSessionTest, TickBeforeHelloIsAProtocolError) {
+  MonitorFleet fleet(pipeline_, {});
+  IngestServer server(&fleet, nullptr, {});
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(net::WriteAll(fd, net::kBinaryMagic, 4));
+  ASSERT_TRUE(net::WriteAll(fd, net::EncodeTick({TickSample{}})));
+  auto reply = net::ReadFrame(fd, net::kDefaultMaxFramePayload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().type, FrameType::kErr);
+  ::close(fd);
+  server.Stop();
+}
+
+// A producer that dies mid-frame must not wedge the server or complete the
+// session; the next producer gets a clean slate.
+TEST_F(IngestSessionTest, MidFrameDisconnectReleasesTheSession) {
+  FleetConfig config;
+  config.threads = 1;
+  MonitorFleet fleet(pipeline_, config);
+  std::ostringstream verdicts;
+  IngestServer server(&fleet, &verdicts, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(net::WriteAll(fd, net::kBinaryMagic, 4));
+    ASSERT_TRUE(net::WriteAll(fd, net::EncodeHello(
+        {{"wordcount", Context(1).node_ip}})));
+    auto ack = net::ReadFrame(fd, net::kDefaultMaxFramePayload);
+    ASSERT_TRUE(ack.ok());
+    // Announce a TICK frame, deliver half of it, vanish.
+    const std::string tick = net::EncodeTick({TickSample{}});
+    ASSERT_TRUE(net::WriteAll(fd, tick.substr(0, tick.size() / 2)));
+    ::close(fd);
+  }
+
+  // A full clean session still works afterwards.
+  IngestClientOptions options;
+  options.port = server.port();
+  IngestClient client(options);
+  // The dead session's worker may still be unwinding; retry briefly.
+  bool streamed = false;
+  for (int attempt = 0; attempt < 50 && !streamed; ++attempt) {
+    ASSERT_TRUE(client.Connect().ok());
+    auto handles = client.Hello({{"wordcount", Context(1).node_ip}});
+    if (handles.ok()) {
+      EXPECT_TRUE(client.Bye().ok());
+      streamed = true;
+    } else {
+      client.Close();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(streamed);
+  const net::SessionStats stats = server.WaitForSession();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.runs, 0);  // the clean session streamed no jobs
+  server.Stop();
+}
+
+TEST_F(IngestSessionTest, StopUnblocksWaitForSession) {
+  MonitorFleet fleet(pipeline_, {});
+  IngestServer server(&fleet, nullptr, {});
+  ASSERT_TRUE(server.Start().ok());
+  net::SessionStats stats;
+  std::thread waiter([&] { stats = server.WaitForSession(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Stop();
+  waiter.join();
+  EXPECT_FALSE(stats.completed);
+}
+
+// xmlstore-fuzz-style resilience: hundreds of connections spraying random
+// bytes (sometimes behind a valid magic) must never crash or wedge the
+// listener, and a clean session must still complete afterwards.
+TEST_F(IngestSessionTest, RandomBytesFuzzNeverCrashesOrWedges) {
+  FleetConfig config;
+  config.threads = 1;
+  MonitorFleet fleet(pipeline_, config);
+  IngestServerOptions server_options;
+  server_options.io_timeout_seconds = 2;  // a wedged read can't stall Stop
+  IngestServer server(&fleet, nullptr, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> length_dist(1, 512);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int i = 0; i < 200; ++i) {
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0) << "listener died after " << i << " fuzz connections";
+    std::string blob;
+    if (i % 3 == 0) blob.assign(net::kBinaryMagic, 4);  // binary dialect
+    const int len = length_dist(rng);
+    for (int b = 0; b < len; ++b) {
+      blob.push_back(static_cast<char>(byte_dist(rng)));
+    }
+    net::WriteAll(fd, blob);  // peer may already have closed: ignore result
+    ::close(fd);
+  }
+
+  // The listener survived; a clean session still round trips. Fuzz workers
+  // may still be draining, so retry into the busy window.
+  IngestClientOptions options;
+  options.port = server.port();
+  bool clean = false;
+  for (int attempt = 0; attempt < 100 && !clean; ++attempt) {
+    IngestClient client(options);
+    ASSERT_TRUE(client.Connect().ok());
+    auto handles = client.Hello({{"wordcount", Context(1).node_ip}});
+    if (handles.ok()) {
+      EXPECT_TRUE(client.Bye().ok());
+      clean = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(clean);
+  EXPECT_TRUE(server.WaitForSession().completed);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace invarnetx
