@@ -108,14 +108,22 @@ std::string EncodeFrame(FrameType type, std::string_view payload) {
   return out;
 }
 
-std::string EncodeHello(const std::vector<HelloEntry>& entries) {
+Result<std::string> EncodeHello(const std::vector<HelloEntry>& entries) {
   std::string payload;
   AppendU16(&payload, kProtocolVersion);
   AppendU32(&payload, static_cast<uint32_t>(entries.size()));
   for (const HelloEntry& entry : entries) {
-    payload.push_back(static_cast<char>(entry.workload.size() & 0xff));
+    // str8 fields carry a 1-byte length; a longer string would silently
+    // desync the frame, so refuse to encode it.
+    if (entry.workload.size() > 255 || entry.node_ip.size() > 255) {
+      return Status::InvalidArgument(
+          "HELLO context field exceeds 255 bytes: '" +
+          entry.workload.substr(0, 32) + "@" + entry.node_ip.substr(0, 32) +
+          "...'");
+    }
+    payload.push_back(static_cast<char>(entry.workload.size()));
     payload.append(entry.workload);
-    payload.push_back(static_cast<char>(entry.node_ip.size() & 0xff));
+    payload.push_back(static_cast<char>(entry.node_ip.size()));
     payload.append(entry.node_ip);
   }
   return EncodeFrame(FrameType::kHello, payload);
@@ -175,6 +183,14 @@ Result<std::vector<HelloEntry>> DecodeHello(std::string_view payload) {
                                    std::to_string(version));
   }
   if (!cursor.ReadU32(&count)) return Truncated("HELLO");
+  // Bound the count against the bytes actually shipped before reserving:
+  // every entry needs at least its two length bytes, so a 10-byte payload
+  // claiming 2^32 entries is rejected here instead of driving a huge
+  // allocation. (6 = version + count already consumed.)
+  if (count > (payload.size() - 6) / 2) {
+    return Status::InvalidArgument(
+        "HELLO count does not fit its payload size");
+  }
   std::vector<HelloEntry> entries;
   entries.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -202,15 +218,19 @@ Result<std::vector<serve::MonitorHandle>> DecodeHelloAck(
   Cursor cursor(payload);
   uint32_t count = 0;
   if (!cursor.ReadU32(&count)) return Truncated("HELLO-ACK");
+  // Exact-size check before the reserve, mirroring DecodeTick: a lying
+  // count must not drive the allocation, and trailing or missing bytes
+  // fail in the same comparison.
+  if (payload.size() != 4 + static_cast<size_t>(count) * 4) {
+    return Status::InvalidArgument(
+        "HELLO-ACK payload size does not match its handle count");
+  }
   std::vector<serve::MonitorHandle> handles;
   handles.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     serve::MonitorHandle handle = serve::kInvalidMonitor;
-    if (!cursor.ReadI32(&handle)) return Truncated("HELLO-ACK");
+    cursor.ReadI32(&handle);
     handles.push_back(handle);
-  }
-  if (!cursor.Done()) {
-    return Status::InvalidArgument("trailing bytes after HELLO-ACK handles");
   }
   return handles;
 }

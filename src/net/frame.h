@@ -75,7 +75,9 @@ struct TickOutcome {
 // included, ready for one WriteAll). ---
 
 std::string EncodeFrame(FrameType type, std::string_view payload);
-std::string EncodeHello(const std::vector<HelloEntry>& entries);
+// Fails if any workload / node_ip exceeds the 255-byte str8 limit (a masked
+// length would silently desync the frame).
+Result<std::string> EncodeHello(const std::vector<HelloEntry>& entries);
 std::string EncodeHelloAck(const std::vector<serve::MonitorHandle>& handles);
 std::string EncodeTick(const std::vector<serve::TickSample>& samples);
 // kTickAck when rejected == 0, kBackpressure otherwise.

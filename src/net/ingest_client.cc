@@ -142,7 +142,9 @@ Result<std::vector<serve::MonitorHandle>> IngestClient::Hello(
     }
     return handles;
   }
-  INVARNETX_RETURN_IF_ERROR(WriteCommand(EncodeHello(entries)));
+  Result<std::string> hello = EncodeHello(entries);
+  if (!hello.ok()) return hello.status();
+  INVARNETX_RETURN_IF_ERROR(WriteCommand(hello.value()));
   Result<Frame> reply = ReadFrame(fd_, options_.max_frame_bytes);
   if (!reply.ok()) {
     Close();

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -60,6 +61,7 @@ Status IngestServer::Start() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = false;
     done_ = false;
+    session_done_ = false;
   }
   return server_.Start();
 }
@@ -68,9 +70,10 @@ void IngestServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
-    // Unblock a session stuck in recv so SocketServer::Stop can join its
-    // worker without waiting out the io timeout.
-    if (active_fd_ >= 0) ::shutdown(active_fd_, SHUT_RDWR);
+    // Unblock every connection stuck in recv - including one still in the
+    // dialect sniff - so SocketServer::Stop can join its workers without
+    // waiting out the io timeout.
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   done_cv_.notify_all();
   server_.Stop();
@@ -85,6 +88,21 @@ SessionStats IngestServer::WaitForSession() {
 }
 
 void IngestServer::ServeConnection(int fd) {
+  // Register before the first read: Stop() shuts down every registered fd,
+  // so even a producer that connects and then sends nothing cannot stall
+  // shutdown until its io timeout expires.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    live_fds_.push_back(fd);
+  }
+  RunSession(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                  live_fds_.end());
+}
+
+void IngestServer::RunSession(int fd) {
   // Dialect sniff: binary producers lead with the 4-byte magic; every text
   // session leads with "HELLO ...", so 4 bytes are always forthcoming.
   char magic[4];
@@ -96,11 +114,15 @@ void IngestServer::ServeConnection(int fd) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
-    if (busy_) {
+    if (busy_ || session_done_) {
       // One producer at a time: the fleet has a single-ingestion-thread
       // contract, and interleaving two sessions' jobs would make verdicts
-      // depend on connection timing.
-      const std::string err = "busy: another ingest session is active";
+      // depend on connection timing. Once a session has completed cleanly
+      // the server is done until the next Start(): a late producer must
+      // not append run blocks to a report already being assembled.
+      const std::string err =
+          busy_ ? "busy: another ingest session is active"
+                : "done: an ingest session already completed";
       obs::MetricsRegistry::Shared().GetCounter("net.ingest_errors")
           .Increment();
       if (binary) {
@@ -111,7 +133,6 @@ void IngestServer::ServeConnection(int fd) {
       return;
     }
     busy_ = true;
-    active_fd_ = fd;
   }
   obs::MetricsRegistry::Shared().GetCounter("net.ingest_sessions").Increment();
 
@@ -124,7 +145,6 @@ void IngestServer::ServeConnection(int fd) {
 
   std::lock_guard<std::mutex> lock(mu_);
   busy_ = false;
-  active_fd_ = -1;
 }
 
 void IngestServer::RunBinarySession(int fd, Session* session) {
@@ -231,8 +251,14 @@ void IngestServer::RunTextSession(int fd, LineReader* reader,
       if (tokens.size() != 2) return fail("want: TICK <count>");
       char* end = nullptr;
       const long count = std::strtol(tokens[1].c_str(), &end, 10);
-      if (*end != '\0' || count < 0 || count > 1'000'000) {
-        return fail("bad TICK count '" + tokens[1] + "'");
+      // Both dialects share one resource bound: the text dialect buffers at
+      // most as many samples as the largest legal binary TICK frame carries
+      // (max_frame_bytes), instead of a separate, larger cap.
+      const long max_samples =
+          static_cast<long>(options_.max_frame_bytes / kBinarySampleBytes);
+      if (*end != '\0' || count < 0 || count > max_samples) {
+        return fail("bad TICK count '" + tokens[1] + "' (max " +
+                    std::to_string(max_samples) + ")");
       }
       std::vector<serve::TickSample> samples;
       samples.reserve(static_cast<size_t>(count));
@@ -339,8 +365,12 @@ Result<uint32_t> IngestServer::OnEndJob(Session* session) {
   fleet_->WaitForDiagnoses();
   const std::vector<serve::FleetDiagnosis> diagnoses = fleet_->TakeDiagnoses();
   if (verdicts_ != nullptr) {
-    *verdicts_ << "== run " << session->run << " ==\n";
-    serve::RenderVerdicts(*fleet_, session->armed, diagnoses, verdicts_);
+    // Render into the session's private buffer; OnBye flushes it to the
+    // shared sink, so a session that dies before BYE leaves no partial
+    // run blocks in the report.
+    session->verdicts << "== run " << session->run << " ==\n";
+    serve::RenderVerdicts(*fleet_, session->armed, diagnoses,
+                          &session->verdicts);
   }
   ++session->run;
   const uint32_t alarms = static_cast<uint32_t>(fleet_->alarms_active());
@@ -350,8 +380,10 @@ Result<uint32_t> IngestServer::OnEndJob(Session* session) {
 
 void IngestServer::OnBye(Session* session) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (verdicts_ != nullptr) *verdicts_ << session->verdicts.str();
   completed_ = SessionStats{session->run, session->total_alarms, true};
   done_ = true;
+  session_done_ = true;
   done_cv_.notify_all();
 }
 

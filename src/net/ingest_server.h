@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -62,10 +63,16 @@ struct SessionStats {
 // Parse errors and protocol violations are strict: one ERR reply, then the
 // connection closes. A session that dies without BYE (disconnect, garbage,
 // oversized frame) releases the fleet for the next connection but never
-// completes WaitForSession. One session runs at a time; a second concurrent
-// producer is turned away with ERR busy. All fleet calls happen under the
-// session mutex, honoring MonitorFleet's single-ingestion-thread contract
-// even though successive sessions may land on different worker threads.
+// completes WaitForSession - and contributes nothing to the verdict sink:
+// each session renders into a private buffer that is flushed to the sink
+// only at BYE, so partial runs never pollute the report. One session runs
+// at a time; a second concurrent producer is turned away with ERR busy,
+// and once any session has completed cleanly the server serves no further
+// sessions until the next Start() (a late producer would otherwise append
+// extra run blocks to a report already being assembled). The busy flag
+// serializes every fleet call, honoring MonitorFleet's
+// single-ingestion-thread contract even though successive sessions may
+// land on different worker threads.
 //
 // Self-observability (obs::MetricsRegistry::Shared()):
 //   counter net.ingest_sessions   accepted session connections
@@ -76,8 +83,8 @@ struct SessionStats {
 class IngestServer {
  public:
   // `fleet` must outlive the server; `verdicts` (may be null) receives the
-  // rendered per-run verdict blocks and is only written under the session
-  // lock.
+  // completed session's rendered per-run verdict blocks, flushed atomically
+  // under the session lock when the session ends with BYE.
   IngestServer(serve::MonitorFleet* fleet, std::ostream* verdicts,
                IngestServerOptions options = {});
   ~IngestServer();
@@ -96,14 +103,20 @@ class IngestServer {
   SessionStats WaitForSession();
 
  private:
-  // One connection's session state, shared by both dialects.
+  // One connection's session state, shared by both dialects. Verdicts
+  // render into the private buffer; OnBye flushes it to the shared sink so
+  // sessions that die without BYE leave no partial blocks behind.
   struct Session {
     std::vector<serve::ArmedContext> armed;
     int run = 0;
     uint64_t total_alarms = 0;
+    std::ostringstream verdicts;
   };
 
+  // Registers the connection for shutdown teardown, then runs RunSession.
   void ServeConnection(int fd);
+  // Dialect sniff + busy/done gate + the session loop.
+  void RunSession(int fd);
   void RunBinarySession(int fd, Session* session);
   void RunTextSession(int fd, LineReader* reader, Session* session);
 
@@ -128,7 +141,14 @@ class IngestServer {
   bool busy_ = false;
   bool stopping_ = false;
   bool done_ = false;
-  int active_fd_ = -1;  // Stop() shuts it down to unblock a mid-recv session
+  // Latched (until the next Start) once any session completes with BYE;
+  // later connections are refused so a straggler cannot append run blocks
+  // to a report the embedder is already assembling.
+  bool session_done_ = false;
+  // Every connection registers here before its first read; Stop() shuts
+  // them all down so even a producer idle in the dialect sniff cannot
+  // stall shutdown for a full io timeout.
+  std::vector<int> live_fds_;
   SessionStats completed_;
 };
 

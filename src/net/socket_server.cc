@@ -157,7 +157,9 @@ void SocketServer::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutting_down_ || !pending_.empty(); });
-      if (pending_.empty()) return;  // shutting down, queue drained
+      // On shutdown, never serve queued connections - each could cost a
+      // full io timeout. Stop() closes whatever is still pending.
+      if (shutting_down_) return;
       fd = pending_.front();
       pending_.pop_front();
     }

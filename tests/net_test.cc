@@ -95,7 +95,7 @@ bool BitsEqual(double a, double b) {
 TEST(FrameCodecTest, HelloRoundTrip) {
   const std::vector<HelloEntry> entries = {{"wordcount", "10.0.0.2"},
                                            {"sort", "10.0.0.3"}};
-  const std::string frame = net::EncodeHello(entries);
+  const std::string frame = net::EncodeHello(entries).value();
   // Length prefix covers type + payload.
   ASSERT_GE(frame.size(), 5u);
   EXPECT_EQ(frame[4], static_cast<char>(FrameType::kHello));
@@ -157,7 +157,7 @@ TEST(FrameCodecTest, TickReplyPicksBackpressureType) {
 TEST(FrameCodecTest, DecodersRejectMalformedPayloads) {
   // Truncated HELLO: chop any suffix off a valid payload.
   const std::string hello =
-      net::EncodeHello({{"wordcount", "10.0.0.2"}}).substr(5);
+      net::EncodeHello({{"wordcount", "10.0.0.2"}}).value().substr(5);
   for (size_t keep = 0; keep < hello.size(); ++keep) {
     EXPECT_FALSE(net::DecodeHello(hello.substr(0, keep)).ok())
         << "undetected truncation at " << keep;
@@ -191,6 +191,42 @@ TEST(FrameCodecTest, DecodersRejectMalformedPayloads) {
   EXPECT_FALSE(net::DecodeTickReply("123456789").ok());
   EXPECT_FALSE(net::DecodeEndJobAck("123").ok());
   EXPECT_FALSE(net::DecodeEndJobAck("12345").ok());
+}
+
+// A tiny payload claiming a huge entry count must be rejected *before* any
+// count-sized allocation: a 10-byte HELLO declaring 2^32-1 entries would
+// otherwise reserve ~256 GB and kill the serve process with bad_alloc.
+TEST(FrameCodecTest, LyingCountsAreRejectedBeforeAllocation) {
+  // version=1, count=0xFFFFFFFF, then nothing.
+  const std::string hello("\x01\x00\xff\xff\xff\xff", 6);
+  const auto decoded_hello = net::DecodeHello(hello);
+  ASSERT_FALSE(decoded_hello.ok());
+  EXPECT_NE(decoded_hello.status().message().find("does not fit"),
+            std::string::npos)
+      << decoded_hello.status().ToString();
+
+  // count=0xFFFFFFFF, then a single stale handle.
+  const std::string ack("\xff\xff\xff\xff\x01\x00\x00\x00", 8);
+  const auto decoded_ack = net::DecodeHelloAck(ack);
+  ASSERT_FALSE(decoded_ack.ok());
+  EXPECT_NE(decoded_ack.status().message().find("does not match"),
+            std::string::npos)
+      << decoded_ack.status().ToString();
+}
+
+// str8 fields cap at 255 bytes; encoding must fail loudly instead of
+// masking the length and shipping a desynced frame.
+TEST(FrameCodecTest, EncodeHelloRejectsOverlongContextFields) {
+  const std::string overlong(256, 'w');
+  EXPECT_FALSE(net::EncodeHello({{overlong, "10.0.0.2"}}).ok());
+  EXPECT_FALSE(net::EncodeHello({{"wordcount", overlong}}).ok());
+  // 255 exactly is still legal.
+  const std::string at_limit(255, 'w');
+  const auto frame = net::EncodeHello({{at_limit, "10.0.0.2"}});
+  ASSERT_TRUE(frame.ok());
+  const auto decoded = net::DecodeHello(frame.value().substr(5));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value()[0].workload, at_limit);
 }
 
 TEST(FrameCodecTest, ReadFrameEnforcesLengthBounds) {
@@ -518,6 +554,123 @@ TEST_F(IngestSessionTest, SecondConcurrentSessionIsTurnedAwayBusy) {
   server.Stop();
 }
 
+// Once a session completes with BYE the report is being assembled; a late
+// producer must be refused, not allowed to append extra run blocks.
+TEST_F(IngestSessionTest, SessionAfterCleanCompletionIsRefused) {
+  MonitorFleet fleet(pipeline_, {});
+  std::ostringstream verdicts;
+  IngestServer server(&fleet, &verdicts, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  IngestClientOptions options;
+  options.port = server.port();
+  {
+    IngestClient client(options);
+    ASSERT_TRUE(client.Connect().ok());
+    ASSERT_TRUE(client.Hello({{"wordcount", Context(1).node_ip}}).ok());
+    ASSERT_TRUE(client.Bye().ok());
+  }
+  // The completed session is latched even before WaitForSession runs. The
+  // BYE-ACK races ahead of the latch (it is sent before OnBye completes),
+  // so retry through the brief busy window.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    IngestClient late(options);
+    ASSERT_TRUE(late.Connect().ok());
+    auto refused = late.Hello({{"wordcount", Context(2).node_ip}});
+    ASSERT_FALSE(refused.ok());
+    if (refused.status().message().find("busy") != std::string::npos) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    EXPECT_NE(refused.status().message().find("done"), std::string::npos)
+        << refused.status().ToString();
+    break;
+  }
+  EXPECT_TRUE(server.WaitForSession().completed);
+  server.Stop();
+}
+
+// A session that renders verdicts (ENDJOB) but dies without BYE must leave
+// no partial run blocks in the sink; the next clean session's report is
+// exactly its own blocks.
+TEST_F(IngestSessionTest, DirtySessionLeavesNoPartialVerdicts) {
+  FleetConfig config;
+  config.threads = 1;
+  config.shards = 1;
+  MonitorFleet fleet(pipeline_, config);
+  std::ostringstream verdicts;
+  IngestServer server(&fleet, &verdicts, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  IngestClientOptions options;
+  options.port = server.port();
+  {
+    IngestClient dirty(options);
+    ASSERT_TRUE(dirty.Connect().ok());
+    auto handles = dirty.Hello({{"wordcount", Context(1).node_ip}});
+    ASSERT_TRUE(handles.ok());
+    ASSERT_TRUE(dirty.StartJob().ok());
+    auto outcome =
+        dirty.Tick({SampleAt(*faulty_, 1, handles.value()[0], 0)});
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(dirty.EndJob().ok());  // renders "== run 0 ==" somewhere
+    dirty.Close();                     // ...but never says BYE
+  }
+  EXPECT_EQ(verdicts.str(), "");  // the dirty block never reached the sink
+
+  // A clean session afterwards owns the report outright.
+  bool streamed = false;
+  for (int attempt = 0; attempt < 100 && !streamed; ++attempt) {
+    IngestClient clean(options);
+    ASSERT_TRUE(clean.Connect().ok());
+    auto handles = clean.Hello({{"wordcount", Context(2).node_ip}});
+    if (!handles.ok()) {
+      clean.Close();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    ASSERT_TRUE(clean.StartJob().ok());
+    auto outcome =
+        clean.Tick({SampleAt(*faulty_, 2, handles.value()[0], 0)});
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(clean.EndJob().ok());
+    ASSERT_TRUE(clean.Bye().ok());
+    streamed = true;
+  }
+  ASSERT_TRUE(streamed);
+  const net::SessionStats stats = server.WaitForSession();
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.runs, 1);
+  server.Stop();
+  // Exactly one run block: the clean session's own run 0.
+  EXPECT_EQ(verdicts.str().find("== run 0 =="), 0u) << verdicts.str();
+  EXPECT_EQ(verdicts.str().find("== run 0 ==", 1), std::string::npos);
+}
+
+// The text dialect shares the binary dialect's resource bound: TICK counts
+// above max_frame_bytes / 220 are refused instead of buffering unbounded
+// sample vectors for an unauthenticated peer.
+TEST_F(IngestSessionTest, TextTickCountSharesBinaryFrameBound) {
+  MonitorFleet fleet(pipeline_, {});
+  IngestServerOptions server_options;
+  server_options.max_frame_bytes = 10 * net::kBinarySampleBytes;
+  IngestServer server(&fleet, nullptr, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  net::LineReader reader(fd);
+  std::string line;
+  ASSERT_TRUE(net::WriteAll(fd, "HELLO v1 " + ContextToken(1) + "\n"));
+  ASSERT_TRUE(reader.ReadLine(&line));
+  ASSERT_EQ(line, "OK 0");
+  ASSERT_TRUE(net::WriteAll(fd, std::string("TICK 11\n")));
+  ASSERT_TRUE(reader.ReadLine(&line));
+  EXPECT_EQ(line.find("ERR bad TICK count"), 0u) << line;
+  ::close(fd);
+  server.Stop();
+}
+
 // Socket backpressure is the fleet's deterministic ring-reject policy made
 // visible on the wire: with one shard and a 1-deep ring, a 2-sample tick
 // always admits the first sample in batch order and rejects the second -
@@ -636,7 +789,7 @@ TEST_F(IngestSessionTest, MidFrameDisconnectReleasesTheSession) {
     ASSERT_GE(fd, 0);
     ASSERT_TRUE(net::WriteAll(fd, net::kBinaryMagic, 4));
     ASSERT_TRUE(net::WriteAll(fd, net::EncodeHello(
-        {{"wordcount", Context(1).node_ip}})));
+        {{"wordcount", Context(1).node_ip}}).value()));
     auto ack = net::ReadFrame(fd, net::kDefaultMaxFramePayload);
     ASSERT_TRUE(ack.ok());
     // Announce a TICK frame, deliver half of it, vanish.
